@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: MMS, SRS and OMS scheduling plus storage
+//! accounting on forests of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmf_forest::{build_forest, ReusePolicy};
+use dmf_mixalgo::BaseAlgorithm;
+use dmf_ratio::TargetRatio;
+use dmf_sched::{mms_schedule, oms_schedule, srs_schedule};
+
+fn forests() -> Vec<(u64, dmf_mixgraph::MixGraph)> {
+    let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+    let template = BaseAlgorithm::MinMix.algorithm().build_template(&target).unwrap();
+    [32u64, 128, 512]
+        .into_iter()
+        .map(|d| (d, build_forest(&template, &target, d, ReusePolicy::AcrossTrees).unwrap()))
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let forests = forests();
+    let mut group = c.benchmark_group("schedulers");
+    for (demand, forest) in &forests {
+        group.bench_with_input(BenchmarkId::new("MMS", demand), forest, |b, f| {
+            b.iter(|| mms_schedule(f, 3).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("SRS", demand), forest, |b, f| {
+            b.iter(|| srs_schedule(f, 3).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("OMS-HLF", demand), forest, |b, f| {
+            b.iter(|| oms_schedule(f, 3).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_storage_accounting(c: &mut Criterion) {
+    let forests = forests();
+    let mut group = c.benchmark_group("storage_accounting");
+    for (demand, forest) in &forests {
+        let schedule = srs_schedule(forest, 3).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(demand), forest, |b, f| {
+            b.iter(|| schedule.storage(f).peak)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_storage_accounting);
+criterion_main!(benches);

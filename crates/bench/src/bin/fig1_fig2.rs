@@ -1,0 +1,25 @@
+//! Figs. 1–2 — mixing-forest construction for the PCR master mix
+//! (2:1:1:1:1:1:9, d = 4) at demands 16 and 20, plus the Graphviz export
+//! of the D = 16 forest.
+
+use dmf_forest::{build_forest, build_forest_report, ReusePolicy};
+use dmf_mixalgo::{MinMix, MixingAlgorithm};
+use dmf_ratio::TargetRatio;
+
+fn main() {
+    let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).expect("paper ratio");
+    let template = MinMix.build_template(&target).expect("multi-fluid target");
+
+    println!("Base MM tree (Fig. 1, T1): Tms={} leaves={:?}\n", template.mix_count(), template.leaf_counts());
+    for demand in [16u64, 20] {
+        let (_, report) =
+            build_forest_report(&template, &target, demand, ReusePolicy::AcrossTrees)
+                .expect("forest builds");
+        println!("D = {demand}: {report}");
+    }
+    println!("\npaper: D=16 -> |F|=8 Tms=19 W=0 I=16; D=20 -> |F|=10 Tms=27 W=5 I=25\n");
+
+    let forest = build_forest(&template, &target, 16, ReusePolicy::AcrossTrees).expect("forest");
+    println!("Graphviz of the D = 16 forest (pipe through `dot -Tsvg`):\n");
+    println!("{}", forest.to_dot());
+}

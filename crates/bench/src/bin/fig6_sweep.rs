@@ -1,0 +1,68 @@
+//! Fig. 6 — average completion time `Tc` and input requirement `I` versus
+//! demand `D` over the synthetic corpus, for RMM, RMTCS, MM+MMS and
+//! MTCS+MMS.
+//!
+//! Pass a corpus size as the first argument (default 600 sampled ratios;
+//! pass `full` for the entire 6066-ratio corpus).
+
+use dmf_bench::{run_scheme, Scheme};
+use dmf_mixalgo::BaseAlgorithm;
+use dmf_sched::SchedulerKind;
+use dmf_workloads::synthetic;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let corpus = match arg.as_deref() {
+        Some("full") => synthetic::paper_corpus(),
+        Some(k) => synthetic::sampled_corpus(k.parse().unwrap_or(600), 2014),
+        None => synthetic::sampled_corpus(600, 2014),
+    };
+    println!(
+        "Fig. 6: average Tc and I vs demand over {} ratios (L = 32, N = 2..=12)\n",
+        corpus.len()
+    );
+    let schemes = [
+        Scheme::Repeated(BaseAlgorithm::MinMix),
+        Scheme::Repeated(BaseAlgorithm::Mtcs),
+        Scheme::Streaming(BaseAlgorithm::MinMix, SchedulerKind::Mms),
+        Scheme::Streaming(BaseAlgorithm::Mtcs, SchedulerKind::Mms),
+    ];
+    print!("{:>4}", "D");
+    for s in &schemes {
+        print!(" {:>12}", format!("Tc {}", s.name()));
+    }
+    for s in &schemes {
+        print!(" {:>12}", format!("I {}", s.name()));
+    }
+    println!();
+    for demand in (2..=32u64).step_by(2) {
+        let mut tc = [0.0f64; 4];
+        let mut inputs = [0.0f64; 4];
+        let mut n = 0usize;
+        for target in &corpus {
+            let mut results = Vec::with_capacity(4);
+            for &scheme in &schemes {
+                match run_scheme(scheme, target, demand) {
+                    Ok(r) => results.push(r),
+                    Err(_) => break,
+                }
+            }
+            if results.len() == 4 {
+                n += 1;
+                for (k, r) in results.iter().enumerate() {
+                    tc[k] += r.cycles as f64;
+                    inputs[k] += r.inputs as f64;
+                }
+            }
+        }
+        print!("{demand:>4}");
+        for v in tc {
+            print!(" {:>12.1}", v / n.max(1) as f64);
+        }
+        for v in inputs {
+            print!(" {:>12.1}", v / n.max(1) as f64);
+        }
+        println!();
+    }
+    println!("\n(the paper's Fig. 6 shape: repeated schemes grow linearly in D; MMS grows far slower)");
+}

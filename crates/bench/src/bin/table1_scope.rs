@@ -1,0 +1,37 @@
+//! Table 1 — scope of earlier work versus the proposed streaming engine.
+
+use dmf_mixalgo::{BaseAlgorithm, Capabilities};
+
+fn cell(b: bool) -> &'static str {
+    if b {
+        "Yes"
+    } else {
+        "No"
+    }
+}
+
+fn print_row(name: &str, c: Capabilities) {
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        name,
+        cell(c.sdst_dilution),
+        cell(c.sdst_mixing),
+        cell(c.mdst_dilution),
+        cell(c.mdst_mixing),
+        cell(c.sdmt_dilution),
+        cell(c.sdmt_mixing)
+    );
+}
+
+fn main() {
+    println!("Table 1: scope of mixing algorithms (paper taxonomy)\n");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Algorithm", "SDST2", "SDST+", "MDST2", "MDST+", "SDMT2", "SDMT+"
+    );
+    for algorithm in BaseAlgorithm::ALL {
+        print_row(algorithm.name(), algorithm.algorithm().capabilities());
+    }
+    print_row("Proposed", Capabilities::PROPOSED);
+    println!("\n(2 = dilution N=2, + = mixing N>2; 'Proposed' is the streaming engine)");
+}

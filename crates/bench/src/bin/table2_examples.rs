@@ -1,0 +1,35 @@
+//! Table 2 — `Tc`, `q` and `I` for the five example bioprotocols under the
+//! nine schemes (D = 32, Mlb mixers of each target's MM tree).
+
+use dmf_bench::{run_scheme, Scheme};
+use dmf_workloads::protocols;
+
+fn main() {
+    let schemes = Scheme::table2_columns();
+    let labels: Vec<String> = schemes.iter().map(Scheme::name).collect();
+    println!("Table 2: MDST with three schedulers x three mixing algorithms (D = 32)\n");
+
+    for metric in ["Tc (completion cycles)", "q (storage units)", "I (input droplets)"] {
+        println!("{metric}:");
+        print!("{:<6}", "Ratio");
+        for l in &labels {
+            print!(" {l:>9}");
+        }
+        println!();
+        for protocol in protocols::table2_examples() {
+            print!("{:<6}", protocol.id);
+            for &scheme in &schemes {
+                let r = run_scheme(scheme, &protocol.ratio, 32).expect("published ratios plan");
+                let value = match metric.chars().next() {
+                    Some('T') => r.cycles,
+                    Some('q') => r.storage as u64,
+                    _ => r.inputs,
+                };
+                print!(" {value:>9}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("Columns: A=RMM B=MM+MMS C=MM+SRS D=RRMA E=RMA+MMS F=RMA+SRS G=RMTCS H=MTCS+MMS I=MTCS+SRS");
+}

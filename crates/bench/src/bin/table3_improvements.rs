@@ -1,0 +1,83 @@
+//! Table 3 — average % improvements of MMS/SRS over repeated baselines,
+//! and of SRS over MMS, across the synthetic corpus (L = 32, N = 2..=12,
+//! D = 32).
+//!
+//! Pass a corpus size as the first argument to subsample (default: the
+//! full 6066-ratio corpus; use e.g. `500` for a quick run).
+
+use dmf_bench::{run_scheme, Scheme};
+use dmf_mixalgo::BaseAlgorithm;
+use dmf_sched::SchedulerKind;
+use dmf_workloads::synthetic;
+
+fn main() {
+    let sample: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let corpus = match sample {
+        Some(k) => synthetic::sampled_corpus(k, 2014),
+        None => synthetic::paper_corpus(),
+    };
+    println!(
+        "Table 3: average % improvements over {} target ratios (L = 32, D = 32)\n",
+        corpus.len()
+    );
+
+    let demand = 32;
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "Parameter / relative scheme", "MM", "RMA", "MTCS"
+    );
+    let algorithms = [BaseAlgorithm::MinMix, BaseAlgorithm::Rma, BaseAlgorithm::Mtcs];
+
+    // Accumulators per algorithm: sums of ratios for each comparison.
+    let mut tc_mms = [0.0f64; 3];
+    let mut tc_srs = [0.0f64; 3];
+    let mut i_stream = [0.0f64; 3];
+    let mut q_srs_vs_mms = [0.0f64; 3];
+    let mut tc_srs_vs_mms = [0.0f64; 3];
+    let mut counted = [0usize; 3];
+
+    for target in &corpus {
+        for (k, &algorithm) in algorithms.iter().enumerate() {
+            let Ok(repeated) = run_scheme(Scheme::Repeated(algorithm), target, demand) else {
+                continue;
+            };
+            let Ok(mms) = run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Mms), target, demand)
+            else {
+                continue;
+            };
+            let Ok(srs) = run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Srs), target, demand)
+            else {
+                continue;
+            };
+            counted[k] += 1;
+            let pct = |new: f64, old: f64| if old > 0.0 { (old - new) / old * 100.0 } else { 0.0 };
+            tc_mms[k] += pct(mms.cycles as f64, repeated.cycles as f64);
+            tc_srs[k] += pct(srs.cycles as f64, repeated.cycles as f64);
+            // MMS and SRS build the same forest, so I is shared.
+            i_stream[k] += pct(mms.inputs as f64, repeated.inputs as f64);
+            q_srs_vs_mms[k] += pct(srs.storage as f64, mms.storage as f64);
+            tc_srs_vs_mms[k] += pct(srs.cycles as f64, mms.cycles as f64);
+        }
+    }
+
+    let avg = |sums: &[f64; 3], counts: &[usize; 3], k: usize| sums[k] / counts[k].max(1) as f64;
+    let print_line = |label: &str, sums: &[f64; 3]| {
+        println!(
+            "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
+            label,
+            avg(sums, &counted, 0),
+            avg(sums, &counted, 1),
+            avg(sums, &counted, 2)
+        );
+    };
+    print_line("Tc: MMS || Repeated", &tc_mms);
+    print_line("Tc: SRS || Repeated", &tc_srs);
+    print_line("I: streaming || Repeated", &i_stream);
+    print_line("q: SRS || MMS", &q_srs_vs_mms);
+    print_line("Tc: SRS || MMS", &tc_srs_vs_mms);
+    println!(
+        "\nratios evaluated per algorithm: MM={} RMA={} MTCS={}",
+        counted[0], counted[1], counted[2]
+    );
+    println!("(paper Table 3: Tc ~72-73%, I ~72-77%, q(SRS||MMS) ~23-27%, Tc(SRS||MMS) ~ -4..-6%)");
+}

@@ -1,0 +1,44 @@
+//! Table 4 — the PCR master-mix engine with three mixers and a fixed
+//! number of storage units: passes, total cycles and total waste for
+//! every (q', d, D) combination the paper reports.
+
+use dmf_engine::{EngineConfig, StreamingEngine};
+use dmf_ratio::TargetRatio;
+use dmf_workloads::protocols::PCR_MASTER_MIX_PERCENT;
+
+fn main() {
+    println!("Table 4: PCR master-mix engine, three mixers, fixed storage (SRS)\n");
+    println!(
+        "{:>3} | {}",
+        "D",
+        ["d=4", "d=5", "d=6"]
+            .iter()
+            .map(|d| format!("{:<30}", format!("{d}: q'=3 / q'=5 / q'=7")))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    for demand in [2u64, 16, 20, 32] {
+        let mut cells = Vec::new();
+        for d in [4u32, 5, 6] {
+            let target = TargetRatio::paper_approximate(&PCR_MASTER_MIX_PERCENT, d)
+                .expect("PCR approximates at d>=3");
+            let mut sub = Vec::new();
+            for limit in [3usize, 5, 7] {
+                let config = EngineConfig::default().with_storage_limit(limit).with_mixers(3);
+                match StreamingEngine::new(config).plan(&target, demand) {
+                    Ok(plan) => sub.push(format!(
+                        "{}({},{})",
+                        plan.pass_count(),
+                        plan.total_cycles,
+                        plan.total_waste
+                    )),
+                    Err(_) => sub.push("inf".into()),
+                }
+            }
+            cells.push(format!("{:<30}", sub.join(" / ")));
+        }
+        println!("{:>3} | {}", demand, cells.join(" | "));
+    }
+    println!("\ncell format: passes(total cycles, total waste)");
+    println!("(paper examples, D=32 d=4: 3(17,7) / 1(14,0) / 1(14,0))");
+}

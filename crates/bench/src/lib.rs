@@ -1,0 +1,298 @@
+//! Shared harness for regenerating every table and figure of the DAC 2014
+//! paper.
+//!
+//! Each `src/bin/*.rs` binary reproduces one exhibit:
+//!
+//! | binary | exhibit |
+//! |--------|---------|
+//! | `table1_scope` | Table 1 — capability taxonomy |
+//! | `table2_examples` | Table 2 — Tc/q/I for Ex.1–Ex.5 across nine schemes |
+//! | `table3_improvements` | Table 3 — average % improvements over the corpus |
+//! | `table4_passes` | Table 4 — multi-pass PCR engine under storage budgets |
+//! | `fig1_fig2` | Figs. 1–2 — forest construction stats |
+//! | `fig3_fig4` | Figs. 3–4 — SRS schedule + Gantt chart |
+//! | `fig5_layout` | Fig. 5 — layout, cost matrix, electrode actuations |
+//! | `fig6_sweep` | Fig. 6 — avg Tc and I versus demand |
+//! | `fig7_mixers` | Fig. 7 — Tc and q versus mixer count |
+//!
+//! The `benches/` directory carries Criterion micro-benchmarks for the
+//! construction, scheduling, placement, routing and simulation layers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dmf_chip::CostMatrix;
+use dmf_engine::{EngineConfig, MixerBudget, PassPlan, StreamPlan, StreamingEngine};
+use dmf_mixalgo::BaseAlgorithm;
+use dmf_mixgraph::{NodeId, Operand};
+use dmf_ratio::TargetRatio;
+use dmf_sched::{mixer_lower_bound, SchedulerKind};
+
+/// The nine evaluation schemes of Table 2, in column order A–I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Repeated base-tree passes (the paper's RMM / RRMA / RMTCS).
+    Repeated(BaseAlgorithm),
+    /// Streaming engine: forest seeded by the algorithm, scheduled by MMS
+    /// or SRS.
+    Streaming(BaseAlgorithm, SchedulerKind),
+}
+
+impl Scheme {
+    /// Table 2's column order: A=RMM, B=MM+MMS, C=MM+SRS, D=RRMA,
+    /// E=RMA+MMS, F=RMA+SRS, G=RMTCS, H=MTCS+MMS, I=MTCS+SRS.
+    pub fn table2_columns() -> Vec<Scheme> {
+        use BaseAlgorithm::*;
+        use SchedulerKind::*;
+        vec![
+            Scheme::Repeated(MinMix),
+            Scheme::Streaming(MinMix, Mms),
+            Scheme::Streaming(MinMix, Srs),
+            Scheme::Repeated(Rma),
+            Scheme::Streaming(Rma, Mms),
+            Scheme::Streaming(Rma, Srs),
+            Scheme::Repeated(Mtcs),
+            Scheme::Streaming(Mtcs, Mms),
+            Scheme::Streaming(Mtcs, Srs),
+        ]
+    }
+
+    /// Short name ("RMM", "MM+MMS", …).
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Repeated(a) => format!("R{}", a.name()),
+            Scheme::Streaming(a, s) => format!("{}+{}", a.name(), s.name()),
+        }
+    }
+}
+
+/// The three figures of merit the paper tabulates per scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeResult {
+    /// Completion time in cycles.
+    pub cycles: u64,
+    /// Storage units.
+    pub storage: usize,
+    /// Input reactant droplets.
+    pub inputs: u64,
+    /// Waste droplets.
+    pub waste: u64,
+}
+
+/// Evaluates one scheme on one target, following the paper's protocol:
+/// every scheme runs with the `Mlb` of the target's MinMix tree.
+///
+/// # Errors
+///
+/// Propagates engine failures (pure targets, scheduling errors).
+pub fn run_scheme(
+    scheme: Scheme,
+    target: &TargetRatio,
+    demand: u64,
+) -> Result<SchemeResult, dmf_engine::EngineError> {
+    let mm = BaseAlgorithm::MinMix.algorithm().build_graph(target)?;
+    let mixers = mixer_lower_bound(&mm)?;
+    match scheme {
+        Scheme::Repeated(algorithm) => {
+            let baseline = dmf_engine::repeated(algorithm, target, demand, mixers)?;
+            Ok(SchemeResult {
+                cycles: baseline.total_cycles,
+                storage: baseline.storage,
+                inputs: baseline.total_inputs,
+                waste: baseline.total_waste,
+            })
+        }
+        Scheme::Streaming(algorithm, scheduler) => {
+            let config = EngineConfig {
+                algorithm,
+                scheduler,
+                mixers: MixerBudget::Fixed(mixers),
+                ..EngineConfig::default()
+            };
+            let plan = StreamingEngine::new(config).plan(target, demand)?;
+            Ok(SchemeResult {
+                cycles: plan.total_cycles,
+                storage: plan.storage_peak,
+                inputs: plan.total_inputs,
+                waste: plan.total_waste,
+            })
+        }
+    }
+}
+
+/// Builds the default streaming plan (used by several exhibits).
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn default_plan(target: &TargetRatio, demand: u64) -> Result<StreamPlan, dmf_engine::EngineError> {
+    StreamingEngine::new(EngineConfig::default()).plan(target, demand)
+}
+
+/// Module-level droplet-transport cost of a scheduled pass against a named
+/// [`CostMatrix`] (such as the paper's Fig. 5 matrix): dispenses, direct
+/// hand-offs, storage round-trips and waste disposal are charged at the
+/// matrix's electrode counts. Target emission carries no matrix column and
+/// is charged zero, as in the paper.
+///
+/// Mirrors the storage-allocation policy of the physical realizer
+/// (nearest free cell), so the estimate is consistent with simulation.
+pub fn matrix_transport_cost(pass: &PassPlan, matrix: &CostMatrix) -> u64 {
+    let mixer_names: Vec<String> = matrix.mixers().to_vec();
+    let storage_names: Vec<String> =
+        matrix.rows().iter().filter(|r| r.starts_with('q')).cloned().collect();
+    let waste_names: Vec<String> =
+        matrix.rows().iter().filter(|r| r.starts_with('W')).cloned().collect();
+    let mixer_of = |n: NodeId| mixer_names[pass.schedule.mixer_of(n).0 % mixer_names.len()].clone();
+    let mut total = 0u64;
+    let mut storage_free: Vec<bool> = vec![true; storage_names.len()];
+    // Where each produced droplet currently sits: (producer, droplet slot).
+    let mut stored_at: std::collections::HashMap<(NodeId, usize), usize> =
+        std::collections::HashMap::new();
+    let cost = |a: &str, b: &str| matrix.cost_between(a, b).unwrap_or(0) as u64;
+
+    // Consumers ordered by consumption cycle, as in the realizer.
+    let ordered_consumers = |n: NodeId| {
+        let mut consumers = pass.forest.consumers(n).to_vec();
+        consumers.sort_by_key(|&c| (pass.schedule.cycle_of(c), c));
+        consumers
+    };
+
+    for t in 1..=pass.schedule.makespan() {
+        for (_, node) in pass.schedule.cycle_contents(t) {
+            let mixer = mixer_of(node);
+            // Gather operands.
+            for op in pass.forest.node(node).operands() {
+                match op {
+                    Operand::Input(f) => {
+                        total += cost(&format!("R{}", f.0 + 1), &mixer);
+                    }
+                    Operand::Droplet(src) => {
+                        // Which slot of src feeds us?
+                        let consumers = ordered_consumers(src);
+                        let slot = consumers
+                            .iter()
+                            .position(|&c| c == node)
+                            .expect("operand edge implies consumption");
+                        if let Some(cell) = stored_at.remove(&(src, slot)) {
+                            total += cost(&storage_names[cell], &mixer);
+                            storage_free[cell] = true;
+                        } else {
+                            // Direct hand-off from the producer's mixer.
+                            total += cost(&mixer_of(src), &mixer);
+                        }
+                    }
+                }
+            }
+            // Dispatch outputs.
+            let consumers = ordered_consumers(node);
+            for slot in 0..2usize {
+                match consumers.get(slot) {
+                    Some(&c) => {
+                        if pass.schedule.cycle_of(c) > t + 1 && !storage_names.is_empty() {
+                            // Park in the nearest free storage cell.
+                            let mut best: Option<(u64, usize)> = None;
+                            for (i, free) in storage_free.iter().enumerate() {
+                                if !free {
+                                    continue;
+                                }
+                                let d = cost(&mixer, &storage_names[i]);
+                                if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                                    best = Some((d, i));
+                                }
+                            }
+                            if let Some((d, i)) = best {
+                                total += d;
+                                storage_free[i] = false;
+                                stored_at.insert((node, slot), i);
+                            }
+                            // No free cell: the droplet notionally waits at
+                            // its producer mixer and is charged as a direct
+                            // hand-off at consumption — a benign
+                            // under-estimate that only triggers when the
+                            // schedule's q exceeds the matrix's cells.
+                        }
+                        // Direct hand-offs are charged at consumption time.
+                    }
+                    None => {
+                        if !pass.forest.is_root(node) {
+                            // Nearest waste reservoir.
+                            total += waste_names
+                                .iter()
+                                .map(|w| cost(&mixer, w))
+                                .min()
+                                .unwrap_or(0);
+                        }
+                        // Targets leave at the mixer-adjacent output (no
+                        // matrix column; charged zero like the paper).
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Formats a row of right-aligned cells under `width` columns.
+pub fn row(cells: &[String], width: usize) -> String {
+    cells.iter().map(|c| format!("{c:>width$}")).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_workloads::protocols;
+
+    #[test]
+    fn table2_has_nine_columns() {
+        let columns = Scheme::table2_columns();
+        assert_eq!(columns.len(), 9);
+        assert_eq!(columns[0].name(), "RMM");
+        assert_eq!(columns[4].name(), "RMA+MMS");
+        assert_eq!(columns[8].name(), "MTCS+SRS");
+    }
+
+    #[test]
+    fn repeated_mm_matches_paper_tr_128() {
+        // Table 2 column A: every L = 256 example costs 16 passes x 8
+        // cycles = 128 under RMM.
+        for protocol in protocols::table2_examples() {
+            let r = run_scheme(Scheme::Repeated(BaseAlgorithm::MinMix), &protocol.ratio, 32)
+                .unwrap();
+            assert_eq!(r.cycles, 128, "{}", protocol.id);
+        }
+    }
+
+    #[test]
+    fn streaming_never_worse_than_repeated_same_algorithm() {
+        for protocol in protocols::table2_examples() {
+            for algorithm in [BaseAlgorithm::MinMix, BaseAlgorithm::Rma, BaseAlgorithm::Mtcs] {
+                let repeated =
+                    run_scheme(Scheme::Repeated(algorithm), &protocol.ratio, 32).unwrap();
+                for scheduler in SchedulerKind::ALL {
+                    let streaming =
+                        run_scheme(Scheme::Streaming(algorithm, scheduler), &protocol.ratio, 32)
+                            .unwrap();
+                    assert!(streaming.cycles <= repeated.cycles, "{}", protocol.id);
+                    assert!(streaming.inputs <= repeated.inputs, "{}", protocol.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_matrix_cost_is_positive_and_smaller_than_repeated() {
+        let target = dmf_ratio::TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let matrix = CostMatrix::fig5_pcr();
+        let plan = default_plan(&target, 20).unwrap();
+        let streaming_cost = matrix_transport_cost(&plan.passes[0], &matrix);
+        assert!(streaming_cost > 0);
+        // Repeated MM as ten demand-2 passes.
+        let single = default_plan(&target, 2).unwrap();
+        let repeated_cost = 10 * matrix_transport_cost(&single.passes[0], &matrix);
+        assert!(
+            streaming_cost < repeated_cost,
+            "streaming {streaming_cost} vs repeated {repeated_cost}"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+use crate::{ChipSpec, ModuleId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A named droplet-transportation cost table: cost (in electrodes) from
+/// every module to every mixer.
+///
+/// [`CostMatrix::fig5_pcr`] reproduces the matrix published in the paper's
+/// Fig. 5 for the PCR master-mix chip; [`CostMatrix::from_spec`] derives a
+/// matrix from any [`ChipSpec`] geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostMatrix {
+    rows: Vec<String>,
+    mixers: Vec<String>,
+    costs: Vec<Vec<u32>>,
+    index: HashMap<String, usize>,
+}
+
+impl CostMatrix {
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row's cost count differs from the mixer count.
+    pub fn new(mixers: Vec<String>, entries: Vec<(String, Vec<u32>)>) -> Self {
+        let mut rows = Vec::with_capacity(entries.len());
+        let mut costs = Vec::with_capacity(entries.len());
+        let mut index = HashMap::new();
+        for (name, row) in entries {
+            assert_eq!(row.len(), mixers.len(), "row {name} must cover every mixer");
+            index.insert(name.clone(), rows.len());
+            rows.push(name);
+            costs.push(row);
+        }
+        CostMatrix { rows, mixers, costs, index }
+    }
+
+    /// The droplet-transportation cost matrix published in the paper's
+    /// Fig. 5: seven reservoirs, five storage cells, two waste reservoirs
+    /// and three mixers on the PCR master-mix chip.
+    ///
+    /// Values are transcribed from the paper (the print quality leaves a
+    /// couple of storage-row entries ambiguous; the symmetric reading is
+    /// used and noted in `EXPERIMENTS.md`).
+    pub fn fig5_pcr() -> Self {
+        let mixers = vec!["M1".into(), "M2".into(), "M3".into()];
+        let entries: Vec<(String, Vec<u32>)> = vec![
+            ("R1".into(), vec![8, 3, 8]),
+            ("R2".into(), vec![14, 9, 4]),
+            ("R3".into(), vec![17, 12, 3]),
+            ("R4".into(), vec![4, 9, 14]),
+            ("R5".into(), vec![3, 12, 17]),
+            ("R6".into(), vec![11, 6, 5]),
+            ("R7".into(), vec![5, 6, 11]),
+            ("q1".into(), vec![5, 10, 15]),
+            ("q2".into(), vec![5, 6, 11]),
+            ("q3".into(), vec![8, 3, 8]),
+            ("q4".into(), vec![11, 6, 5]),
+            ("q5".into(), vec![15, 10, 5]),
+            ("W1".into(), vec![17, 12, 7]),
+            ("W2".into(), vec![7, 12, 17]),
+            ("M1".into(), vec![0, 4, 13]),
+            ("M2".into(), vec![4, 0, 4]),
+            ("M3".into(), vec![13, 4, 0]),
+        ];
+        CostMatrix::new(mixers, entries)
+    }
+
+    /// Derives the matrix from a chip's geometry (Manhattan distances
+    /// between module ports).
+    pub fn from_spec(spec: &ChipSpec) -> Self {
+        let mixer_mods: Vec<ModuleId> = spec.mixers().map(|m| m.id()).collect();
+        let mixers: Vec<String> = mixer_mods.iter().map(|&m| spec.module(m).name().to_owned()).collect();
+        let entries: Vec<(String, Vec<u32>)> = spec
+            .modules()
+            .iter()
+            .map(|m| {
+                (
+                    m.name().to_owned(),
+                    mixer_mods.iter().map(|&x| spec.transport_cost(m.id(), x)).collect(),
+                )
+            })
+            .collect();
+        CostMatrix::new(mixers, entries)
+    }
+
+    /// Row names (module names).
+    pub fn rows(&self) -> &[String] {
+        &self.rows
+    }
+
+    /// Column names (mixer names).
+    pub fn mixers(&self) -> &[String] {
+        &self.mixers
+    }
+
+    /// Cost from module `from` to mixer column `mixer_idx`.
+    pub fn cost(&self, from: &str, mixer_idx: usize) -> Option<u32> {
+        let &row = self.index.get(from)?;
+        self.costs.get(row)?.get(mixer_idx).copied()
+    }
+
+    /// Cost between two named modules, provided at least one is a mixer
+    /// (the matrix only carries module-to-mixer entries).
+    pub fn cost_between(&self, a: &str, b: &str) -> Option<u32> {
+        if let Some(idx) = self.mixers.iter().position(|m| m == b) {
+            return self.cost(a, idx);
+        }
+        if let Some(idx) = self.mixers.iter().position(|m| m == a) {
+            return self.cost(b, idx);
+        }
+        None
+    }
+}
+
+impl fmt::Display for CostMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>6}", "")?;
+        for m in &self.mixers {
+            write!(f, " {m:>4}")?;
+        }
+        writeln!(f)?;
+        for (name, row) in self.rows.iter().zip(&self.costs) {
+            write!(f, "{name:>6}")?;
+            for c in row {
+                write!(f, " {c:>4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModuleKind, Rect};
+
+    #[test]
+    fn fig5_matrix_is_complete_and_symmetric_between_mixers() {
+        let m = CostMatrix::fig5_pcr();
+        assert_eq!(m.mixers().len(), 3);
+        assert_eq!(m.rows().len(), 17);
+        assert_eq!(m.cost("R1", 1), Some(3));
+        assert_eq!(m.cost("M1", 0), Some(0));
+        // Mixer-to-mixer block is symmetric.
+        assert_eq!(m.cost("M1", 2), m.cost("M3", 0));
+        assert_eq!(m.cost_between("R4", "M1"), Some(4));
+        assert_eq!(m.cost_between("M2", "q3"), Some(3));
+        assert_eq!(m.cost_between("R1", "R2"), None);
+    }
+
+    #[test]
+    fn from_spec_uses_port_distances() {
+        let mut chip = ChipSpec::new(12, 8).unwrap();
+        chip.add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 0, 1, 1)).unwrap();
+        chip.add_module("M1", ModuleKind::Mixer, Rect::new(4, 0, 2, 2)).unwrap();
+        let m = CostMatrix::from_spec(&chip);
+        assert_eq!(m.cost("R1", 0), Some(4));
+        assert_eq!(m.cost("M1", 0), Some(0));
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let text = CostMatrix::fig5_pcr().to_string();
+        assert!(text.contains("M1"));
+        assert!(text.contains("q5"));
+    }
+}

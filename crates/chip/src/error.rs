@@ -1,0 +1,58 @@
+use crate::ModuleId;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while constructing or validating a chip specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// The electrode array has a non-positive dimension.
+    EmptyGrid,
+    /// A module footprint leaves the electrode array.
+    OutOfBounds {
+        /// The offending module.
+        module: ModuleId,
+    },
+    /// Two module footprints overlap or violate the one-cell guard band.
+    Overlap {
+        /// First module.
+        a: ModuleId,
+        /// Second module.
+        b: ModuleId,
+    },
+    /// A referenced module does not exist.
+    UnknownModule {
+        /// The missing module.
+        module: ModuleId,
+    },
+    /// The chip is missing a module kind required for operation
+    /// (e.g. no mixer, or no reservoir for a needed fluid).
+    MissingResource {
+        /// Human-readable description of what is missing.
+        what: String,
+    },
+    /// Placement could not fit all requested modules on the grid.
+    PlacementFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::EmptyGrid => write!(f, "electrode array must have positive dimensions"),
+            ChipError::OutOfBounds { module } => {
+                write!(f, "module {module} leaves the electrode array")
+            }
+            ChipError::Overlap { a, b } => {
+                write!(f, "modules {a} and {b} overlap or violate the guard band")
+            }
+            ChipError::UnknownModule { module } => write!(f, "unknown module {module}"),
+            ChipError::MissingResource { what } => write!(f, "chip is missing {what}"),
+            ChipError::PlacementFailed { reason } => write!(f, "placement failed: {reason}"),
+        }
+    }
+}
+
+impl Error for ChipError {}

@@ -1,0 +1,146 @@
+use crate::{Coord, Rect};
+use std::fmt;
+
+/// Identifier of an on-chip module within a [`crate::ChipSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub usize);
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What an on-chip module does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// A (1:1) mix-split module; droplets are merged inside its footprint
+    /// and split back into two unit droplets.
+    Mixer,
+    /// A fluid reservoir dispensing unit droplets of one pure reagent
+    /// (0-based fluid index).
+    Reservoir {
+        /// Index of the dispensed fluid.
+        fluid: usize,
+    },
+    /// A single-droplet storage electrode.
+    Storage,
+    /// A waste reservoir absorbing discarded droplets.
+    Waste,
+    /// An output port emitting target droplets off-chip.
+    Output,
+}
+
+impl ModuleKind {
+    /// Short kind tag used in rendered layouts ("M", "R3", "q", "W", "O").
+    pub fn tag(&self) -> String {
+        match self {
+            ModuleKind::Mixer => "M".to_owned(),
+            ModuleKind::Reservoir { fluid } => format!("R{}", fluid + 1),
+            ModuleKind::Storage => "q".to_owned(),
+            ModuleKind::Waste => "W".to_owned(),
+            ModuleKind::Output => "O".to_owned(),
+        }
+    }
+}
+
+/// A placed on-chip module: a kind, a rectangular electrode footprint and
+/// an access *port* through which droplets enter and leave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    pub(crate) id: ModuleId,
+    pub(crate) name: String,
+    pub(crate) kind: ModuleKind,
+    pub(crate) rect: Rect,
+    pub(crate) port: Coord,
+}
+
+impl Module {
+    /// Creates a module whose port is the footprint centre.
+    pub fn new(id: ModuleId, name: impl Into<String>, kind: ModuleKind, rect: Rect) -> Self {
+        Module { id, name: name.into(), kind, rect, port: rect.center() }
+    }
+
+    /// Creates a module with an explicit port cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` lies outside the footprint.
+    pub fn with_port(
+        id: ModuleId,
+        name: impl Into<String>,
+        kind: ModuleKind,
+        rect: Rect,
+        port: Coord,
+    ) -> Self {
+        assert!(rect.contains(port), "port must lie inside the module footprint");
+        Module { id, name: name.into(), kind, rect, port }
+    }
+
+    /// The module's identifier.
+    pub fn id(&self) -> ModuleId {
+        self.id
+    }
+
+    /// Human-readable name ("M1", "R4", "q2", …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The module's function.
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// Electrode footprint.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Access cell for droplet entry/exit.
+    pub fn port(&self) -> Coord {
+        self.port
+    }
+
+    /// Whether the module is a mixer.
+    pub fn is_mixer(&self) -> bool {
+        matches!(self.kind, ModuleKind::Mixer)
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.name, self.kind.tag(), self.rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_port_is_center() {
+        let m = Module::new(ModuleId(0), "M1", ModuleKind::Mixer, Rect::new(2, 2, 2, 2));
+        assert_eq!(m.port(), Coord::new(2, 2));
+        assert!(m.is_mixer());
+    }
+
+    #[test]
+    #[should_panic(expected = "port must lie inside")]
+    fn port_outside_footprint_panics() {
+        Module::with_port(
+            ModuleId(0),
+            "R1",
+            ModuleKind::Reservoir { fluid: 0 },
+            Rect::new(0, 0, 1, 1),
+            Coord::new(5, 5),
+        );
+    }
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(ModuleKind::Reservoir { fluid: 2 }.tag(), "R3");
+        assert_eq!(ModuleKind::Mixer.tag(), "M");
+        assert_eq!(ModuleKind::Storage.tag(), "q");
+    }
+}

@@ -1,0 +1,356 @@
+use crate::{ChipError, ChipSpec, ModuleKind, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Expected droplet traffic between pairs of modules, used as the objective
+/// weights of placement: the optimiser minimises
+/// `Σ flow(a, b) · distance(port_a, port_b)` — the paper's "total
+/// droplet-transportation cost".
+///
+/// Indices refer to positions in the request list handed to
+/// [`Placer::place`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowMatrix {
+    flows: HashMap<(usize, usize), f64>,
+}
+
+impl FlowMatrix {
+    /// Creates an empty (all-zero) flow matrix.
+    pub fn new() -> Self {
+        FlowMatrix::default()
+    }
+
+    /// Adds `amount` droplet transports between modules `a` and `b`
+    /// (symmetric).
+    pub fn add(&mut self, a: usize, b: usize, amount: f64) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        *self.flows.entry(key).or_insert(0.0) += amount;
+    }
+
+    /// The accumulated flow between `a` and `b`.
+    pub fn flow(&self, a: usize, b: usize) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.flows.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over all non-zero flows.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.flows.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// One module to place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementRequest {
+    /// Module name ("M1", "R3", …).
+    pub name: String,
+    /// Module function.
+    pub kind: ModuleKind,
+    /// Footprint width.
+    pub w: i32,
+    /// Footprint height.
+    pub h: i32,
+    /// Whether the module must touch the chip boundary (reservoirs, waste
+    /// and output ports are world-facing).
+    pub boundary: bool,
+}
+
+impl PlacementRequest {
+    /// Request with the conventional footprint for the kind: 2×2 mixers,
+    /// 1×1 everything else; reservoirs/waste/output pinned to the boundary.
+    pub fn conventional(name: impl Into<String>, kind: ModuleKind) -> Self {
+        let (w, h) = match kind {
+            ModuleKind::Mixer => (2, 2),
+            _ => (1, 1),
+        };
+        let boundary = !matches!(kind, ModuleKind::Mixer | ModuleKind::Storage);
+        PlacementRequest { name: name.into(), kind, w, h, boundary }
+    }
+}
+
+/// Placement optimiser configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementConfig {
+    /// Electrode-array width.
+    pub width: i32,
+    /// Electrode-array height.
+    pub height: i32,
+    /// Simulated-annealing iterations.
+    pub iterations: u32,
+    /// Initial annealing temperature (in cost units).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per iteration.
+    pub cooling: f64,
+    /// PRNG seed — placement is fully deterministic for a given seed.
+    pub seed: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            width: 16,
+            height: 16,
+            iterations: 4000,
+            initial_temperature: 50.0,
+            cooling: 0.999,
+            seed: 0xD01F_57E4,
+        }
+    }
+}
+
+/// Greedy + simulated-annealing module placer minimising total
+/// droplet-transportation cost (paper §5, following the routing-aware
+/// resource-allocation approach of Roy et al., ISVLSI 2013).
+///
+/// # Examples
+///
+/// ```
+/// use dmf_chip::{FlowMatrix, ModuleKind, PlacementConfig, Placer};
+/// use dmf_chip::PlacementRequest;
+///
+/// # fn main() -> Result<(), dmf_chip::ChipError> {
+/// let requests = vec![
+///     PlacementRequest::conventional("M1", ModuleKind::Mixer),
+///     PlacementRequest::conventional("R1", ModuleKind::Reservoir { fluid: 0 }),
+///     PlacementRequest::conventional("R2", ModuleKind::Reservoir { fluid: 1 }),
+///     PlacementRequest::conventional("W1", ModuleKind::Waste),
+///     PlacementRequest::conventional("O1", ModuleKind::Output),
+/// ];
+/// let mut flows = FlowMatrix::new();
+/// flows.add(0, 1, 10.0); // R1 feeds M1 heavily
+/// let chip = Placer::new(PlacementConfig::default()).place(&requests, &flows)?;
+/// chip.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Placer {
+    config: PlacementConfig,
+}
+
+impl Placer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: PlacementConfig) -> Self {
+        Placer { config }
+    }
+
+    /// Places all requested modules, minimising flow-weighted transport
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::PlacementFailed`] when a legal initial placement
+    /// cannot be found (grid too small) and propagates grid-construction
+    /// errors.
+    pub fn place(
+        &self,
+        requests: &[PlacementRequest],
+        flows: &FlowMatrix,
+    ) -> Result<ChipSpec, ChipError> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rects = self.initial_placement(requests, &mut rng)?;
+        let mut cost = placement_cost(&rects, flows);
+        let mut temperature = self.config.initial_temperature;
+        for _ in 0..self.config.iterations {
+            let victim = rng.gen_range(0..requests.len());
+            let Some(candidate) =
+                self.random_site(&requests[victim], &rects, victim, &mut rng)
+            else {
+                temperature *= self.config.cooling;
+                continue;
+            };
+            let old = rects[victim];
+            rects[victim] = candidate;
+            let new_cost = placement_cost(&rects, flows);
+            let delta = new_cost - cost;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+            if accept {
+                cost = new_cost;
+            } else {
+                rects[victim] = old;
+            }
+            temperature *= self.config.cooling;
+        }
+        let mut spec = ChipSpec::new(self.config.width, self.config.height)?;
+        for (req, rect) in requests.iter().zip(&rects) {
+            spec.add_module(req.name.clone(), req.kind, *rect)?;
+        }
+        Ok(spec)
+    }
+
+    fn initial_placement(
+        &self,
+        requests: &[PlacementRequest],
+        rng: &mut StdRng,
+    ) -> Result<Vec<Rect>, ChipError> {
+        let mut rects: Vec<Rect> = Vec::with_capacity(requests.len());
+        for (i, req) in requests.iter().enumerate() {
+            let mut placed = false;
+            for _ in 0..4000 {
+                if let Some(r) = self.sample_site(req, rng) {
+                    if rects.iter().all(|other| !other.touches(&r)) {
+                        rects.push(r);
+                        placed = true;
+                        break;
+                    }
+                }
+            }
+            if !placed {
+                return Err(ChipError::PlacementFailed {
+                    reason: format!("no legal site for module {} ({} placed)", req.name, i),
+                });
+            }
+        }
+        Ok(rects)
+    }
+
+    fn random_site(
+        &self,
+        req: &PlacementRequest,
+        rects: &[Rect],
+        skip: usize,
+        rng: &mut StdRng,
+    ) -> Option<Rect> {
+        for _ in 0..64 {
+            if let Some(r) = self.sample_site(req, rng) {
+                let clear = rects
+                    .iter()
+                    .enumerate()
+                    .all(|(j, other)| j == skip || !other.touches(&r));
+                if clear {
+                    return Some(r);
+                }
+            }
+        }
+        None
+    }
+
+    fn sample_site(&self, req: &PlacementRequest, rng: &mut StdRng) -> Option<Rect> {
+        let (gw, gh) = (self.config.width, self.config.height);
+        if req.w > gw || req.h > gh {
+            return None;
+        }
+        let (x, y) = if req.boundary {
+            // Pick a boundary side, then a legal offset along it.
+            match rng.gen_range(0..4u8) {
+                0 => (rng.gen_range(0..=gw - req.w), 0),
+                1 => (rng.gen_range(0..=gw - req.w), gh - req.h),
+                2 => (0, rng.gen_range(0..=gh - req.h)),
+                _ => (gw - req.w, rng.gen_range(0..=gh - req.h)),
+            }
+        } else {
+            (rng.gen_range(0..=gw - req.w), rng.gen_range(0..=gh - req.h))
+        };
+        Some(Rect::new(x, y, req.w, req.h))
+    }
+}
+
+fn placement_cost(rects: &[Rect], flows: &FlowMatrix) -> f64 {
+    flows
+        .iter()
+        .map(|((a, b), f)| {
+            let d = rects[a].center().manhattan(rects[b].center()) as f64;
+            f * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcr_requests() -> Vec<PlacementRequest> {
+        let mut reqs = Vec::new();
+        for i in 0..3 {
+            reqs.push(PlacementRequest::conventional(format!("M{}", i + 1), ModuleKind::Mixer));
+        }
+        for f in 0..7 {
+            reqs.push(PlacementRequest::conventional(
+                format!("R{}", f + 1),
+                ModuleKind::Reservoir { fluid: f },
+            ));
+        }
+        for i in 0..5 {
+            reqs.push(PlacementRequest::conventional(format!("q{}", i + 1), ModuleKind::Storage));
+        }
+        reqs.push(PlacementRequest::conventional("W1", ModuleKind::Waste));
+        reqs.push(PlacementRequest::conventional("W2", ModuleKind::Waste));
+        reqs.push(PlacementRequest::conventional("O1", ModuleKind::Output));
+        reqs
+    }
+
+    #[test]
+    fn places_the_full_pcr_inventory_legally() {
+        let config = PlacementConfig { width: 20, height: 14, ..Default::default() };
+        let chip = Placer::new(config).place(&pcr_requests(), &FlowMatrix::new()).unwrap();
+        chip.validate().unwrap();
+        assert_eq!(chip.mixers().count(), 3);
+        assert_eq!(chip.reservoirs().count(), 7);
+        chip.validate_for_engine(7).unwrap();
+    }
+
+    #[test]
+    fn optimisation_reduces_flow_cost() {
+        let reqs = pcr_requests();
+        let mut flows = FlowMatrix::new();
+        // Heavy traffic between R1 and M1, R2 and M2.
+        flows.add(3, 0, 40.0);
+        flows.add(4, 1, 40.0);
+        let cheap = Placer::new(PlacementConfig {
+            width: 20,
+            height: 14,
+            iterations: 6000,
+            ..Default::default()
+        })
+        .place(&reqs, &flows)
+        .unwrap();
+        let unoptimised = Placer::new(PlacementConfig {
+            width: 20,
+            height: 14,
+            iterations: 0,
+            ..Default::default()
+        })
+        .place(&reqs, &flows)
+        .unwrap();
+        let cost = |spec: &ChipSpec| {
+            flows
+                .iter()
+                .map(|((a, b), f)| {
+                    f * spec.modules()[a].port().manhattan(spec.modules()[b].port()) as f64
+                })
+                .sum::<f64>()
+        };
+        assert!(cost(&cheap) <= cost(&unoptimised), "SA must not hurt");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let reqs = pcr_requests();
+        let config = PlacementConfig { width: 20, height: 14, ..Default::default() };
+        let a = Placer::new(config.clone()).place(&reqs, &FlowMatrix::new()).unwrap();
+        let b = Placer::new(config).place(&reqs, &FlowMatrix::new()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fails_gracefully_when_grid_too_small() {
+        let config = PlacementConfig { width: 4, height: 4, ..Default::default() };
+        let err = Placer::new(config).place(&pcr_requests(), &FlowMatrix::new()).unwrap_err();
+        assert!(matches!(err, ChipError::PlacementFailed { .. }));
+    }
+
+    #[test]
+    fn boundary_modules_touch_the_edge() {
+        let config = PlacementConfig { width: 20, height: 14, ..Default::default() };
+        let chip = Placer::new(config).place(&pcr_requests(), &FlowMatrix::new()).unwrap();
+        for m in chip.reservoirs() {
+            let r = m.rect();
+            let on_edge = r.x == 0
+                || r.y == 0
+                || r.x + r.w == chip.width()
+                || r.y + r.h == chip.height();
+            assert!(on_edge, "{} must touch the boundary", m.name());
+        }
+    }
+}

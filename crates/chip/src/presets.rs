@@ -1,0 +1,132 @@
+//! Ready-made chip layouts.
+//!
+//! [`streaming_chip`] generates a generic streaming-engine layout for any
+//! resource inventory (reservoirs across the top edge, mixers across the
+//! middle, storage cells along the bottom, waste and output on the bottom
+//! edge — the organisation of the paper's Fig. 5), and [`pcr_chip`] is the
+//! PCR master-mix instance used throughout the paper: seven reservoirs,
+//! three mixers, five storage cells, two waste reservoirs.
+
+use crate::{ChipError, ChipSpec, ModuleKind, Rect};
+
+/// Generates a streaming-engine chip for `fluids` reagents, `mixers`
+/// mixers and `storage` storage cells.
+///
+/// The layout follows the paper's Fig. 5 organisation: reservoirs on the
+/// top edge, 2×2 mixers across the middle band, storage cells one row above
+/// the bottom edge, two waste reservoirs in the bottom corners and one
+/// output port at the bottom centre. All guard-band rules hold by
+/// construction.
+///
+/// # Errors
+///
+/// Returns [`ChipError::MissingResource`] when any count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_chip::presets::streaming_chip;
+///
+/// # fn main() -> Result<(), dmf_chip::ChipError> {
+/// let chip = streaming_chip(7, 3, 5)?;
+/// chip.validate()?;
+/// chip.validate_for_engine(7)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn streaming_chip(fluids: usize, mixers: usize, storage: usize) -> Result<ChipSpec, ChipError> {
+    if fluids == 0 {
+        return Err(ChipError::MissingResource { what: "at least one reservoir".into() });
+    }
+    if mixers == 0 {
+        return Err(ChipError::MissingResource { what: "at least one mixer".into() });
+    }
+    let width = [
+        1 + 3 * fluids as i32,      // reservoirs, pitch 3
+        3 + 4 * mixers as i32,      // 2x2 mixers, pitch 4
+        2 + 3 * storage as i32,     // storage cells, pitch 3
+        9,                          // room for waste corners + centre output
+    ]
+    .into_iter()
+    .max()
+    .expect("non-empty")
+        + 1;
+    let height = 11;
+    let mut spec = ChipSpec::new(width, height)?;
+    for f in 0..fluids {
+        spec.add_module(
+            format!("R{}", f + 1),
+            ModuleKind::Reservoir { fluid: f },
+            Rect::new(1 + 3 * f as i32, 0, 1, 1),
+        )?;
+    }
+    for m in 0..mixers {
+        spec.add_module(format!("M{}", m + 1), ModuleKind::Mixer, Rect::new(3 + 4 * m as i32, 4, 2, 2))?;
+    }
+    for s in 0..storage {
+        spec.add_module(
+            format!("q{}", s + 1),
+            ModuleKind::Storage,
+            Rect::new(2 + 3 * s as i32, 8, 1, 1),
+        )?;
+    }
+    spec.add_module("W1", ModuleKind::Waste, Rect::new(0, height - 1, 1, 1))?;
+    spec.add_module("W2", ModuleKind::Waste, Rect::new(width - 1, height - 1, 1, 1))?;
+    spec.add_module("O1", ModuleKind::Output, Rect::new(width / 2, height - 1, 1, 1))?;
+    Ok(spec)
+}
+
+/// The PCR master-mix chip of the paper's Fig. 5: seven fluid reservoirs,
+/// three on-chip mixers, five storage cells, two waste reservoirs and an
+/// output port.
+///
+/// # Panics
+///
+/// Never panics; the fixed inventory always fits its grid.
+pub fn pcr_chip() -> ChipSpec {
+    streaming_chip(7, 3, 5).expect("the Fig. 5 inventory always fits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostMatrix;
+
+    #[test]
+    fn pcr_chip_matches_fig5_inventory() {
+        let chip = pcr_chip();
+        chip.validate().unwrap();
+        chip.validate_for_engine(7).unwrap();
+        assert_eq!(chip.reservoirs().count(), 7);
+        assert_eq!(chip.mixers().count(), 3);
+        assert_eq!(chip.storage_cells().count(), 5);
+        assert_eq!(chip.waste_reservoirs().count(), 2);
+        assert_eq!(chip.outputs().count(), 1);
+    }
+
+    #[test]
+    fn generic_inventories_fit() {
+        for (f, m, s) in [(2, 1, 1), (12, 5, 8), (10, 15, 30)] {
+            let chip = streaming_chip(f, m, s).unwrap();
+            chip.validate().unwrap();
+            chip.validate_for_engine(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inventories() {
+        assert!(streaming_chip(0, 1, 1).is_err());
+        assert!(streaming_chip(2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn cost_matrix_derivable_from_preset() {
+        let chip = pcr_chip();
+        let matrix = CostMatrix::from_spec(&chip);
+        assert_eq!(matrix.mixers().len(), 3);
+        // Distances are positive between distinct modules and zero on the
+        // mixer diagonal.
+        assert_eq!(matrix.cost("M1", 0), Some(0));
+        assert!(matrix.cost("R1", 0).unwrap() > 0);
+    }
+}

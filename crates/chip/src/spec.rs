@@ -1,0 +1,300 @@
+use crate::{ChipError, Coord, Module, ModuleId, ModuleKind, Rect};
+use std::fmt;
+
+/// A complete biochip description: a `width × height` electrode array with
+/// a set of placed modules.
+///
+/// The spec enforces the geometric rules a manufacturable DMF layout needs:
+/// every footprint inside the array, and a one-cell guard band between any
+/// two modules so droplets can route past them without accidental merging.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_chip::{ChipSpec, ModuleKind, Rect};
+///
+/// # fn main() -> Result<(), dmf_chip::ChipError> {
+/// let mut chip = ChipSpec::new(12, 8)?;
+/// let m1 = chip.add_module("M1", ModuleKind::Mixer, Rect::new(5, 3, 2, 2))?;
+/// let r1 = chip.add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 0, 1, 1))?;
+/// chip.validate()?;
+/// assert_eq!(chip.transport_cost(r1, m1), chip.module(r1).port().manhattan(chip.module(m1).port()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipSpec {
+    width: i32,
+    height: i32,
+    modules: Vec<Module>,
+}
+
+impl ChipSpec {
+    /// Creates an empty chip with the given electrode-array dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::EmptyGrid`] for non-positive dimensions.
+    pub fn new(width: i32, height: i32) -> Result<Self, ChipError> {
+        if width <= 0 || height <= 0 {
+            return Err(ChipError::EmptyGrid);
+        }
+        Ok(ChipSpec { width, height, modules: Vec::new() })
+    }
+
+    /// Electrode-array width.
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Electrode-array height.
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Whether a cell lies on the electrode array.
+    pub fn in_bounds(&self, c: Coord) -> bool {
+        c.x >= 0 && c.x < self.width && c.y >= 0 && c.y < self.height
+    }
+
+    /// Adds a module (port defaults to the footprint centre) and returns its
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::OutOfBounds`] or [`ChipError::Overlap`] when the
+    /// footprint does not fit.
+    pub fn add_module(
+        &mut self,
+        name: impl Into<String>,
+        kind: ModuleKind,
+        rect: Rect,
+    ) -> Result<ModuleId, ChipError> {
+        let id = ModuleId(self.modules.len());
+        let module = Module::new(id, name, kind, rect);
+        self.check_fits(&module)?;
+        self.modules.push(module);
+        Ok(id)
+    }
+
+    fn check_fits(&self, module: &Module) -> Result<(), ChipError> {
+        let r = module.rect();
+        let inside = r.x >= 0 && r.y >= 0 && r.x + r.w <= self.width && r.y + r.h <= self.height;
+        if !inside {
+            return Err(ChipError::OutOfBounds { module: module.id() });
+        }
+        for other in &self.modules {
+            if other.rect().touches(&r) {
+                return Err(ChipError::Overlap { a: other.id(), b: module.id() });
+            }
+        }
+        Ok(())
+    }
+
+    /// All modules in placement order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Accesses a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this chip.
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.0]
+    }
+
+    /// Looks up a module by name.
+    pub fn module_by_name(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name() == name)
+    }
+
+    /// The mixers, in placement order.
+    pub fn mixers(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter().filter(|m| m.is_mixer())
+    }
+
+    /// The fluid reservoirs, in placement order.
+    pub fn reservoirs(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter().filter(|m| matches!(m.kind(), ModuleKind::Reservoir { .. }))
+    }
+
+    /// The reservoir dispensing `fluid`, if present.
+    pub fn reservoir_for(&self, fluid: usize) -> Option<&Module> {
+        self.modules
+            .iter()
+            .find(|m| matches!(m.kind(), ModuleKind::Reservoir { fluid: f } if f == fluid))
+    }
+
+    /// The storage cells, in placement order.
+    pub fn storage_cells(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter().filter(|m| matches!(m.kind(), ModuleKind::Storage))
+    }
+
+    /// The waste reservoirs, in placement order.
+    pub fn waste_reservoirs(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter().filter(|m| matches!(m.kind(), ModuleKind::Waste))
+    }
+
+    /// The output ports, in placement order.
+    pub fn outputs(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter().filter(|m| matches!(m.kind(), ModuleKind::Output))
+    }
+
+    /// Droplet-transportation cost between two module ports, in electrodes
+    /// (Manhattan distance — the unit of the paper's Fig. 5 matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id does not belong to this chip.
+    pub fn transport_cost(&self, a: ModuleId, b: ModuleId) -> u32 {
+        self.module(a).port().manhattan(self.module(b).port())
+    }
+
+    /// Cells covered by any module except `allow` (used as routing
+    /// obstacles).
+    pub fn obstacles(&self, allow: &[ModuleId]) -> Vec<Coord> {
+        self.modules
+            .iter()
+            .filter(|m| !allow.contains(&m.id()))
+            .flat_map(|m| m.rect().cells().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Re-validates all geometric rules (useful after deserialisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as a [`ChipError`].
+    pub fn validate(&self) -> Result<(), ChipError> {
+        for (i, m) in self.modules.iter().enumerate() {
+            let r = m.rect();
+            let inside =
+                r.x >= 0 && r.y >= 0 && r.x + r.w <= self.width && r.y + r.h <= self.height;
+            if !inside {
+                return Err(ChipError::OutOfBounds { module: m.id() });
+            }
+            for other in &self.modules[i + 1..] {
+                if other.rect().touches(&r) {
+                    return Err(ChipError::Overlap { a: m.id(), b: other.id() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the chip can run a streaming engine over `fluid_count` fluids:
+    /// at least one mixer, one reservoir per fluid, one waste reservoir and
+    /// one output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::MissingResource`] naming the first gap.
+    pub fn validate_for_engine(&self, fluid_count: usize) -> Result<(), ChipError> {
+        if self.mixers().next().is_none() {
+            return Err(ChipError::MissingResource { what: "a mixer".into() });
+        }
+        for fluid in 0..fluid_count {
+            if self.reservoir_for(fluid).is_none() {
+                return Err(ChipError::MissingResource {
+                    what: format!("a reservoir for fluid x{}", fluid + 1),
+                });
+            }
+        }
+        if self.waste_reservoirs().next().is_none() {
+            return Err(ChipError::MissingResource { what: "a waste reservoir".into() });
+        }
+        if self.outputs().next().is_none() {
+            return Err(ChipError::MissingResource { what: "an output port".into() });
+        }
+        Ok(())
+    }
+
+    /// Renders the layout as ASCII art (one character per electrode).
+    pub fn render(&self) -> String {
+        let mut grid = vec![vec!['.'; self.width as usize]; self.height as usize];
+        for m in &self.modules {
+            let ch = match m.kind() {
+                ModuleKind::Mixer => 'M',
+                ModuleKind::Reservoir { .. } => 'R',
+                ModuleKind::Storage => 'q',
+                ModuleKind::Waste => 'W',
+                ModuleKind::Output => 'O',
+            };
+            for c in m.rect().cells() {
+                grid[c.y as usize][c.x as usize] = ch;
+            }
+        }
+        grid.into_iter().map(|row| row.into_iter().collect::<String>() + "\n").collect()
+    }
+}
+
+impl fmt::Display for ChipSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}x{} chip, {} modules:", self.width, self.height, self.modules.len())?;
+        for m in &self.modules {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_grid() {
+        assert_eq!(ChipSpec::new(0, 5), Err(ChipError::EmptyGrid));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_module() {
+        let mut chip = ChipSpec::new(4, 4).unwrap();
+        let err = chip.add_module("M1", ModuleKind::Mixer, Rect::new(3, 3, 2, 2)).unwrap_err();
+        assert!(matches!(err, ChipError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn rejects_guard_band_violation() {
+        let mut chip = ChipSpec::new(10, 10).unwrap();
+        chip.add_module("M1", ModuleKind::Mixer, Rect::new(0, 0, 2, 2)).unwrap();
+        // Directly adjacent: violates the one-cell guard band.
+        let err = chip.add_module("M2", ModuleKind::Mixer, Rect::new(2, 0, 2, 2)).unwrap_err();
+        assert!(matches!(err, ChipError::Overlap { .. }));
+        // One cell apart: fine.
+        chip.add_module("M2", ModuleKind::Mixer, Rect::new(3, 0, 2, 2)).unwrap();
+        chip.validate().unwrap();
+    }
+
+    #[test]
+    fn lookup_by_kind_and_name() {
+        let mut chip = ChipSpec::new(12, 8).unwrap();
+        chip.add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 0, 1, 1)).unwrap();
+        chip.add_module("R2", ModuleKind::Reservoir { fluid: 1 }, Rect::new(0, 2, 1, 1)).unwrap();
+        chip.add_module("M1", ModuleKind::Mixer, Rect::new(4, 3, 2, 2)).unwrap();
+        assert_eq!(chip.reservoirs().count(), 2);
+        assert_eq!(chip.reservoir_for(1).unwrap().name(), "R2");
+        assert!(chip.reservoir_for(2).is_none());
+        assert_eq!(chip.module_by_name("M1").unwrap().kind(), ModuleKind::Mixer);
+    }
+
+    #[test]
+    fn engine_validation_lists_gaps() {
+        let mut chip = ChipSpec::new(12, 8).unwrap();
+        chip.add_module("M1", ModuleKind::Mixer, Rect::new(4, 3, 2, 2)).unwrap();
+        chip.add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 0, 1, 1)).unwrap();
+        let err = chip.validate_for_engine(2).unwrap_err();
+        assert!(matches!(err, ChipError::MissingResource { ref what } if what.contains("x2")));
+    }
+
+    #[test]
+    fn render_shows_modules() {
+        let mut chip = ChipSpec::new(6, 4).unwrap();
+        chip.add_module("M1", ModuleKind::Mixer, Rect::new(2, 1, 2, 2)).unwrap();
+        let art = chip.render();
+        assert!(art.contains('M'));
+        assert_eq!(art.lines().count(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! SVG rendering of chip layouts — publication-style figures analogous to
+//! the paper's Fig. 5.
+
+use crate::{ChipSpec, ModuleKind};
+use std::fmt::Write as _;
+
+/// Edge length of one electrode in SVG user units.
+const CELL: i32 = 24;
+
+impl ChipSpec {
+    /// Renders the layout as a standalone SVG document: the electrode grid
+    /// with every module footprint coloured by kind and labelled by name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmf_chip::presets::pcr_chip;
+    ///
+    /// let svg = pcr_chip().to_svg();
+    /// assert!(svg.starts_with("<svg"));
+    /// assert!(svg.contains("M1"));
+    /// ```
+    pub fn to_svg(&self) -> String {
+        let width = self.width() * CELL;
+        let height = self.height() * CELL;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+             viewBox=\"-1 -1 {} {}\">\n",
+            width + 2,
+            height + 2,
+            width + 2,
+            height + 2
+        );
+        // Electrode grid.
+        let _ = writeln!(
+            out,
+            "  <rect x=\"0\" y=\"0\" width=\"{width}\" height=\"{height}\" \
+             fill=\"#fafafa\" stroke=\"#444\"/>"
+        );
+        for x in 1..self.width() {
+            let _ = writeln!(
+                out,
+                "  <line x1=\"{0}\" y1=\"0\" x2=\"{0}\" y2=\"{height}\" stroke=\"#ddd\"/>",
+                x * CELL
+            );
+        }
+        for y in 1..self.height() {
+            let _ = writeln!(
+                out,
+                "  <line x1=\"0\" y1=\"{0}\" x2=\"{width}\" y2=\"{0}\" stroke=\"#ddd\"/>",
+                y * CELL
+            );
+        }
+        // Modules.
+        for module in self.modules() {
+            let r = module.rect();
+            let (fill, stroke) = match module.kind() {
+                ModuleKind::Mixer => ("#cfe8ff", "#1f6fb2"),
+                ModuleKind::Reservoir { .. } => ("#d9f2d9", "#2e7d32"),
+                ModuleKind::Storage => ("#fff3cd", "#b8860b"),
+                ModuleKind::Waste => ("#f8d7da", "#a02833"),
+                ModuleKind::Output => ("#e2d9f3", "#5e35b1"),
+            };
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\" \
+                 stroke=\"{stroke}\" stroke-width=\"1.5\"/>",
+                r.x * CELL,
+                r.y * CELL,
+                r.w * CELL,
+                r.h * CELL
+            );
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" font-size=\"10\" font-family=\"sans-serif\" \
+                 text-anchor=\"middle\" dominant-baseline=\"middle\">{}</text>",
+                r.x * CELL + r.w * CELL / 2,
+                r.y * CELL + r.h * CELL / 2,
+                module.name()
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets::pcr_chip;
+
+    #[test]
+    fn svg_contains_every_module() {
+        let chip = pcr_chip();
+        let svg = chip.to_svg();
+        for module in chip.modules() {
+            assert!(svg.contains(module.name()), "missing {}", module.name());
+        }
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per module plus the grid background.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, chip.modules().len() + 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: placement legality and cost-matrix consistency over
+//! random inventories and flows.
+
+use dmf_chip::{
+    CostMatrix, FlowMatrix, ModuleKind, PlacementConfig, PlacementRequest, Placer,
+};
+use proptest::prelude::*;
+
+fn inventory(fluids: usize, mixers: usize, storage: usize) -> Vec<PlacementRequest> {
+    let mut reqs = Vec::new();
+    for m in 0..mixers {
+        reqs.push(PlacementRequest::conventional(format!("M{}", m + 1), ModuleKind::Mixer));
+    }
+    for f in 0..fluids {
+        reqs.push(PlacementRequest::conventional(
+            format!("R{}", f + 1),
+            ModuleKind::Reservoir { fluid: f },
+        ));
+    }
+    for s in 0..storage {
+        reqs.push(PlacementRequest::conventional(format!("q{}", s + 1), ModuleKind::Storage));
+    }
+    reqs.push(PlacementRequest::conventional("W1", ModuleKind::Waste));
+    reqs.push(PlacementRequest::conventional("O1", ModuleKind::Output));
+    reqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random inventories place legally on a generous grid, with every
+    /// geometric rule intact and all world-facing modules on the boundary.
+    #[test]
+    fn placements_are_legal(
+        fluids in 1usize..6,
+        mixers in 1usize..4,
+        storage in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let reqs = inventory(fluids, mixers, storage);
+        let config = PlacementConfig {
+            width: 24,
+            height: 18,
+            iterations: 300,
+            seed,
+            ..Default::default()
+        };
+        let chip = Placer::new(config).place(&reqs, &FlowMatrix::new()).expect("generous grid fits");
+        chip.validate().expect("geometry holds");
+        chip.validate_for_engine(fluids).expect("engine inventory present");
+        for module in chip.reservoirs().chain(chip.waste_reservoirs()).chain(chip.outputs()) {
+            let r = module.rect();
+            let on_edge = r.x == 0
+                || r.y == 0
+                || r.x + r.w == chip.width()
+                || r.y + r.h == chip.height();
+            prop_assert!(on_edge, "{} must be world-facing", module.name());
+        }
+    }
+
+    /// The derived cost matrix is symmetric in its mixer block, zero on
+    /// the diagonal, and agrees with port distances.
+    #[test]
+    fn cost_matrix_is_consistent(seed in 0u64..500) {
+        let reqs = inventory(3, 3, 2);
+        let config = PlacementConfig { width: 24, height: 18, iterations: 100, seed, ..Default::default() };
+        let chip = Placer::new(config).place(&reqs, &FlowMatrix::new()).expect("fits");
+        let matrix = CostMatrix::from_spec(&chip);
+        for (i, a) in chip.mixers().enumerate() {
+            prop_assert_eq!(matrix.cost(a.name(), i), Some(0));
+            for (j, b) in chip.mixers().enumerate() {
+                prop_assert_eq!(matrix.cost(a.name(), j), matrix.cost(b.name(), i));
+            }
+        }
+        for module in chip.modules() {
+            for (j, mixer) in chip.mixers().enumerate() {
+                prop_assert_eq!(
+                    matrix.cost(module.name(), j),
+                    Some(module.port().manhattan(mixer.port()))
+                );
+            }
+        }
+    }
+}

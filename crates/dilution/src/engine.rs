@@ -1,0 +1,196 @@
+use crate::{BitScan, Dmrw};
+use dmf_forest::{build_forest, ForestError, ReusePolicy};
+use dmf_mixalgo::{dilution_ratio, MinMix, MixAlgoError, MixingAlgorithm};
+use dmf_ratio::RatioError;
+use dmf_sched::{repeated_baseline, srs_schedule, SchedError};
+use std::error::Error;
+use std::fmt;
+
+/// Which dilution-tree construction seeds the streaming forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DilutionAlgorithm {
+    /// The d-step binary-scan chain ([`BitScan`]).
+    BitScan,
+    /// Interval bisection with shared boundaries ([`Dmrw`]).
+    Dmrw,
+    /// The popcount-optimal [`MinMix`] dilution tree.
+    MinMix,
+}
+
+impl DilutionAlgorithm {
+    fn algorithm(self) -> &'static dyn MixingAlgorithm {
+        match self {
+            DilutionAlgorithm::BitScan => &BitScan,
+            DilutionAlgorithm::Dmrw => &Dmrw,
+            DilutionAlgorithm::MinMix => &MinMix,
+        }
+    }
+}
+
+/// Error raised by the dilution engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DilutionError {
+    /// Ratio construction failed (CF out of range, accuracy too large).
+    Ratio(RatioError),
+    /// Template construction failed.
+    Algo(MixAlgoError),
+    /// Forest construction failed.
+    Forest(ForestError),
+    /// Scheduling failed.
+    Sched(SchedError),
+}
+
+impl fmt::Display for DilutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DilutionError::Ratio(e) => write!(f, "invalid dilution target: {e}"),
+            DilutionError::Algo(e) => write!(f, "dilution tree failed: {e}"),
+            DilutionError::Forest(e) => write!(f, "dilution forest failed: {e}"),
+            DilutionError::Sched(e) => write!(f, "dilution scheduling failed: {e}"),
+        }
+    }
+}
+
+impl Error for DilutionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DilutionError::Ratio(e) => Some(e),
+            DilutionError::Algo(e) => Some(e),
+            DilutionError::Forest(e) => Some(e),
+            DilutionError::Sched(e) => Some(e),
+        }
+    }
+}
+
+impl From<RatioError> for DilutionError {
+    fn from(e: RatioError) -> Self {
+        DilutionError::Ratio(e)
+    }
+}
+impl From<MixAlgoError> for DilutionError {
+    fn from(e: MixAlgoError) -> Self {
+        DilutionError::Algo(e)
+    }
+}
+impl From<ForestError> for DilutionError {
+    fn from(e: ForestError) -> Self {
+        DilutionError::Forest(e)
+    }
+}
+impl From<SchedError> for DilutionError {
+    fn from(e: SchedError) -> Self {
+        DilutionError::Sched(e)
+    }
+}
+
+/// Result of one dilution-engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DilutionStreamReport {
+    /// Sample CF numerator `k` (target CF is `k / 2^d`).
+    pub cf_numerator: u64,
+    /// Accuracy level `d`.
+    pub accuracy: u32,
+    /// Requested droplet demand.
+    pub demand: u64,
+    /// Target droplets actually emitted.
+    pub targets: u64,
+    /// Mix-split operations.
+    pub mix_splits: u64,
+    /// Input droplets (sample + buffer).
+    pub inputs: u64,
+    /// Waste droplets.
+    pub waste: u64,
+    /// Completion time under SRS with the given mixers.
+    pub cycles: u32,
+    /// Storage units the SRS schedule needs.
+    pub storage: usize,
+    /// Inputs the repeated (two-droplets-per-pass) baseline would need.
+    pub repeated_inputs: u64,
+    /// Cycles the repeated baseline would need.
+    pub repeated_cycles: u64,
+}
+
+/// The high-throughput *dilution engine* (Roy et al., IET-CDT 2013) as a
+/// special case of the paper's MDST streaming engine: a mixing forest over
+/// a two-fluid dilution template, scheduled by SRS.
+///
+/// # Errors
+///
+/// Returns [`DilutionError::Ratio`] for out-of-range CFs (`k` must satisfy
+/// `0 < k < 2^d` for a mixable target) and propagates construction and
+/// scheduling failures.
+pub fn stream_dilution(
+    algorithm: DilutionAlgorithm,
+    cf_numerator: u64,
+    accuracy: u32,
+    demand: u64,
+    mixers: usize,
+) -> Result<DilutionStreamReport, DilutionError> {
+    let target = dilution_ratio(cf_numerator, accuracy)?;
+    let algo = algorithm.algorithm();
+    let template = algo.build_template(&target)?;
+    let policy =
+        if algo.shares_subgraphs() { ReusePolicy::Eager } else { ReusePolicy::AcrossTrees };
+    let forest = build_forest(&template, &target, demand, policy)?;
+    let schedule = srs_schedule(&forest, mixers)?;
+    let stats = forest.stats();
+    let base = algo.build_graph(&target)?;
+    let baseline = repeated_baseline(&base, demand, mixers)?;
+    Ok(DilutionStreamReport {
+        cf_numerator,
+        accuracy,
+        demand,
+        targets: stats.targets() as u64,
+        mix_splits: stats.mix_splits as u64,
+        inputs: stats.input_total,
+        waste: stats.waste as u64,
+        cycles: schedule.makespan(),
+        storage: schedule.storage(&forest).peak,
+        repeated_inputs: baseline.total_inputs,
+        repeated_cycles: baseline.total_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_beats_repetition_for_all_algorithms() {
+        for algorithm in
+            [DilutionAlgorithm::BitScan, DilutionAlgorithm::Dmrw, DilutionAlgorithm::MinMix]
+        {
+            let report = stream_dilution(algorithm, 5, 4, 16, 2).unwrap();
+            assert!(report.targets >= 16);
+            assert!(
+                report.inputs <= report.repeated_inputs,
+                "{algorithm:?}: {} vs {}",
+                report.inputs,
+                report.repeated_inputs
+            );
+            assert!(u64::from(report.cycles) <= report.repeated_cycles);
+        }
+    }
+
+    #[test]
+    fn full_cycle_dilution_demand_is_waste_free() {
+        // d(reduced) = 4 for 5/16: demand 16 consumes every droplet.
+        let report = stream_dilution(DilutionAlgorithm::BitScan, 5, 4, 16, 2).unwrap();
+        assert_eq!(report.waste, 0);
+        assert_eq!(report.inputs, 16);
+    }
+
+    #[test]
+    fn rejects_unmixable_cfs() {
+        assert!(stream_dilution(DilutionAlgorithm::BitScan, 0, 4, 8, 1).is_err());
+        assert!(stream_dilution(DilutionAlgorithm::BitScan, 16, 4, 8, 1).is_err());
+        assert!(stream_dilution(DilutionAlgorithm::BitScan, 17, 4, 8, 1).is_err());
+    }
+
+    #[test]
+    fn report_is_droplet_conserving() {
+        let report = stream_dilution(DilutionAlgorithm::Dmrw, 7, 5, 20, 3).unwrap();
+        assert_eq!(report.inputs, report.targets + report.waste);
+    }
+}

@@ -1,0 +1,52 @@
+//! Two-fluid dilution algorithms and the high-throughput dilution engine —
+//! the `N = 2` corner of the sample-preparation landscape that the DAC 2014
+//! paper's Table 1 surveys and that its streaming engine subsumes.
+//!
+//! Dilution prepares a *sample* at concentration factor `k / 2^d` in
+//! *buffer*. Three classic constructions are provided, all emitting the
+//! standard [`dmf_mixalgo::Template`] so they compose with the forest
+//! builder and schedulers:
+//!
+//! * [`BitScan`] — the d-step binary-scan chain (Thies et al. 2008;
+//!   Griffith et al. 2006): start from pure buffer and fold in sample or
+//!   buffer per bit of `k`, LSB first. Always `d` mix-splits.
+//! * [`Dmrw`] — dilution by binary search of the CF interval
+//!   (Roy et al., TCAD 2010): each step mixes the droplets bounding the
+//!   current interval; repeated boundary droplets are shared, so the graph
+//!   form saves reactant over the plain chain.
+//! * [`dmf_mixalgo::MinMix`] on a [`dmf_mixalgo::dilution_ratio`] — the
+//!   popcount-optimal dilution tree (for reference).
+//!
+//! On top of these, two engines:
+//!
+//! * [`stream_dilution`] — the *dilution engine* of Roy et al.
+//!   (IET-CDT 2013): a stream of `D` droplets of one CF, realised as a
+//!   mixing forest over the chosen dilution template (MDST with `N = 2`);
+//! * [`dilution_gradient`] — one droplet pair per CF across a list of
+//!   CFs (the SDMT objective of the multi-target dilution literature),
+//!   sharing waste droplets across targets through one eager pool.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmf_dilution::{stream_dilution, DilutionAlgorithm};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 16 droplets of a 5/16 dilution on 2 mixers.
+//! let report = stream_dilution(DilutionAlgorithm::BitScan, 5, 4, 16, 2)?;
+//! assert!(report.targets >= 16);
+//! assert!(report.inputs < report.repeated_inputs);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithms;
+mod engine;
+mod gradient;
+
+pub use algorithms::{BitScan, Dmrw};
+pub use engine::{stream_dilution, DilutionAlgorithm, DilutionStreamReport};
+pub use gradient::{dilution_gradient, GradientReport};

@@ -1,0 +1,299 @@
+use crate::{EngineConfig, EngineError, MixerBudget};
+use dmf_forest::build_forest;
+use dmf_mixalgo::{BaseAlgorithm, Template};
+use dmf_mixgraph::MixGraph;
+use dmf_ratio::TargetRatio;
+use dmf_sched::{mixer_lower_bound, Schedule, StorageProfile};
+use std::fmt;
+
+/// One pass of the streaming engine: a mixing forest plus its schedule and
+/// storage profile.
+#[derive(Debug, Clone)]
+pub struct PassPlan {
+    /// Target droplets this pass emits toward the demand.
+    pub demand: u64,
+    /// The pass's mixing forest.
+    pub forest: MixGraph,
+    /// The pass's mixer/time assignment.
+    pub schedule: Schedule,
+    /// Storage occupancy of the schedule (`q` is `storage.peak`).
+    pub storage: StorageProfile,
+}
+
+impl PassPlan {
+    /// Completion time of this pass in time-cycles.
+    pub fn cycles(&self) -> u32 {
+        self.schedule.makespan()
+    }
+
+    /// Storage units this pass needs.
+    pub fn storage_units(&self) -> usize {
+        self.storage.peak
+    }
+}
+
+/// A complete streaming plan: every pass needed to meet the demand, plus
+/// droplet-exact aggregates.
+#[derive(Debug, Clone)]
+pub struct StreamPlan {
+    /// The planned target ratio.
+    pub target: TargetRatio,
+    /// The requested demand `D`.
+    pub demand: u64,
+    /// Mixers used (`Mc`).
+    pub mixers: usize,
+    /// The passes, in execution order.
+    pub passes: Vec<PassPlan>,
+    /// Total completion time over all passes, `Tc`.
+    pub total_cycles: u64,
+    /// Total mix-split operations, `Tms`.
+    pub total_mix_splits: u64,
+    /// Total waste droplets, `W`.
+    pub total_waste: u64,
+    /// Total input droplets, `I`.
+    pub total_inputs: u64,
+    /// Per-fluid input droplets, `I[]`.
+    pub inputs: Vec<u64>,
+    /// Peak storage over all passes, `q`.
+    pub storage_peak: usize,
+}
+
+impl StreamPlan {
+    /// Number of passes.
+    pub fn pass_count(&self) -> usize {
+        self.passes.len()
+    }
+}
+
+impl fmt::Display for StreamPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "D={} passes={} Tc={} Tms={} W={} I={} q={} (Mc={})",
+            self.demand,
+            self.passes.len(),
+            self.total_cycles,
+            self.total_mix_splits,
+            self.total_waste,
+            self.total_inputs,
+            self.storage_peak,
+            self.mixers
+        )
+    }
+}
+
+/// The demand-driven mixture-preparation engine (see crate docs).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingEngine {
+    config: EngineConfig,
+}
+
+impl StreamingEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        StreamingEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Resolves the mixer budget for a target (the `Mlb` of its MinMix
+    /// tree under [`MixerBudget::MmLowerBound`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-tree construction and scheduling failures.
+    pub fn mixer_count(&self, target: &TargetRatio) -> Result<usize, EngineError> {
+        match self.config.mixers {
+            MixerBudget::Fixed(m) => Ok(m),
+            MixerBudget::MmLowerBound => {
+                let mm = BaseAlgorithm::MinMix.algorithm().build_graph(target)?;
+                Ok(mixer_lower_bound(&mm)?)
+            }
+        }
+    }
+
+    /// Plans the production of `demand` droplets of `target`.
+    ///
+    /// With a storage budget configured, the demand is split into the
+    /// fewest passes whose schedules each fit the budget; otherwise a
+    /// single pass covers the whole demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZeroDemand`] for `demand == 0`,
+    /// [`EngineError::StorageInfeasible`] when even a demand-2 pass exceeds
+    /// the storage budget, and propagates construction/scheduling failures.
+    pub fn plan(&self, target: &TargetRatio, demand: u64) -> Result<StreamPlan, EngineError> {
+        if demand == 0 {
+            return Err(EngineError::ZeroDemand);
+        }
+        let template = self.config.algorithm.algorithm().build_template(target)?;
+        let mixers = self.mixer_count(target)?;
+        let mut passes: Vec<PassPlan> = Vec::new();
+        let mut remaining = demand;
+        while remaining > 0 {
+            let pass_demand = match self.config.storage_limit {
+                None => remaining,
+                Some(limit) => self.max_pass_demand(&template, target, remaining, mixers, limit)?,
+            };
+            passes.push(self.build_pass(&template, target, pass_demand, mixers)?);
+            remaining = remaining.saturating_sub(pass_demand);
+        }
+        let total_cycles = passes.iter().map(|p| p.cycles() as u64).sum();
+        let mut inputs = vec![0u64; target.fluid_count()];
+        let mut total_waste = 0u64;
+        let mut total_mix_splits = 0u64;
+        for pass in &passes {
+            let stats = pass.forest.stats();
+            total_waste += stats.waste as u64;
+            total_mix_splits += stats.mix_splits as u64;
+            for (acc, v) in inputs.iter_mut().zip(&stats.inputs) {
+                *acc += v;
+            }
+        }
+        Ok(StreamPlan {
+            target: target.clone(),
+            demand,
+            mixers,
+            total_cycles,
+            total_mix_splits,
+            total_waste,
+            total_inputs: inputs.iter().sum(),
+            inputs,
+            storage_peak: passes.iter().map(PassPlan::storage_units).max().unwrap_or(0),
+            passes,
+        })
+    }
+
+    fn build_pass(
+        &self,
+        template: &Template,
+        target: &TargetRatio,
+        demand: u64,
+        mixers: usize,
+    ) -> Result<PassPlan, EngineError> {
+        // Subgraph-sharing base algorithms (MTCS, RSM) reuse droplets even
+        // within one tree; their forests must too, or the engine would lose
+        // the sharing the repeated baseline enjoys.
+        let reuse = if self.config.algorithm.algorithm().shares_subgraphs() {
+            dmf_forest::ReusePolicy::Eager
+        } else {
+            self.config.reuse
+        };
+        let forest = build_forest(template, target, demand, reuse)?;
+        let schedule = self.config.scheduler.run(&forest, mixers)?;
+        let storage = schedule.storage(&forest);
+        Ok(PassPlan { demand, forest, schedule, storage })
+    }
+
+    /// The paper's `D'`: the largest demand (up to `remaining`) whose
+    /// single-pass schedule fits the storage budget.
+    fn max_pass_demand(
+        &self,
+        template: &Template,
+        target: &TargetRatio,
+        remaining: u64,
+        mixers: usize,
+        limit: usize,
+    ) -> Result<u64, EngineError> {
+        let first = self.build_pass(template, target, remaining.min(2), mixers)?;
+        if first.storage_units() > limit {
+            return Err(EngineError::StorageInfeasible {
+                limit,
+                needed: first.storage_units(),
+            });
+        }
+        // SRS storage is not strictly monotone in the demand (see the
+        // Fig. 7 jitter), so keep scanning past the first infeasible
+        // demand for a short window before giving up.
+        let mut best = remaining.min(2);
+        let mut candidate = best + 2;
+        let mut misses = 0u32;
+        while candidate <= remaining && misses < 4 {
+            let pass = self.build_pass(template, target, candidate, mixers)?;
+            if pass.storage_units() > limit {
+                misses += 1;
+            } else {
+                best = candidate;
+                misses = 0;
+            }
+            candidate += 2;
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_sched::SchedulerKind;
+
+    fn pcr_d4() -> TargetRatio {
+        TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_plan_is_single_pass_matching_fig3() {
+        let engine = StreamingEngine::new(EngineConfig::default());
+        let plan = engine.plan(&pcr_d4(), 20).unwrap();
+        assert_eq!(plan.pass_count(), 1);
+        assert_eq!(plan.mixers, 3);
+        assert_eq!(plan.total_cycles, 11); // Fig. 3
+        assert_eq!(plan.storage_peak, 5); // Fig. 3
+        assert_eq!(plan.total_inputs, 25); // Fig. 2
+        assert_eq!(plan.total_waste, 5);
+        assert_eq!(plan.total_mix_splits, 27);
+    }
+
+    #[test]
+    fn storage_budget_splits_into_passes() {
+        let engine = StreamingEngine::new(EngineConfig::default().with_storage_limit(3));
+        let plan = engine.plan(&pcr_d4(), 20).unwrap();
+        assert!(plan.pass_count() > 1, "q' = 3 cannot fit D = 20 in one pass");
+        assert!(plan.passes.iter().all(|p| p.storage_units() <= 3));
+        // Passes cover the demand.
+        let covered: u64 = plan.passes.iter().map(|p| p.demand).sum();
+        assert_eq!(covered, 20);
+        // Multi-pass costs more reactant than single-pass.
+        let unconstrained =
+            StreamingEngine::new(EngineConfig::default()).plan(&pcr_d4(), 20).unwrap();
+        assert!(plan.total_inputs >= unconstrained.total_inputs);
+    }
+
+    #[test]
+    fn generous_budget_is_single_pass() {
+        let engine = StreamingEngine::new(EngineConfig::default().with_storage_limit(64));
+        let plan = engine.plan(&pcr_d4(), 32).unwrap();
+        assert_eq!(plan.pass_count(), 1);
+    }
+
+    #[test]
+    fn zero_demand_rejected() {
+        let engine = StreamingEngine::new(EngineConfig::default());
+        assert!(matches!(engine.plan(&pcr_d4(), 0), Err(EngineError::ZeroDemand)));
+    }
+
+    #[test]
+    fn mms_is_no_slower_than_srs() {
+        let target = pcr_d4();
+        let srs = StreamingEngine::new(EngineConfig::default()).plan(&target, 32).unwrap();
+        let mms = StreamingEngine::new(
+            EngineConfig::default().with_scheduler(SchedulerKind::Mms),
+        )
+        .plan(&target, 32)
+        .unwrap();
+        assert!(mms.total_cycles <= srs.total_cycles);
+        assert!(srs.storage_peak <= mms.storage_peak);
+    }
+
+    #[test]
+    fn mixer_budget_is_mlb_by_default() {
+        let engine = StreamingEngine::new(EngineConfig::default());
+        assert_eq!(engine.mixer_count(&pcr_d4()).unwrap(), 3);
+        let fixed = StreamingEngine::new(EngineConfig::default().with_mixers(7));
+        assert_eq!(fixed.mixer_count(&pcr_d4()).unwrap(), 7);
+    }
+}

@@ -1,0 +1,57 @@
+use dmf_mixalgo::MixAlgoError;
+use dmf_mixgraph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while constructing a mixing forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForestError {
+    /// A demand of zero target droplets was requested.
+    ZeroDemand,
+    /// The base template is a single pure fluid; nothing to mix.
+    PureTarget,
+    /// Replaying the base template failed.
+    Algo(MixAlgoError),
+    /// Structural validation of the assembled forest failed (indicates a
+    /// template that does not realise the target).
+    Graph(GraphError),
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::ZeroDemand => write!(f, "demand must be at least one target droplet"),
+            ForestError::PureTarget => {
+                write!(f, "target is a single pure fluid; no mixing forest exists")
+            }
+            ForestError::Algo(e) => write!(f, "template replay failed: {e}"),
+            ForestError::Graph(e) => write!(f, "forest validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ForestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ForestError::Algo(e) => Some(e),
+            ForestError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MixAlgoError> for ForestError {
+    fn from(e: MixAlgoError) -> Self {
+        match e {
+            MixAlgoError::PureTarget => ForestError::PureTarget,
+            other => ForestError::Algo(other),
+        }
+    }
+}
+
+impl From<GraphError> for ForestError {
+    fn from(e: GraphError) -> Self {
+        ForestError::Graph(e)
+    }
+}

@@ -1,0 +1,57 @@
+use dmf_mixgraph::{GraphStats, MixGraph};
+use std::fmt;
+
+/// Demand-aware summary of a mixing forest, pairing the structural
+/// [`GraphStats`] with the requested demand.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_forest::{build_forest_report, ReusePolicy};
+/// use dmf_mixalgo::{MinMix, MixingAlgorithm};
+/// use dmf_ratio::TargetRatio;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+/// let template = MinMix.build_template(&target)?;
+/// let (_, report) = build_forest_report(&template, &target, 20, ReusePolicy::AcrossTrees)?;
+/// assert_eq!(report.demand, 20);
+/// assert_eq!(report.stats.waste, 5);
+/// assert_eq!(report.surplus, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestReport {
+    /// The requested number of target droplets `D`.
+    pub demand: u64,
+    /// Number of component trees `|F| = ⌈D/2⌉`.
+    pub trees: usize,
+    /// Target droplets actually emitted (`2 |F|`).
+    pub targets_emitted: u64,
+    /// Emitted targets beyond the demand (0 or 1).
+    pub surplus: u64,
+    /// Structural statistics (`Tms`, `W`, `I[]`, `I`, depth).
+    pub stats: GraphStats,
+}
+
+impl ForestReport {
+    /// Summarises `graph` against the demand it was built for.
+    pub fn new(graph: &MixGraph, demand: u64) -> Self {
+        let stats = graph.stats();
+        let targets_emitted = stats.targets() as u64;
+        ForestReport {
+            demand,
+            trees: stats.trees,
+            targets_emitted,
+            surplus: targets_emitted.saturating_sub(demand),
+            stats,
+        }
+    }
+}
+
+impl fmt::Display for ForestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D={} {} surplus={}", self.demand, self.stats, self.surplus)
+    }
+}

@@ -1,0 +1,70 @@
+/// Capability flags matching the taxonomy of the paper's Table 1.
+///
+/// * **SDST** — single droplet (pair) of a single target ratio;
+/// * **MDST** — multiple (more than two) droplets of a single target;
+/// * **SDMT** — single droplet each for multiple target ratios.
+///
+/// Each objective is split by fluid count: dilution (`N = 2`) versus true
+/// mixing (`N > 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capabilities {
+    /// Single droplet pair, single target, two fluids.
+    pub sdst_dilution: bool,
+    /// Single droplet pair, single target, three or more fluids.
+    pub sdst_mixing: bool,
+    /// Droplet streaming, single target, two fluids.
+    pub mdst_dilution: bool,
+    /// Droplet streaming, single target, three or more fluids.
+    pub mdst_mixing: bool,
+    /// One droplet per target over multiple targets, two fluids.
+    pub sdmt_dilution: bool,
+    /// One droplet per target over multiple targets, three or more fluids.
+    pub sdmt_mixing: bool,
+}
+
+impl Capabilities {
+    /// Table 1 row shared by MM, RMA and MTCS: SDST only.
+    pub const SDST_ONLY: Capabilities = Capabilities {
+        sdst_dilution: true,
+        sdst_mixing: true,
+        mdst_dilution: false,
+        mdst_mixing: false,
+        sdmt_dilution: false,
+        sdmt_mixing: false,
+    };
+
+    /// Table 1 row for RSM: SDST plus multi-droplet/multi-target mixing.
+    pub const RSM: Capabilities = Capabilities {
+        sdst_dilution: true,
+        sdst_mixing: true,
+        mdst_dilution: false,
+        mdst_mixing: true,
+        sdmt_dilution: false,
+        sdmt_mixing: true,
+    };
+
+    /// Table 1 row for the paper's proposed streaming engine: full MDST.
+    pub const PROPOSED: Capabilities = Capabilities {
+        sdst_dilution: true,
+        sdst_mixing: true,
+        mdst_dilution: true,
+        mdst_mixing: true,
+        sdmt_dilution: false,
+        sdmt_mixing: false,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_are_distinct_where_the_paper_says_so() {
+        assert_ne!(Capabilities::SDST_ONLY, Capabilities::RSM);
+        assert_ne!(Capabilities::RSM, Capabilities::PROPOSED);
+        assert!(Capabilities::PROPOSED.mdst_mixing);
+        assert!(Capabilities::PROPOSED.mdst_dilution);
+        assert!(!Capabilities::SDST_ONLY.mdst_mixing);
+        assert!(Capabilities::RSM.sdmt_mixing);
+    }
+}

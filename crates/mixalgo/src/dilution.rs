@@ -1,0 +1,80 @@
+use dmf_ratio::{RatioError, TargetRatio};
+
+/// Builds the two-fluid dilution target `k : 2^d - k` (sample at
+/// concentration factor `k / 2^d` in buffer).
+///
+/// Dilution is the `N = 2` special case of mixture preparation (paper
+/// §2.1); feeding the returned ratio to any [`crate::MixingAlgorithm`]
+/// yields the classic bit-scanning dilution tree, and feeding it to the
+/// streaming engine reproduces the dilution-engine use case of
+/// Roy et al. (IET-CDT 2013) as a special case of MDST.
+///
+/// # Errors
+///
+/// Returns [`RatioError::AllZero`] when `k == 0`,
+/// [`RatioError::SumNotPowerOfTwo`]-style failures never occur (the sum is
+/// `2^d` by construction) but `k > 2^d` is rejected as
+/// [`RatioError::InvalidWeight`].
+///
+/// # Examples
+///
+/// ```
+/// use dmf_mixalgo::{dilution_ratio, MinMix, MixingAlgorithm};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 5/16 sample in buffer.
+/// let target = dilution_ratio(5, 4)?;
+/// assert_eq!(target.parts(), &[5, 11]);
+/// let tree = MinMix.build_graph(&target)?;
+/// // Bit-scan: popcount(5) + popcount(11) - 1 = 2 + 3 - 1 mixes.
+/// assert_eq!(tree.stats().mix_splits, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dilution_ratio(k: u64, accuracy: u32) -> Result<TargetRatio, RatioError> {
+    if accuracy >= 63 {
+        return Err(RatioError::AccuracyTooLarge { accuracy });
+    }
+    let total = 1u64 << accuracy;
+    if k > total {
+        return Err(RatioError::InvalidWeight { index: 0 });
+    }
+    TargetRatio::new(vec![k, total - k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MinMix, MixingAlgorithm};
+
+    #[test]
+    fn builds_sample_buffer_pairs() {
+        let t = dilution_ratio(3, 3).unwrap();
+        assert_eq!(t.parts(), &[3, 5]);
+        assert!(t.is_dilution());
+    }
+
+    #[test]
+    fn rejects_out_of_range_cf() {
+        assert!(dilution_ratio(17, 4).is_err());
+        // k = 0 is pure buffer: a valid ratio, but not mixable.
+        let pure_buffer = dilution_ratio(0, 4).unwrap();
+        assert!(MinMix.build_template(&pure_buffer).is_err());
+    }
+
+    #[test]
+    fn full_concentration_is_pure_and_unmixable() {
+        let t = dilution_ratio(16, 4).unwrap();
+        assert!(MinMix.build_template(&t).is_err());
+    }
+
+    #[test]
+    fn dilution_trees_have_bit_scan_size() {
+        for (k, d) in [(1u64, 4u32), (5, 4), (7, 3), (9, 5), (21, 6)] {
+            let t = dilution_ratio(k, d).unwrap();
+            let g = MinMix.build_graph(&t).unwrap();
+            let leaves = (k.count_ones() + ((1u64 << d) - k).count_ones()) as usize;
+            assert_eq!(g.stats().mix_splits, leaves - 1);
+        }
+    }
+}

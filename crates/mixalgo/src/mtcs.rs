@@ -1,0 +1,98 @@
+use crate::{Capabilities, MinMix, MixAlgoError, MixingAlgorithm, Template};
+use dmf_ratio::TargetRatio;
+
+/// The common-subtree-sharing mixing algorithm of Kumar et al.
+/// (DDECS 2013) — the paper's `MTCS` baseline, reimplemented from its
+/// published description.
+///
+/// Builds the [`crate::MinMix`] tree and then shares content-identical
+/// subtrees: a subtree whose droplet content was already produced consumes
+/// the earlier producer's *spare* droplet instead of re-mixing, turning the
+/// tree into the paper's "base mixing graph" with fewer mix-splits and less
+/// reactant. Since every mix-split yields exactly two droplets, each
+/// producer can serve at most one extra consumer; further duplicates are
+/// mixed afresh.
+///
+/// For targets whose MinMix tree has no repeated subtree content (such as
+/// the PCR master mix), MTCS degenerates to MinMix — sharing simply finds
+/// nothing to share.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_mixalgo::{MinMix, MixingAlgorithm, Mtcs};
+/// use dmf_ratio::TargetRatio;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 3:3:2 has two content-identical <1:1:0> subtrees in its MinMix tree.
+/// let target = TargetRatio::new(vec![3, 3, 2])?;
+/// let shared = Mtcs.build_graph(&target)?;
+/// let plain = MinMix.build_graph(&target)?;
+/// assert!(shared.stats().mix_splits < plain.stats().mix_splits);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mtcs;
+
+impl MixingAlgorithm for Mtcs {
+    fn name(&self) -> &'static str {
+        "MTCS"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::SDST_ONLY
+    }
+
+    fn build_template(&self, target: &TargetRatio) -> Result<Template, MixAlgoError> {
+        MinMix.build_template(target)
+    }
+
+    fn shares_subgraphs(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_duplicate_subtrees() {
+        let target = TargetRatio::new(vec![3, 3, 2]).unwrap();
+        let shared = Mtcs.build_graph(&target).unwrap();
+        let plain = MinMix.build_graph(&target).unwrap();
+        let ss = shared.stats();
+        let ps = plain.stats();
+        assert!(ss.mix_splits < ps.mix_splits);
+        assert!(ss.input_total < ps.input_total);
+        assert!(ss.waste < ps.waste);
+        ss.assert_conservation();
+    }
+
+    #[test]
+    fn degenerates_to_minmix_without_duplicates() {
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let shared = Mtcs.build_graph(&target).unwrap();
+        let plain = MinMix.build_graph(&target).unwrap();
+        assert_eq!(shared.stats(), plain.stats());
+    }
+
+    #[test]
+    fn never_worse_than_minmix() {
+        for parts in [
+            vec![5, 11],
+            vec![1, 3, 4, 8],
+            vec![7, 7, 2],
+            vec![9, 17, 26, 9, 195],
+            vec![5, 5, 5, 5, 12],
+        ] {
+            let target = TargetRatio::new(parts).unwrap();
+            let shared = Mtcs.build_graph(&target).unwrap().stats();
+            let plain = MinMix.build_graph(&target).unwrap().stats();
+            assert!(shared.mix_splits <= plain.mix_splits);
+            assert!(shared.input_total <= plain.input_total);
+            shared.assert_conservation();
+        }
+    }
+}

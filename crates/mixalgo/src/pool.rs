@@ -1,0 +1,158 @@
+use dmf_mixgraph::NodeId;
+use dmf_ratio::Mixture;
+use std::collections::{HashMap, VecDeque};
+
+/// A multiset of spare (would-be-waste) droplets keyed by canonical droplet
+/// content.
+///
+/// This is the bookkeeping behind both common-subtree sharing
+/// ([`crate::Mtcs`]/[`crate::Rsm`]) and the mixing forest of the streaming
+/// engine: whenever a mix-split executes, its second output droplet is
+/// offered to the pool; whenever a rebuild needs a droplet whose content is
+/// already pooled, it consumes the pooled droplet instead of re-mixing.
+///
+/// The pool has *commit* semantics for the paper-faithful forest
+/// construction: droplets offered during the current component tree are held
+/// back in a staging area and only become takeable after [`WastePool::commit`]
+/// (called at tree boundaries). Pass `eager = true` to
+/// [`WastePool::offer`]-style users that want immediate availability
+/// (within-tree sharing).
+///
+/// Droplets of equal content are consumed in FIFO order, which keeps the
+/// construction deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct WastePool {
+    available: HashMap<Mixture, VecDeque<NodeId>>,
+    staged: Vec<(Mixture, NodeId)>,
+    len: usize,
+}
+
+impl WastePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        WastePool::default()
+    }
+
+    /// Number of takeable droplets (staged droplets are not counted).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no droplet is takeable.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of droplets staged but not yet committed.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Offers a spare droplet produced by `node`.
+    ///
+    /// With `eager = true` the droplet is takeable immediately; otherwise it
+    /// is staged until the next [`WastePool::commit`].
+    pub fn offer(&mut self, mixture: Mixture, node: NodeId, eager: bool) {
+        if eager {
+            self.available.entry(mixture).or_default().push_back(node);
+            self.len += 1;
+        } else {
+            self.staged.push((mixture, node));
+        }
+    }
+
+    /// Takes the oldest takeable droplet with the given content, if any.
+    pub fn take(&mut self, mixture: &Mixture) -> Option<NodeId> {
+        let queue = self.available.get_mut(mixture)?;
+        let id = queue.pop_front()?;
+        if queue.is_empty() {
+            self.available.remove(mixture);
+        }
+        self.len -= 1;
+        Some(id)
+    }
+
+    /// Makes all staged droplets takeable (call at component-tree
+    /// boundaries).
+    pub fn commit(&mut self) {
+        for (mixture, node) in self.staged.drain(..) {
+            self.available.entry(mixture).or_default().push_back(node);
+            self.len += 1;
+        }
+    }
+
+    /// Drops every droplet, takeable and staged alike.
+    pub fn clear(&mut self) {
+        self.available.clear();
+        self.staged.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over the takeable droplets as `(content, producer)` pairs,
+    /// in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Mixture, NodeId)> {
+        self.available
+            .iter()
+            .flat_map(|(m, q)| q.iter().map(move |&id| (m, id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixture(parts: Vec<u64>, level: u32) -> Mixture {
+        Mixture::new(level, parts).unwrap()
+    }
+
+    #[test]
+    fn eager_offers_are_takeable_immediately() {
+        let mut pool = WastePool::new();
+        let m = mixture(vec![1, 1], 1);
+        pool.offer(m.clone(), NodeId::new(0), true);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.take(&m), Some(NodeId::new(0)));
+        assert!(pool.is_empty());
+        assert_eq!(pool.take(&m), None);
+    }
+
+    #[test]
+    fn staged_offers_need_commit() {
+        let mut pool = WastePool::new();
+        let m = mixture(vec![1, 1], 1);
+        pool.offer(m.clone(), NodeId::new(3), false);
+        assert_eq!(pool.take(&m), None);
+        assert_eq!(pool.staged_len(), 1);
+        pool.commit();
+        assert_eq!(pool.take(&m), Some(NodeId::new(3)));
+    }
+
+    #[test]
+    fn equal_content_is_fifo() {
+        let mut pool = WastePool::new();
+        let m = mixture(vec![3, 1], 2);
+        pool.offer(m.clone(), NodeId::new(1), true);
+        pool.offer(m.clone(), NodeId::new(2), true);
+        assert_eq!(pool.take(&m), Some(NodeId::new(1)));
+        assert_eq!(pool.take(&m), Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn canonical_keys_unify_levels() {
+        // <2:2>/4 canonicalises to <1:1>/2, so both lookups hit.
+        let mut pool = WastePool::new();
+        pool.offer(mixture(vec![2, 2], 2), NodeId::new(5), true);
+        assert_eq!(pool.take(&mixture(vec![1, 1], 1)), Some(NodeId::new(5)));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut pool = WastePool::new();
+        let m = mixture(vec![1, 1], 1);
+        pool.offer(m.clone(), NodeId::new(0), true);
+        pool.offer(m.clone(), NodeId::new(1), false);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.staged_len(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+use crate::template::TemplateNode;
+use crate::{MixAlgoError, Template, WastePool};
+use dmf_mixgraph::{GraphBuilder, MixGraph, NodeId, Operand};
+use dmf_ratio::TargetRatio;
+
+/// Replays `template` into `builder` as one component tree, consuming pooled
+/// droplets wherever their content matches a needed subtree, and returns the
+/// new tree's root.
+///
+/// This single function implements both halves of the paper:
+///
+/// * with an empty pool it materialises a base mixing tree verbatim;
+/// * with a pool carrying earlier trees' waste it performs the *rebuild*
+///   step of mixing-forest construction (§4.1): a subtree whose content is
+///   available as a pooled droplet collapses to a reuse edge (the paper's
+///   brown nodes).
+///
+/// Every interior mix offers its spare droplet back to the pool —
+/// immediately when `eager` is true (within-tree sharing, as in
+/// [`crate::Mtcs`]), or staged until the caller invokes
+/// [`WastePool::commit`] when `eager` is false (the paper's across-tree
+/// reuse). The root never takes from or offers to the pool: both of its
+/// droplets are emitted targets.
+///
+/// The caller must still invoke [`GraphBuilder::finish_tree`] with the
+/// returned root.
+///
+/// # Errors
+///
+/// Returns [`MixAlgoError::PureTarget`] when the template is a bare leaf and
+/// propagates structural errors from the builder.
+pub fn rebuild_tree(
+    template: &Template,
+    builder: &mut GraphBuilder,
+    pool: &mut WastePool,
+    eager: bool,
+) -> Result<NodeId, MixAlgoError> {
+    match rebuild_node(template.root(), template.fluid_count(), builder, pool, eager, true)? {
+        Operand::Droplet(id) => Ok(id),
+        Operand::Input(_) => Err(MixAlgoError::PureTarget),
+    }
+}
+
+fn rebuild_node(
+    node: &TemplateNode,
+    fluid_count: usize,
+    builder: &mut GraphBuilder,
+    pool: &mut WastePool,
+    eager: bool,
+    is_root: bool,
+) -> Result<Operand, MixAlgoError> {
+    match node {
+        TemplateNode::Leaf { fluid } => Ok(Operand::Input(*fluid)),
+        TemplateNode::Mix { left, right, mixture, .. } => {
+            if !is_root {
+                if let Some(id) = pool.take(mixture) {
+                    return Ok(Operand::Droplet(id));
+                }
+            }
+            let lo = rebuild_node(left, fluid_count, builder, pool, eager, false)?;
+            let ro = rebuild_node(right, fluid_count, builder, pool, eager, false)?;
+            let id = builder.mix(lo, ro).map_err(MixAlgoError::Graph)?;
+            if !is_root {
+                pool.offer(mixture.clone(), id, eager);
+            }
+            Ok(Operand::Droplet(id))
+        }
+    }
+}
+
+/// Lowers a template to a validated single-tree [`MixGraph`].
+///
+/// With `share = true`, content-identical subtrees are built once and reuse
+/// each other's spare droplets (the [`crate::Mtcs`]/[`crate::Rsm`]
+/// behaviour); with `share = false` the template structure is reproduced
+/// verbatim.
+///
+/// # Errors
+///
+/// Returns [`MixAlgoError::PureTarget`] for a leaf-only template and
+/// propagates validation failures (which indicate a template that does not
+/// realise `target`).
+pub fn materialize(
+    template: &Template,
+    target: &TargetRatio,
+    share: bool,
+) -> Result<MixGraph, MixAlgoError> {
+    let mut builder = GraphBuilder::new(template.fluid_count());
+    let mut pool = WastePool::new();
+    let root = rebuild_tree(template, &mut builder, &mut pool, share)?;
+    builder.finish_tree(root);
+    builder.finish(target).map_err(MixAlgoError::Graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_ratio::FluidId;
+
+    fn leaf(i: usize, n: usize) -> Template {
+        Template::leaf(FluidId(i), n)
+    }
+
+    #[test]
+    fn materialize_reproduces_structure_without_sharing() {
+        // mix(mix(x1,x2), mix(x1,x2)): two content-identical subtrees.
+        let t = Template::mix(
+            Template::mix(leaf(0, 2), leaf(1, 2)).unwrap(),
+            Template::mix(leaf(0, 2), leaf(1, 2)).unwrap(),
+        )
+        .unwrap();
+        let target = TargetRatio::new(vec![1, 1]).unwrap();
+        let g = materialize(&t, &target, false).unwrap();
+        assert_eq!(g.stats().mix_splits, 3);
+        assert_eq!(g.stats().input_total, 4);
+    }
+
+    #[test]
+    fn materialize_shares_identical_subtrees() {
+        let t = Template::mix(
+            Template::mix(leaf(0, 2), leaf(1, 2)).unwrap(),
+            Template::mix(leaf(0, 2), leaf(1, 2)).unwrap(),
+        )
+        .unwrap();
+        let target = TargetRatio::new(vec![1, 1]).unwrap();
+        let g = materialize(&t, &target, true).unwrap();
+        // The second subtree collapses onto the first one's spare droplet.
+        assert_eq!(g.stats().mix_splits, 2);
+        assert_eq!(g.stats().input_total, 2);
+        assert_eq!(g.stats().waste, 0);
+    }
+
+    #[test]
+    fn leaf_template_is_rejected() {
+        let target = TargetRatio::new(vec![1]).unwrap();
+        let t = leaf(0, 1);
+        assert!(matches!(materialize(&t, &target, false), Err(MixAlgoError::PureTarget)));
+    }
+
+    #[test]
+    fn forest_style_rebuild_reuses_across_trees() {
+        // Base tree for 3:1 — rebuild twice with commit between; the second
+        // tree must reuse the first tree's inner waste droplet.
+        let t = Template::mix(leaf(0, 2), Template::mix(leaf(0, 2), leaf(1, 2)).unwrap()).unwrap();
+        let target = TargetRatio::new(vec![3, 1]).unwrap();
+        let mut builder = GraphBuilder::new(2);
+        let mut pool = WastePool::new();
+        let r1 = rebuild_tree(&t, &mut builder, &mut pool, false).unwrap();
+        builder.finish_tree(r1);
+        pool.commit();
+        let r2 = rebuild_tree(&t, &mut builder, &mut pool, false).unwrap();
+        builder.finish_tree(r2);
+        let g = builder.finish(&target).unwrap();
+        let stats = g.stats();
+        // Tree 1: 2 mixes; tree 2: root only (inner droplet reused).
+        assert_eq!(stats.mix_splits, 3);
+        assert_eq!(stats.input_total, 4);
+        assert_eq!(stats.waste, 0);
+        stats.assert_conservation();
+    }
+}

@@ -1,0 +1,182 @@
+use crate::MixAlgoError;
+use dmf_ratio::{FluidId, Mixture};
+
+/// A plain binary mixing tree with precomputed droplet contents.
+///
+/// Templates are the intermediate representation between ratio-level
+/// algorithms ([`crate::MinMix`], [`crate::Rma`], …) and the arena-backed
+/// [`dmf_mixgraph::MixGraph`]: they capture *structure only*, so the same
+/// template can be materialised once (a base tree) or replayed many times
+/// against a waste-droplet pool (the mixing forest of the streaming engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    fluid_count: usize,
+    root: TemplateNode,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TemplateNode {
+    Leaf {
+        fluid: FluidId,
+    },
+    Mix {
+        left: Box<TemplateNode>,
+        right: Box<TemplateNode>,
+        mixture: Mixture,
+        level: u32,
+    },
+}
+
+impl TemplateNode {
+    pub(crate) fn mixture(&self, fluid_count: usize) -> Mixture {
+        match self {
+            TemplateNode::Leaf { fluid } => Mixture::pure(fluid.0, fluid_count),
+            TemplateNode::Mix { mixture, .. } => mixture.clone(),
+        }
+    }
+
+    pub(crate) fn level(&self) -> u32 {
+        match self {
+            TemplateNode::Leaf { .. } => 0,
+            TemplateNode::Mix { level, .. } => *level,
+        }
+    }
+
+    fn count_mixes(&self) -> usize {
+        match self {
+            TemplateNode::Leaf { .. } => 0,
+            TemplateNode::Mix { left, right, .. } => 1 + left.count_mixes() + right.count_mixes(),
+        }
+    }
+
+    fn count_leaves(&self, acc: &mut [u64]) {
+        match self {
+            TemplateNode::Leaf { fluid } => acc[fluid.0] += 1,
+            TemplateNode::Mix { left, right, .. } => {
+                left.count_leaves(acc);
+                right.count_leaves(acc);
+            }
+        }
+    }
+}
+
+impl Template {
+    /// Creates a template that is a single pure-fluid leaf.
+    ///
+    /// Only useful as a subtree argument to [`Template::mix`]; a leaf-only
+    /// template cannot be materialised (a mixture needs at least one mix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fluid` is out of range for `fluid_count`.
+    pub fn leaf(fluid: FluidId, fluid_count: usize) -> Self {
+        assert!(fluid.0 < fluid_count, "fluid index within fluid set");
+        Template { fluid_count, root: TemplateNode::Leaf { fluid } }
+    }
+
+    /// Combines two templates with a (1:1) mix-split as the new root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixAlgoError::FluidSetMismatch`] when the operands range
+    /// over different fluid sets, and propagates mixture arithmetic errors.
+    pub fn mix(left: Template, right: Template) -> Result<Template, MixAlgoError> {
+        if left.fluid_count != right.fluid_count {
+            return Err(MixAlgoError::FluidSetMismatch {
+                left: left.fluid_count,
+                right: right.fluid_count,
+            });
+        }
+        let fluid_count = left.fluid_count;
+        let lm = left.root.mixture(fluid_count);
+        let rm = right.root.mixture(fluid_count);
+        let mixture = lm.mix(&rm).map_err(MixAlgoError::Ratio)?;
+        let level = left.root.level().max(right.root.level()) + 1;
+        Ok(Template {
+            fluid_count,
+            root: TemplateNode::Mix {
+                left: Box::new(left.root),
+                right: Box::new(right.root),
+                mixture,
+                level,
+            },
+        })
+    }
+
+    /// Number of fluids in the underlying fluid set.
+    pub fn fluid_count(&self) -> usize {
+        self.fluid_count
+    }
+
+    /// Whether the template is a bare leaf (no mix at the root).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.root, TemplateNode::Leaf { .. })
+    }
+
+    /// The droplet content produced at the root.
+    pub fn mixture(&self) -> Mixture {
+        self.root.mixture(self.fluid_count)
+    }
+
+    /// Structural height of the tree (a paper-conformant base tree for
+    /// accuracy `d` has depth `<= d`, with equality unless the ratio
+    /// reduces).
+    pub fn depth(&self) -> u32 {
+        self.root.level()
+    }
+
+    /// Number of mix-split operations (interior nodes).
+    pub fn mix_count(&self) -> usize {
+        self.root.count_mixes()
+    }
+
+    /// Per-fluid leaf counts — the input droplets `I[]` of one pass.
+    pub fn leaf_counts(&self) -> Vec<u64> {
+        let mut acc = vec![0; self.fluid_count];
+        self.root.count_leaves(&mut acc);
+        acc
+    }
+
+    pub(crate) fn root(&self) -> &TemplateNode {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_computes_content_and_depth() {
+        let a = Template::leaf(FluidId(0), 2);
+        let b = Template::leaf(FluidId(1), 2);
+        let t = Template::mix(a, b).unwrap();
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.mix_count(), 1);
+        assert_eq!(t.mixture().parts(), &[1, 1]);
+        assert_eq!(t.leaf_counts(), vec![1, 1]);
+        assert!(!t.is_leaf());
+    }
+
+    #[test]
+    fn mix_rejects_fluid_set_mismatch() {
+        let a = Template::leaf(FluidId(0), 2);
+        let b = Template::leaf(FluidId(0), 3);
+        assert!(matches!(
+            Template::mix(a, b),
+            Err(MixAlgoError::FluidSetMismatch { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn nested_mix_tracks_unbalanced_depth() {
+        let a = Template::leaf(FluidId(0), 2);
+        let b = Template::leaf(FluidId(1), 2);
+        let inner = Template::mix(a, b).unwrap();
+        let t = Template::mix(Template::leaf(FluidId(0), 2), inner).unwrap();
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.mix_count(), 2);
+        assert_eq!(t.mixture().parts(), &[3, 1]);
+        assert_eq!(t.leaf_counts(), vec![2, 1]);
+    }
+}

@@ -1,0 +1,84 @@
+use crate::NodeId;
+use dmf_ratio::RatioError;
+use std::error::Error;
+use std::fmt;
+
+/// Structural error raised while building or validating a [`crate::MixGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An operand refers to a vertex that does not exist (yet).
+    UnknownNode {
+        /// The unknown vertex.
+        node: NodeId,
+    },
+    /// A vertex's two output droplets were consumed more than twice.
+    OverconsumedDroplet {
+        /// The over-consumed producer.
+        node: NodeId,
+    },
+    /// A non-root vertex has no consumers at all, so it only produces waste.
+    DanglingNode {
+        /// The orphan vertex.
+        node: NodeId,
+    },
+    /// A root vertex's droplets are consumed, but roots emit targets.
+    RootConsumed {
+        /// The consumed root.
+        node: NodeId,
+    },
+    /// A root's mixture does not equal the declared target.
+    WrongTarget {
+        /// The offending root.
+        node: NodeId,
+    },
+    /// A vertex's stored mixture disagrees with mixing its operands.
+    MixtureMismatch {
+        /// The inconsistent vertex.
+        node: NodeId,
+    },
+    /// A tree was finished with no root, or `finish` was called with no trees.
+    NoTrees,
+    /// Underlying ratio arithmetic failed.
+    Ratio(RatioError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { node } => write!(f, "operand refers to unknown vertex {node}"),
+            GraphError::OverconsumedDroplet { node } => {
+                write!(f, "droplets of vertex {node} consumed more than twice")
+            }
+            GraphError::DanglingNode { node } => {
+                write!(f, "non-root vertex {node} has no consumers")
+            }
+            GraphError::RootConsumed { node } => {
+                write!(f, "root vertex {node} must not be consumed")
+            }
+            GraphError::WrongTarget { node } => {
+                write!(f, "root vertex {node} does not produce the target mixture")
+            }
+            GraphError::MixtureMismatch { node } => {
+                write!(f, "stored mixture of vertex {node} disagrees with its operands")
+            }
+            GraphError::NoTrees => write!(f, "graph has no component trees"),
+            GraphError::Ratio(e) => write!(f, "ratio arithmetic failed: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Ratio(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RatioError> for GraphError {
+    fn from(e: RatioError) -> Self {
+        GraphError::Ratio(e)
+    }
+}

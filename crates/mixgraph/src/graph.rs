@@ -1,0 +1,332 @@
+use crate::{GraphError, GraphStats};
+use dmf_ratio::{FluidId, Mixture};
+use std::fmt;
+
+/// Identifier of a mix-split vertex inside a [`MixGraph`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw arena index.
+    ///
+    /// Only meaningful for ids obtained from the same graph/builder; useful
+    /// for tests and serialisation layers.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The arena index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One operand of a (1:1) mix-split operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A fresh unit droplet dispensed from the reservoir of a pure reagent.
+    Input(FluidId),
+    /// A droplet produced by another mix-split vertex. This covers both
+    /// parent-child edges inside one component tree and the cross-tree
+    /// *waste-reuse* edges of a mixing forest (the paper's brown nodes).
+    Droplet(NodeId),
+}
+
+/// One (1:1) mix-split operation.
+///
+/// Executing the node merges its two operand droplets and splits the result
+/// into **two** identical unit droplets. In a non-root node one or both of
+/// those droplets feed consumer nodes and the remainder is waste; in a root
+/// node both droplets are emitted target droplets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixNode {
+    pub(crate) left: Operand,
+    pub(crate) right: Operand,
+    pub(crate) mixture: Mixture,
+    pub(crate) level: u32,
+    pub(crate) tree: u32,
+}
+
+impl MixNode {
+    /// Left operand.
+    pub fn left(&self) -> Operand {
+        self.left
+    }
+
+    /// Right operand.
+    pub fn right(&self) -> Operand {
+        self.right
+    }
+
+    /// Both operands, left first.
+    pub fn operands(&self) -> [Operand; 2] {
+        [self.left, self.right]
+    }
+
+    /// Content of each droplet the node produces (canonicalised).
+    pub fn mixture(&self) -> &Mixture {
+        &self.mixture
+    }
+
+    /// Structural level of the node: `max(level(operands)) + 1`, where
+    /// reservoir inputs sit at level 0. In a depth-`d` base mixing tree the
+    /// root has level `d` — the same convention as the paper's figures.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Index of the component tree this node belongs to (0-based; the
+    /// paper's `T1` is tree 0).
+    pub fn tree(&self) -> u32 {
+        self.tree
+    }
+}
+
+/// An immutable, validated mixing tree / mixing forest.
+///
+/// Construct one with [`crate::GraphBuilder`]. The graph is guaranteed to be
+/// acyclic and droplet-conserving: every vertex produces exactly two unit
+/// droplets, each consumed by at most two other vertices; root vertices are
+/// never consumed (their droplets are the emitted targets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixGraph {
+    pub(crate) fluid_count: usize,
+    pub(crate) nodes: Vec<MixNode>,
+    pub(crate) roots: Vec<NodeId>,
+    /// Consumers of each node's two output droplets (up to two).
+    pub(crate) consumers: Vec<Vec<NodeId>>,
+    /// One target mixture per component tree (all equal for MDST graphs).
+    pub(crate) targets: Vec<Mixture>,
+}
+
+impl MixGraph {
+    /// Number of fluids in the underlying fluid set.
+    pub fn fluid_count(&self) -> usize {
+        self.fluid_count
+    }
+
+    /// The target mixture of the first component tree (canonical form).
+    /// For MDST graphs every tree shares this target; multi-target (SDMT)
+    /// graphs expose the full list via [`MixGraph::targets`].
+    pub fn target(&self) -> &Mixture {
+        &self.targets[0]
+    }
+
+    /// Target mixtures, one per component tree.
+    pub fn targets(&self) -> &[Mixture] {
+        &self.targets
+    }
+
+    /// Number of mix-split vertices (`Tms` when applied to a full forest).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accesses a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &MixNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over all vertices in arena (construction) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &MixNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// The root vertices, one per component tree, in tree order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Number of component trees (`|F|`).
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether the vertex is the root of a component tree.
+    pub fn is_root(&self, id: NodeId) -> bool {
+        let tree = self.nodes[id.index()].tree;
+        self.roots.get(tree as usize).copied() == Some(id)
+    }
+
+    /// Vertices that consume droplets produced by `id` (0–2 entries).
+    pub fn consumers(&self, id: NodeId) -> &[NodeId] {
+        &self.consumers[id.index()]
+    }
+
+    /// Number of waste droplets contributed by vertex `id`
+    /// (`2 - consumers`, or 0 for a root whose droplets are targets).
+    pub fn waste_of(&self, id: NodeId) -> usize {
+        if self.is_root(id) {
+            0
+        } else {
+            2 - self.consumers(id).len()
+        }
+    }
+
+    /// The vertices of component tree `tree`, in arena order.
+    pub fn tree_nodes(&self, tree: u32) -> Vec<NodeId> {
+        self.iter().filter(|(_, n)| n.tree == tree).map(|(id, _)| id).collect()
+    }
+
+    /// Depth of the graph: the maximum structural level over all vertices
+    /// (equals the accuracy `d` for a well-formed base tree).
+    pub fn depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Breadth-first `m_ij` labels matching the paper's figures: vertex `j`
+    /// of component tree `i` in left-to-right BFS order from the root
+    /// (1-based, root is `m_{i,1}`).
+    ///
+    /// Cross-tree (reuse) operands are not traversed — they are leaves of the
+    /// component tree, exactly as the brown nodes in Figs. 1–3.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = vec![String::new(); self.nodes.len()];
+        for (tree, &root) in self.roots.iter().enumerate() {
+            let mut queue = std::collections::VecDeque::from([root]);
+            let mut j = 1usize;
+            while let Some(id) = queue.pop_front() {
+                labels[id.index()] = format!("m{},{}", tree + 1, j);
+                j += 1;
+                for op in self.nodes[id.index()].operands() {
+                    if let Operand::Droplet(child) = op {
+                        if self.nodes[child.index()].tree == tree as u32 {
+                            queue.push_back(child);
+                        }
+                    }
+                }
+            }
+        }
+        labels
+    }
+
+    /// Full structural re-validation: droplet conservation, consumer limits,
+    /// mixture arithmetic and root/target agreement. `GraphBuilder::finish`
+    /// already guarantees these; this is exposed for tests and for graphs
+    /// deserialised from external sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`GraphError`].
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (id, node) in self.iter() {
+            let left = self.operand_mixture(node.left)?;
+            let right = self.operand_mixture(node.right)?;
+            let mixed = left.mix(&right).map_err(GraphError::Ratio)?;
+            if mixed != node.mixture {
+                return Err(GraphError::MixtureMismatch { node: id });
+            }
+            let consumers = self.consumers(id).len();
+            if self.is_root(id) {
+                if consumers != 0 {
+                    return Err(GraphError::RootConsumed { node: id });
+                }
+                if node.mixture != self.targets[node.tree as usize] {
+                    return Err(GraphError::WrongTarget { node: id });
+                }
+            } else {
+                if consumers == 0 {
+                    return Err(GraphError::DanglingNode { node: id });
+                }
+                if consumers > 2 {
+                    return Err(GraphError::OverconsumedDroplet { node: id });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics (`Tms`, `W`, `I[]`, `I`, `|F|`, depth).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::collect(self)
+    }
+
+    pub(crate) fn operand_mixture(&self, op: Operand) -> Result<Mixture, GraphError> {
+        match op {
+            Operand::Input(f) => {
+                Mixture::try_pure(f.0, self.fluid_count).map_err(GraphError::Ratio)
+            }
+            Operand::Droplet(id) => {
+                if id.index() >= self.nodes.len() {
+                    return Err(GraphError::UnknownNode { node: id });
+                }
+                Ok(self.nodes[id.index()].mixture.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use dmf_ratio::TargetRatio;
+
+    fn two_fluid_graph() -> MixGraph {
+        let target = TargetRatio::new(vec![1, 1]).unwrap();
+        let mut b = GraphBuilder::new(2);
+        let root = b
+            .mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1)))
+            .unwrap();
+        b.finish_tree(root);
+        b.finish(&target).unwrap()
+    }
+
+    #[test]
+    fn accessors_cover_single_mix() {
+        let g = two_fluid_graph();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.tree_count(), 1);
+        assert_eq!(g.fluid_count(), 2);
+        let root = g.roots()[0];
+        assert!(g.is_root(root));
+        assert_eq!(g.node(root).level(), 1);
+        assert_eq!(g.waste_of(root), 0);
+        assert_eq!(g.depth(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn labels_follow_bfs_order() {
+        // Depth-2 tree over 4 fluids: root mixes two leaf-pair mixes.
+        let target = TargetRatio::new(vec![1, 1, 1, 1]).unwrap();
+        let mut b = GraphBuilder::new(4);
+        let a = b
+            .mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1)))
+            .unwrap();
+        let c = b
+            .mix(Operand::Input(FluidId(2)), Operand::Input(FluidId(3)))
+            .unwrap();
+        let root = b.mix(Operand::Droplet(a), Operand::Droplet(c)).unwrap();
+        b.finish_tree(root);
+        let g = b.finish(&target).unwrap();
+        let labels = g.labels();
+        assert_eq!(labels[root.index()], "m1,1");
+        assert_eq!(labels[a.index()], "m1,2");
+        assert_eq!(labels[c.index()], "m1,3");
+    }
+
+    #[test]
+    fn levels_use_structural_height() {
+        let target = TargetRatio::new(vec![1, 1, 2]).unwrap();
+        let mut b = GraphBuilder::new(3);
+        let inner = b
+            .mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1)))
+            .unwrap();
+        let root = b.mix(Operand::Droplet(inner), Operand::Input(FluidId(2))).unwrap();
+        b.finish_tree(root);
+        let g = b.finish(&target).unwrap();
+        assert_eq!(g.node(inner).level(), 1);
+        assert_eq!(g.node(root).level(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while constructing or combining ratios and mixtures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RatioError {
+    /// The ratio/mixture has no components at all.
+    Empty,
+    /// The component sum is not a power of two, so no accuracy level `d`
+    /// exists with `sum == 2^d`.
+    SumNotPowerOfTwo {
+        /// The offending component sum.
+        sum: u64,
+    },
+    /// The component sum does not match the expected value for the level.
+    SumMismatch {
+        /// Expected sum (`2^level`).
+        expected: u64,
+        /// Actual sum of the supplied parts.
+        actual: u64,
+    },
+    /// Two mixtures over different fluid sets were combined.
+    FluidCountMismatch {
+        /// Fluid count of the left operand.
+        left: usize,
+        /// Fluid count of the right operand.
+        right: usize,
+    },
+    /// All ratio components are zero.
+    AllZero,
+    /// A fluid index is out of range for the fluid set.
+    FluidOutOfRange {
+        /// The offending index.
+        fluid: usize,
+        /// Number of fluids in the set.
+        count: usize,
+    },
+    /// The requested accuracy level is too large to represent in `u64`
+    /// arithmetic.
+    AccuracyTooLarge {
+        /// The requested level.
+        accuracy: u32,
+    },
+    /// A weight passed to [`crate::TargetRatio::approximate`] is negative,
+    /// NaN or infinite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// A textual ratio component failed integer parsing (`FromStr`).
+    ParseComponent {
+        /// 0-based index of the unparseable component.
+        index: usize,
+    },
+}
+
+impl fmt::Display for RatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatioError::Empty => write!(f, "ratio has no components"),
+            RatioError::SumNotPowerOfTwo { sum } => {
+                write!(f, "component sum {sum} is not a power of two")
+            }
+            RatioError::SumMismatch { expected, actual } => {
+                write!(f, "component sum {actual} does not match expected {expected}")
+            }
+            RatioError::FluidCountMismatch { left, right } => {
+                write!(f, "fluid counts differ: {left} vs {right}")
+            }
+            RatioError::AllZero => write!(f, "all ratio components are zero"),
+            RatioError::FluidOutOfRange { fluid, count } => {
+                write!(f, "fluid index {fluid} out of range for {count} fluids")
+            }
+            RatioError::AccuracyTooLarge { accuracy } => {
+                write!(f, "accuracy level {accuracy} exceeds the supported range")
+            }
+            RatioError::InvalidWeight { index } => {
+                write!(f, "weight at index {index} is not a finite non-negative number")
+            }
+            RatioError::ParseComponent { index } => {
+                write!(f, "ratio component at index {index} is not a valid integer")
+            }
+        }
+    }
+}
+
+impl Error for RatioError {}

@@ -1,0 +1,63 @@
+//! Exact concentration-factor (CF) arithmetic for digital-microfluidic (DMF)
+//! sample preparation.
+//!
+//! In the (1:1) mix-split model two unit-volume droplets are merged and split
+//! back into two unit-volume droplets, so every reachable concentration is a
+//! dyadic rational: a droplet produced after `l` mixing levels carries the CF
+//! vector `parts / 2^l` where `parts` is an integer vector summing to `2^l`.
+//!
+//! This crate provides the two value types everything else builds on:
+//!
+//! * [`Mixture`] — the content of one droplet: an integer vector over the
+//!   fluid set together with its dyadic *level*.
+//! * [`TargetRatio`] — a user-specified target `a1 : a2 : … : aN` whose sum is
+//!   `2^d` for a chosen accuracy level `d`. [`TargetRatio::approximate`]
+//!   rounds arbitrary real-valued ratios onto that grid with the
+//!   largest-remainder method, and [`TargetRatio::paper_approximate`] uses the
+//!   DAC 2014 paper's rounding (every reagent keeps at least one unit; the
+//!   filler absorbs the residue), which turns the PCR master-mix
+//!   `{10 : 8 : 0.8 : 0.8 : 1 : 1 : 78.4}%` into `2:1:1:1:1:1:9` at `d = 4`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmf_ratio::{Mixture, TargetRatio};
+//!
+//! # fn main() -> Result<(), dmf_ratio::RatioError> {
+//! // A 7-fluid PCR master mix at accuracy level d = 4.
+//! let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+//! assert_eq!(target.accuracy(), 4);
+//!
+//! // Mix a pure droplet of fluid 0 with a pure droplet of fluid 6.
+//! let a = Mixture::pure(0, 7);
+//! let b = Mixture::pure(6, 7);
+//! let mixed = a.mix(&b)?;
+//! assert_eq!(mixed.level(), 1);
+//! assert_eq!(mixed.parts(), &[1, 0, 0, 0, 0, 0, 1]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod mixture;
+mod target;
+
+pub use error::RatioError;
+pub use mixture::Mixture;
+pub use target::TargetRatio;
+
+/// Index of a fluid within a target ratio (0-based).
+///
+/// The paper writes the fluid set as `X = {x1, …, xN}`; `FluidId(0)`
+/// corresponds to `x1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FluidId(pub usize);
+
+impl std::fmt::Display for FluidId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}

@@ -1,0 +1,296 @@
+use crate::{FluidId, RatioError};
+use std::fmt;
+
+/// The content of one unit-volume droplet expressed as a dyadic CF vector.
+///
+/// A mixture at *level* `l` is the integer vector `parts` with
+/// `sum(parts) == 2^l`; component `i` of the droplet has concentration factor
+/// `parts[i] / 2^l`. Pure reagents are level-0 mixtures with a single
+/// component equal to 1.
+///
+/// Mixtures are normalised on construction: trailing factors of two shared by
+/// every component are divided out, so two droplets with the same physical
+/// content always compare equal and hash identically. This canonical form is
+/// what the mixing-forest waste pool keys on.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_ratio::Mixture;
+///
+/// # fn main() -> Result<(), dmf_ratio::RatioError> {
+/// let half_and_half = Mixture::pure(0, 2).mix(&Mixture::pure(1, 2))?;
+/// assert_eq!(half_and_half.level(), 1);
+/// assert_eq!(half_and_half.cf(0), (1, 2));
+///
+/// // Mixing equal content yields the same (canonicalised) mixture.
+/// let same = half_and_half.mix(&half_and_half)?;
+/// assert_eq!(same, half_and_half);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mixture {
+    level: u32,
+    parts: Vec<u64>,
+}
+
+impl Mixture {
+    /// Creates a mixture from a level and an integer parts vector.
+    ///
+    /// The vector is canonicalised (common factors of two are divided out of
+    /// all parts, reducing the level accordingly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::Empty`] for an empty vector,
+    /// [`RatioError::AccuracyTooLarge`] for `level >= 63` and
+    /// [`RatioError::SumMismatch`] when `sum(parts) != 2^level`.
+    pub fn new(level: u32, parts: Vec<u64>) -> Result<Self, RatioError> {
+        if parts.is_empty() {
+            return Err(RatioError::Empty);
+        }
+        if level >= 63 {
+            return Err(RatioError::AccuracyTooLarge { accuracy: level });
+        }
+        let expected = 1u64 << level;
+        let actual: u64 = parts.iter().sum();
+        if actual != expected {
+            return Err(RatioError::SumMismatch { expected, actual });
+        }
+        let mut mixture = Mixture { level, parts };
+        mixture.canonicalise();
+        Ok(mixture)
+    }
+
+    /// Creates the level-0 mixture for a single pure fluid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fluid >= fluid_count` or `fluid_count == 0`; use
+    /// [`Mixture::try_pure`] for a fallible variant.
+    pub fn pure(fluid: usize, fluid_count: usize) -> Self {
+        Self::try_pure(fluid, fluid_count).expect("fluid index within fluid set")
+    }
+
+    /// Fallible variant of [`Mixture::pure`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::FluidOutOfRange`] when `fluid >= fluid_count` and
+    /// [`RatioError::Empty`] when `fluid_count == 0`.
+    pub fn try_pure(fluid: usize, fluid_count: usize) -> Result<Self, RatioError> {
+        if fluid_count == 0 {
+            return Err(RatioError::Empty);
+        }
+        if fluid >= fluid_count {
+            return Err(RatioError::FluidOutOfRange { fluid, count: fluid_count });
+        }
+        let mut parts = vec![0; fluid_count];
+        parts[fluid] = 1;
+        Ok(Mixture { level: 0, parts })
+    }
+
+    /// The dyadic level `l`; the denominator of every CF is `2^l`.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The integer numerator vector (sums to `2^level`).
+    pub fn parts(&self) -> &[u64] {
+        &self.parts
+    }
+
+    /// Number of fluids in the underlying fluid set.
+    pub fn fluid_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The concentration factor of fluid `i` as a `(numerator, denominator)`
+    /// pair with denominator `2^level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cf(&self, i: usize) -> (u64, u64) {
+        (self.parts[i], 1u64 << self.level)
+    }
+
+    /// Whether the droplet is a single pure reagent, and if so which one.
+    pub fn as_pure(&self) -> Option<FluidId> {
+        let mut found = None;
+        for (i, &p) in self.parts.iter().enumerate() {
+            if p != 0 {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(FluidId(i));
+            }
+        }
+        found
+    }
+
+    /// (1:1)-mixes two droplets, yielding the content of each of the two
+    /// resulting droplets.
+    ///
+    /// Operands of different levels are handled by scaling both vectors to
+    /// the common level `max(la, lb)`; the result has level `max(la, lb)+1`
+    /// before canonicalisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::FluidCountMismatch`] when the operands range
+    /// over different fluid sets and [`RatioError::AccuracyTooLarge`] when the
+    /// result level would overflow.
+    pub fn mix(&self, other: &Mixture) -> Result<Mixture, RatioError> {
+        if self.fluid_count() != other.fluid_count() {
+            return Err(RatioError::FluidCountMismatch {
+                left: self.fluid_count(),
+                right: other.fluid_count(),
+            });
+        }
+        let common = self.level.max(other.level);
+        if common + 1 >= 63 {
+            return Err(RatioError::AccuracyTooLarge { accuracy: common + 1 });
+        }
+        let ls = common - self.level;
+        let rs = common - other.level;
+        let parts: Vec<u64> = self
+            .parts
+            .iter()
+            .zip(&other.parts)
+            .map(|(&a, &b)| (a << ls) + (b << rs))
+            .collect();
+        let mut mixture = Mixture { level: common + 1, parts };
+        mixture.canonicalise();
+        Ok(mixture)
+    }
+
+    /// Rescales the parts vector to a target level `>= self.level()`.
+    ///
+    /// Useful when comparing droplets against a target ratio expressed at a
+    /// fixed accuracy `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::AccuracyTooLarge`] when `level < self.level()`
+    /// (the mixture cannot be represented more coarsely) or when `level`
+    /// exceeds the supported range.
+    pub fn parts_at_level(&self, level: u32) -> Result<Vec<u64>, RatioError> {
+        if level < self.level || level >= 63 {
+            return Err(RatioError::AccuracyTooLarge { accuracy: level });
+        }
+        let shift = level - self.level;
+        Ok(self.parts.iter().map(|&p| p << shift).collect())
+    }
+
+    fn canonicalise(&mut self) {
+        while self.level > 0 && self.parts.iter().all(|p| p % 2 == 0) {
+            for p in &mut self.parts {
+                *p /= 2;
+            }
+            self.level -= 1;
+        }
+    }
+}
+
+impl fmt::Display for Mixture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ">/{}", 1u64 << self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_is_level_zero() {
+        let m = Mixture::pure(2, 5);
+        assert_eq!(m.level(), 0);
+        assert_eq!(m.parts(), &[0, 0, 1, 0, 0]);
+        assert_eq!(m.as_pure(), Some(FluidId(2)));
+    }
+
+    #[test]
+    fn try_pure_rejects_out_of_range() {
+        assert_eq!(
+            Mixture::try_pure(3, 3),
+            Err(RatioError::FluidOutOfRange { fluid: 3, count: 3 })
+        );
+        assert_eq!(Mixture::try_pure(0, 0), Err(RatioError::Empty));
+    }
+
+    #[test]
+    fn new_validates_sum() {
+        assert!(Mixture::new(2, vec![1, 3]).is_ok());
+        assert_eq!(
+            Mixture::new(2, vec![1, 2]),
+            Err(RatioError::SumMismatch { expected: 4, actual: 3 })
+        );
+        assert_eq!(Mixture::new(0, vec![]), Err(RatioError::Empty));
+    }
+
+    #[test]
+    fn mix_same_level() {
+        let a = Mixture::pure(0, 2);
+        let b = Mixture::pure(1, 2);
+        let m = a.mix(&b).unwrap();
+        assert_eq!(m.level(), 1);
+        assert_eq!(m.parts(), &[1, 1]);
+    }
+
+    #[test]
+    fn mix_heterogeneous_levels() {
+        // Root of the PCR d=4 tree: pure x7 mixed with a level-3 droplet.
+        let x7 = Mixture::pure(6, 7);
+        let inner = Mixture::new(3, vec![2, 1, 1, 1, 1, 1, 1]).unwrap();
+        let root = x7.mix(&inner).unwrap();
+        assert_eq!(root.level(), 4);
+        assert_eq!(root.parts(), &[2, 1, 1, 1, 1, 1, 9]);
+    }
+
+    #[test]
+    fn canonicalisation_reduces_even_vectors() {
+        let m = Mixture::new(3, vec![4, 4]).unwrap();
+        assert_eq!(m.level(), 1);
+        assert_eq!(m.parts(), &[1, 1]);
+    }
+
+    #[test]
+    fn canonical_equality_after_self_mix() {
+        let half = Mixture::new(1, vec![1, 1]).unwrap();
+        let same = half.mix(&half).unwrap();
+        assert_eq!(same, half);
+    }
+
+    #[test]
+    fn mix_rejects_fluid_count_mismatch() {
+        let a = Mixture::pure(0, 2);
+        let b = Mixture::pure(0, 3);
+        assert_eq!(
+            a.mix(&b),
+            Err(RatioError::FluidCountMismatch { left: 2, right: 3 })
+        );
+    }
+
+    #[test]
+    fn parts_at_level_scales() {
+        let m = Mixture::new(1, vec![1, 1]).unwrap();
+        assert_eq!(m.parts_at_level(3).unwrap(), vec![4, 4]);
+        assert!(m.parts_at_level(0).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Mixture::new(4, vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        assert_eq!(m.to_string(), "<2:1:1:1:1:1:9>/16");
+    }
+}

@@ -1,0 +1,399 @@
+use crate::{Mixture, RatioError};
+use std::fmt;
+
+/// A target mixing ratio `a1 : a2 : … : aN` with ratio-sum `L = 2^d`.
+///
+/// `d` is the *accuracy level*: every constituent CF is a multiple of
+/// `1/2^d`, and a mixing tree of depth `d` realises the target with a maximum
+/// per-fluid CF error of `1/2^d` relative to the real-valued specification
+/// (paper, §2.1).
+///
+/// Components may be zero (a fluid that rounded away at this accuracy), but
+/// at least one component must be positive.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_ratio::TargetRatio;
+///
+/// # fn main() -> Result<(), dmf_ratio::RatioError> {
+/// // The PCR master-mix percentages from the paper at accuracy d = 4.
+/// let pcr = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
+/// let coarse = TargetRatio::paper_approximate(&pcr, 4)?;
+/// assert_eq!(coarse.parts(), &[2, 1, 1, 1, 1, 1, 9]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TargetRatio {
+    accuracy: u32,
+    parts: Vec<u64>,
+}
+
+impl TargetRatio {
+    /// Creates a target ratio from integer components.
+    ///
+    /// The accuracy level is inferred from the component sum, which must be a
+    /// power of two. The components are **not** reduced: `16 : 16` is a valid
+    /// `d = 5` target distinct from the `d = 1` target `1 : 1`; call
+    /// [`TargetRatio::reduced`] for the canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::Empty`] for no components,
+    /// [`RatioError::AllZero`] if every component is zero and
+    /// [`RatioError::SumNotPowerOfTwo`] otherwise when the sum is not `2^d`.
+    pub fn new(parts: Vec<u64>) -> Result<Self, RatioError> {
+        if parts.is_empty() {
+            return Err(RatioError::Empty);
+        }
+        let sum: u64 = parts.iter().sum();
+        if sum == 0 {
+            return Err(RatioError::AllZero);
+        }
+        if !sum.is_power_of_two() {
+            return Err(RatioError::SumNotPowerOfTwo { sum });
+        }
+        Ok(TargetRatio { accuracy: sum.trailing_zeros(), parts })
+    }
+
+    /// Rounds a real-valued ratio (percentages, volumes, any non-negative
+    /// weights) onto the `2^d` grid.
+    ///
+    /// Uses the largest-remainder method: ideal shares
+    /// `w_i * 2^d / sum(w)` are floored and the leftover units are granted to
+    /// the components with the largest fractional remainders, so the rounded
+    /// components always sum to exactly `2^d` while each stays within one
+    /// unit of its ideal share — the `1/2^d` error bound quoted in the paper.
+    /// Ties are broken toward the earlier component, which reproduces the
+    /// paper's published PCR approximations at both `d = 4` and `d = 8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::Empty`] for no weights,
+    /// [`RatioError::InvalidWeight`] for a negative/NaN/infinite weight,
+    /// [`RatioError::AllZero`] when all weights are zero and
+    /// [`RatioError::AccuracyTooLarge`] for `accuracy >= 63`.
+    pub fn approximate(weights: &[f64], accuracy: u32) -> Result<Self, RatioError> {
+        if weights.is_empty() {
+            return Err(RatioError::Empty);
+        }
+        if accuracy >= 63 {
+            return Err(RatioError::AccuracyTooLarge { accuracy });
+        }
+        for (i, w) in weights.iter().enumerate() {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(RatioError::InvalidWeight { index: i });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(RatioError::AllZero);
+        }
+        let scale = (1u64 << accuracy) as f64;
+        let ideal: Vec<f64> = weights.iter().map(|w| w / total * scale).collect();
+        let mut parts: Vec<u64> = ideal.iter().map(|x| x.floor() as u64).collect();
+        let assigned: u64 = parts.iter().sum();
+        let mut leftover = (1u64 << accuracy) - assigned;
+        // Grant leftover units by descending fractional remainder,
+        // breaking ties toward earlier components.
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = ideal[a] - ideal[a].floor();
+            let fb = ideal[b] - ideal[b].floor();
+            fb.partial_cmp(&fa).expect("finite remainders").then(a.cmp(&b))
+        });
+        for i in order {
+            if leftover == 0 {
+                break;
+            }
+            parts[i] += 1;
+            leftover -= 1;
+        }
+        TargetRatio::new(parts)
+    }
+
+    /// Rounds a real-valued ratio onto the `2^d` grid the way the DAC 2014
+    /// paper rounds the PCR master mix: every fluid with a positive weight
+    /// keeps at least one unit (so no reagent vanishes at coarse
+    /// accuracies), non-filler components are rounded half-up, and the
+    /// largest component absorbs the residue so the sum stays `2^d`.
+    ///
+    /// For the PCR master mix `{10, 8, 0.8, 0.8, 1, 1, 78.4}%` this yields
+    /// the paper's `2:1:1:1:1:1:9` at `d = 4`. At `d = 8` it yields
+    /// `26:20:2:2:3:3:200`, one unit away from the paper's published
+    /// `26:21:2:2:3:3:199` (which no standard rounding rule reproduces; the
+    /// published vector is available verbatim in `dmf-workloads`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TargetRatio::approximate`]; additionally
+    /// [`RatioError::AccuracyTooLarge`] when `2^d` is smaller than the
+    /// number of positive weights (the minimum-one constraint cannot hold).
+    pub fn paper_approximate(weights: &[f64], accuracy: u32) -> Result<Self, RatioError> {
+        if weights.is_empty() {
+            return Err(RatioError::Empty);
+        }
+        if accuracy >= 63 {
+            return Err(RatioError::AccuracyTooLarge { accuracy });
+        }
+        for (i, w) in weights.iter().enumerate() {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(RatioError::InvalidWeight { index: i });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(RatioError::AllZero);
+        }
+        let positive = weights.iter().filter(|&&w| w > 0.0).count() as u64;
+        let target_sum = 1u64 << accuracy;
+        if target_sum < positive {
+            return Err(RatioError::AccuracyTooLarge { accuracy });
+        }
+        let scale = target_sum as f64;
+        let mut parts: Vec<u64> = weights
+            .iter()
+            .map(|&w| {
+                if w == 0.0 {
+                    0
+                } else {
+                    ((w / total * scale + 0.5).floor() as u64).max(1)
+                }
+            })
+            .collect();
+        // The largest component (the "filler", e.g. water) absorbs the
+        // rounding residue.
+        let filler = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(i, _)| i)
+            .expect("non-empty weights");
+        let others: u64 = parts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != filler)
+            .map(|(_, &p)| p)
+            .sum();
+        if others >= target_sum {
+            // Degenerate: even without the filler the minimums overflow the
+            // grid; fall back to the largest-remainder method.
+            return TargetRatio::approximate(weights, accuracy);
+        }
+        parts[filler] = target_sum - others;
+        TargetRatio::new(parts)
+    }
+
+    /// The accuracy level `d` (`sum == 2^d`).
+    pub fn accuracy(&self) -> u32 {
+        self.accuracy
+    }
+
+    /// The ratio-sum `L = 2^d`.
+    pub fn ratio_sum(&self) -> u64 {
+        1u64 << self.accuracy
+    }
+
+    /// The integer components `a1 … aN`.
+    pub fn parts(&self) -> &[u64] {
+        &self.parts
+    }
+
+    /// Number of fluids `N` (including zero components).
+    pub fn fluid_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of fluids with a non-zero component.
+    pub fn active_fluid_count(&self) -> usize {
+        self.parts.iter().filter(|&&p| p > 0).count()
+    }
+
+    /// Whether this ratio is a two-fluid *dilution* problem (`N = 2` active
+    /// fluids), the special case served by the dilution literature.
+    pub fn is_dilution(&self) -> bool {
+        self.active_fluid_count() == 2
+    }
+
+    /// The canonical form with any common power-of-two factor divided out
+    /// (minimal accuracy level realising the same CF vector).
+    pub fn reduced(&self) -> TargetRatio {
+        let mut parts = self.parts.clone();
+        let mut accuracy = self.accuracy;
+        while accuracy > 0 && parts.iter().all(|p| p % 2 == 0) {
+            for p in &mut parts {
+                *p /= 2;
+            }
+            accuracy -= 1;
+        }
+        TargetRatio { accuracy, parts }
+    }
+
+    /// The target expressed as a droplet [`Mixture`] at level `d`.
+    pub fn to_mixture(&self) -> Mixture {
+        Mixture::new(self.accuracy, self.parts.clone()).expect("ratio invariants imply a valid mixture")
+    }
+
+    /// Maximum absolute CF error of this grid approximation against the
+    /// real-valued `weights`, in CF units (the paper guarantees `<= 1/2^d`).
+    pub fn max_cf_error(&self, weights: &[f64]) -> f64 {
+        let total: f64 = weights.iter().sum();
+        let denom = self.ratio_sum() as f64;
+        self.parts
+            .iter()
+            .zip(weights)
+            .map(|(&p, &w)| (p as f64 / denom - w / total).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for TargetRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for TargetRatio {
+    type Err = RatioError;
+
+    /// Parses `"2:1:1:1:1:1:9"`-style ratio strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::ParseComponent`] naming the first component
+    /// that fails integer parsing; sum validation matches
+    /// [`TargetRatio::new`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = Vec::new();
+        for (index, text) in s.split(':').enumerate() {
+            let value = text
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| RatioError::ParseComponent { index })?;
+            parts.push(value);
+        }
+        TargetRatio::new(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_accuracy_from_sum() {
+        let r = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        assert_eq!(r.accuracy(), 4);
+        assert_eq!(r.ratio_sum(), 16);
+        assert_eq!(r.fluid_count(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_sums() {
+        assert_eq!(
+            TargetRatio::new(vec![1, 2]),
+            Err(RatioError::SumNotPowerOfTwo { sum: 3 })
+        );
+        assert_eq!(TargetRatio::new(vec![0, 0]), Err(RatioError::AllZero));
+        assert_eq!(TargetRatio::new(vec![]), Err(RatioError::Empty));
+    }
+
+    #[test]
+    fn paper_approximation_d4_matches_paper() {
+        let pcr = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
+        let r = TargetRatio::paper_approximate(&pcr, 4).unwrap();
+        assert_eq!(r.parts(), &[2, 1, 1, 1, 1, 1, 9]);
+    }
+
+    #[test]
+    fn paper_approximation_d8_is_one_unit_from_published() {
+        // The published Ex.1 vector is 26:21:2:2:3:3:199; no standard
+        // rounding reproduces the 21, so we document the one-unit gap here.
+        let pcr = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
+        let r = TargetRatio::paper_approximate(&pcr, 8).unwrap();
+        assert_eq!(r.parts(), &[26, 20, 2, 2, 3, 3, 200]);
+        let published = TargetRatio::new(vec![26, 21, 2, 2, 3, 3, 199]).unwrap();
+        let diff: u64 = r
+            .parts()
+            .iter()
+            .zip(published.parts())
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum();
+        assert_eq!(diff, 2); // one unit moved between two components
+    }
+
+    #[test]
+    fn largest_remainder_keeps_sum_exact() {
+        let pcr = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
+        for d in 2..=12 {
+            let r = TargetRatio::approximate(&pcr, d).unwrap();
+            assert_eq!(r.parts().iter().sum::<u64>(), 1 << d);
+        }
+    }
+
+    #[test]
+    fn paper_approximate_keeps_every_reagent() {
+        let pcr = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
+        let r = TargetRatio::paper_approximate(&pcr, 4).unwrap();
+        assert!(r.parts().iter().all(|&p| p > 0));
+        // Too coarse for 7 reagents: 2^2 < 7.
+        assert!(TargetRatio::paper_approximate(&pcr, 2).is_err());
+    }
+
+    #[test]
+    fn approximation_error_bound_holds() {
+        let pcr = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
+        for d in 4..=10 {
+            let r = TargetRatio::approximate(&pcr, d).unwrap();
+            assert!(r.max_cf_error(&pcr) <= 1.0 / (1u64 << d) as f64 + 1e-12, "d={d}");
+        }
+    }
+
+    #[test]
+    fn reduced_removes_common_power_of_two() {
+        let r = TargetRatio::new(vec![16, 16]).unwrap();
+        assert_eq!(r.accuracy(), 5);
+        let red = r.reduced();
+        assert_eq!(red.parts(), &[1, 1]);
+        assert_eq!(red.accuracy(), 1);
+    }
+
+    #[test]
+    fn dilution_detection() {
+        assert!(TargetRatio::new(vec![3, 5]).unwrap().is_dilution());
+        assert!(TargetRatio::new(vec![3, 0, 5]).unwrap().is_dilution());
+        assert!(!TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap().is_dilution());
+    }
+
+    #[test]
+    fn parses_ratio_strings() {
+        let r: TargetRatio = "2:1:1:1:1:1:9".parse().unwrap();
+        assert_eq!(r.parts(), &[2, 1, 1, 1, 1, 1, 9]);
+        assert!("2:x".parse::<TargetRatio>().is_err());
+    }
+
+    #[test]
+    fn to_mixture_round_trips() {
+        let r = TargetRatio::new(vec![26, 21, 2, 2, 3, 3, 199]).unwrap();
+        let m = r.to_mixture();
+        assert_eq!(m.level(), 8);
+        assert_eq!(m.parts(), r.parts());
+    }
+
+    #[test]
+    fn approximate_rejects_invalid_weights() {
+        assert_eq!(
+            TargetRatio::approximate(&[1.0, -0.5], 4),
+            Err(RatioError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(TargetRatio::approximate(&[0.0, 0.0], 4), Err(RatioError::AllZero));
+        assert_eq!(TargetRatio::approximate(&[], 4), Err(RatioError::Empty));
+    }
+}

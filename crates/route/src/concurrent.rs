@@ -1,0 +1,284 @@
+use crate::{Grid, RouteError};
+use dmf_chip::Coord;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One droplet transport request for [`route_concurrent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// Starting electrode.
+    pub from: Coord,
+    /// Destination electrode.
+    pub to: Coord,
+}
+
+/// A space-time path: `cells[t]` is the droplet's electrode at step `t`.
+/// Droplets may wait (`cells[t] == cells[t + 1]`); after its last entry a
+/// droplet is considered parked at its destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedPath {
+    /// Per-step positions, starting at the source.
+    pub cells: Vec<Coord>,
+}
+
+impl TimedPath {
+    /// Position at step `t`, clamping to the final cell after arrival.
+    pub fn at(&self, t: usize) -> Coord {
+        *self.cells.get(t).unwrap_or_else(|| self.cells.last().expect("non-empty path"))
+    }
+
+    /// Electrode actuations (hops onto a new electrode).
+    pub fn actuations(&self) -> u32 {
+        crate::actuations(&self.cells)
+    }
+
+    /// Steps until arrival.
+    pub fn duration(&self) -> usize {
+        self.cells.len().saturating_sub(1)
+    }
+}
+
+/// Routes several droplets simultaneously with prioritised space-time A*.
+///
+/// Requests are planned in order; each later droplet treats the earlier
+/// ones' timed paths as moving obstacles under the static and dynamic
+/// fluidic constraints (8-neighborhood separation against both the current
+/// and the previous position of every other droplet).
+///
+/// # Errors
+///
+/// Returns [`RouteError::Unroutable`] when some droplet cannot reach its
+/// destination within the search horizon, with the request index attached.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_chip::Coord;
+/// use dmf_route::{route_concurrent, Grid, RouteRequest};
+///
+/// let grid = Grid::new(8, 8);
+/// let paths = route_concurrent(
+///     &grid,
+///     &[
+///         RouteRequest { from: Coord::new(0, 0), to: Coord::new(7, 0) },
+///         RouteRequest { from: Coord::new(0, 4), to: Coord::new(7, 4) },
+///     ],
+/// )?;
+/// assert_eq!(paths.len(), 2);
+/// # Ok::<(), dmf_route::RouteError>(())
+/// ```
+pub fn route_concurrent(
+    grid: &Grid,
+    requests: &[RouteRequest],
+) -> Result<Vec<TimedPath>, RouteError> {
+    let mut planned: Vec<TimedPath> = Vec::with_capacity(requests.len());
+    // Generous horizon: grid perimeter plus congestion allowance.
+    let horizon = ((grid.width() + grid.height()) * 4 + 8 * requests.len() as i32) as usize;
+    for (index, request) in requests.iter().enumerate() {
+        let path = space_time_astar(grid, *request, &planned, horizon)
+            .ok_or(RouteError::Unroutable { index, from: request.from, to: request.to })?;
+        planned.push(path);
+    }
+    Ok(planned)
+}
+
+fn conflicts(planned: &[TimedPath], pos: Coord, prev: Coord, t: usize) -> bool {
+    for other in planned {
+        let other_now = other.at(t);
+        let other_prev = other.at(t.saturating_sub(1));
+        // Static constraint at step t.
+        if pos.touches(other_now) {
+            return true;
+        }
+        // Dynamic constraints: no move into another droplet's wake, and the
+        // other droplet must not move into ours.
+        if pos.touches(other_prev) || prev.touches(other_now) {
+            return true;
+        }
+    }
+    false
+}
+
+fn space_time_astar(
+    grid: &Grid,
+    request: RouteRequest,
+    planned: &[TimedPath],
+    horizon: usize,
+) -> Option<TimedPath> {
+    if !grid.passable(request.from) || !grid.passable(request.to) {
+        return None;
+    }
+    #[derive(PartialEq, Eq)]
+    struct Item(std::cmp::Reverse<(u32, usize)>, Coord, usize); // (f, t) pos t
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.cmp(&other.0)
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut open: BinaryHeap<Item> = BinaryHeap::new();
+    let mut best: HashMap<(Coord, usize), u32> = HashMap::new();
+    let mut came: HashMap<(Coord, usize), (Coord, usize)> = HashMap::new();
+    if conflicts(planned, request.from, request.from, 0) {
+        return None;
+    }
+    best.insert((request.from, 0), 0);
+    open.push(Item(
+        std::cmp::Reverse((request.from.manhattan(request.to), 0)),
+        request.from,
+        0,
+    ));
+    while let Some(Item(_, pos, t)) = open.pop() {
+        if pos == request.to {
+            // The droplet parks here: verify no later conflicts while the
+            // remaining planned droplets finish moving.
+            let tail_clear = (t + 1..=max_duration(planned))
+                .all(|tt| !conflicts(planned, pos, pos, tt));
+            if tail_clear {
+                let mut cells = vec![pos];
+                let mut key = (pos, t);
+                while let Some(&prev) = came.get(&key) {
+                    cells.push(prev.0);
+                    key = prev;
+                }
+                cells.reverse();
+                return Some(TimedPath { cells });
+            }
+        }
+        if t >= horizon {
+            continue;
+        }
+        let g = best[&(pos, t)];
+        let mut candidates = vec![pos];
+        candidates.extend(pos.orthogonal_neighbors());
+        for next in candidates {
+            if !grid.passable(next) {
+                continue;
+            }
+            if conflicts(planned, next, pos, t + 1) {
+                continue;
+            }
+            let cost = g + u32::from(next != pos);
+            let key = (next, t + 1);
+            if cost < best.get(&key).copied().unwrap_or(u32::MAX) {
+                best.insert(key, cost);
+                came.insert(key, (pos, t));
+                open.push(Item(
+                    std::cmp::Reverse((cost + next.manhattan(request.to), t + 1)),
+                    next,
+                    t + 1,
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn max_duration(planned: &[TimedPath]) -> usize {
+    planned.iter().map(TimedPath::duration).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_fluidic_constraints(paths: &[TimedPath]) {
+        let steps = paths.iter().map(TimedPath::duration).max().unwrap_or(0);
+        for t in 0..=steps {
+            for i in 0..paths.len() {
+                for j in 0..paths.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let a = paths[i].at(t);
+                    let b = paths[j].at(t);
+                    assert!(!a.touches(b), "static violation at t={t}: {a} vs {b}");
+                    if t > 0 {
+                        let b_prev = paths[j].at(t - 1);
+                        assert!(!a.touches(b_prev), "dynamic violation at t={t}: {a} vs {b_prev}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_lanes_do_not_interact() {
+        let grid = Grid::new(10, 10);
+        let paths = route_concurrent(
+            &grid,
+            &[
+                RouteRequest { from: Coord::new(0, 0), to: Coord::new(9, 0) },
+                RouteRequest { from: Coord::new(0, 5), to: Coord::new(9, 5) },
+            ],
+        )
+        .unwrap();
+        assert_eq!(paths[0].actuations(), 9);
+        assert_eq!(paths[1].actuations(), 9);
+        check_fluidic_constraints(&paths);
+    }
+
+    #[test]
+    fn crossing_droplets_wait_or_detour() {
+        let grid = Grid::new(9, 9);
+        let paths = route_concurrent(
+            &grid,
+            &[
+                RouteRequest { from: Coord::new(0, 4), to: Coord::new(8, 4) },
+                RouteRequest { from: Coord::new(4, 0), to: Coord::new(4, 8) },
+            ],
+        )
+        .unwrap();
+        check_fluidic_constraints(&paths);
+        // The second droplet pays something (wait or detour).
+        assert!(paths[1].duration() >= 8);
+    }
+
+    #[test]
+    fn head_on_corridor_requires_separate_timing() {
+        // A 1-wide corridor cannot host two opposite droplets; the planner
+        // must fail rather than violate constraints.
+        let mut grid = Grid::new(9, 3);
+        for x in 0..9 {
+            grid.block(Coord::new(x, 0));
+            grid.block(Coord::new(x, 2));
+        }
+        grid.unblock(Coord::new(0, 0)); // leave start/ends clear enough
+        let result = route_concurrent(
+            &grid,
+            &[
+                RouteRequest { from: Coord::new(1, 1), to: Coord::new(7, 1) },
+                RouteRequest { from: Coord::new(7, 1), to: Coord::new(1, 1) },
+            ],
+        );
+        assert!(matches!(result, Err(RouteError::Unroutable { index: 1, .. })));
+    }
+
+    #[test]
+    fn many_droplets_on_open_grid() {
+        let grid = Grid::new(16, 16);
+        let requests: Vec<RouteRequest> = (0..5)
+            .map(|i| RouteRequest {
+                from: Coord::new(0, 3 * i),
+                to: Coord::new(15, 3 * (4 - i)),
+            })
+            .collect();
+        let paths = route_concurrent(&grid, &requests).unwrap();
+        check_fluidic_constraints(&paths);
+        assert_eq!(paths.len(), 5);
+    }
+
+    #[test]
+    fn timed_path_accessors() {
+        let p = TimedPath {
+            cells: vec![Coord::new(0, 0), Coord::new(0, 0), Coord::new(1, 0)],
+        };
+        assert_eq!(p.at(0), Coord::new(0, 0));
+        assert_eq!(p.at(99), Coord::new(1, 0));
+        assert_eq!(p.actuations(), 1);
+        assert_eq!(p.duration(), 2);
+    }
+}

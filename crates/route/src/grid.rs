@@ -1,0 +1,87 @@
+use dmf_chip::{ChipSpec, Coord};
+use std::collections::HashSet;
+
+/// The routable electrode field: grid bounds plus permanently blocked cells
+/// (module footprints and defective electrodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    width: i32,
+    height: i32,
+    blocked: HashSet<Coord>,
+}
+
+impl Grid {
+    /// An open grid with no blocked cells.
+    pub fn new(width: i32, height: i32) -> Self {
+        Grid { width, height, blocked: HashSet::new() }
+    }
+
+    /// Builds the routing grid of a chip, blocking every module footprint
+    /// except the modules listed in `open` (typically the source and
+    /// destination of the current transport).
+    pub fn from_spec(spec: &ChipSpec, open: &[dmf_chip::ModuleId]) -> Self {
+        let mut grid = Grid::new(spec.width(), spec.height());
+        for cell in spec.obstacles(open) {
+            grid.block(cell);
+        }
+        grid
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Marks a cell as permanently unusable.
+    pub fn block(&mut self, c: Coord) {
+        self.blocked.insert(c);
+    }
+
+    /// Unmarks a blocked cell.
+    pub fn unblock(&mut self, c: Coord) {
+        self.blocked.remove(&c);
+    }
+
+    /// Whether `c` is on the grid and not blocked.
+    pub fn passable(&self, c: Coord) -> bool {
+        c.x >= 0 && c.x < self.width && c.y >= 0 && c.y < self.height && !self.blocked.contains(&c)
+    }
+
+    /// The blocked-cell set.
+    pub fn blocked(&self) -> &HashSet<Coord> {
+        &self.blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_chip::{ModuleKind, Rect};
+
+    #[test]
+    fn passability_respects_bounds_and_blocks() {
+        let mut g = Grid::new(4, 4);
+        assert!(g.passable(Coord::new(0, 0)));
+        assert!(!g.passable(Coord::new(4, 0)));
+        assert!(!g.passable(Coord::new(-1, 2)));
+        g.block(Coord::new(2, 2));
+        assert!(!g.passable(Coord::new(2, 2)));
+        g.unblock(Coord::new(2, 2));
+        assert!(g.passable(Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn from_spec_blocks_module_footprints() {
+        let mut spec = ChipSpec::new(10, 10).unwrap();
+        let m = spec.add_module("M1", ModuleKind::Mixer, Rect::new(4, 4, 2, 2)).unwrap();
+        let closed = Grid::from_spec(&spec, &[]);
+        assert!(!closed.passable(Coord::new(4, 4)));
+        let open = Grid::from_spec(&spec, &[m]);
+        assert!(open.passable(Coord::new(4, 4)));
+    }
+}

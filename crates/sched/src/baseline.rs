@@ -1,0 +1,112 @@
+use crate::{oms_schedule, SchedError};
+use dmf_mixgraph::MixGraph;
+
+/// Cost of meeting a demand by repeatedly re-running a base mixing tree —
+/// the paper's baseline approaches `RMM`, `RRMA` and `RMTCS` (§4.2).
+///
+/// A base tree emits two target droplets per pass, so a demand `D` needs
+/// `⌈D/2⌉` passes; every per-pass figure (`tc`, waste, inputs) scales by the
+/// pass count, while the storage requirement stays at the per-pass value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepeatedBaseline {
+    /// Number of passes `⌈D/2⌉`.
+    pub passes: u64,
+    /// Completion time of one pass under OMS with the given mixers.
+    pub cycles_per_pass: u32,
+    /// Total completion time `Tr = passes * cycles_per_pass`.
+    pub total_cycles: u64,
+    /// Storage units needed (per pass; passes do not overlap).
+    pub storage: usize,
+    /// Total waste droplets `Wr`.
+    pub total_waste: u64,
+    /// Total input droplets `Ir`.
+    pub total_inputs: u64,
+    /// Per-fluid input droplets over all passes.
+    pub inputs: Vec<u64>,
+}
+
+/// Evaluates the repeated baseline for `demand` target droplets of the base
+/// tree `base`, scheduled by OMS with `mixers` on-chip mixers.
+///
+/// The paper schedules every baseline with the `Mlb` of the corresponding
+/// MM tree; pass that value as `mixers` to reproduce its tables.
+///
+/// # Errors
+///
+/// Returns [`SchedError::NoMixers`] when `mixers == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_mixalgo::{MinMix, MixingAlgorithm};
+/// use dmf_ratio::TargetRatio;
+/// use dmf_sched::repeated_baseline;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+/// let tree = MinMix.build_graph(&target)?;
+/// let rmm = repeated_baseline(&tree, 20, 3)?;
+/// assert_eq!(rmm.passes, 10);
+/// assert_eq!(rmm.total_cycles, 40); // 10 passes x 4 cycles
+/// assert_eq!(rmm.total_waste, 60);  // 10 x 6 waste droplets
+/// # Ok(())
+/// # }
+/// ```
+pub fn repeated_baseline(
+    base: &MixGraph,
+    demand: u64,
+    mixers: usize,
+) -> Result<RepeatedBaseline, SchedError> {
+    let schedule = oms_schedule(base, mixers)?;
+    let stats = base.stats();
+    let passes = demand.div_ceil(2);
+    let storage = schedule.storage(base).peak;
+    Ok(RepeatedBaseline {
+        passes,
+        cycles_per_pass: schedule.makespan(),
+        total_cycles: passes * schedule.makespan() as u64,
+        storage,
+        total_waste: passes * stats.waste as u64,
+        total_inputs: passes * stats.input_total,
+        inputs: stats.inputs.iter().map(|&v| v * passes).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_mixalgo::{MinMix, MixingAlgorithm, Rma};
+    use dmf_ratio::TargetRatio;
+
+    #[test]
+    fn scales_linearly_with_demand() {
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let tree = MinMix.build_graph(&target).unwrap();
+        let two = repeated_baseline(&tree, 2, 3).unwrap();
+        let thirty_two = repeated_baseline(&tree, 32, 3).unwrap();
+        assert_eq!(thirty_two.passes, 16);
+        assert_eq!(thirty_two.total_cycles, 16 * two.total_cycles);
+        assert_eq!(thirty_two.total_inputs, 16 * two.total_inputs);
+        assert_eq!(thirty_two.storage, two.storage);
+    }
+
+    #[test]
+    fn odd_demand_rounds_up() {
+        let target = TargetRatio::new(vec![3, 5]).unwrap();
+        let tree = MinMix.build_graph(&target).unwrap();
+        assert_eq!(repeated_baseline(&tree, 7, 2).unwrap().passes, 4);
+    }
+
+    #[test]
+    fn rma_baseline_wastes_more_than_mm() {
+        // Ex.4 forces RMA to fragment components (on the d=4 PCR mix RMA
+        // and MM coincide).
+        let target = TargetRatio::new(vec![9, 17, 26, 9, 195]).unwrap();
+        let mm = MinMix.build_graph(&target).unwrap();
+        let rma = Rma.build_graph(&target).unwrap();
+        let b_mm = repeated_baseline(&mm, 32, 3).unwrap();
+        let b_rma = repeated_baseline(&rma, 32, 3).unwrap();
+        assert!(b_rma.total_waste > b_mm.total_waste);
+        assert!(b_rma.total_inputs > b_mm.total_inputs);
+    }
+}

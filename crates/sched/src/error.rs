@@ -1,0 +1,74 @@
+use dmf_mixgraph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while computing or validating a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A schedule needs at least one mixer.
+    NoMixers,
+    /// The scheduler is restricted to in-trees but was given a DAG with
+    /// shared droplets (a vertex with two consumers).
+    NotATree {
+        /// The vertex with more than one consumer.
+        node: NodeId,
+    },
+    /// A vertex executes before one of its operand producers.
+    PrecedenceViolated {
+        /// The too-early consumer.
+        node: NodeId,
+        /// The producer it depends on.
+        operand: NodeId,
+    },
+    /// More vertices than mixers were assigned to one time-cycle.
+    MixerOverSubscribed {
+        /// The over-full cycle.
+        cycle: u32,
+    },
+    /// Two vertices share a mixer in the same cycle.
+    MixerConflict {
+        /// The cycle of the conflict.
+        cycle: u32,
+        /// The doubly-assigned mixer index.
+        mixer: usize,
+    },
+    /// A vertex was never assigned a cycle.
+    Unscheduled {
+        /// The missing vertex.
+        node: NodeId,
+    },
+    /// The schedule mentions a vertex the graph does not contain.
+    SizeMismatch {
+        /// Vertices in the schedule.
+        scheduled: usize,
+        /// Vertices in the graph.
+        graph: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoMixers => write!(f, "at least one on-chip mixer is required"),
+            SchedError::NotATree { node } => {
+                write!(f, "vertex {node} has multiple consumers; expected a tree")
+            }
+            SchedError::PrecedenceViolated { node, operand } => {
+                write!(f, "vertex {node} runs no later than its operand {operand}")
+            }
+            SchedError::MixerOverSubscribed { cycle } => {
+                write!(f, "cycle {cycle} uses more vertices than mixers")
+            }
+            SchedError::MixerConflict { cycle, mixer } => {
+                write!(f, "mixer M{} assigned twice in cycle {cycle}", mixer + 1)
+            }
+            SchedError::Unscheduled { node } => write!(f, "vertex {node} was never scheduled"),
+            SchedError::SizeMismatch { scheduled, graph } => {
+                write!(f, "schedule covers {scheduled} vertices but graph has {graph}")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}

@@ -1,0 +1,288 @@
+use crate::{Schedule, SchedError};
+use dmf_mixgraph::{MixGraph, NodeId, Operand};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the genetic-algorithm scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene swap-mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Weight of storage in the fitness (makespan counts 1 per cycle,
+    /// storage counts `storage_weight` per unit of peak occupancy).
+    pub storage_weight: f64,
+    /// PRNG seed; runs are deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 32,
+            generations: 60,
+            mutation_rate: 0.08,
+            tournament: 3,
+            storage_weight: 0.5,
+            seed: 0x6A5C_4ED0,
+        }
+    }
+}
+
+/// Genetic-algorithm scheduling of a mixing graph, in the spirit of the
+/// GA-based architectural synthesis of Su & Chakrabarty (ACM JETC 2008) —
+/// one of the schedulers the paper lists as applicable to mixing trees
+/// (§2.2).
+///
+/// A chromosome is a priority permutation of the vertices; decoding is
+/// plain list scheduling (each cycle runs the `Mc` highest-priority ready
+/// vertices), so every chromosome yields a *valid* schedule and evolution
+/// only ever improves the `makespan + w·storage` fitness. Order crossover
+/// and swap mutation preserve permutations.
+///
+/// Slower than [`crate::mms_schedule`]/[`crate::srs_schedule`] but able to
+/// trade completion time against storage through
+/// [`GaConfig::storage_weight`].
+///
+/// # Errors
+///
+/// Returns [`SchedError::NoMixers`] when `mixers == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_forest::{build_forest, ReusePolicy};
+/// use dmf_mixalgo::{MinMix, MixingAlgorithm};
+/// use dmf_ratio::TargetRatio;
+/// use dmf_sched::{ga_schedule, GaConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+/// let template = MinMix.build_template(&target)?;
+/// let forest = build_forest(&template, &target, 8, ReusePolicy::AcrossTrees)?;
+/// let schedule = ga_schedule(&forest, 3, &GaConfig::default())?;
+/// schedule.validate(&forest)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn ga_schedule(
+    graph: &MixGraph,
+    mixers: usize,
+    config: &GaConfig,
+) -> Result<Schedule, SchedError> {
+    if mixers == 0 {
+        return Err(SchedError::NoMixers);
+    }
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let population = config.population.max(2);
+
+    // Initial population: random permutations plus a level-ordered seed.
+    let mut individuals: Vec<Vec<u32>> = Vec::with_capacity(population);
+    let mut level_seed: Vec<usize> = (0..n).collect();
+    level_seed.sort_by_key(|&i| (graph.node(NodeId::new(i as u32)).level(), i));
+    let mut seed_priorities = vec![0u32; n];
+    for (rank, &i) in level_seed.iter().enumerate() {
+        seed_priorities[i] = rank as u32;
+    }
+    individuals.push(seed_priorities);
+    for _ in 1..population {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        individuals.push(perm);
+    }
+
+    let fitness = |priorities: &[u32]| -> (f64, Schedule) {
+        let schedule = decode(graph, mixers, priorities);
+        let storage = schedule.storage(graph).peak as f64;
+        (f64::from(schedule.makespan()) + config.storage_weight * storage, schedule)
+    };
+
+    let mut scored: Vec<(f64, Vec<u32>)> =
+        individuals.into_iter().map(|ind| (fitness(&ind).0, ind)).collect();
+    for _ in 0..config.generations {
+        let mut next: Vec<(f64, Vec<u32>)> = Vec::with_capacity(population);
+        // Elitism: keep the best individual.
+        let best = scored
+            .iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitness"))
+            .expect("non-empty population")
+            .clone();
+        next.push(best);
+        while next.len() < population {
+            let a = tournament(&scored, config.tournament, &mut rng);
+            let b = tournament(&scored, config.tournament, &mut rng);
+            let mut child = order_crossover(a, b, &mut rng);
+            for i in 0..n {
+                if rng.gen::<f64>() < config.mutation_rate {
+                    let j = rng.gen_range(0..n);
+                    child.swap(i, j);
+                }
+            }
+            let f = fitness(&child).0;
+            next.push((f, child));
+        }
+        scored = next;
+    }
+    let best = scored
+        .into_iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitness"))
+        .expect("non-empty population");
+    Ok(decode(graph, mixers, &best.1))
+}
+
+/// List-schedules with the chromosome as priority (lower value runs first).
+fn decode(graph: &MixGraph, mixers: usize, priorities: &[u32]) -> Schedule {
+    let n = graph.node_count();
+    let mut deps = vec![0usize; n];
+    for (id, node) in graph.iter() {
+        deps[id.index()] =
+            node.operands().iter().filter(|op| matches!(op, Operand::Droplet(_))).count();
+    }
+    let mut node_cycle = vec![0u32; n];
+    let mut node_mixer = vec![0u32; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| deps[i] == 0).collect();
+    let mut scheduled = 0usize;
+    let mut t = 1u32;
+    while scheduled < n {
+        ready.sort_by_key(|&i| (priorities[i], i));
+        let take = ready.len().min(mixers);
+        let batch: Vec<usize> = ready.drain(..take).collect();
+        for (mixer, &i) in batch.iter().enumerate() {
+            node_cycle[i] = t;
+            node_mixer[i] = mixer as u32;
+            scheduled += 1;
+            for &c in graph.consumers(NodeId::new(i as u32)) {
+                deps[c.index()] -= 1;
+                if deps[c.index()] == 0 {
+                    ready.push(c.index());
+                }
+            }
+        }
+        t += 1;
+    }
+    Schedule::from_assignments(mixers, node_cycle, node_mixer)
+}
+
+fn tournament<'a>(
+    scored: &'a [(f64, Vec<u32>)],
+    size: usize,
+    rng: &mut StdRng,
+) -> &'a [u32] {
+    let mut best: Option<&(f64, Vec<u32>)> = None;
+    for _ in 0..size.max(1) {
+        let candidate = &scored[rng.gen_range(0..scored.len())];
+        if best.map(|b| candidate.0 < b.0).unwrap_or(true) {
+            best = Some(candidate);
+        }
+    }
+    &best.expect("non-empty tournament").1
+}
+
+/// Order crossover (OX) on priority permutations.
+fn order_crossover(a: &[u32], b: &[u32], rng: &mut StdRng) -> Vec<u32> {
+    let n = a.len();
+    if n < 2 {
+        return a.to_vec();
+    }
+    // Work on permutations of positions sorted by priority.
+    let perm_of = |p: &[u32]| {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (p[i], i));
+        idx
+    };
+    let pa = perm_of(a);
+    let pb = perm_of(b);
+    let (mut lo, mut hi) = (rng.gen_range(0..n), rng.gen_range(0..n));
+    if lo > hi {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    let mut child_perm: Vec<Option<usize>> = vec![None; n];
+    let mut used = vec![false; n];
+    for i in lo..=hi {
+        child_perm[i] = Some(pa[i]);
+        used[pa[i]] = true;
+    }
+    let mut fill = pb.iter().copied().filter(|&v| !used[v]);
+    for slot in child_perm.iter_mut() {
+        if slot.is_none() {
+            *slot = fill.next();
+        }
+    }
+    let mut priorities = vec![0u32; n];
+    for (rank, v) in child_perm.into_iter().enumerate() {
+        priorities[v.expect("filled permutation")] = rank as u32;
+    }
+    priorities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mms_schedule, optimal_makespan};
+    use dmf_forest::{build_forest, ReusePolicy};
+    use dmf_mixalgo::{MinMix, MixingAlgorithm};
+    use dmf_ratio::TargetRatio;
+
+    fn pcr_forest(demand: u64) -> MixGraph {
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let template = MinMix.build_template(&target).unwrap();
+        build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap()
+    }
+
+    #[test]
+    fn ga_schedules_are_valid_and_deterministic() {
+        let g = pcr_forest(16);
+        let a = ga_schedule(&g, 3, &GaConfig::default()).unwrap();
+        let b = ga_schedule(&g, 3, &GaConfig::default()).unwrap();
+        a.validate(&g).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ga_finds_the_optimum_on_small_graphs() {
+        let target = TargetRatio::new(vec![3, 5]).unwrap();
+        let template = MinMix.build_template(&target).unwrap();
+        let forest = build_forest(&template, &target, 6, ReusePolicy::AcrossTrees).unwrap();
+        let config = GaConfig { storage_weight: 0.0, ..GaConfig::default() };
+        let ga = ga_schedule(&forest, 2, &config).unwrap();
+        let optimal = optimal_makespan(&forest, 2).unwrap();
+        assert_eq!(ga.makespan(), optimal);
+    }
+
+    #[test]
+    fn storage_weight_trades_time_for_storage() {
+        let g = pcr_forest(20);
+        let fast = ga_schedule(&g, 3, &GaConfig { storage_weight: 0.0, ..Default::default() })
+            .unwrap();
+        let lean = ga_schedule(&g, 3, &GaConfig { storage_weight: 4.0, ..Default::default() })
+            .unwrap();
+        fast.validate(&g).unwrap();
+        lean.validate(&g).unwrap();
+        assert!(lean.storage(&g).peak <= fast.storage(&g).peak);
+    }
+
+    #[test]
+    fn ga_is_competitive_with_mms() {
+        let g = pcr_forest(20);
+        let ga = ga_schedule(&g, 3, &GaConfig { storage_weight: 0.0, ..Default::default() })
+            .unwrap();
+        let mms = mms_schedule(&g, 3).unwrap();
+        assert!(ga.makespan() <= mms.makespan() + 1);
+    }
+
+    #[test]
+    fn rejects_zero_mixers() {
+        let g = pcr_forest(4);
+        assert!(matches!(
+            ga_schedule(&g, 0, &GaConfig::default()),
+            Err(SchedError::NoMixers)
+        ));
+    }
+}

@@ -1,0 +1,96 @@
+//! Text rendering of schedules as modified Gantt charts (paper Fig. 4):
+//! one row per mixer, one column per time-cycle, plus a storage-occupancy
+//! row and the target-droplet emission sequence.
+
+use crate::Schedule;
+use dmf_mixgraph::MixGraph;
+use std::fmt::Write as _;
+
+impl Schedule {
+    /// Renders the schedule as a fixed-width text Gantt chart.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmf_forest::{build_forest, ReusePolicy};
+    /// use dmf_mixalgo::{MinMix, MixingAlgorithm};
+    /// use dmf_ratio::TargetRatio;
+    /// use dmf_sched::srs_schedule;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+    /// let template = MinMix.build_template(&target)?;
+    /// let forest = build_forest(&template, &target, 20, ReusePolicy::AcrossTrees)?;
+    /// let chart = srs_schedule(&forest, 3)?.gantt(&forest);
+    /// assert!(chart.contains("M1"));
+    /// assert!(chart.contains("storage"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn gantt(&self, graph: &MixGraph) -> String {
+        let labels = graph.labels();
+        let tc = self.makespan();
+        let col = labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut grid = vec![vec![String::new(); tc as usize]; self.mixer_count()];
+        for (id, _) in graph.iter() {
+            let t = self.cycle_of(id) as usize;
+            let m = self.mixer_of(id).0;
+            grid[m][t - 1] = labels[id.index()].clone();
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{:>8} |", "t");
+        for t in 1..=tc {
+            let _ = write!(out, " {:>width$}", t, width = col);
+        }
+        out.push('\n');
+        let dash_len = 9 + (col + 1) * tc as usize;
+        out.push_str(&"-".repeat(dash_len));
+        out.push('\n');
+        for (m, row) in grid.iter().enumerate() {
+            let _ = write!(out, "{:>8} |", format!("M{}", m + 1));
+            for cell in row {
+                let _ = write!(out, " {:>width$}", cell, width = col);
+            }
+            out.push('\n');
+        }
+        let storage = self.storage(graph);
+        let _ = write!(out, "{:>8} |", "storage");
+        for occ in &storage.occupancy {
+            let _ = write!(out, " {:>width$}", occ, width = col);
+        }
+        out.push('\n');
+        let emission = self.emission_cycles(graph);
+        let _ = writeln!(
+            out,
+            "Tc = {} cycles, q = {}, targets emitted at cycles {:?}",
+            tc, storage.peak, emission
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::srs_schedule;
+    use dmf_forest::{build_forest, ReusePolicy};
+    use dmf_mixalgo::{MinMix, MixingAlgorithm};
+    use dmf_ratio::TargetRatio;
+
+    #[test]
+    fn gantt_contains_all_labels_once() {
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let template = MinMix.build_template(&target).unwrap();
+        let forest = build_forest(&template, &target, 8, ReusePolicy::AcrossTrees).unwrap();
+        let s = srs_schedule(&forest, 3).unwrap();
+        let chart = s.gantt(&forest);
+        for label in forest.labels() {
+            assert!(chart.contains(&label), "missing {label}");
+        }
+        assert!(chart.contains("Tc ="));
+    }
+}

@@ -1,0 +1,152 @@
+use crate::{Schedule, SchedError};
+use dmf_mixgraph::{MixGraph, NodeId, Operand};
+use std::collections::VecDeque;
+
+/// `M_Mixers_Schedule` (paper Algorithm 1): level-synchronous FIFO
+/// scheduling of a mixing forest with `mixers` on-chip mixers.
+///
+/// For each level `ℓ = 1..d` the newly schedulable vertices (those whose
+/// operand droplets are already produced or come straight from reservoirs)
+/// are appended to a FIFO queue ordered from level `ℓ` upwards, and up to
+/// `Mc` vertices are dispatched per time-cycle; after the level sweep the
+/// queue is drained at `Mc` vertices per cycle.
+///
+/// *Fidelity note*: the paper's pseudo-code stops enqueuing new schedulable
+/// vertices in the drain loop, which starves vertices that only become
+/// schedulable late when `Mc` is small; we keep enqueuing newly schedulable
+/// vertices while draining, which is the evident intent (see DESIGN.md §3.7).
+///
+/// MMS is the latency-oriented scheduler: it completes no later than
+/// [`crate::srs_schedule`] but typically holds more droplets in storage.
+///
+/// # Errors
+///
+/// Returns [`SchedError::NoMixers`] when `mixers == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_forest::{build_forest, ReusePolicy};
+/// use dmf_mixalgo::{MinMix, MixingAlgorithm};
+/// use dmf_ratio::TargetRatio;
+/// use dmf_sched::mms_schedule;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+/// let template = MinMix.build_template(&target)?;
+/// let forest = build_forest(&template, &target, 20, ReusePolicy::AcrossTrees)?;
+/// let schedule = mms_schedule(&forest, 3)?;
+/// schedule.validate(&forest)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn mms_schedule(graph: &MixGraph, mixers: usize) -> Result<Schedule, SchedError> {
+    if mixers == 0 {
+        return Err(SchedError::NoMixers);
+    }
+    let n = graph.node_count();
+    let d = graph.depth();
+    let mut deps = vec![0usize; n];
+    for (id, node) in graph.iter() {
+        deps[id.index()] =
+            node.operands().iter().filter(|op| matches!(op, Operand::Droplet(_))).count();
+    }
+    let mut node_cycle = vec![0u32; n];
+    let mut node_mixer = vec![0u32; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    // Vertices freed since the previous cycle, pending enqueue.
+    let mut fresh: Vec<usize> = (0..n).filter(|&i| deps[i] == 0).collect();
+    let mut scheduled = 0usize;
+    let mut t = 1u32;
+
+    let mut step = |queue: &mut VecDeque<usize>,
+                    fresh: &mut Vec<usize>,
+                    scheduled: &mut usize,
+                    deps: &mut Vec<usize>,
+                    t: u32| {
+        // "Enqueue all new schedulable nodes ordered from level ℓ upwards":
+        // ascending level, insertion order as the tie-break.
+        fresh.sort_by_key(|&i| (graph.node(NodeId::new(i as u32)).level(), i));
+        queue.extend(fresh.drain(..));
+        for mixer in 0..mixers {
+            let Some(i) = queue.pop_front() else { break };
+            node_cycle[i] = t;
+            node_mixer[i] = mixer as u32;
+            *scheduled += 1;
+            for &c in graph.consumers(NodeId::new(i as u32)) {
+                deps[c.index()] -= 1;
+                if deps[c.index()] == 0 {
+                    fresh.push(c.index());
+                }
+            }
+        }
+    };
+
+    for _level in 1..=d {
+        step(&mut queue, &mut fresh, &mut scheduled, &mut deps, t);
+        t += 1;
+    }
+    while scheduled < n {
+        step(&mut queue, &mut fresh, &mut scheduled, &mut deps, t);
+        t += 1;
+    }
+    Ok(Schedule::from_assignments(mixers, node_cycle, node_mixer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oms_schedule;
+    use dmf_forest::{build_forest, ReusePolicy};
+    use dmf_mixalgo::{MinMix, MixingAlgorithm};
+    use dmf_ratio::TargetRatio;
+
+    fn pcr_forest(demand: u64) -> MixGraph {
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let template = MinMix.build_template(&target).unwrap();
+        build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap()
+    }
+
+    #[test]
+    fn schedules_are_valid_across_mixer_counts() {
+        let g = pcr_forest(20);
+        for m in 1..=6 {
+            let s = mms_schedule(&g, m).unwrap();
+            s.validate(&g).unwrap();
+            assert!(s.makespan() as usize >= g.node_count() / m);
+        }
+    }
+
+    #[test]
+    fn base_tree_mms_matches_oms_with_enough_mixers() {
+        // On a single base tree with Mlb mixers the level-synchronous sweep
+        // is as fast as the optimal scheduler.
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let tree = MinMix.build_graph(&target).unwrap();
+        let mms = mms_schedule(&tree, 3).unwrap();
+        let oms = oms_schedule(&tree, 3).unwrap();
+        assert_eq!(mms.makespan(), oms.makespan());
+    }
+
+    #[test]
+    fn single_mixer_is_fully_serial() {
+        let g = pcr_forest(8);
+        let s = mms_schedule(&g, 1).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan() as usize, g.node_count().max(g.depth() as usize));
+    }
+
+    #[test]
+    fn rejects_zero_mixers() {
+        let g = pcr_forest(4);
+        assert!(matches!(mms_schedule(&g, 0), Err(SchedError::NoMixers)));
+    }
+
+    #[test]
+    fn makespan_never_below_level_count() {
+        // The level sweep burns one cycle per level by construction.
+        let g = pcr_forest(16);
+        let s = mms_schedule(&g, 16).unwrap();
+        assert!(s.makespan() >= g.depth());
+    }
+}

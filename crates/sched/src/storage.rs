@@ -1,0 +1,117 @@
+use crate::Schedule;
+use dmf_mixgraph::MixGraph;
+
+/// Per-cycle on-chip storage occupancy of a schedule — the generalisation of
+/// the paper's `Counting_Storage_Units` (Algorithm 3) to forest DAGs.
+///
+/// Every mix-split produces two droplets. A droplet consumed by a later
+/// vertex waits in a storage unit during the open interval between its
+/// production cycle and its consumption cycle; droplets consumed in the very
+/// next cycle are handed over directly. Waste droplets move to the waste
+/// reservoir and emitted targets leave the chip, so neither occupies
+/// storage. The peak occupancy is the number of storage units `q` the
+/// schedule requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageProfile {
+    /// `occupancy[t - 1]` is the number of stored droplets during cycle `t`.
+    pub occupancy: Vec<u32>,
+    /// Peak occupancy — the paper's `q`.
+    pub peak: usize,
+}
+
+impl StorageProfile {
+    pub(crate) fn compute(schedule: &Schedule, graph: &MixGraph) -> StorageProfile {
+        let mut occupancy = vec![0u32; schedule.makespan() as usize];
+        for (id, _) in graph.iter() {
+            let produced = schedule.cycle_of(id);
+            for &consumer in graph.consumers(id) {
+                let consumed = schedule.cycle_of(consumer);
+                // Occupies cycles produced+1 ..= consumed-1 (Algorithm 3).
+                for t in (produced + 1)..consumed {
+                    occupancy[t as usize - 1] += 1;
+                }
+            }
+        }
+        let peak = occupancy.iter().copied().max().unwrap_or(0) as usize;
+        StorageProfile { occupancy, peak }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Schedule;
+    use dmf_mixgraph::{GraphBuilder, NodeId, Operand};
+    use dmf_ratio::{FluidId, TargetRatio};
+
+    /// Chain of three mixes scheduled with gaps forces storage.
+    #[test]
+    fn gaps_between_producer_and_consumer_occupy_storage() {
+        // x1 -> m0; (m0, x1) -> m1 (root): 7:1 over two fluids? Build 3:1.
+        let target = TargetRatio::new(vec![3, 1]).unwrap();
+        let mut b = GraphBuilder::new(2);
+        let inner = b.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
+        let root = b.mix(Operand::Input(FluidId(0)), Operand::Droplet(inner)).unwrap();
+        b.finish_tree(root);
+        let g = b.finish(&target).unwrap();
+
+        // Schedule with a two-cycle gap: inner at 1, root at 4.
+        let s = Schedule::from_assignments(1, vec![1, 4], vec![0, 0]);
+        s.validate(&g).unwrap();
+        let profile = s.storage(&g);
+        assert_eq!(profile.occupancy, vec![0, 1, 1, 0]);
+        assert_eq!(profile.peak, 1);
+
+        // Back-to-back execution needs no storage.
+        let tight = Schedule::from_assignments(1, vec![1, 2], vec![0, 0]);
+        assert_eq!(tight.storage(&g).peak, 0);
+    }
+
+    #[test]
+    fn both_consumers_of_a_droplet_pair_are_counted() {
+        // inner feeds two consumers at different distances.
+        let target = TargetRatio::new(vec![3, 1]).unwrap();
+        let mut b = GraphBuilder::new(2);
+        let inner = b.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
+        let r1 = b.mix(Operand::Input(FluidId(0)), Operand::Droplet(inner)).unwrap();
+        b.finish_tree(r1);
+        let r2 = b.mix(Operand::Input(FluidId(0)), Operand::Droplet(inner)).unwrap();
+        b.finish_tree(r2);
+        let g = b.finish(&target).unwrap();
+
+        // inner at 1, r1 at 3, r2 at 4: droplet A waits cycle 2,
+        // droplet B waits cycles 2 and 3 => peak 2 at cycle 2.
+        let s = Schedule::from_assignments(1, vec![1, 3, 4], vec![0, 0, 0]);
+        s.validate(&g).unwrap();
+        let profile = s.storage(&g);
+        assert_eq!(profile.occupancy, vec![0, 2, 1, 0]);
+        assert_eq!(profile.peak, 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_schedules() {
+        let target = TargetRatio::new(vec![3, 1]).unwrap();
+        let mut b = GraphBuilder::new(2);
+        let inner = b.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
+        let root = b.mix(Operand::Input(FluidId(0)), Operand::Droplet(inner)).unwrap();
+        b.finish_tree(root);
+        let g = b.finish(&target).unwrap();
+
+        // Precedence violation: root before inner.
+        let s = Schedule::from_assignments(1, vec![2, 1], vec![0, 0]);
+        assert!(matches!(
+            s.validate(&g),
+            Err(crate::SchedError::PrecedenceViolated { node, .. }) if node == NodeId::new(1)
+        ));
+
+        // Mixer conflict: both on M1 in cycle 1 (also precedence-broken, but
+        // use independent nodes to isolate the conflict).
+        let mut b2 = GraphBuilder::new(2);
+        let a = b2.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
+        b2.finish_tree(a);
+        let c = b2.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
+        b2.finish_tree(c);
+        let g2 = b2.finish(&TargetRatio::new(vec![1, 1]).unwrap()).unwrap();
+        let s2 = Schedule::from_assignments(2, vec![1, 1], vec![0, 0]);
+        assert!(matches!(s2.validate(&g2), Err(crate::SchedError::MixerConflict { .. })));
+    }
+}

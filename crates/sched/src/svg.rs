@@ -1,0 +1,158 @@
+//! SVG rendering of schedules — a graphical version of the paper's Fig. 4
+//! modified Gantt chart, with the storage-occupancy track underneath.
+
+use crate::Schedule;
+use dmf_mixgraph::MixGraph;
+use std::fmt::Write as _;
+
+const COL: u32 = 52;
+const ROW: u32 = 28;
+const LEFT: u32 = 70;
+const TOP: u32 = 30;
+
+impl Schedule {
+    /// Renders the schedule as a standalone SVG Gantt chart: one row per
+    /// mixer, one column per time-cycle, labels `m_{i,j}` as in the paper,
+    /// and a storage-occupancy bar track at the bottom.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmf_forest::{build_forest, ReusePolicy};
+    /// use dmf_mixalgo::{MinMix, MixingAlgorithm};
+    /// use dmf_ratio::TargetRatio;
+    /// use dmf_sched::srs_schedule;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+    /// let template = MinMix.build_template(&target)?;
+    /// let forest = build_forest(&template, &target, 20, ReusePolicy::AcrossTrees)?;
+    /// let svg = srs_schedule(&forest, 3)?.to_svg(&forest);
+    /// assert!(svg.starts_with("<svg"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_svg(&self, graph: &MixGraph) -> String {
+        let labels = graph.labels();
+        let tc = self.makespan();
+        let storage = self.storage(graph);
+        let max_storage = storage.peak.max(1) as u32;
+        let rows = self.mixer_count() as u32;
+        let width = LEFT + tc * COL + 10;
+        let height = TOP + rows * ROW + 20 + ROW * 2 + 30;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+             font-family=\"sans-serif\" font-size=\"10\">"
+        );
+        // Cycle headers.
+        for t in 1..=tc {
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{t}</text>",
+                LEFT + (t - 1) * COL + COL / 2,
+                TOP - 10
+            );
+        }
+        // Mixer rows.
+        for m in 0..rows {
+            let y = TOP + m * ROW;
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" text-anchor=\"end\" dominant-baseline=\"middle\">M{}</text>",
+                LEFT - 8,
+                y + ROW / 2,
+                m + 1
+            );
+            for t in 0..tc {
+                let _ = writeln!(
+                    out,
+                    "  <rect x=\"{}\" y=\"{y}\" width=\"{COL}\" height=\"{ROW}\" \
+                     fill=\"none\" stroke=\"#ccc\"/>",
+                    LEFT + t * COL
+                );
+            }
+        }
+        // Scheduled operations, tinted by component tree.
+        for (id, node) in graph.iter() {
+            let t = self.cycle_of(id) - 1;
+            let m = self.mixer_of(id).0 as u32;
+            let hue = (node.tree() * 47) % 360;
+            let x = LEFT + t * COL;
+            let y = TOP + m * ROW;
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" rx=\"3\" \
+                 fill=\"hsl({hue}, 60%, 82%)\" stroke=\"hsl({hue}, 50%, 40%)\"/>",
+                x + 2,
+                y + 2,
+                COL - 4,
+                ROW - 4
+            );
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" dominant-baseline=\"middle\">{}</text>",
+                x + COL / 2,
+                y + ROW / 2,
+                labels[id.index()]
+            );
+        }
+        // Storage track.
+        let track_top = TOP + rows * ROW + 20;
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" text-anchor=\"end\" dominant-baseline=\"middle\">storage</text>",
+            LEFT - 8,
+            track_top + ROW
+        );
+        for (t, &occ) in storage.occupancy.iter().enumerate() {
+            let h = (u64::from(occ) * u64::from(ROW * 2) / u64::from(max_storage)) as u32;
+            let x = LEFT + t as u32 * COL;
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{h}\" fill=\"#9aa7b5\"/>",
+                x + 4,
+                track_top + ROW * 2 - h,
+                COL - 8
+            );
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{occ}</text>",
+                x + COL / 2,
+                track_top + ROW * 2 + 12
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  <text x=\"{LEFT}\" y=\"{}\">Tc = {} cycles, q = {}</text>",
+            track_top + ROW * 2 + 28,
+            tc,
+            storage.peak
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::srs_schedule;
+    use dmf_forest::{build_forest, ReusePolicy};
+    use dmf_mixalgo::{MinMix, MixingAlgorithm};
+    use dmf_ratio::TargetRatio;
+
+    #[test]
+    fn svg_gantt_contains_labels_and_storage() {
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let template = MinMix.build_template(&target).unwrap();
+        let forest = build_forest(&template, &target, 20, ReusePolicy::AcrossTrees).unwrap();
+        let schedule = srs_schedule(&forest, 3).unwrap();
+        let svg = schedule.to_svg(&forest);
+        for label in forest.labels() {
+            assert!(svg.contains(&label), "missing {label}");
+        }
+        assert!(svg.contains("Tc = 11 cycles, q = 5"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+}

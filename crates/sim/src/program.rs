@@ -1,0 +1,165 @@
+use dmf_chip::{Coord, ModuleId};
+use std::fmt;
+
+/// Identifier of a droplet within one [`ChipProgram`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DropletId(pub u64);
+
+impl fmt::Display for DropletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// One primitive chip operation.
+///
+/// Programs are sequences of instructions; the simulator executes them in
+/// order (transport phases are serialized — see the crate docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// Dispense a fresh unit droplet at a fluid reservoir's port.
+    Dispense {
+        /// The reservoir to dispense from.
+        reservoir: ModuleId,
+        /// Identifier for the new droplet.
+        droplet: DropletId,
+    },
+    /// Move a droplet along an explicit electrode path (first cell must be
+    /// the droplet's current position).
+    Transport {
+        /// The droplet to move.
+        droplet: DropletId,
+        /// The path, one orthogonal hop per element.
+        path: Vec<Coord>,
+    },
+    /// Move a droplet to a module's port, letting the simulator route it
+    /// (A* around module footprints and parked droplets).
+    TransportTo {
+        /// The droplet to move.
+        droplet: DropletId,
+        /// Destination module.
+        module: ModuleId,
+    },
+    /// Merge two droplets waiting at a mixer's port and split the result
+    /// into two fresh unit droplets (one (1:1) mix-split, one time-cycle).
+    MixSplit {
+        /// The executing mixer.
+        mixer: ModuleId,
+        /// First input droplet.
+        a: DropletId,
+        /// Second input droplet.
+        b: DropletId,
+        /// First output droplet id.
+        out_a: DropletId,
+        /// Second output droplet id.
+        out_b: DropletId,
+    },
+    /// Park a droplet in a storage cell (the droplet must be at the cell).
+    Store {
+        /// The droplet to park.
+        droplet: DropletId,
+        /// The storage cell.
+        cell: ModuleId,
+    },
+    /// Release a parked droplet from its storage cell (it stays on the cell
+    /// electrode until transported).
+    Fetch {
+        /// The droplet to release.
+        droplet: DropletId,
+        /// The storage cell it occupies.
+        cell: ModuleId,
+    },
+    /// Send a droplet at a waste reservoir's port to waste.
+    Discard {
+        /// The droplet to discard.
+        droplet: DropletId,
+        /// The waste reservoir.
+        waste: ModuleId,
+    },
+    /// Emit a target droplet off-chip at an output port.
+    Emit {
+        /// The droplet to emit.
+        droplet: DropletId,
+        /// The output port.
+        output: ModuleId,
+    },
+    /// Marks the start of a schedule time-cycle (for reporting only).
+    CycleMarker {
+        /// 1-based schedule cycle.
+        cycle: u32,
+    },
+}
+
+/// A complete droplet-level realisation of a schedule on a specific chip.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChipProgram {
+    instructions: Vec<Instruction>,
+}
+
+impl ChipProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        ChipProgram::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of mix-split instructions (should equal the schedule's `Tms`).
+    pub fn mix_count(&self) -> usize {
+        self.instructions.iter().filter(|i| matches!(i, Instruction::MixSplit { .. })).count()
+    }
+}
+
+impl FromIterator<Instruction> for ChipProgram {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        ChipProgram { instructions: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Instruction> for ChipProgram {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_collects_and_counts() {
+        let program: ChipProgram = vec![
+            Instruction::CycleMarker { cycle: 1 },
+            Instruction::MixSplit {
+                mixer: ModuleId(0),
+                a: DropletId(0),
+                b: DropletId(1),
+                out_a: DropletId(2),
+                out_b: DropletId(3),
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(program.len(), 2);
+        assert_eq!(program.mix_count(), 1);
+        assert!(!program.is_empty());
+    }
+}

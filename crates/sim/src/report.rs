@@ -1,0 +1,67 @@
+use dmf_chip::Coord;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Aggregate statistics of one simulated program run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Electrode actuations spent moving droplets (one per hop) — the
+    /// reliability metric of the paper's Fig. 5 comparison.
+    pub transport_actuations: u64,
+    /// Unit droplets dispensed from reservoirs.
+    pub dispensed: u64,
+    /// (1:1) mix-split operations executed.
+    pub mix_splits: u64,
+    /// Target droplets emitted at output ports.
+    pub emitted: u64,
+    /// Droplets sent to waste reservoirs.
+    pub discarded: u64,
+    /// Peak number of simultaneously occupied storage cells.
+    pub storage_peak: usize,
+    /// Highest schedule cycle marker seen.
+    pub cycles: u32,
+    /// Per-electrode actuation counts (transport hops and dispenses).
+    ///
+    /// Excessive actuation of individual electrodes degrades them and
+    /// shortens chip lifetime (Huang et al., ICCAD 2011 — the reliability
+    /// concern the paper's electrode-actuation comparison addresses);
+    /// [`SimReport::max_electrode_actuations`] is the wear hot-spot.
+    pub electrode_actuations: HashMap<Coord, u32>,
+}
+
+impl SimReport {
+    /// The most-actuated electrode and its count, if any electrode was
+    /// actuated at all.
+    pub fn hottest_electrode(&self) -> Option<(Coord, u32)> {
+        self.electrode_actuations
+            .iter()
+            .max_by_key(|&(c, n)| (*n, std::cmp::Reverse((c.x, c.y))))
+            .map(|(&c, &n)| (c, n))
+    }
+
+    /// Actuation count of the most-actuated electrode (0 if none).
+    pub fn max_electrode_actuations(&self) -> u32 {
+        self.hottest_electrode().map(|(_, n)| n).unwrap_or(0)
+    }
+
+    /// Number of distinct electrodes ever actuated.
+    pub fn actuated_electrodes(&self) -> usize {
+        self.electrode_actuations.len()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "actuations={} dispensed={} mixes={} emitted={} wasted={} storage_peak={} cycles={}",
+            self.transport_actuations,
+            self.dispensed,
+            self.mix_splits,
+            self.emitted,
+            self.discarded,
+            self.storage_peak,
+            self.cycles
+        )
+    }
+}

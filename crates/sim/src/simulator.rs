@@ -1,0 +1,569 @@
+use crate::{ChipProgram, DropletId, Instruction, SimError, SimReport, Trace};
+use dmf_chip::{ChipSpec, Coord, ModuleId, ModuleKind};
+use dmf_route::{shortest_path, Grid};
+use std::collections::{HashMap, HashSet};
+
+/// Executes [`ChipProgram`]s against a chip, enforcing physical rules and
+/// counting electrode actuations.
+///
+/// See the crate documentation for the execution model. A `Simulator`
+/// borrows the chip and can run any number of programs; each run starts
+/// from an empty chip.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    chip: &'a ChipSpec,
+    /// Whether a program may finish with droplets still on chip.
+    allow_leftovers: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `chip`.
+    pub fn new(chip: &'a ChipSpec) -> Self {
+        Simulator { chip, allow_leftovers: false }
+    }
+
+    /// Permits programs that leave droplets on the chip (useful for
+    /// inspecting partial runs).
+    pub fn allow_leftovers(mut self) -> Self {
+        self.allow_leftovers = true;
+        self
+    }
+
+    /// Runs a program from an empty chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first physical-rule violation as a [`SimError`]; the
+    /// statistics gathered up to that point are discarded.
+    pub fn run(&self, program: &ChipProgram) -> Result<SimReport, SimError> {
+        Ok(self.execute_program(program, false)?.0)
+    }
+
+    /// Runs a program and records the full event log alongside the report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_traced(&self, program: &ChipProgram) -> Result<(SimReport, Trace), SimError> {
+        let (report, trace) = self.execute_program(program, true)?;
+        Ok((report, trace.expect("tracing was enabled")))
+    }
+
+    fn execute_program(
+        &self,
+        program: &ChipProgram,
+        traced: bool,
+    ) -> Result<(SimReport, Option<Trace>), SimError> {
+        let mut state = SimState::new(self.chip);
+        if traced {
+            state.trace = Some(Trace::default());
+        }
+        for (step, instruction) in program.instructions().iter().enumerate() {
+            state.step = step;
+            state.execute(instruction)?;
+        }
+        if !self.allow_leftovers && !state.droplets.is_empty() {
+            return Err(SimError::LeftoverDroplets { count: state.droplets.len() });
+        }
+        Ok((state.report, state.trace))
+    }
+}
+
+struct SimState<'a> {
+    chip: &'a ChipSpec,
+    droplets: HashMap<DropletId, Coord>,
+    storage: HashMap<ModuleId, DropletId>,
+    report: SimReport,
+    trace: Option<Trace>,
+    step: usize,
+}
+
+impl<'a> SimState<'a> {
+    fn new(chip: &'a ChipSpec) -> Self {
+        SimState {
+            chip,
+            droplets: HashMap::new(),
+            storage: HashMap::new(),
+            report: SimReport::default(),
+            trace: None,
+            step: 0,
+        }
+    }
+
+    fn record(&mut self, event: crate::TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(crate::TimedEvent {
+                step: self.step,
+                cycle: self.report.cycles,
+                event,
+            });
+        }
+    }
+
+    fn execute(&mut self, instruction: &Instruction) -> Result<(), SimError> {
+        match instruction {
+            Instruction::Dispense { reservoir, droplet } => {
+                let module = self.expect_kind(*reservoir, "a fluid reservoir", |k| {
+                    matches!(k, ModuleKind::Reservoir { .. })
+                })?;
+                if self.droplets.contains_key(droplet) {
+                    return Err(SimError::DuplicateDroplet { droplet: *droplet });
+                }
+                let port = module.port();
+                if let Some((parked, at)) =
+                    self.droplets.iter().find(|(_, &pos)| pos.touches(port))
+                {
+                    return Err(SimError::FluidicViolation {
+                        moving: *droplet,
+                        parked: *parked,
+                        at: *at,
+                    });
+                }
+                self.droplets.insert(*droplet, port);
+                self.report.dispensed += 1;
+                *self.report.electrode_actuations.entry(port).or_insert(0) += 1;
+                self.record(crate::TraceEvent::Dispensed {
+                    droplet: *droplet,
+                    reservoir: *reservoir,
+                    at: port,
+                });
+                Ok(())
+            }
+            Instruction::Transport { droplet, path } => self.transport(*droplet, path.clone()),
+            Instruction::TransportTo { droplet, module } => {
+                let target = self
+                    .chip
+                    .modules()
+                    .get(module.0)
+                    .ok_or(SimError::WrongModuleKind { module: *module, expected: "present" })?;
+                let from = self.position(*droplet)?;
+                if from == target.port() {
+                    return Ok(());
+                }
+                let path = self
+                    .route(from, target.port(), *droplet)
+                    .ok_or(SimError::NoRoute { droplet: *droplet, module: *module })?;
+                self.transport(*droplet, path)
+            }
+            Instruction::MixSplit { mixer, a, b, out_a, out_b } => {
+                let module =
+                    self.expect_kind(*mixer, "a mixer", |k| matches!(k, ModuleKind::Mixer))?;
+                let port = module.port();
+                self.expect_at(*a, port)?;
+                self.expect_at(*b, port)?;
+                for out in [out_a, out_b] {
+                    if self.droplets.contains_key(out) && out != a && out != b {
+                        return Err(SimError::DuplicateDroplet { droplet: *out });
+                    }
+                }
+                self.droplets.remove(a);
+                self.droplets.remove(b);
+                self.droplets.insert(*out_a, port);
+                self.droplets.insert(*out_b, port);
+                self.report.mix_splits += 1;
+                self.record(crate::TraceEvent::Mixed {
+                    mixer: *mixer,
+                    inputs: [*a, *b],
+                    outputs: [*out_a, *out_b],
+                });
+                Ok(())
+            }
+            Instruction::Store { droplet, cell } => {
+                let module =
+                    self.expect_kind(*cell, "a storage cell", |k| matches!(k, ModuleKind::Storage))?;
+                self.expect_at(*droplet, module.port())?;
+                if self.storage.contains_key(cell) {
+                    return Err(SimError::StorageBusy { cell: *cell });
+                }
+                self.storage.insert(*cell, *droplet);
+                self.report.storage_peak = self.report.storage_peak.max(self.storage.len());
+                self.record(crate::TraceEvent::Stored { droplet: *droplet, cell: *cell });
+                Ok(())
+            }
+            Instruction::Fetch { droplet, cell } => {
+                match self.storage.get(cell) {
+                    Some(d) if d == droplet => {
+                        self.storage.remove(cell);
+                        self.record(crate::TraceEvent::Fetched { droplet: *droplet, cell: *cell });
+                        Ok(())
+                    }
+                    _ => Err(SimError::StorageBusy { cell: *cell }),
+                }
+            }
+            Instruction::Discard { droplet, waste } => {
+                let module =
+                    self.expect_kind(*waste, "a waste reservoir", |k| matches!(k, ModuleKind::Waste))?;
+                self.expect_at(*droplet, module.port())?;
+                self.droplets.remove(droplet);
+                self.report.discarded += 1;
+                self.record(crate::TraceEvent::Discarded { droplet: *droplet });
+                Ok(())
+            }
+            Instruction::Emit { droplet, output } => {
+                let module =
+                    self.expect_kind(*output, "an output port", |k| matches!(k, ModuleKind::Output))?;
+                self.expect_at(*droplet, module.port())?;
+                self.droplets.remove(droplet);
+                self.report.emitted += 1;
+                self.record(crate::TraceEvent::Emitted { droplet: *droplet });
+                Ok(())
+            }
+            Instruction::CycleMarker { cycle } => {
+                self.report.cycles = self.report.cycles.max(*cycle);
+                Ok(())
+            }
+        }
+    }
+
+    fn position(&self, droplet: DropletId) -> Result<Coord, SimError> {
+        self.droplets.get(&droplet).copied().ok_or(SimError::UnknownDroplet { droplet })
+    }
+
+    fn expect_at(&self, droplet: DropletId, expected: Coord) -> Result<(), SimError> {
+        let actual = self.position(droplet)?;
+        if actual != expected {
+            return Err(SimError::Misplaced { droplet, expected, actual });
+        }
+        Ok(())
+    }
+
+    fn expect_kind(
+        &self,
+        module: ModuleId,
+        expected: &'static str,
+        pred: impl Fn(ModuleKind) -> bool,
+    ) -> Result<&'a dmf_chip::Module, SimError> {
+        let m = self
+            .chip
+            .modules()
+            .get(module.0)
+            .ok_or(SimError::WrongModuleKind { module, expected })?;
+        if !pred(m.kind()) {
+            return Err(SimError::WrongModuleKind { module, expected });
+        }
+        Ok(m)
+    }
+
+    /// Cells a moving droplet must not touch: positions of every other
+    /// droplet that is parked on an open cell (droplets inside module
+    /// footprints are shielded by the module geometry).
+    fn parked_guard(&self, moving: DropletId) -> Vec<(DropletId, Coord)> {
+        self.droplets
+            .iter()
+            .filter(|(id, _)| **id != moving)
+            .map(|(id, pos)| (*id, *pos))
+            .collect()
+    }
+
+    fn transport(&mut self, droplet: DropletId, path: Vec<Coord>) -> Result<(), SimError> {
+        let from = self.position(droplet)?;
+        let Some((&first, rest)) = path.split_first() else {
+            return Err(SimError::BadPath { droplet, reason: "empty path".into() });
+        };
+        if first != from {
+            return Err(SimError::BadPath {
+                droplet,
+                reason: format!("path starts at {first}, droplet is at {from}"),
+            });
+        }
+        let parked = self.parked_guard(droplet);
+        let in_module = |c: Coord| self.chip.modules().iter().any(|m| m.rect().contains(c));
+        // Contact inside a mixer footprint is legal: droplets meeting there
+        // are about to be merged by the mixer itself.
+        let same_mixer = |a: Coord, b: Coord| {
+            self.chip.mixers().any(|m| m.rect().contains(a) && m.rect().contains(b))
+        };
+        let mut pos = from;
+        for &next in rest {
+            if next.x < 0 || next.x >= self.chip.width() || next.y < 0 || next.y >= self.chip.height()
+            {
+                return Err(SimError::BadPath { droplet, reason: format!("{next} off grid") });
+            }
+            if pos.manhattan(next) > 1 {
+                return Err(SimError::BadPath {
+                    droplet,
+                    reason: format!("non-adjacent hop {pos} -> {next}"),
+                });
+            }
+            for &(other, at) in &parked {
+                if !next.touches(at) {
+                    continue;
+                }
+                // Droplets shielded inside a module footprint only conflict
+                // when we land on their very cell; meeting inside a mixer is
+                // the intended merge.
+                let shielded = in_module(at) && at != next;
+                if !shielded && !same_mixer(at, next) {
+                    return Err(SimError::FluidicViolation { moving: droplet, parked: other, at });
+                }
+            }
+            if pos != next {
+                self.report.transport_actuations += 1;
+                *self.report.electrode_actuations.entry(next).or_insert(0) += 1;
+            }
+            pos = next;
+        }
+        let hops = path.windows(2).filter(|w| w[0] != w[1]).count() as u32;
+        self.droplets.insert(droplet, pos);
+        self.record(crate::TraceEvent::Moved { droplet, from, to: pos, hops });
+        Ok(())
+    }
+
+    fn route(&self, from: Coord, to: Coord, moving: DropletId) -> Option<Vec<Coord>> {
+        // Open grid except other droplets' guard bands; module footprints
+        // stay passable because ports live inside them and droplets travel
+        // between ports. (Module interiors are shielded, so crossing a
+        // footprint corner is harmless in this abstraction.)
+        let grid = Grid::new(self.chip.width(), self.chip.height());
+        let mut avoid: HashSet<Coord> = HashSet::new();
+        let in_module = |c: Coord| self.chip.modules().iter().any(|m| m.rect().contains(c));
+        let in_mixer = |c: Coord| self.chip.mixers().any(|m| m.rect().contains(c));
+        for (_, at) in self.parked_guard(moving) {
+            if at == to && !in_mixer(to) {
+                // The destination cell is taken and it is not a mixer
+                // rendezvous: unroutable.
+                return None;
+            }
+            if in_module(at) {
+                // Only the occupied cell itself is off-limits (and a mixer
+                // rendezvous cell not even that).
+                if !(in_mixer(at) && at == to) {
+                    avoid.insert(at);
+                }
+            } else {
+                avoid.insert(at);
+                for n in at.all_neighbors() {
+                    avoid.insert(n);
+                }
+            }
+        }
+        shortest_path(&grid, from, to, &avoid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_chip::presets::pcr_chip;
+    use dmf_chip::Rect;
+
+    fn ids(chip: &ChipSpec) -> (ModuleId, ModuleId, ModuleId, ModuleId, ModuleId) {
+        let r1 = chip.reservoir_for(0).unwrap().id();
+        let r7 = chip.reservoir_for(6).unwrap().id();
+        let m1 = chip.mixers().next().unwrap().id();
+        let w1 = chip.waste_reservoirs().next().unwrap().id();
+        let o1 = chip.outputs().next().unwrap().id();
+        (r1, r7, m1, w1, o1)
+    }
+
+    #[test]
+    fn dispense_mix_emit_happy_path() {
+        let chip = pcr_chip();
+        let (r1, r7, m1, w1, o1) = ids(&chip);
+        let mut p = ChipProgram::new();
+        p.push(Instruction::CycleMarker { cycle: 1 });
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::TransportTo { droplet: DropletId(0), module: m1 });
+        p.push(Instruction::Dispense { reservoir: r7, droplet: DropletId(1) });
+        p.push(Instruction::TransportTo { droplet: DropletId(1), module: m1 });
+        p.push(Instruction::MixSplit {
+            mixer: m1,
+            a: DropletId(0),
+            b: DropletId(1),
+            out_a: DropletId(2),
+            out_b: DropletId(3),
+        });
+        p.push(Instruction::TransportTo { droplet: DropletId(2), module: o1 });
+        p.push(Instruction::Emit { droplet: DropletId(2), output: o1 });
+        p.push(Instruction::TransportTo { droplet: DropletId(3), module: w1 });
+        p.push(Instruction::Discard { droplet: DropletId(3), waste: w1 });
+        let report = Simulator::new(&chip).run(&p).unwrap();
+        assert_eq!(report.dispensed, 2);
+        assert_eq!(report.mix_splits, 1);
+        assert_eq!(report.emitted, 1);
+        assert_eq!(report.discarded, 1);
+        assert!(report.transport_actuations > 0);
+        assert_eq!(report.cycles, 1);
+    }
+
+    #[test]
+    fn storage_cells_hold_one_droplet() {
+        let chip = pcr_chip();
+        let (r1, _, _, w1, _) = ids(&chip);
+        let q1 = chip.storage_cells().next().unwrap().id();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::TransportTo { droplet: DropletId(0), module: q1 });
+        p.push(Instruction::Store { droplet: DropletId(0), cell: q1 });
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(1) });
+        p.push(Instruction::TransportTo { droplet: DropletId(1), module: q1 });
+        let err = Simulator::new(&chip).allow_leftovers().run(&p).unwrap_err();
+        // The second droplet cannot even approach: the first one is parked
+        // on the storage cell it targets.
+        assert!(matches!(err, SimError::NoRoute { .. } | SimError::StorageBusy { .. }));
+
+        // Store/fetch round-trip works and the peak is recorded.
+        let mut p2 = ChipProgram::new();
+        p2.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p2.push(Instruction::TransportTo { droplet: DropletId(0), module: q1 });
+        p2.push(Instruction::Store { droplet: DropletId(0), cell: q1 });
+        p2.push(Instruction::Fetch { droplet: DropletId(0), cell: q1 });
+        p2.push(Instruction::TransportTo { droplet: DropletId(0), module: w1 });
+        p2.push(Instruction::Discard { droplet: DropletId(0), waste: w1 });
+        let report = Simulator::new(&chip).run(&p2).unwrap();
+        assert_eq!(report.storage_peak, 1);
+    }
+
+    #[test]
+    fn misplaced_droplets_are_rejected() {
+        let chip = pcr_chip();
+        let (r1, _, m1, _, _) = ids(&chip);
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(1) });
+        let err = Simulator::new(&chip).allow_leftovers().run(&p).unwrap_err();
+        assert!(matches!(err, SimError::FluidicViolation { .. }));
+        let mut p2 = ChipProgram::new();
+        p2.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p2.push(Instruction::MixSplit {
+            mixer: m1,
+            a: DropletId(0),
+            b: DropletId(0),
+            out_a: DropletId(1),
+            out_b: DropletId(2),
+        });
+        let err2 = Simulator::new(&chip).allow_leftovers().run(&p2).unwrap_err();
+        assert!(matches!(err2, SimError::Misplaced { .. }));
+    }
+
+    #[test]
+    fn leftover_droplets_are_flagged() {
+        let chip = pcr_chip();
+        let (r1, ..) = ids(&chip);
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        assert!(matches!(
+            Simulator::new(&chip).run(&p),
+            Err(SimError::LeftoverDroplets { count: 1 })
+        ));
+        assert!(Simulator::new(&chip).allow_leftovers().run(&p).is_ok());
+    }
+
+    #[test]
+    fn electrode_heatmap_tracks_wear() {
+        let chip = pcr_chip();
+        let (r1, _, _, w1, _) = ids(&chip);
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::TransportTo { droplet: DropletId(0), module: w1 });
+        p.push(Instruction::Discard { droplet: DropletId(0), waste: w1 });
+        let report = Simulator::new(&chip).run(&p).unwrap();
+        // One actuation per hop plus the dispense; sums must agree.
+        let total: u32 = report.electrode_actuations.values().sum();
+        assert_eq!(u64::from(total), report.transport_actuations + report.dispensed);
+        assert!(report.max_electrode_actuations() >= 1);
+        assert!(report.actuated_electrodes() as u64 >= report.transport_actuations);
+        assert!(report.hottest_electrode().is_some());
+    }
+
+    #[test]
+    fn manual_paths_are_validated() {
+        let chip = pcr_chip();
+        let (r1, ..) = ids(&chip);
+        let start = chip.module(r1).port();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::Transport {
+            droplet: DropletId(0),
+            path: vec![start, Coord::new(start.x + 3, start.y)],
+        });
+        let err = Simulator::new(&chip).allow_leftovers().run(&p).unwrap_err();
+        assert!(matches!(err, SimError::BadPath { .. }));
+    }
+
+    #[test]
+    fn fluidic_violation_detected_on_open_cells() {
+        // Two droplets on a bare chip: moving one straight through the
+        // other's guard band must fail.
+        let mut chip = ChipSpec::new(9, 3).unwrap();
+        let ra = chip
+            .add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 1, 1, 1))
+            .unwrap();
+        let rb = chip
+            .add_module("R2", ModuleKind::Reservoir { fluid: 1 }, Rect::new(8, 1, 1, 1))
+            .unwrap();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: ra, droplet: DropletId(0) });
+        p.push(Instruction::Transport {
+            droplet: DropletId(0),
+            path: (0..=4).map(|x| Coord::new(x, 1)).collect(),
+        });
+        p.push(Instruction::Dispense { reservoir: rb, droplet: DropletId(1) });
+        p.push(Instruction::Transport {
+            droplet: DropletId(1),
+            path: (4..=8).rev().map(|x| Coord::new(x, 1)).collect(),
+        });
+        let err = Simulator::new(&chip).allow_leftovers().run(&p).unwrap_err();
+        assert!(matches!(err, SimError::FluidicViolation { .. }));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::TraceEvent;
+    use dmf_chip::presets::pcr_chip;
+
+    #[test]
+    fn traced_run_logs_every_droplet_lifecycle() {
+        let chip = pcr_chip();
+        let r1 = chip.reservoir_for(0).unwrap().id();
+        let r7 = chip.reservoir_for(6).unwrap().id();
+        let m1 = chip.mixers().next().unwrap().id();
+        let w1 = chip.waste_reservoirs().next().unwrap().id();
+        let o1 = chip.outputs().next().unwrap().id();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::CycleMarker { cycle: 1 });
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::TransportTo { droplet: DropletId(0), module: m1 });
+        p.push(Instruction::Dispense { reservoir: r7, droplet: DropletId(1) });
+        p.push(Instruction::TransportTo { droplet: DropletId(1), module: m1 });
+        p.push(Instruction::MixSplit {
+            mixer: m1,
+            a: DropletId(0),
+            b: DropletId(1),
+            out_a: DropletId(2),
+            out_b: DropletId(3),
+        });
+        p.push(Instruction::TransportTo { droplet: DropletId(2), module: o1 });
+        p.push(Instruction::Emit { droplet: DropletId(2), output: o1 });
+        p.push(Instruction::TransportTo { droplet: DropletId(3), module: w1 });
+        p.push(Instruction::Discard { droplet: DropletId(3), waste: w1 });
+        let (report, trace) = Simulator::new(&chip).run_traced(&p).unwrap();
+        // Untraced run agrees.
+        assert_eq!(report, Simulator::new(&chip).run(&p).unwrap());
+        // Droplet 0: dispensed, moved, mixed.
+        let history = trace.droplet_history(DropletId(0));
+        assert!(matches!(history[0].event, TraceEvent::Dispensed { .. }));
+        assert!(matches!(history.last().unwrap().event, TraceEvent::Mixed { .. }));
+        // Droplet 2: born in the mix, moved, emitted.
+        let out = trace.droplet_history(DropletId(2));
+        assert!(matches!(out.last().unwrap().event, TraceEvent::Emitted { .. }));
+        // Cycle attribution and rendering.
+        assert!(trace.events().iter().all(|e| e.cycle == 1));
+        assert_eq!(trace.cycle_events(1).len(), trace.len());
+        let text = trace.render();
+        assert!(text.contains("mixed at"));
+        assert!(text.contains("emitted as target"));
+        // Moved hops agree with the actuation count.
+        let moved_hops: u32 = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Moved { hops, .. } => Some(hops),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(u64::from(moved_hops), report.transport_actuations);
+    }
+}

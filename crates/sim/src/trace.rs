@@ -1,0 +1,161 @@
+//! Execution traces: a per-instruction event log of everything the
+//! simulator did, for debugging compiled programs and inspecting droplet
+//! life cycles.
+
+use crate::DropletId;
+use dmf_chip::{Coord, ModuleId};
+use std::fmt;
+
+/// One observed simulator event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A droplet appeared at a reservoir port.
+    Dispensed {
+        /// The new droplet.
+        droplet: DropletId,
+        /// The reservoir.
+        reservoir: ModuleId,
+        /// The port electrode.
+        at: Coord,
+    },
+    /// A droplet moved along a path.
+    Moved {
+        /// The droplet.
+        droplet: DropletId,
+        /// Starting electrode.
+        from: Coord,
+        /// Final electrode.
+        to: Coord,
+        /// Electrode hops (actuations).
+        hops: u32,
+    },
+    /// Two droplets merged and split at a mixer.
+    Mixed {
+        /// The mixer.
+        mixer: ModuleId,
+        /// Consumed droplets.
+        inputs: [DropletId; 2],
+        /// Produced droplets.
+        outputs: [DropletId; 2],
+    },
+    /// A droplet parked in a storage cell.
+    Stored {
+        /// The droplet.
+        droplet: DropletId,
+        /// The cell.
+        cell: ModuleId,
+    },
+    /// A droplet left its storage cell.
+    Fetched {
+        /// The droplet.
+        droplet: DropletId,
+        /// The cell.
+        cell: ModuleId,
+    },
+    /// A droplet went to waste.
+    Discarded {
+        /// The droplet.
+        droplet: DropletId,
+    },
+    /// A target droplet left the chip.
+    Emitted {
+        /// The droplet.
+        droplet: DropletId,
+    },
+}
+
+/// A timestamped event: the schedule cycle active when it happened and the
+/// instruction index that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Index of the causing instruction within the program.
+    pub step: usize,
+    /// Schedule cycle active at that point (0 before the first marker).
+    pub cycle: u32,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The full event log of one simulated program run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub(crate) events: Vec<TimedEvent>,
+}
+
+impl Trace {
+    /// All events in execution order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The life cycle of one droplet: every event that mentions it, in
+    /// order — dispense/mix birth through storage hops to emission,
+    /// disposal or consumption.
+    pub fn droplet_history(&self, droplet: DropletId) -> Vec<&TimedEvent> {
+        self.events
+            .iter()
+            .filter(|e| match &e.event {
+                TraceEvent::Dispensed { droplet: d, .. }
+                | TraceEvent::Moved { droplet: d, .. }
+                | TraceEvent::Stored { droplet: d, .. }
+                | TraceEvent::Fetched { droplet: d, .. }
+                | TraceEvent::Discarded { droplet: d }
+                | TraceEvent::Emitted { droplet: d } => *d == droplet,
+                TraceEvent::Mixed { inputs, outputs, .. } => {
+                    inputs.contains(&droplet) || outputs.contains(&droplet)
+                }
+            })
+            .collect()
+    }
+
+    /// Events that happened during one schedule cycle.
+    pub fn cycle_events(&self, cycle: u32) -> Vec<&TimedEvent> {
+        self.events.iter().filter(|e| e.cycle == cycle).collect()
+    }
+
+    /// Renders the trace as a compact text timeline, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_cycle = u32::MAX;
+        for e in &self.events {
+            if e.cycle != last_cycle {
+                out.push_str(&format!("— cycle {} —\n", e.cycle));
+                last_cycle = e.cycle;
+            }
+            out.push_str(&format!("  [{:>4}] {}\n", e.step, e.event));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Dispensed { droplet, reservoir, at } => {
+                write!(f, "{droplet} dispensed from {reservoir} at {at}")
+            }
+            TraceEvent::Moved { droplet, from, to, hops } => {
+                write!(f, "{droplet} moved {from} -> {to} ({hops} hops)")
+            }
+            TraceEvent::Mixed { mixer, inputs, outputs } => write!(
+                f,
+                "{} + {} mixed at {mixer} -> {} + {}",
+                inputs[0], inputs[1], outputs[0], outputs[1]
+            ),
+            TraceEvent::Stored { droplet, cell } => write!(f, "{droplet} stored in {cell}"),
+            TraceEvent::Fetched { droplet, cell } => write!(f, "{droplet} fetched from {cell}"),
+            TraceEvent::Discarded { droplet } => write!(f, "{droplet} discarded to waste"),
+            TraceEvent::Emitted { droplet } => write!(f, "{droplet} emitted as target"),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Target-ratio workloads for evaluating DMF sample-preparation engines.
+//!
+//! Two families, mirroring the paper's §6 evaluation setup:
+//!
+//! * [`protocols`] — the five real-life bioprotocol mixtures (`Ex.1`–`Ex.5`,
+//!   all approximated in a scale of 256) plus the PCR master mix at the
+//!   paper's working accuracy `d = 4`;
+//! * [`synthetic`] — the exhaustive corpus of integer-partition target
+//!   ratios with ratio-sum `L = 32` over `N = 2..=12` fluids. The paper
+//!   reports 6058 such ratios; the full partition count is 6289, or 6066
+//!   after removing ratios with a common factor of two (which degenerate to
+//!   a smaller accuracy level). See `EXPERIMENTS.md` for the accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmf_workloads::protocols;
+//!
+//! let pcr = protocols::pcr_master_mix_256();
+//! assert_eq!(pcr.ratio.parts(), &[26, 21, 2, 2, 3, 3, 199]);
+//! assert_eq!(pcr.ratio.accuracy(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocols;
+pub mod synthetic;
+
+pub use protocols::Protocol;

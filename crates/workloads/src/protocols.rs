@@ -1,0 +1,96 @@
+//! Real-life bioprotocol target mixtures used in the paper's evaluation.
+
+use dmf_ratio::TargetRatio;
+
+/// A named bioprotocol mixture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protocol {
+    /// The paper's identifier ("Ex.1" … "Ex.5").
+    pub id: &'static str,
+    /// Human-readable protocol name.
+    pub name: &'static str,
+    /// Integer target ratio at the protocol's published accuracy.
+    pub ratio: TargetRatio,
+}
+
+fn protocol(id: &'static str, name: &'static str, parts: Vec<u64>) -> Protocol {
+    Protocol {
+        id,
+        name,
+        ratio: TargetRatio::new(parts).expect("published ratios are valid"),
+    }
+}
+
+/// Ex.1 — the PCR master mix for DNA amplification, `L = 256`.
+pub fn pcr_master_mix_256() -> Protocol {
+    protocol("Ex.1", "PCR master mix (DNA amplification)", vec![26, 21, 2, 2, 3, 3, 199])
+}
+
+/// Ex.2 — phenol : chloroform : isoamylalcohol, One-Step Miniprep,
+/// `L = 256`.
+pub fn one_step_miniprep() -> Protocol {
+    protocol("Ex.2", "One-Step Miniprep (phenol/chloroform/isoamylalcohol)", vec![128, 123, 5])
+}
+
+/// Ex.3 — ten-fluid mixture of the Molecular Barcodes method, `L = 256`.
+pub fn molecular_barcodes() -> Protocol {
+    protocol("Ex.3", "Molecular Barcodes method", vec![25, 5, 5, 5, 5, 13, 13, 25, 1, 159])
+}
+
+/// Ex.4 — five-fluid mixture of the Splinkerette PCR method, `L = 256`.
+pub fn splinkerette_pcr() -> Protocol {
+    protocol("Ex.4", "Splinkerette PCR method", vec![9, 17, 26, 9, 195])
+}
+
+/// Ex.5 — mixture used in the Miniprep plasmid-DNA protocol, `L = 256`.
+pub fn miniprep() -> Protocol {
+    protocol("Ex.5", "Miniprep (alkaline lysis with SDS)", vec![57, 28, 6, 6, 6, 3, 150])
+}
+
+/// All five Table 2 example protocols, in the paper's order.
+pub fn table2_examples() -> Vec<Protocol> {
+    vec![
+        pcr_master_mix_256(),
+        one_step_miniprep(),
+        molecular_barcodes(),
+        splinkerette_pcr(),
+        miniprep(),
+    ]
+}
+
+/// The PCR master mix at the paper's working accuracy `d = 4`
+/// (`2:1:1:1:1:1:9`, used in Figs. 1–4 and Table 4).
+pub fn pcr_master_mix_d4() -> Protocol {
+    protocol("PCR-d4", "PCR master mix, d = 4", vec![2, 1, 1, 1, 1, 1, 9])
+}
+
+/// The real-valued PCR master-mix composition in volume percent:
+/// reactant buffer, dNTPs, forward primer, reverse primer, DNA template,
+/// optimase, water.
+pub const PCR_MASTER_MIX_PERCENT: [f64; 7] = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_examples_have_ratio_sum_256() {
+        for p in table2_examples() {
+            assert_eq!(p.ratio.ratio_sum(), 256, "{}", p.id);
+            assert_eq!(p.ratio.accuracy(), 8, "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn fluid_counts_match_paper() {
+        let counts: Vec<usize> =
+            table2_examples().iter().map(|p| p.ratio.fluid_count()).collect();
+        assert_eq!(counts, vec![7, 3, 10, 5, 7]);
+    }
+
+    #[test]
+    fn d4_pcr_derives_from_percentages() {
+        let approx = TargetRatio::paper_approximate(&PCR_MASTER_MIX_PERCENT, 4).unwrap();
+        assert_eq!(approx, pcr_master_mix_d4().ratio);
+    }
+}

@@ -1,0 +1,175 @@
+//! Synthetic target-ratio corpora: integer partitions of a ratio-sum `L`
+//! into `N` positive components.
+//!
+//! The paper evaluates over "6058 synthetic target ratios of `N`
+//! (`2 <= N <= 12`) different fluids with ratio-sum `L = 32`". The
+//! exhaustive partition population is 6289; dropping ratios whose
+//! components share a factor of two (those reduce to a smaller accuracy
+//! level and are degenerate as `d = 5` inputs) leaves 6066 — within 0.2% of
+//! the paper's count, whose exact filter is unspecified.
+
+use dmf_ratio::TargetRatio;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Generates every partition of `total` into exactly `parts` positive
+/// components, each in non-increasing order.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_workloads::synthetic::partitions;
+///
+/// let p = partitions(5, 2);
+/// assert_eq!(p, vec![vec![4, 1], vec![3, 2]]);
+/// ```
+pub fn partitions(total: u64, parts: usize) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(parts);
+    descend(total, parts, total, &mut current, &mut out);
+    out
+}
+
+fn descend(total: u64, parts: usize, max: u64, current: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
+    if parts == 0 {
+        if total == 0 {
+            out.push(current.clone());
+        }
+        return;
+    }
+    if total < parts as u64 {
+        // Not enough mass for `parts` positive components.
+        return;
+    }
+    // Each remaining component is at least 1 and at most `max`.
+    let upper = max.min(total - (parts as u64 - 1));
+    let lower = total.div_ceil(parts as u64).max(1);
+    for value in (lower..=upper).rev() {
+        current.push(value);
+        descend(total - value, parts - 1, value, current, out);
+        current.pop();
+    }
+}
+
+/// The synthetic evaluation corpus: all partition ratios of `ratio_sum`
+/// over `fluids` components, optionally dropping ratios with a common
+/// factor of two (`coprime_only`).
+///
+/// # Panics
+///
+/// Panics if `ratio_sum` is not a power of two (the partitions would not be
+/// valid target ratios).
+pub fn corpus(
+    ratio_sum: u64,
+    fluids: std::ops::RangeInclusive<usize>,
+    coprime_only: bool,
+) -> Vec<TargetRatio> {
+    assert!(ratio_sum.is_power_of_two(), "ratio-sum must be 2^d");
+    let mut out = Vec::new();
+    for n in fluids {
+        for parts in partitions(ratio_sum, n) {
+            if coprime_only && parts.iter().all(|p| p % 2 == 0) {
+                continue;
+            }
+            out.push(TargetRatio::new(parts).expect("partitions sum to 2^d"));
+        }
+    }
+    out
+}
+
+/// The paper's corpus: `L = 32`, `N = 2..=12`, degenerate
+/// (all-even) ratios removed — 6066 ratios.
+pub fn paper_corpus() -> Vec<TargetRatio> {
+    corpus(32, 2..=12, true)
+}
+
+/// A deterministic subsample of [`paper_corpus`] for quick sweeps.
+pub fn sampled_corpus(size: usize, seed: u64) -> Vec<TargetRatio> {
+    let mut all = paper_corpus();
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(size);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_partition_counts() {
+        assert_eq!(partitions(4, 2), vec![vec![3, 1], vec![2, 2]]);
+        assert_eq!(partitions(6, 3).len(), 3); // 4+1+1, 3+2+1, 2+2+2
+        assert_eq!(partitions(3, 5).len(), 0); // cannot split 3 into 5 parts
+    }
+
+    #[test]
+    fn partitions_are_sorted_and_sum() {
+        for p in partitions(12, 4) {
+            assert_eq!(p.iter().sum::<u64>(), 12);
+            assert!(p.windows(2).all(|w| w[0] >= w[1]));
+            assert!(p.iter().all(|&v| v >= 1));
+        }
+    }
+
+    #[test]
+    fn full_population_is_6289() {
+        let full = corpus(32, 2..=12, false);
+        assert_eq!(full.len(), 6289);
+    }
+
+    #[test]
+    fn coprime_population_is_6066() {
+        // The paper says 6058; our exhaustive gcd-filtered population is
+        // 6066 (documented in EXPERIMENTS.md).
+        assert_eq!(paper_corpus().len(), 6066);
+    }
+
+    #[test]
+    fn corpus_ratios_are_valid_targets() {
+        for r in sampled_corpus(64, 7) {
+            assert_eq!(r.ratio_sum(), 32);
+            assert!(r.fluid_count() >= 2 && r.fluid_count() <= 12);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(sampled_corpus(10, 42), sampled_corpus(10, 42));
+        assert_ne!(sampled_corpus(10, 42), sampled_corpus(10, 43));
+    }
+}
+
+/// A serial-dilution series: CFs `1/2, 1/4, …, 1/2^depth` of a sample in
+/// buffer — the classic assay-calibration workload, useful for exercising
+/// multi-target sharing (each step's mixture is the previous step's
+/// half-dilution).
+pub fn serial_dilution_series(depth: u32) -> Vec<TargetRatio> {
+    (1..=depth.min(62))
+        .map(|d| {
+            TargetRatio::new(vec![1, (1u64 << d) - 1]).expect("1 : 2^d - 1 sums to a power of two")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod series_tests {
+    use super::*;
+
+    #[test]
+    fn series_halves_each_step() {
+        let series = serial_dilution_series(4);
+        assert_eq!(series.len(), 4);
+        for (i, ratio) in series.iter().enumerate() {
+            assert_eq!(ratio.parts()[0], 1);
+            assert_eq!(ratio.ratio_sum(), 1 << (i + 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_depths() {
+        assert!(serial_dilution_series(0).is_empty());
+        assert_eq!(serial_dilution_series(1)[0].parts(), &[1, 1]);
+    }
+}

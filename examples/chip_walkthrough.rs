@@ -1,0 +1,73 @@
+//! Substrate walkthrough: build a custom chip with the placement
+//! optimiser, derive its transport-cost matrix, route droplets across it
+//! concurrently and export a mixing forest to Graphviz.
+//!
+//! ```bash
+//! cargo run --example chip_walkthrough
+//! ```
+
+use dmfstream::chip::{
+    CostMatrix, FlowMatrix, ModuleKind, PlacementConfig, PlacementRequest, Placer,
+};
+use dmfstream::forest::{build_forest, ReusePolicy};
+use dmfstream::mixalgo::{MixingAlgorithm, Rma};
+use dmfstream::ratio::TargetRatio;
+use dmfstream::route::{route_concurrent, Grid, RouteRequest};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Place a 3-fluid chip, pulling R1 close to M1 by flow weighting.
+    let requests = vec![
+        PlacementRequest::conventional("M1", ModuleKind::Mixer),
+        PlacementRequest::conventional("M2", ModuleKind::Mixer),
+        PlacementRequest::conventional("R1", ModuleKind::Reservoir { fluid: 0 }),
+        PlacementRequest::conventional("R2", ModuleKind::Reservoir { fluid: 1 }),
+        PlacementRequest::conventional("R3", ModuleKind::Reservoir { fluid: 2 }),
+        PlacementRequest::conventional("q1", ModuleKind::Storage),
+        PlacementRequest::conventional("q2", ModuleKind::Storage),
+        PlacementRequest::conventional("W1", ModuleKind::Waste),
+        PlacementRequest::conventional("O1", ModuleKind::Output),
+    ];
+    let mut flows = FlowMatrix::new();
+    flows.add(2, 0, 30.0); // R1 -> M1
+    flows.add(3, 1, 20.0); // R2 -> M2
+    let chip = Placer::new(PlacementConfig { width: 18, height: 12, ..Default::default() })
+        .place(&requests, &flows)?;
+    println!("optimised layout:\n{}", chip.render());
+    println!("transport-cost matrix:\n{}", CostMatrix::from_spec(&chip));
+
+    // 2. Route two droplets concurrently under fluidic constraints
+    //    (endpoint modules stay open, everything else is an obstacle).
+    let open: Vec<_> = ["R1", "R2", "O1", "W1"]
+        .iter()
+        .map(|n| chip.module_by_name(n).expect("placed").id())
+        .collect();
+    let grid = Grid::from_spec(&chip, &open);
+    let r1 = chip.module_by_name("R1").expect("placed").port();
+    let r2 = chip.module_by_name("R2").expect("placed").port();
+    let paths = route_concurrent(
+        &grid,
+        &[
+            RouteRequest { from: r1, to: chip.module_by_name("O1").expect("placed").port() },
+            RouteRequest { from: r2, to: chip.module_by_name("W1").expect("placed").port() },
+        ],
+    );
+    match paths {
+        Ok(paths) => {
+            for (i, p) in paths.iter().enumerate() {
+                println!("droplet {i}: {} steps, {} actuations", p.duration(), p.actuations());
+            }
+        }
+        Err(e) => println!("concurrent routing failed on this layout: {e}"),
+    }
+
+    // 3. Export an RMA-seeded mixing forest to Graphviz DOT.
+    let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+    let template = Rma.build_template(&target)?;
+    let forest = build_forest(&template, &target, 8, ReusePolicy::AcrossTrees)?;
+    println!(
+        "forest: {} — pipe the DOT below through `dot -Tsvg` to visualise\n",
+        forest.stats()
+    );
+    println!("{}", forest.to_dot());
+    Ok(())
+}

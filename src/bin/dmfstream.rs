@@ -1,0 +1,167 @@
+//! `dmfstream` — command-line front end for the droplet-streaming engine.
+//!
+//! ```bash
+//! dmfstream plan 2:1:1:1:1:1:9 --demand 20
+//! dmfstream plan 26:21:2:2:3:3:199 --demand 32 --algorithm rma --scheduler mms
+//! dmfstream plan 2:1:1:1:1:1:9 --demand 32 --storage 3 --mixers 3
+//! dmfstream simulate 2:1:1:1:1:1:9 --demand 20
+//! dmfstream gantt 2:1:1:1:1:1:9 --demand 20
+//! ```
+
+use dmfstream::chip::presets::streaming_chip;
+use dmfstream::engine::{realize_pass, EngineConfig, StreamingEngine};
+use dmfstream::mixalgo::BaseAlgorithm;
+use dmfstream::ratio::TargetRatio;
+use dmfstream::sched::SchedulerKind;
+use dmfstream::sim::Simulator;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    ratio: TargetRatio,
+    demand: u64,
+    config: EngineConfig,
+    trace: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dmfstream <plan|gantt|simulate> <a1:a2:...:aN> \
+         [--demand D] [--mixers M] [--storage Q] \
+         [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let ratio_text = argv.next().ok_or("missing target ratio")?;
+    let ratio: TargetRatio =
+        ratio_text.parse().map_err(|e| format!("bad ratio {ratio_text:?}: {e}"))?;
+    let mut demand = 32u64;
+    let mut config = EngineConfig::default();
+    let mut trace = false;
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--trace" => trace = true,
+            "--demand" => demand = value()?.parse().map_err(|e| format!("bad demand: {e}"))?,
+            "--mixers" => {
+                config = config
+                    .with_mixers(value()?.parse().map_err(|e| format!("bad mixers: {e}"))?)
+            }
+            "--storage" => {
+                config = config
+                    .with_storage_limit(value()?.parse().map_err(|e| format!("bad storage: {e}"))?)
+            }
+            "--algorithm" => {
+                config = config.with_algorithm(match value()?.to_lowercase().as_str() {
+                    "mm" | "minmix" => BaseAlgorithm::MinMix,
+                    "rma" => BaseAlgorithm::Rma,
+                    "mtcs" => BaseAlgorithm::Mtcs,
+                    "rsm" => BaseAlgorithm::Rsm,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                })
+            }
+            "--scheduler" => {
+                config = config.with_scheduler(match value()?.to_lowercase().as_str() {
+                    "mms" => SchedulerKind::Mms,
+                    "srs" => SchedulerKind::Srs,
+                    other => return Err(format!("unknown scheduler {other:?}")),
+                })
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args { command, ratio, demand, config, trace })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let engine = StreamingEngine::new(args.config);
+    let plan = match engine.plan(&args.ratio, args.demand) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.command.as_str() {
+        "plan" => {
+            println!("{plan}");
+            println!("I[] = {:?}", plan.inputs);
+            for (i, pass) in plan.passes.iter().enumerate() {
+                println!(
+                    "pass {}: D'={} Tc={} q={} Tms={}",
+                    i + 1,
+                    pass.demand,
+                    pass.cycles(),
+                    pass.storage_units(),
+                    pass.forest.node_count()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "gantt" => {
+            println!("{plan}");
+            for (i, pass) in plan.passes.iter().enumerate() {
+                println!("\npass {}:", i + 1);
+                println!("{}", pass.schedule.gantt(&pass.forest));
+            }
+            ExitCode::SUCCESS
+        }
+        "simulate" => {
+            let chip = match streaming_chip(
+                args.ratio.fluid_count(),
+                plan.mixers,
+                plan.storage_peak.max(1),
+            ) {
+                Ok(chip) => chip,
+                Err(e) => {
+                    eprintln!("error: cannot size a chip: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", chip.render());
+            for (i, pass) in plan.passes.iter().enumerate() {
+                let program = match realize_pass(pass, &chip) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("error: pass {} does not fit the chip: {e}", i + 1);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let simulator = Simulator::new(&chip);
+                let outcome = if args.trace {
+                    simulator.run_traced(&program).map(|(report, trace)| {
+                        println!("{}", trace.render());
+                        report
+                    })
+                } else {
+                    simulator.run(&program)
+                };
+                match outcome {
+                    Ok(report) => {
+                        println!("pass {}: {report}", i + 1);
+                        if let Some((cell, n)) = report.hottest_electrode() {
+                            println!("  hottest electrode: {cell} with {n} actuations");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: simulation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

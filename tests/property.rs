@@ -1,0 +1,138 @@
+//! Property-based invariants over random target ratios, demands and mixer
+//! counts: droplet conservation, schedule validity, storage accounting and
+//! approximation error bounds.
+
+use dmfstream::forest::{build_forest, ReusePolicy};
+use dmfstream::mixalgo::BaseAlgorithm;
+use dmfstream::ratio::TargetRatio;
+use dmfstream::sched::{mms_schedule, oms_schedule, srs_schedule};
+use proptest::prelude::*;
+
+/// A random valid multi-fluid target ratio with sum `2^d`, `d <= 6`.
+fn arb_target() -> impl Strategy<Value = TargetRatio> {
+    (2u32..=6, 2usize..=8).prop_flat_map(|(d, n)| {
+        let total = 1u64 << d;
+        // Random cut points turn into a composition of `total` into n parts.
+        proptest::collection::vec(1..=total - 1, n - 1).prop_map(move |mut cuts| {
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut parts = Vec::with_capacity(cuts.len() + 1);
+            let mut prev = 0;
+            for c in cuts {
+                parts.push(c - prev);
+                prev = c;
+            }
+            parts.push(total - prev);
+            TargetRatio::new(parts).expect("composition sums to 2^d")
+        })
+    })
+    .prop_filter("need at least two active fluids", |t| t.active_fluid_count() >= 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mixture arithmetic: every base algorithm realises the target and
+    /// conserves droplets.
+    #[test]
+    fn base_trees_realise_the_target(target in arb_target()) {
+        for algorithm in BaseAlgorithm::ALL {
+            let graph = algorithm.algorithm().build_graph(&target).unwrap();
+            graph.validate().unwrap();
+            let stats = graph.stats();
+            stats.assert_conservation();
+            // The depth-d guarantee is a property of the *tree* algorithms;
+            // subgraph sharing (MTCS/RSM) may park a reused droplet at a
+            // structurally deeper producer without changing its content.
+            if !algorithm.algorithm().shares_subgraphs() {
+                prop_assert!(stats.depth <= target.accuracy());
+            }
+        }
+    }
+
+    /// Forest construction conserves droplets for any demand and both
+    /// reuse policies, and never uses more reactant than the repeated
+    /// baseline would.
+    #[test]
+    fn forests_conserve_droplets(target in arb_target(), demand in 1u64..40) {
+        let template = BaseAlgorithm::MinMix.algorithm().build_template(&target).unwrap();
+        let base_inputs = template.leaf_counts().iter().sum::<u64>();
+        for policy in [ReusePolicy::AcrossTrees, ReusePolicy::Eager] {
+            let forest = build_forest(&template, &target, demand, policy).unwrap();
+            forest.validate().unwrap();
+            let stats = forest.stats();
+            stats.assert_conservation();
+            prop_assert_eq!(stats.trees as u64, demand.div_ceil(2));
+            let repeated_inputs = demand.div_ceil(2) * base_inputs;
+            prop_assert!(stats.input_total <= repeated_inputs);
+        }
+    }
+
+    /// Full-cycle demands leave zero waste (paper §4.1).
+    #[test]
+    fn full_cycle_demand_is_waste_free(target in arb_target(), p in 1u64..4) {
+        let template = BaseAlgorithm::MinMix.algorithm().build_template(&target).unwrap();
+        let d = template.depth();
+        let demand = p << d;
+        let forest = build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap();
+        prop_assert_eq!(forest.stats().waste, 0);
+    }
+
+    /// Every scheduler yields a valid schedule whose makespan respects the
+    /// work and critical-path lower bounds.
+    #[test]
+    fn schedules_are_valid_and_bounded(
+        target in arb_target(),
+        demand in 2u64..24,
+        mixers in 1usize..6,
+    ) {
+        let template = BaseAlgorithm::MinMix.algorithm().build_template(&target).unwrap();
+        let forest = build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap();
+        let lb = (forest.node_count() as u32).div_ceil(mixers as u32).max(forest.depth());
+        for schedule in [
+            mms_schedule(&forest, mixers).unwrap(),
+            srs_schedule(&forest, mixers).unwrap(),
+            oms_schedule(&forest, mixers).unwrap(),
+        ] {
+            schedule.validate(&forest).unwrap();
+            prop_assert!(schedule.makespan() >= lb);
+            prop_assert!(schedule.makespan() as usize <= forest.node_count().max(forest.depth() as usize));
+            // Storage occupancy is internally consistent: the profile
+            // length equals the makespan and the peak is its maximum.
+            let storage = schedule.storage(&forest);
+            prop_assert_eq!(storage.occupancy.len(), schedule.makespan() as usize);
+            prop_assert_eq!(
+                storage.peak as u32,
+                storage.occupancy.iter().copied().max().unwrap_or(0)
+            );
+        }
+    }
+
+    /// OMS with unlimited mixers always reaches the critical path on trees.
+    #[test]
+    fn oms_reaches_critical_path(target in arb_target()) {
+        let tree = BaseAlgorithm::MinMix.algorithm().build_graph(&target).unwrap();
+        let schedule = oms_schedule(&tree, tree.node_count().max(1)).unwrap();
+        prop_assert_eq!(schedule.makespan(), tree.depth());
+    }
+
+    /// Grid approximation keeps the paper's error bound `1/2^d` per fluid.
+    #[test]
+    fn approximation_error_bound(
+        weights in proptest::collection::vec(0.01f64..100.0, 2..10),
+        d in 3u32..10,
+    ) {
+        let target = TargetRatio::approximate(&weights, d).unwrap();
+        let bound = 1.0 / (1u64 << d) as f64 + 1e-12;
+        prop_assert!(target.max_cf_error(&weights) <= bound);
+    }
+
+    /// Mixing is commutative at the content level.
+    #[test]
+    fn mixing_is_commutative(a_parts in 1u64..15, b_parts in 1u64..15) {
+        use dmfstream::ratio::Mixture;
+        let a = Mixture::new(4, vec![a_parts, 16 - a_parts]).unwrap();
+        let b = Mixture::new(4, vec![b_parts, 16 - b_parts]).unwrap();
+        prop_assert_eq!(a.mix(&b).unwrap(), b.mix(&a).unwrap());
+    }
+}
