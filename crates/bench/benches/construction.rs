@@ -1,37 +1,27 @@
-//! Criterion micro-benchmarks: base-tree algorithms and mixing-forest
-//! construction.
+//! Micro-benchmarks: base-tree algorithms and mixing-forest construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmf_bench::micro::MicroBench;
 use dmf_forest::{build_forest, ReusePolicy};
 use dmf_mixalgo::BaseAlgorithm;
 use dmf_ratio::TargetRatio;
 use dmf_workloads::protocols;
 
-fn bench_tree_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("base_tree");
+fn main() {
+    let mut suite = MicroBench::new("construction");
     for protocol in protocols::table2_examples() {
         for algorithm in BaseAlgorithm::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), protocol.id),
-                &protocol.ratio,
-                |b, ratio| b.iter(|| algorithm.algorithm().build_graph(ratio).unwrap()),
-            );
+            let ratio = protocol.ratio.clone();
+            suite.bench(format!("base_tree/{}/{}", algorithm.name(), protocol.id), move || {
+                algorithm.algorithm().build_graph(&ratio).unwrap()
+            });
         }
     }
-    group.finish();
-}
-
-fn bench_forest_build(c: &mut Criterion) {
     let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
     let template = BaseAlgorithm::MinMix.algorithm().build_template(&target).unwrap();
-    let mut group = c.benchmark_group("forest_build");
     for demand in [16u64, 64, 256, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(demand), &demand, |b, &d| {
-            b.iter(|| build_forest(&template, &target, d, ReusePolicy::AcrossTrees).unwrap())
+        suite.bench(format!("forest_build/{demand}"), || {
+            build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap()
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_tree_algorithms, bench_forest_build);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks: placement, routing, program compilation and
-//! full simulation of the PCR engine.
+//! Micro-benchmarks: placement, routing, program compilation and full
+//! simulation of the PCR engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dmf_bench::micro::MicroBench;
 use dmf_chip::presets::pcr_chip;
 use dmf_chip::{Coord, FlowMatrix, ModuleKind, PlacementConfig, PlacementRequest, Placer};
 use dmf_engine::{realize_pass, EngineConfig, StreamingEngine};
@@ -9,7 +9,9 @@ use dmf_ratio::TargetRatio;
 use dmf_route::{route_concurrent, shortest_path, Grid, RouteRequest};
 use dmf_sim::Simulator;
 
-fn bench_placement(c: &mut Criterion) {
+fn main() {
+    let mut suite = MicroBench::new("physical");
+
     let mut requests = vec![
         PlacementRequest::conventional("M1", ModuleKind::Mixer),
         PlacementRequest::conventional("M2", ModuleKind::Mixer),
@@ -26,50 +28,32 @@ fn bench_placement(c: &mut Criterion) {
     let mut flows = FlowMatrix::new();
     flows.add(0, 5, 20.0);
     flows.add(1, 6, 20.0);
-    c.bench_function("placement_sa_pcr", |b| {
-        b.iter(|| {
-            Placer::new(PlacementConfig { width: 20, height: 14, ..Default::default() })
-                .place(&requests, &flows)
-                .unwrap()
-        })
+    suite.bench("placement_sa_pcr", || {
+        Placer::new(PlacementConfig { width: 20, height: 14, ..Default::default() })
+            .place(&requests, &flows)
+            .unwrap()
     });
-}
 
-fn bench_routing(c: &mut Criterion) {
     let grid = Grid::new(24, 24);
-    c.bench_function("astar_single", |b| {
-        b.iter(|| {
-            shortest_path(&grid, Coord::new(0, 0), Coord::new(23, 23), &Default::default())
-                .unwrap()
-        })
+    suite.bench("astar_single", || {
+        shortest_path(&grid, Coord::new(0, 0), Coord::new(23, 23), &Default::default()).unwrap()
     });
-    let requests: Vec<RouteRequest> = (0..6)
+    let routes: Vec<RouteRequest> = (0..6)
         .map(|i| RouteRequest { from: Coord::new(0, 4 * i), to: Coord::new(23, 4 * (5 - i)) })
         .collect();
-    c.bench_function("concurrent_six_droplets", |b| {
-        b.iter(|| route_concurrent(&grid, &requests).unwrap())
-    });
-}
+    suite.bench("concurrent_six_droplets", || route_concurrent(&grid, &routes).unwrap());
 
-fn bench_realize_and_simulate(c: &mut Criterion) {
     let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
     let plan = StreamingEngine::new(EngineConfig::default()).plan(&target, 20).unwrap();
     let chip = pcr_chip();
-    c.bench_function("realize_pcr_d20", |b| {
-        b.iter(|| realize_pass(&plan.passes[0], &chip).unwrap())
-    });
+    suite.bench("realize_pcr_d20", || realize_pass(&plan.passes[0], &chip).unwrap());
     let program = realize_pass(&plan.passes[0], &chip).unwrap();
-    c.bench_function("simulate_pcr_d20", |b| {
-        b.iter(|| Simulator::new(&chip).run(&program).unwrap())
+    suite.bench("simulate_pcr_d20", || Simulator::new(&chip).run(&program).unwrap());
+    suite.bench("end_to_end_pcr_d20", || {
+        let plan = StreamingEngine::new(EngineConfig::default()).plan(&target, 20).unwrap();
+        let program = realize_pass(&plan.passes[0], &chip).unwrap();
+        Simulator::new(&chip).run(&program).unwrap()
     });
-    c.bench_function("end_to_end_pcr_d20", |b| {
-        b.iter(|| {
-            let plan = StreamingEngine::new(EngineConfig::default()).plan(&target, 20).unwrap();
-            let program = realize_pass(&plan.passes[0], &chip).unwrap();
-            Simulator::new(&chip).run(&program).unwrap()
-        })
-    });
-}
 
-criterion_group!(benches, bench_placement, bench_routing, bench_realize_and_simulate);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks: MMS, SRS and OMS scheduling plus storage
-//! accounting on forests of growing size.
+//! Micro-benchmarks: MMS, SRS and OMS scheduling plus storage accounting
+//! on forests of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmf_bench::micro::MicroBench;
 use dmf_forest::{build_forest, ReusePolicy};
 use dmf_mixalgo::BaseAlgorithm;
 use dmf_ratio::TargetRatio;
@@ -16,34 +16,17 @@ fn forests() -> Vec<(u64, dmf_mixgraph::MixGraph)> {
         .collect()
 }
 
-fn bench_schedulers(c: &mut Criterion) {
+fn main() {
+    let mut suite = MicroBench::new("scheduling");
     let forests = forests();
-    let mut group = c.benchmark_group("schedulers");
     for (demand, forest) in &forests {
-        group.bench_with_input(BenchmarkId::new("MMS", demand), forest, |b, f| {
-            b.iter(|| mms_schedule(f, 3).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("SRS", demand), forest, |b, f| {
-            b.iter(|| srs_schedule(f, 3).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("OMS-HLF", demand), forest, |b, f| {
-            b.iter(|| oms_schedule(f, 3).unwrap())
-        });
+        suite.bench(format!("schedulers/MMS/{demand}"), || mms_schedule(forest, 3).unwrap());
+        suite.bench(format!("schedulers/SRS/{demand}"), || srs_schedule(forest, 3).unwrap());
+        suite.bench(format!("schedulers/OMS-HLF/{demand}"), || oms_schedule(forest, 3).unwrap());
     }
-    group.finish();
-}
-
-fn bench_storage_accounting(c: &mut Criterion) {
-    let forests = forests();
-    let mut group = c.benchmark_group("storage_accounting");
     for (demand, forest) in &forests {
         let schedule = srs_schedule(forest, 3).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(demand), forest, |b, f| {
-            b.iter(|| schedule.storage(f).peak)
-        });
+        suite.bench(format!("storage_accounting/{demand}"), || schedule.storage(forest).peak);
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_schedulers, bench_storage_accounting);
-criterion_main!(benches);

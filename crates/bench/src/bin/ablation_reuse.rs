@@ -12,13 +12,9 @@ use dmf_mixalgo::BaseAlgorithm;
 use dmf_workloads::synthetic;
 
 fn main() {
-    let sample: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let sample: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
     let corpus = synthetic::sampled_corpus(sample, 77);
-    println!(
-        "Reuse-policy ablation over {} ratios (L = 32, D = 20, MM templates)\n",
-        corpus.len()
-    );
+    println!("Reuse-policy ablation over {} ratios (L = 32, D = 20, MM templates)\n", corpus.len());
     let mut totals = [[0u64; 3]; 2]; // [policy][Tms, I, W]
     let mut wins = 0usize;
     let mut evaluated = 0usize;

@@ -10,11 +10,14 @@ fn main() {
     let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).expect("paper ratio");
     let template = MinMix.build_template(&target).expect("multi-fluid target");
 
-    println!("Base MM tree (Fig. 1, T1): Tms={} leaves={:?}\n", template.mix_count(), template.leaf_counts());
+    println!(
+        "Base MM tree (Fig. 1, T1): Tms={} leaves={:?}\n",
+        template.mix_count(),
+        template.leaf_counts()
+    );
     for demand in [16u64, 20] {
-        let (_, report) =
-            build_forest_report(&template, &target, demand, ReusePolicy::AcrossTrees)
-                .expect("forest builds");
+        let (_, report) = build_forest_report(&template, &target, demand, ReusePolicy::AcrossTrees)
+            .expect("forest builds");
         println!("D = {demand}: {report}");
     }
     println!("\npaper: D=16 -> |F|=8 Tms=19 W=0 I=16; D=20 -> |F|=10 Tms=27 W=5 I=25\n");

@@ -3,14 +3,17 @@
 //! MTCS+MMS.
 //!
 //! Pass a corpus size as the first argument (default 600 sampled ratios;
-//! pass `full` for the entire 6066-ratio corpus).
+//! pass `full` for the entire 6066-ratio corpus). Set `DMF_OBS=1` to dump
+//! the run's metrics to `results/obs/fig6_sweep.jsonl`.
 
-use dmf_bench::{run_scheme, Scheme};
+use dmf_bench::{export_obs, obs_from_env, run_scheme, Scheme};
 use dmf_mixalgo::BaseAlgorithm;
+use dmf_obs::Table;
 use dmf_sched::SchedulerKind;
 use dmf_workloads::synthetic;
 
 fn main() {
+    let obs_path = obs_from_env("fig6_sweep");
     let arg = std::env::args().nth(1);
     let corpus = match arg.as_deref() {
         Some("full") => synthetic::paper_corpus(),
@@ -27,14 +30,10 @@ fn main() {
         Scheme::Streaming(BaseAlgorithm::MinMix, SchedulerKind::Mms),
         Scheme::Streaming(BaseAlgorithm::Mtcs, SchedulerKind::Mms),
     ];
-    print!("{:>4}", "D");
-    for s in &schemes {
-        print!(" {:>12}", format!("Tc {}", s.name()));
-    }
-    for s in &schemes {
-        print!(" {:>12}", format!("I {}", s.name()));
-    }
-    println!();
+    let mut headers = vec!["D".to_owned()];
+    headers.extend(schemes.iter().map(|s| format!("Tc {}", s.name())));
+    headers.extend(schemes.iter().map(|s| format!("I {}", s.name())));
+    let mut table = Table::new(headers);
     for demand in (2..=32u64).step_by(2) {
         let mut tc = [0.0f64; 4];
         let mut inputs = [0.0f64; 4];
@@ -55,14 +54,16 @@ fn main() {
                 }
             }
         }
-        print!("{demand:>4}");
-        for v in tc {
-            print!(" {:>12.1}", v / n.max(1) as f64);
-        }
-        for v in inputs {
-            print!(" {:>12.1}", v / n.max(1) as f64);
-        }
-        println!();
+        let mut cells = vec![demand.to_string()];
+        cells.extend(tc.iter().map(|v| format!("{:.1}", v / n.max(1) as f64)));
+        cells.extend(inputs.iter().map(|v| format!("{:.1}", v / n.max(1) as f64)));
+        table.row(cells);
     }
-    println!("\n(the paper's Fig. 6 shape: repeated schemes grow linearly in D; MMS grows far slower)");
+    println!("{table}");
+    println!(
+        "\n(the paper's Fig. 6 shape: repeated schemes grow linearly in D; MMS grows far slower)"
+    );
+    if let Some(path) = obs_path {
+        export_obs(&path);
+    }
 }

@@ -11,14 +11,8 @@ fn main() {
     let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).expect("paper ratio");
     let template = Rma.build_template(&target).expect("multi-fluid target");
     let forest = build_forest(&template, &target, 32, ReusePolicy::AcrossTrees).expect("forest");
-    println!(
-        "Fig. 7: RMA-seeded forest for D = 32 ({} mix-splits)\n",
-        forest.node_count()
-    );
-    println!(
-        "{:>3} {:>10} {:>10} {:>9} {:>9}",
-        "M", "Tc(MMS)", "Tc(SRS)", "q(MMS)", "q(SRS)"
-    );
+    println!("Fig. 7: RMA-seeded forest for D = 32 ({} mix-splits)\n", forest.node_count());
+    println!("{:>3} {:>10} {:>10} {:>9} {:>9}", "M", "Tc(MMS)", "Tc(SRS)", "q(MMS)", "q(SRS)");
     for mixers in 1..=15usize {
         let mms = mms_schedule(&forest, mixers).expect("schedules");
         let srs = srs_schedule(&forest, mixers).expect("schedules");
@@ -31,5 +25,7 @@ fn main() {
             srs.storage(&forest).peak
         );
     }
-    println!("\n(the paper's Fig. 7 shape: Tc falls steeply then flattens; SRS keeps q well below MMS)");
+    println!(
+        "\n(the paper's Fig. 7 shape: Tc falls steeply then flattens; SRS keeps q well below MMS)"
+    );
 }

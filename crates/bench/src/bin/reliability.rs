@@ -6,26 +6,29 @@
 //! problems and reduced lifetime" (citing Huang et al., ICCAD 2011). This
 //! binary simulates both approaches on the same preset PCR chip and
 //! reports total actuations, the wear hot-spot, and the emission cadence.
+//! Set `DMF_OBS=1` to dump the run's metrics to
+//! `results/obs/reliability.jsonl`.
 
-use dmf_bench::default_plan;
+use dmf_bench::{default_plan, export_obs, obs_from_env};
 use dmf_chip::presets::pcr_chip;
 use dmf_engine::realize_pass;
+use dmf_obs::Table;
 use dmf_ratio::TargetRatio;
 use dmf_sim::{SimReport, Simulator};
 
-fn wear_line(name: &str, report: &SimReport, repeats: u64) {
+fn wear_row(table: &mut Table, name: &str, report: &SimReport, repeats: u64) {
     let (cell, per_run) = report.hottest_electrode().expect("programs actuate electrodes");
-    println!(
-        "{:<12} total={:>6}  hot-spot {} x{:<5} distinct electrodes={}",
-        name,
-        report.transport_actuations * repeats,
-        cell,
-        u64::from(per_run) * repeats,
-        report.actuated_electrodes()
-    );
+    table.row([
+        name.to_owned(),
+        (report.transport_actuations * repeats).to_string(),
+        cell.to_string(),
+        (u64::from(per_run) * repeats).to_string(),
+        report.actuated_electrodes().to_string(),
+    ]);
 }
 
 fn main() {
+    let obs_path = obs_from_env("reliability");
     let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).expect("paper ratio");
     let demand = 20u64;
     let chip = pcr_chip();
@@ -40,16 +43,19 @@ fn main() {
     let single_report = Simulator::new(&chip).run(&single_program).expect("valid");
 
     println!("Electrode wear on the PCR chip, D = {demand}:\n");
-    wear_line("streaming", &report, 1);
-    wear_line("repeated", &single_report, demand / 2);
+    let mut table =
+        Table::new(["scheme", "total actuations", "hot-spot", "hot-spot wear", "electrodes"]);
+    wear_row(&mut table, "streaming", &report, 1);
+    wear_row(&mut table, "repeated", &single_report, demand / 2);
+    println!("{table}");
     println!();
     println!(
         "emission cadence (streaming): first pair at cycle {}, intervals {:?}",
         pass.schedule.first_emission(&pass.forest),
         pass.schedule.emission_intervals(&pass.forest)
     );
-    println!(
-        "emission cadence (repeated) : one pair every {} cycles",
-        single.total_cycles
-    );
+    println!("emission cadence (repeated) : one pair every {} cycles", single.total_cycles);
+    if let Some(path) = obs_path {
+        export_obs(&path);
+    }
 }

@@ -31,5 +31,7 @@ fn main() {
         }
         println!();
     }
-    println!("Columns: A=RMM B=MM+MMS C=MM+SRS D=RRMA E=RMA+MMS F=RMA+SRS G=RMTCS H=MTCS+MMS I=MTCS+SRS");
+    println!(
+        "Columns: A=RMM B=MM+MMS C=MM+SRS D=RRMA E=RMA+MMS F=RMA+SRS G=RMTCS H=MTCS+MMS I=MTCS+SRS"
+    );
 }

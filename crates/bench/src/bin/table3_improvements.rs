@@ -3,14 +3,17 @@
 //! D = 32).
 //!
 //! Pass a corpus size as the first argument to subsample (default: the
-//! full 6066-ratio corpus; use e.g. `500` for a quick run).
+//! full 6066-ratio corpus; use e.g. `500` for a quick run). Set `DMF_OBS=1`
+//! to dump the run's metrics to `results/obs/table3_improvements.jsonl`.
 
-use dmf_bench::{run_scheme, Scheme};
+use dmf_bench::{export_obs, obs_from_env, run_scheme, Scheme};
 use dmf_mixalgo::BaseAlgorithm;
+use dmf_obs::Table;
 use dmf_sched::SchedulerKind;
 use dmf_workloads::synthetic;
 
 fn main() {
+    let obs_path = obs_from_env("table3_improvements");
     let sample: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
     let corpus = match sample {
         Some(k) => synthetic::sampled_corpus(k, 2014),
@@ -22,10 +25,6 @@ fn main() {
     );
 
     let demand = 32;
-    println!(
-        "{:<28} {:>10} {:>10} {:>10}",
-        "Parameter / relative scheme", "MM", "RMA", "MTCS"
-    );
     let algorithms = [BaseAlgorithm::MinMix, BaseAlgorithm::Rma, BaseAlgorithm::Mtcs];
 
     // Accumulators per algorithm: sums of ratios for each comparison.
@@ -41,11 +40,13 @@ fn main() {
             let Ok(repeated) = run_scheme(Scheme::Repeated(algorithm), target, demand) else {
                 continue;
             };
-            let Ok(mms) = run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Mms), target, demand)
+            let Ok(mms) =
+                run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Mms), target, demand)
             else {
                 continue;
             };
-            let Ok(srs) = run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Srs), target, demand)
+            let Ok(srs) =
+                run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Srs), target, demand)
             else {
                 continue;
             };
@@ -60,24 +61,29 @@ fn main() {
         }
     }
 
-    let avg = |sums: &[f64; 3], counts: &[usize; 3], k: usize| sums[k] / counts[k].max(1) as f64;
-    let print_line = |label: &str, sums: &[f64; 3]| {
-        println!(
-            "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
-            label,
-            avg(sums, &counted, 0),
-            avg(sums, &counted, 1),
-            avg(sums, &counted, 2)
-        );
-    };
-    print_line("Tc: MMS || Repeated", &tc_mms);
-    print_line("Tc: SRS || Repeated", &tc_srs);
-    print_line("I: streaming || Repeated", &i_stream);
-    print_line("q: SRS || MMS", &q_srs_vs_mms);
-    print_line("Tc: SRS || MMS", &tc_srs_vs_mms);
+    let avg = |sums: &[f64; 3], k: usize| sums[k] / counted[k].max(1) as f64;
+    let mut table = Table::new(["Parameter / relative scheme", "MM", "RMA", "MTCS"]);
+    for (label, sums) in [
+        ("Tc: MMS || Repeated", &tc_mms),
+        ("Tc: SRS || Repeated", &tc_srs),
+        ("I: streaming || Repeated", &i_stream),
+        ("q: SRS || MMS", &q_srs_vs_mms),
+        ("Tc: SRS || MMS", &tc_srs_vs_mms),
+    ] {
+        table.row([
+            label.to_owned(),
+            format!("{:.1}%", avg(sums, 0)),
+            format!("{:.1}%", avg(sums, 1)),
+            format!("{:.1}%", avg(sums, 2)),
+        ]);
+    }
+    println!("{table}");
     println!(
         "\nratios evaluated per algorithm: MM={} RMA={} MTCS={}",
         counted[0], counted[1], counted[2]
     );
     println!("(paper Table 3: Tc ~72-73%, I ~72-77%, q(SRS||MMS) ~23-27%, Tc(SRS||MMS) ~ -4..-6%)");
+    if let Some(path) = obs_path {
+        export_obs(&path);
+    }
 }

@@ -15,11 +15,15 @@
 //! | `fig6_sweep` | Fig. 6 — avg Tc and I versus demand |
 //! | `fig7_mixers` | Fig. 7 — Tc and q versus mixer count |
 //!
-//! The `benches/` directory carries Criterion micro-benchmarks for the
-//! construction, scheduling, placement, routing and simulation layers.
+//! The `benches/` directory carries micro-benchmarks for the construction,
+//! scheduling, placement, routing and simulation layers, built on the
+//! std-only [`micro`] harness (the build environment is offline, so no
+//! external benchmarking framework is used).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use dmf_chip::CostMatrix;
 use dmf_engine::{EngineConfig, MixerBudget, PassPlan, StreamPlan, StreamingEngine};
@@ -90,6 +94,7 @@ pub fn run_scheme(
     target: &TargetRatio,
     demand: u64,
 ) -> Result<SchemeResult, dmf_engine::EngineError> {
+    let _span = dmf_obs::span!("bench_scheme");
     let mm = BaseAlgorithm::MinMix.algorithm().build_graph(target)?;
     let mixers = mixer_lower_bound(&mm)?;
     match scheme {
@@ -120,12 +125,40 @@ pub fn run_scheme(
     }
 }
 
+/// Enables the global [`dmf_obs`] recorder when the `DMF_OBS` environment
+/// variable is set (to anything but `0`) and returns the JSONL export path
+/// for the calling exhibit binary, `results/obs/<exhibit>.jsonl`.
+///
+/// Exhibit binaries call this at startup and pass the path to
+/// [`export_obs`] before exiting.
+pub fn obs_from_env(exhibit: &str) -> Option<std::path::PathBuf> {
+    if std::env::var_os("DMF_OBS").is_some_and(|v| v != "0") {
+        dmf_obs::global().set_enabled(true);
+        Some(std::path::PathBuf::from(format!("results/obs/{exhibit}.jsonl")))
+    } else {
+        None
+    }
+}
+
+/// Dumps the global recorder as JSON lines to `path` and prints the
+/// human-readable [`dmf_obs::MetricsReport`] summary.
+pub fn export_obs(path: &std::path::Path) {
+    match dmf_obs::global().export_jsonl_path(path) {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("error: cannot write metrics to {}: {e}", path.display()),
+    }
+    println!("\n{}", dmf_obs::MetricsReport::from_recorder(dmf_obs::global()));
+}
+
 /// Builds the default streaming plan (used by several exhibits).
 ///
 /// # Errors
 ///
 /// Propagates engine failures.
-pub fn default_plan(target: &TargetRatio, demand: u64) -> Result<StreamPlan, dmf_engine::EngineError> {
+pub fn default_plan(
+    target: &TargetRatio,
+    demand: u64,
+) -> Result<StreamPlan, dmf_engine::EngineError> {
     StreamingEngine::new(EngineConfig::default()).plan(target, demand)
 }
 
@@ -217,11 +250,7 @@ pub fn matrix_transport_cost(pass: &PassPlan, matrix: &CostMatrix) -> u64 {
                     None => {
                         if !pass.forest.is_root(node) {
                             // Nearest waste reservoir.
-                            total += waste_names
-                                .iter()
-                                .map(|w| cost(&mixer, w))
-                                .min()
-                                .unwrap_or(0);
+                            total += waste_names.iter().map(|w| cost(&mixer, w)).min().unwrap_or(0);
                         }
                         // Targets leave at the mixer-adjacent output (no
                         // matrix column; charged zero like the paper).
@@ -257,8 +286,8 @@ mod tests {
         // Table 2 column A: every L = 256 example costs 16 passes x 8
         // cycles = 128 under RMM.
         for protocol in protocols::table2_examples() {
-            let r = run_scheme(Scheme::Repeated(BaseAlgorithm::MinMix), &protocol.ratio, 32)
-                .unwrap();
+            let r =
+                run_scheme(Scheme::Repeated(BaseAlgorithm::MinMix), &protocol.ratio, 32).unwrap();
             assert_eq!(r.cycles, 128, "{}", protocol.id);
         }
     }

@@ -70,7 +70,8 @@ impl CostMatrix {
     /// between module ports).
     pub fn from_spec(spec: &ChipSpec) -> Self {
         let mixer_mods: Vec<ModuleId> = spec.mixers().map(|m| m.id()).collect();
-        let mixers: Vec<String> = mixer_mods.iter().map(|&m| spec.module(m).name().to_owned()).collect();
+        let mixers: Vec<String> =
+            mixer_mods.iter().map(|&m| spec.module(m).name().to_owned()).collect();
         let entries: Vec<(String, Vec<u32>)> = spec
             .modules()
             .iter()

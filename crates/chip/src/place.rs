@@ -1,6 +1,5 @@
 use crate::{ChipError, ChipSpec, ModuleKind, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dmf_rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashMap;
 
 /// Expected droplet traffic between pairs of modules, used as the objective
@@ -148,14 +147,14 @@ impl Placer {
         requests: &[PlacementRequest],
         flows: &FlowMatrix,
     ) -> Result<ChipSpec, ChipError> {
+        let _span = dmf_obs::span!("chip_place");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut rects = self.initial_placement(requests, &mut rng)?;
         let mut cost = placement_cost(&rects, flows);
         let mut temperature = self.config.initial_temperature;
         for _ in 0..self.config.iterations {
             let victim = rng.gen_range(0..requests.len());
-            let Some(candidate) =
-                self.random_site(&requests[victim], &rects, victim, &mut rng)
+            let Some(candidate) = self.random_site(&requests[victim], &rects, victim, &mut rng)
             else {
                 temperature *= self.config.cooling;
                 continue;
@@ -214,10 +213,8 @@ impl Placer {
     ) -> Option<Rect> {
         for _ in 0..64 {
             if let Some(r) = self.sample_site(req, rng) {
-                let clear = rects
-                    .iter()
-                    .enumerate()
-                    .all(|(j, other)| j == skip || !other.touches(&r));
+                let clear =
+                    rects.iter().enumerate().all(|(j, other)| j == skip || !other.touches(&r));
                 if clear {
                     return Some(r);
                 }
@@ -346,10 +343,8 @@ mod tests {
         let chip = Placer::new(config).place(&pcr_requests(), &FlowMatrix::new()).unwrap();
         for m in chip.reservoirs() {
             let r = m.rect();
-            let on_edge = r.x == 0
-                || r.y == 0
-                || r.x + r.w == chip.width()
-                || r.y + r.h == chip.height();
+            let on_edge =
+                r.x == 0 || r.y == 0 || r.x + r.w == chip.width() || r.y + r.h == chip.height();
             assert!(on_edge, "{} must touch the boundary", m.name());
         }
     }

@@ -42,10 +42,10 @@ pub fn streaming_chip(fluids: usize, mixers: usize, storage: usize) -> Result<Ch
         return Err(ChipError::MissingResource { what: "at least one mixer".into() });
     }
     let width = [
-        1 + 3 * fluids as i32,      // reservoirs, pitch 3
-        3 + 4 * mixers as i32,      // 2x2 mixers, pitch 4
-        2 + 3 * storage as i32,     // storage cells, pitch 3
-        9,                          // room for waste corners + centre output
+        1 + 3 * fluids as i32,  // reservoirs, pitch 3
+        3 + 4 * mixers as i32,  // 2x2 mixers, pitch 4
+        2 + 3 * storage as i32, // storage cells, pitch 3
+        9,                      // room for waste corners + centre output
     ]
     .into_iter()
     .max()
@@ -61,7 +61,11 @@ pub fn streaming_chip(fluids: usize, mixers: usize, storage: usize) -> Result<Ch
         )?;
     }
     for m in 0..mixers {
-        spec.add_module(format!("M{}", m + 1), ModuleKind::Mixer, Rect::new(3 + 4 * m as i32, 4, 2, 2))?;
+        spec.add_module(
+            format!("M{}", m + 1),
+            ModuleKind::Mixer,
+            Rect::new(3 + 4 * m as i32, 4, 2, 2),
+        )?;
     }
     for s in 0..storage {
         spec.add_module(

@@ -24,10 +24,10 @@ impl ChipSpec {
         let width = self.width() * CELL;
         let height = self.height() * CELL;
         let mut out = String::new();
-        let _ = write!(
+        let _ = writeln!(
             out,
             "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
-             viewBox=\"-1 -1 {} {}\">\n",
+             viewBox=\"-1 -1 {} {}\">",
             width + 2,
             height + 2,
             width + 2,

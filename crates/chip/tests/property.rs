@@ -1,10 +1,8 @@
-//! Property tests: placement legality and cost-matrix consistency over
-//! random inventories and flows.
+//! Randomized tests: placement legality and cost-matrix consistency over
+//! random inventories and seeds, driven by a fixed-seed [`dmf_rng::StdRng`].
 
-use dmf_chip::{
-    CostMatrix, FlowMatrix, ModuleKind, PlacementConfig, PlacementRequest, Placer,
-};
-use proptest::prelude::*;
+use dmf_chip::{CostMatrix, FlowMatrix, ModuleKind, PlacementConfig, PlacementRequest, Placer};
+use dmf_rng::{Rng, SeedableRng, StdRng};
 
 fn inventory(fluids: usize, mixers: usize, storage: usize) -> Vec<PlacementRequest> {
     let mut reqs = Vec::new();
@@ -25,56 +23,53 @@ fn inventory(fluids: usize, mixers: usize, storage: usize) -> Vec<PlacementReque
     reqs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random inventories place legally on a generous grid, with every
-    /// geometric rule intact and all world-facing modules on the boundary.
-    #[test]
-    fn placements_are_legal(
-        fluids in 1usize..6,
-        mixers in 1usize..4,
-        storage in 0usize..5,
-        seed in 0u64..1000,
-    ) {
+/// Random inventories place legally on a generous grid, with every
+/// geometric rule intact and all world-facing modules on the boundary.
+#[test]
+fn placements_are_legal() {
+    let mut rng = StdRng::seed_from_u64(0x914C);
+    for _ in 0..24 {
+        let fluids = rng.gen_range(1usize..6);
+        let mixers = rng.gen_range(1usize..4);
+        let storage = rng.gen_range(0usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let reqs = inventory(fluids, mixers, storage);
-        let config = PlacementConfig {
-            width: 24,
-            height: 18,
-            iterations: 300,
-            seed,
-            ..Default::default()
-        };
-        let chip = Placer::new(config).place(&reqs, &FlowMatrix::new()).expect("generous grid fits");
+        let config =
+            PlacementConfig { width: 24, height: 18, iterations: 300, seed, ..Default::default() };
+        let chip =
+            Placer::new(config).place(&reqs, &FlowMatrix::new()).expect("generous grid fits");
         chip.validate().expect("geometry holds");
         chip.validate_for_engine(fluids).expect("engine inventory present");
         for module in chip.reservoirs().chain(chip.waste_reservoirs()).chain(chip.outputs()) {
             let r = module.rect();
-            let on_edge = r.x == 0
-                || r.y == 0
-                || r.x + r.w == chip.width()
-                || r.y + r.h == chip.height();
-            prop_assert!(on_edge, "{} must be world-facing", module.name());
+            let on_edge =
+                r.x == 0 || r.y == 0 || r.x + r.w == chip.width() || r.y + r.h == chip.height();
+            assert!(on_edge, "{} must be world-facing", module.name());
         }
     }
+}
 
-    /// The derived cost matrix is symmetric in its mixer block, zero on
-    /// the diagonal, and agrees with port distances.
-    #[test]
-    fn cost_matrix_is_consistent(seed in 0u64..500) {
+/// The derived cost matrix is symmetric in its mixer block, zero on
+/// the diagonal, and agrees with port distances.
+#[test]
+fn cost_matrix_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xC057);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..500);
         let reqs = inventory(3, 3, 2);
-        let config = PlacementConfig { width: 24, height: 18, iterations: 100, seed, ..Default::default() };
+        let config =
+            PlacementConfig { width: 24, height: 18, iterations: 100, seed, ..Default::default() };
         let chip = Placer::new(config).place(&reqs, &FlowMatrix::new()).expect("fits");
         let matrix = CostMatrix::from_spec(&chip);
         for (i, a) in chip.mixers().enumerate() {
-            prop_assert_eq!(matrix.cost(a.name(), i), Some(0));
+            assert_eq!(matrix.cost(a.name(), i), Some(0));
             for (j, b) in chip.mixers().enumerate() {
-                prop_assert_eq!(matrix.cost(a.name(), j), matrix.cost(b.name(), i));
+                assert_eq!(matrix.cost(a.name(), j), matrix.cost(b.name(), i));
             }
         }
         for module in chip.modules() {
             for (j, mixer) in chip.mixers().enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     matrix.cost(module.name(), j),
                     Some(module.port().manhattan(mixer.port()))
                 );

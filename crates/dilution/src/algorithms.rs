@@ -187,11 +187,7 @@ mod tests {
                 let graph = BitScan.build_graph(&target).unwrap();
                 graph.validate().unwrap();
                 let reduced = target.reduced();
-                assert_eq!(
-                    graph.stats().mix_splits as u32,
-                    reduced.accuracy(),
-                    "k={k} d={d}"
-                );
+                assert_eq!(graph.stats().mix_splits as u32, reduced.accuracy(), "k={k} d={d}");
             }
         }
     }

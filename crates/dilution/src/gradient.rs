@@ -67,9 +67,9 @@ pub fn dilution_gradient(
         let root = rebuild_tree(template, &mut builder, &mut pool, true)?;
         builder.finish_tree(root);
     }
-    let graph = builder.finish_multi(&targets).map_err(|e| {
-        DilutionError::Algo(dmf_mixalgo::MixAlgoError::Graph(e))
-    })?;
+    let graph = builder
+        .finish_multi(&targets)
+        .map_err(|e| DilutionError::Algo(dmf_mixalgo::MixAlgoError::Graph(e)))?;
     let stats = graph.stats();
     let report = GradientReport {
         cf_numerators: cf_numerators.to_vec(),

@@ -127,10 +127,14 @@ impl StreamingEngine {
     /// [`EngineError::StorageInfeasible`] when even a demand-2 pass exceeds
     /// the storage budget, and propagates construction/scheduling failures.
     pub fn plan(&self, target: &TargetRatio, demand: u64) -> Result<StreamPlan, EngineError> {
+        let _span = dmf_obs::span!("engine_plan");
         if demand == 0 {
             return Err(EngineError::ZeroDemand);
         }
-        let template = self.config.algorithm.algorithm().build_template(target)?;
+        let template = {
+            let _span = dmf_obs::span!("mixalgo_build");
+            self.config.algorithm.algorithm().build_template(target)?
+        };
         let mixers = self.mixer_count(target)?;
         let mut passes: Vec<PassPlan> = Vec::new();
         let mut remaining = demand;
@@ -154,7 +158,7 @@ impl StreamingEngine {
                 *acc += v;
             }
         }
-        Ok(StreamPlan {
+        let plan = StreamPlan {
             target: target.clone(),
             demand,
             mixers,
@@ -165,7 +169,18 @@ impl StreamingEngine {
             inputs,
             storage_peak: passes.iter().map(PassPlan::storage_units).max().unwrap_or(0),
             passes,
-        })
+        };
+        let obs = dmf_obs::global();
+        if obs.is_enabled() {
+            obs.gauge_set("plan.demand", plan.demand);
+            obs.gauge_set("plan.passes", plan.passes.len() as u64);
+            obs.gauge_set("plan.cycles", plan.total_cycles);
+            obs.gauge_set("plan.mix_splits", plan.total_mix_splits);
+            obs.gauge_set("plan.waste", plan.total_waste);
+            obs.gauge_set("plan.inputs", plan.total_inputs);
+            obs.gauge_set("plan.storage_peak", plan.storage_peak as u64);
+        }
+        Ok(plan)
     }
 
     fn build_pass(
@@ -201,10 +216,7 @@ impl StreamingEngine {
     ) -> Result<u64, EngineError> {
         let first = self.build_pass(template, target, remaining.min(2), mixers)?;
         if first.storage_units() > limit {
-            return Err(EngineError::StorageInfeasible {
-                limit,
-                needed: first.storage_units(),
-            });
+            return Err(EngineError::StorageInfeasible { limit, needed: first.storage_units() });
         }
         // SRS storage is not strictly monotone in the demand (see the
         // Fig. 7 jitter), so keep scanning past the first infeasible
@@ -280,11 +292,9 @@ mod tests {
     fn mms_is_no_slower_than_srs() {
         let target = pcr_d4();
         let srs = StreamingEngine::new(EngineConfig::default()).plan(&target, 32).unwrap();
-        let mms = StreamingEngine::new(
-            EngineConfig::default().with_scheduler(SchedulerKind::Mms),
-        )
-        .plan(&target, 32)
-        .unwrap();
+        let mms = StreamingEngine::new(EngineConfig::default().with_scheduler(SchedulerKind::Mms))
+            .plan(&target, 32)
+            .unwrap();
         assert!(mms.total_cycles <= srs.total_cycles);
         assert!(srs.storage_peak <= mms.storage_peak);
     }

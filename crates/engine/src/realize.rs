@@ -43,6 +43,7 @@ use std::collections::HashMap;
 /// # }
 /// ```
 pub fn realize_pass(pass: &PassPlan, chip: &ChipSpec) -> Result<ChipProgram, EngineError> {
+    let _span = dmf_obs::span!("engine_realize");
     Realizer::new(pass, chip)?.compile()
 }
 
@@ -77,11 +78,7 @@ impl<'a> Realizer<'a> {
         let mixers: Vec<ModuleId> = chip.mixers().map(|m| m.id()).collect();
         if mixers.len() < pass.schedule.mixer_count() {
             return Err(EngineError::Chip(dmf_chip::ChipError::MissingResource {
-                what: format!(
-                    "{} mixers (chip has {})",
-                    pass.schedule.mixer_count(),
-                    mixers.len()
-                ),
+                what: format!("{} mixers (chip has {})", pass.schedule.mixer_count(), mixers.len()),
             }));
         }
         let storage: Vec<ModuleId> = chip.storage_cells().map(|m| m.id()).collect();
@@ -172,10 +169,8 @@ impl<'a> Realizer<'a> {
         }
         for &node in &self.by_cycle[t as usize].clone() {
             let consumers = self.ordered_consumers(node);
-            let produced: Vec<DropletId> = self
-                .reserved_outputs(node)
-                .expect("outputs assigned when the node fired")
-                .to_vec();
+            let produced: Vec<DropletId> =
+                self.reserved_outputs(node).expect("outputs assigned when the node fired").to_vec();
             for (i, d) in produced.iter().enumerate() {
                 match consumers.get(i) {
                     Some(&consumer) => {
@@ -186,7 +181,8 @@ impl<'a> Realizer<'a> {
                         } else {
                             let mixer = self.mixer_of(node);
                             let cell = self.allocate_storage(mixer)?;
-                            self.program.push(Instruction::TransportTo { droplet: *d, module: cell });
+                            self.program
+                                .push(Instruction::TransportTo { droplet: *d, module: cell });
                             self.program.push(Instruction::Store { droplet: *d, cell });
                             self.loc.insert(*d, Loc::InStorage(cell));
                         }
@@ -194,7 +190,8 @@ impl<'a> Realizer<'a> {
                     None => {
                         if self.pass.forest.is_root(node) {
                             let out = self.outputs[0];
-                            self.program.push(Instruction::TransportTo { droplet: *d, module: out });
+                            self.program
+                                .push(Instruction::TransportTo { droplet: *d, module: out });
                             self.program.push(Instruction::Emit { droplet: *d, output: out });
                         } else {
                             let waste = self.nearest_waste(self.mixer_of(node));
@@ -216,11 +213,8 @@ impl<'a> Realizer<'a> {
             for op in self.pass.forest.node(node).operands() {
                 match op {
                     Operand::Input(f) => {
-                        let reservoir = self
-                            .chip
-                            .reservoir_for(f.0)
-                            .expect("validated for engine")
-                            .id();
+                        let reservoir =
+                            self.chip.reservoir_for(f.0).expect("validated for engine").id();
                         let d = self.fresh();
                         self.program.push(Instruction::Dispense { reservoir, droplet: d });
                         self.program.push(Instruction::TransportTo { droplet: d, module: mixer });
@@ -229,13 +223,14 @@ impl<'a> Realizer<'a> {
                     Operand::Droplet(src) => {
                         // Move direct hand-offs still sitting at their
                         // producer's mixer (stored ones were fetched).
-                        let queue =
-                            self.reserved.get(&(node, src)).cloned().unwrap_or_default();
+                        let queue = self.reserved.get(&(node, src)).cloned().unwrap_or_default();
                         for d in queue {
                             if let Some(Loc::AtMixer(m)) = self.loc.get(&d).copied() {
                                 if m != mixer {
-                                    self.program
-                                        .push(Instruction::TransportTo { droplet: d, module: mixer });
+                                    self.program.push(Instruction::TransportTo {
+                                        droplet: d,
+                                        module: mixer,
+                                    });
                                     self.loc.insert(d, Loc::AtMixer(mixer));
                                 }
                             }
@@ -314,8 +309,7 @@ impl<'a> Realizer<'a> {
                 best = Some((cost, i));
             }
         }
-        let (_, i) =
-            best.ok_or(EngineError::StorageExhausted { available: self.storage.len() })?;
+        let (_, i) = best.ok_or(EngineError::StorageExhausted { available: self.storage.len() })?;
         self.storage_free[i] = false;
         Ok(self.storage[i])
     }

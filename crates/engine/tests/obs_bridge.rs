@@ -1,0 +1,55 @@
+//! The TraceEvent → Recorder bridge agrees with the planner: folding a
+//! simulated run's event log into a recorder reproduces the schedule's
+//! storage peak `q`, the plan's waste `W` and mix-split count `Tms`.
+
+use dmf_chip::presets::pcr_chip;
+use dmf_engine::{realize_pass, EngineConfig, StreamingEngine};
+use dmf_obs::{MetricsReport, Recorder};
+use dmf_ratio::TargetRatio;
+use dmf_sim::{bridge, Simulator};
+
+#[test]
+fn folded_trace_matches_planned_q_w_and_mix_splits() {
+    let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+    let plan = StreamingEngine::new(EngineConfig::default()).plan(&target, 4).unwrap();
+    assert_eq!(plan.pass_count(), 1, "D=4 fits one pass");
+    let chip = pcr_chip();
+    let program = realize_pass(&plan.passes[0], &chip).unwrap();
+    let (report, trace) = Simulator::new(&chip).run_traced(&program).unwrap();
+
+    let rec = Recorder::new();
+    bridge::record_trace(&rec, &trace);
+    let folded = MetricsReport::from_recorder(&rec);
+
+    // The bridge replays the event log from first principles; its numbers
+    // must equal what the planner promised and what the simulator counted.
+    assert_eq!(folded.value("sim.storage_peak"), Some(plan.storage_peak as u64));
+    assert_eq!(folded.value("sim.waste_droplets"), Some(plan.total_waste));
+    assert_eq!(folded.value("sim.mix_splits"), Some(plan.total_mix_splits));
+    assert_eq!(folded.value("sim.dispensed"), Some(plan.total_inputs));
+    assert_eq!(folded.value("sim.emitted"), Some(plan.demand));
+
+    // And agree with the simulator's own accounting, including actuations.
+    assert_eq!(folded.value("sim.storage_peak"), Some(report.storage_peak as u64));
+    assert_eq!(folded.value("sim.droplet_hops"), Some(report.transport_actuations));
+    assert_eq!(
+        folded.value("sim.electrode_actuations"),
+        Some(report.transport_actuations + report.dispensed)
+    );
+}
+
+#[test]
+fn record_report_is_a_noop_on_a_disabled_recorder() {
+    let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+    let plan = StreamingEngine::new(EngineConfig::default()).plan(&target, 4).unwrap();
+    let chip = pcr_chip();
+    let program = realize_pass(&plan.passes[0], &chip).unwrap();
+    let (report, trace) = Simulator::new(&chip).run_traced(&program).unwrap();
+
+    let rec = Recorder::disabled();
+    bridge::record_trace(&rec, &trace);
+    bridge::record_report(&rec, &report);
+    let snapshot = rec.snapshot();
+    assert!(snapshot.counters.is_empty());
+    assert!(snapshot.gauges.is_empty());
+}

@@ -94,6 +94,7 @@ pub fn build_forest(
     demand: u64,
     policy: ReusePolicy,
 ) -> Result<MixGraph, ForestError> {
+    let _span = dmf_obs::span!("forest_build");
     if demand == 0 {
         return Err(ForestError::ZeroDemand);
     }
@@ -196,7 +197,8 @@ mod tests {
     #[test]
     fn odd_demand_rounds_up_to_tree_pairs() {
         let (template, target) = pcr_d4();
-        let (_, report) = build_forest_report(&template, &target, 5, ReusePolicy::AcrossTrees).unwrap();
+        let (_, report) =
+            build_forest_report(&template, &target, 5, ReusePolicy::AcrossTrees).unwrap();
         assert_eq!(report.trees, 3);
         assert_eq!(report.targets_emitted, 6);
         assert_eq!(report.surplus, 1);
@@ -228,8 +230,9 @@ mod tests {
             let target = TargetRatio::new(parts).unwrap();
             let template = MinMix.build_template(&target).unwrap();
             for demand in [4u64, 10, 16, 20] {
-                let across =
-                    build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap().stats();
+                let across = build_forest(&template, &target, demand, ReusePolicy::AcrossTrees)
+                    .unwrap()
+                    .stats();
                 let eager =
                     build_forest(&template, &target, demand, ReusePolicy::Eager).unwrap().stats();
                 assert!(eager.mix_splits <= across.mix_splits);

@@ -79,15 +79,11 @@ mod tests {
     #[test]
     fn shares_waste_across_related_targets() {
         // A PCR-like series: all targets share the x1/x2 backbone.
-        let pairs =
-            vec![pair(vec![2, 1, 1, 4]), pair(vec![1, 2, 1, 4]), pair(vec![1, 1, 2, 4])];
+        let pairs = vec![pair(vec![2, 1, 1, 4]), pair(vec![1, 2, 1, 4]), pair(vec![1, 1, 2, 4])];
         let forest = build_multi_target_forest(&pairs, ReusePolicy::AcrossTrees).unwrap();
         forest.validate().unwrap();
         let shared = forest.stats();
-        let separate: u64 = pairs
-            .iter()
-            .map(|(t, _)| t.leaf_counts().iter().sum::<u64>())
-            .sum();
+        let separate: u64 = pairs.iter().map(|(t, _)| t.leaf_counts().iter().sum::<u64>()).sum();
         assert!(shared.input_total <= separate);
         shared.assert_conservation();
         assert_eq!(forest.targets().len(), 3);

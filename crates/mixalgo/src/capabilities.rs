@@ -59,6 +59,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the Table 1 rows are consts by design
     fn table1_rows_are_distinct_where_the_paper_says_so() {
         assert_ne!(Capabilities::SDST_ONLY, Capabilities::RSM);
         assert_ne!(Capabilities::RSM, Capabilities::PROPOSED);

@@ -111,6 +111,7 @@ pub trait MixingAlgorithm {
     /// structural validation failures (which would indicate an algorithm
     /// bug).
     fn build_graph(&self, target: &TargetRatio) -> Result<MixGraph, MixAlgoError> {
+        let _span = dmf_obs::span!("mixalgo_build");
         let template = self.build_template(target)?;
         materialize(&template, target, self.shares_subgraphs())
     }

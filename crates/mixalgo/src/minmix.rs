@@ -60,7 +60,7 @@ impl MixingAlgorithm for MinMix {
         // when its turn comes.
         for k in (1..=d as usize).rev() {
             let items = std::mem::take(&mut buckets[k]);
-            debug_assert!(items.len() % 2 == 0, "Kraft parity violated at depth {k}");
+            debug_assert!(items.len().is_multiple_of(2), "Kraft parity violated at depth {k}");
             let mut it = items.into_iter();
             while let (Some(a), Some(b)) = (it.next(), it.next()) {
                 buckets[k - 1].push(Template::mix(a, b)?);

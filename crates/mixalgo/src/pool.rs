@@ -91,9 +91,7 @@ impl WastePool {
     /// Iterates over the takeable droplets as `(content, producer)` pairs,
     /// in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&Mixture, NodeId)> {
-        self.available
-            .iter()
-            .flat_map(|(m, q)| q.iter().map(move |&id| (m, id)))
+        self.available.iter().flat_map(|(m, q)| q.iter().map(move |&id| (m, id)))
     }
 }
 

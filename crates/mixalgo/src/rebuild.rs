@@ -35,7 +35,7 @@ pub fn rebuild_tree(
     pool: &mut WastePool,
     eager: bool,
 ) -> Result<NodeId, MixAlgoError> {
-    match rebuild_node(template.root(), template.fluid_count(), builder, pool, eager, true)? {
+    match rebuild_node(template.root(), builder, pool, eager, true)? {
         Operand::Droplet(id) => Ok(id),
         Operand::Input(_) => Err(MixAlgoError::PureTarget),
     }
@@ -43,7 +43,6 @@ pub fn rebuild_tree(
 
 fn rebuild_node(
     node: &TemplateNode,
-    fluid_count: usize,
     builder: &mut GraphBuilder,
     pool: &mut WastePool,
     eager: bool,
@@ -57,8 +56,8 @@ fn rebuild_node(
                     return Ok(Operand::Droplet(id));
                 }
             }
-            let lo = rebuild_node(left, fluid_count, builder, pool, eager, false)?;
-            let ro = rebuild_node(right, fluid_count, builder, pool, eager, false)?;
+            let lo = rebuild_node(left, builder, pool, eager, false)?;
+            let ro = rebuild_node(right, builder, pool, eager, false)?;
             let id = builder.mix(lo, ro).map_err(MixAlgoError::Graph)?;
             if !is_root {
                 pool.offer(mixture.clone(), id, eager);

@@ -16,15 +16,8 @@ pub struct Template {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum TemplateNode {
-    Leaf {
-        fluid: FluidId,
-    },
-    Mix {
-        left: Box<TemplateNode>,
-        right: Box<TemplateNode>,
-        mixture: Mixture,
-        level: u32,
-    },
+    Leaf { fluid: FluidId },
+    Mix { left: Box<TemplateNode>, right: Box<TemplateNode>, mixture: Mixture, level: u32 },
 }
 
 impl TemplateNode {

@@ -193,9 +193,7 @@ mod tests {
     #[test]
     fn rejects_unknown_operand() {
         let mut b = GraphBuilder::new(2);
-        let err = b
-            .mix(Operand::Droplet(NodeId(7)), Operand::Input(FluidId(0)))
-            .unwrap_err();
+        let err = b.mix(Operand::Droplet(NodeId(7)), Operand::Input(FluidId(0))).unwrap_err();
         assert_eq!(err, GraphError::UnknownNode { node: NodeId(7) });
     }
 
@@ -205,9 +203,7 @@ mod tests {
         let a = b.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
         b.mix(Operand::Droplet(a), Operand::Input(FluidId(0))).unwrap();
         b.mix(Operand::Droplet(a), Operand::Input(FluidId(1))).unwrap();
-        let err = b
-            .mix(Operand::Droplet(a), Operand::Input(FluidId(0)))
-            .unwrap_err();
+        let err = b.mix(Operand::Droplet(a), Operand::Input(FluidId(0))).unwrap_err();
         assert_eq!(err, GraphError::OverconsumedDroplet { node: a });
     }
 

@@ -46,7 +46,9 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::UnknownNode { node } => write!(f, "operand refers to unknown vertex {node}"),
+            GraphError::UnknownNode { node } => {
+                write!(f, "operand refers to unknown vertex {node}")
+            }
             GraphError::OverconsumedDroplet { node } => {
                 write!(f, "droplets of vertex {node} consumed more than twice")
             }

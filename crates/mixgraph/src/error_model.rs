@@ -28,11 +28,7 @@ pub struct CfInterval {
 impl CfInterval {
     /// Width of the widest per-fluid interval.
     pub fn max_width(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| h - l)
-            .fold(0.0, f64::max)
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).fold(0.0, f64::max)
     }
 }
 
@@ -69,10 +65,14 @@ impl MixGraph {
             let mut lo = vec![0.0; n_fluids];
             let mut hi = vec![0.0; n_fluids];
             for i in 0..n_fluids {
-                let candidates_lo =
-                    [w_lo * a.lo[i] + (1.0 - w_lo) * b.lo[i], w_hi * a.lo[i] + (1.0 - w_hi) * b.lo[i]];
-                let candidates_hi =
-                    [w_lo * a.hi[i] + (1.0 - w_lo) * b.hi[i], w_hi * a.hi[i] + (1.0 - w_hi) * b.hi[i]];
+                let candidates_lo = [
+                    w_lo * a.lo[i] + (1.0 - w_lo) * b.lo[i],
+                    w_hi * a.lo[i] + (1.0 - w_hi) * b.lo[i],
+                ];
+                let candidates_hi = [
+                    w_lo * a.hi[i] + (1.0 - w_lo) * b.hi[i],
+                    w_hi * a.hi[i] + (1.0 - w_hi) * b.hi[i],
+                ];
                 lo[i] = candidates_lo.into_iter().fold(f64::INFINITY, f64::min).max(0.0);
                 hi[i] = candidates_hi.into_iter().fold(f64::NEG_INFINITY, f64::max).min(1.0);
             }
@@ -114,7 +114,8 @@ impl MixGraph {
     pub fn split_error_margin(&self, tolerance: f64) -> f64 {
         assert!(tolerance > 0.0, "tolerance must be positive");
         let band = 1.0
-            / (1u64 << self.roots().iter().map(|&r| self.node(r).mixture().level()).max().unwrap_or(0))
+            / (1u64
+                << self.roots().iter().map(|&r| self.node(r).mixture().level()).max().unwrap_or(0))
                 as f64;
         let (mut lo, mut hi) = (0.0f64, 0.999f64);
         while hi - lo > tolerance {

@@ -275,9 +275,7 @@ mod tests {
     fn two_fluid_graph() -> MixGraph {
         let target = TargetRatio::new(vec![1, 1]).unwrap();
         let mut b = GraphBuilder::new(2);
-        let root = b
-            .mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1)))
-            .unwrap();
+        let root = b.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
         b.finish_tree(root);
         b.finish(&target).unwrap()
     }
@@ -301,12 +299,8 @@ mod tests {
         // Depth-2 tree over 4 fluids: root mixes two leaf-pair mixes.
         let target = TargetRatio::new(vec![1, 1, 1, 1]).unwrap();
         let mut b = GraphBuilder::new(4);
-        let a = b
-            .mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1)))
-            .unwrap();
-        let c = b
-            .mix(Operand::Input(FluidId(2)), Operand::Input(FluidId(3)))
-            .unwrap();
+        let a = b.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
+        let c = b.mix(Operand::Input(FluidId(2)), Operand::Input(FluidId(3))).unwrap();
         let root = b.mix(Operand::Droplet(a), Operand::Droplet(c)).unwrap();
         b.finish_tree(root);
         let g = b.finish(&target).unwrap();
@@ -320,9 +314,7 @@ mod tests {
     fn levels_use_structural_height() {
         let target = TargetRatio::new(vec![1, 1, 2]).unwrap();
         let mut b = GraphBuilder::new(3);
-        let inner = b
-            .mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1)))
-            .unwrap();
+        let inner = b.mix(Operand::Input(FluidId(0)), Operand::Input(FluidId(1))).unwrap();
         let root = b.mix(Operand::Droplet(inner), Operand::Input(FluidId(2))).unwrap();
         b.finish_tree(root);
         let g = b.finish(&target).unwrap();

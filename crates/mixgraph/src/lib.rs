@@ -44,8 +44,8 @@
 
 mod builder;
 mod dot;
-mod error_model;
 mod error;
+mod error_model;
 mod graph;
 mod stats;
 

@@ -78,11 +78,7 @@ impl fmt::Display for GraphStats {
             self.mix_splits,
             self.waste,
             self.input_total,
-            self.inputs
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
+            self.inputs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
         )
     }
 }

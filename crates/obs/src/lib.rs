@@ -1,0 +1,129 @@
+//! Zero-dependency observability for the droplet-streaming pipeline.
+//!
+//! The paper's whole evaluation is metrics-driven — completion time `Tc`,
+//! input droplets `I`, waste `W`, storage units `q`, electrode actuations —
+//! yet the pipeline had no way to answer "where did the time go, what did
+//! this demand cost" except scraping `println!` output. This crate is the
+//! missing layer: a std-only [`Recorder`] of **spans** (wall-clock phase
+//! timings), **counters**, **gauges** and fixed-bucket **histograms**, a
+//! hand-rolled JSON-lines exporter (no serde), and a [`MetricsReport`]
+//! aggregator that folds a recorded session into the paper's vocabulary.
+//!
+//! # Model
+//!
+//! * A [`Recorder`] is a thread-safe metric store. Libraries record into
+//!   the process-wide [`global()`] recorder, which starts **disabled**:
+//!   every instrumented hot path first checks an atomic flag and does no
+//!   work — and no allocation — until someone (the CLI's `--metrics` flag,
+//!   `DMF_OBS=1`, a test) calls [`Recorder::set_enabled`]. Tests and
+//!   embedders can also construct private recorders and pass them around.
+//! * [`Recorder::span`] returns a guard; dropping it records the elapsed
+//!   wall time under the span's name and feeds the `span.<name>` histogram.
+//!   The span taxonomy of the pipeline is documented in `DESIGN.md`
+//!   (§ Observability): `ratio_approx`, `mixalgo_build`, `forest_build`,
+//!   `sched_mms` / `sched_srs`, `sched_storage`, `chip_place`,
+//!   `engine_plan`, `engine_realize`, `sim_execute`.
+//! * Domain gauges use dotted names with the paper's symbols spelled out:
+//!   `plan.storage_peak` (`q`), `plan.waste` (`W`), `plan.mix_splits`
+//!   (`Tms`), `plan.inputs` (`I`), `plan.cycles` (`Tc`),
+//!   `sim.storage_peak`, `sim.droplet_hops`, `sim.electrode_actuations`…
+//! * [`Snapshot`] / [`Recorder::export_jsonl`] serialize a session as
+//!   JSON lines (see `json` for the schema and the minimal parser used in
+//!   round-trip tests); [`MetricsReport`] renders the human summary table.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmf_obs::{MetricsReport, Recorder};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _guard = rec.span("engine_plan");
+//!     rec.count("plan.passes", 1);
+//!     rec.gauge_max("plan.storage_peak", 5);
+//! }
+//! let report = MetricsReport::from_recorder(&rec);
+//! assert_eq!(report.gauges["plan.storage_peak"], 5);
+//! assert_eq!(report.phases[0].name, "engine_plan");
+//! let mut jsonl = Vec::new();
+//! rec.export_jsonl(&mut jsonl).unwrap();
+//! assert!(String::from_utf8(jsonl).unwrap().contains("\"engine_plan\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod recorder;
+mod report;
+mod table;
+
+pub use recorder::{Histogram, Recorder, Snapshot, Span, SpanRecord, HIST_BUCKETS};
+pub use report::{MetricsReport, PhaseLatency};
+pub use table::Table;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-wide recorder. Starts disabled; instrumented code is a
+/// no-op until [`Recorder::set_enabled`]`(true)` is called on it.
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::disabled)
+}
+
+/// Starts a span on the [`global`] recorder.
+///
+/// ```
+/// {
+///     let _guard = dmf_obs::span!("mms_schedule");
+///     // ... phase under measurement ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+}
+
+/// Formats a nanosecond quantity with an adaptive unit (`ns`, `µs`, `ms`,
+/// `s`), keeping three significant digits.
+pub fn fmt_ns(ns: u64) -> String {
+    let f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", f / 1e6)
+    } else {
+        format!("{:.2}s", f / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn global_starts_disabled_and_spans_are_inert() {
+        // The global recorder must not accumulate anything while disabled.
+        let before = global().snapshot();
+        {
+            let _g = span!("should_not_record");
+            global().count("should_not_count", 1);
+        }
+        let after = global().snapshot();
+        assert_eq!(before.spans.len(), after.spans.len());
+        assert!(!after.counters.contains_key("should_not_count"));
+    }
+}

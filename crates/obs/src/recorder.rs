@@ -1,0 +1,425 @@
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of fixed power-of-two buckets in a [`Histogram`].
+pub const HIST_BUCKETS: usize = 48;
+
+/// A fixed-bucket latency histogram over nanoseconds.
+///
+/// Bucket `i` counts samples `v` with `2^(i-1) <= v < 2^i` (bucket 0 holds
+/// `v == 0`), so the whole `u64` nanosecond range fits in
+/// [`HIST_BUCKETS`] buckets at 2× resolution — enough to tell a 2µs
+/// schedule from a 2ms one without configuring bounds per metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample (0 when empty).
+    pub max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; HIST_BUCKETS], count: 0, sum_ns: 0, min_ns: 0, max_ns: 0 }
+    }
+}
+
+impl Histogram {
+    /// The bucket index for a sample.
+    pub fn bucket_of(value_ns: u64) -> usize {
+        ((64 - value_ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value_ns: u64) {
+        self.counts[Self::bucket_of(value_ns)] += 1;
+        self.sum_ns += value_ns;
+        self.min_ns = if self.count == 0 { value_ns } else { self.min_ns.min(value_ns) };
+        self.max_ns = self.max_ns.max(value_ns);
+        self.count += 1;
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
+    }
+}
+
+/// One finished span: a named phase with its offset from session start and
+/// its wall-clock duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (`engine_plan`, `sched_srs`, …).
+    pub name: &'static str,
+    /// Start offset from the session epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+}
+
+/// A thread-safe metric store: spans, counters, gauges and histograms.
+///
+/// Instrumented hot paths call [`Recorder::span`] / [`Recorder::count`] /
+/// [`Recorder::gauge_max`]; each checks one atomic flag first, so a
+/// disabled recorder costs a single relaxed load and performs **no
+/// allocation** — the contract that lets every crate in the pipeline stay
+/// instrumented unconditionally.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder (for injection into tests and embedders).
+    pub fn new() -> Self {
+        Recorder { enabled: AtomicBool::new(true), inner: Mutex::new(Inner::new()) }
+    }
+
+    /// A disabled recorder — what [`crate::global`] starts as.
+    pub fn disabled() -> Self {
+        Recorder { enabled: AtomicBool::new(false), inner: Mutex::new(Inner::new()) }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Switches recording on or off. Enabling does not clear prior data;
+    /// call [`Recorder::reset`] for a fresh session.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Clears all recorded data and restarts the session epoch.
+    pub fn reset(&self) {
+        *self.inner.lock().expect("recorder poisoned") = Inner::new();
+    }
+
+    /// Starts a span; dropping the returned guard records it. Inert (and
+    /// allocation-free) when the recorder is disabled.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span { active: None };
+        }
+        Span { active: Some((self, name, Instant::now())) }
+    }
+
+    /// Adds `delta` to the monotonic counter `name`.
+    pub fn count(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        if let Some(v) = inner.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            inner.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Raises gauge `name` to `value` if it is higher than the current
+    /// reading — the natural update for peaks such as storage occupancy.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        if let Some(v) = inner.gauges.get_mut(name) {
+            *v = (*v).max(value);
+        } else {
+            inner.gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Records a duration sample into histogram `name` without a span.
+    pub fn record_duration(&self, name: &str, duration: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ns = duration.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        inner.histograms.entry(name.to_owned()).or_default().record(ns);
+    }
+
+    fn finish_span(&self, name: &'static str, started: Instant) {
+        if !self.is_enabled() {
+            return;
+        }
+        let dur_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let start_ns =
+            started.duration_since(inner.epoch).as_nanos().min(u128::from(u64::MAX)) as u64;
+        inner.spans.push(SpanRecord { name, start_ns, dur_ns });
+        inner.histograms.entry(format!("span.{name}")).or_default().record(dur_ns);
+    }
+
+    /// A consistent copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        Snapshot {
+            elapsed_ns: inner.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            spans: inner.spans.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Serializes the current session as JSON lines (see
+    /// [`Snapshot::write_jsonl`] for the schema).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn export_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        self.snapshot().write_jsonl(w)
+    }
+
+    /// Writes the session's JSONL to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn export_jsonl_path(&self, path: &std::path::Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.export_jsonl(&mut file)
+    }
+}
+
+/// A guard returned by [`Recorder::span`]; records the span when dropped.
+#[must_use = "a span records when the guard drops; binding it to _ drops immediately"]
+#[derive(Debug)]
+pub struct Span<'a> {
+    active: Option<(&'a Recorder, &'static str, Instant)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((recorder, name, started)) = self.active.take() {
+            recorder.finish_span(name, started);
+        }
+    }
+}
+
+/// An immutable copy of one recorded session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Nanoseconds from session epoch to the snapshot.
+    pub elapsed_ns: u64,
+    /// Finished spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name (spans feed `span.<name>`).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Writes the session as JSON lines with a stable schema and field
+    /// order:
+    ///
+    /// ```text
+    /// {"type":"meta","version":1,"elapsed_ns":…}
+    /// {"type":"span","name":…,"start_ns":…,"dur_ns":…}
+    /// {"type":"counter","name":…,"value":…}
+    /// {"type":"gauge","name":…,"value":…}
+    /// {"type":"hist","name":…,"count":…,"sum_ns":…,"min_ns":…,"max_ns":…,"buckets":[[i,c],…]}
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        use crate::json::escape;
+        writeln!(w, "{{\"type\":\"meta\",\"version\":1,\"elapsed_ns\":{}}}", self.elapsed_ns)?;
+        for s in &self.spans {
+            writeln!(
+                w,
+                "{{\"type\":\"span\",\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}",
+                escape(s.name),
+                s.start_ns,
+                s.dur_ns
+            )?;
+        }
+        for (name, value) in &self.counters {
+            writeln!(
+                w,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                escape(name)
+            )?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(w, "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}", escape(name))?;
+        }
+        for (name, h) in &self.histograms {
+            let buckets: Vec<String> =
+                h.nonzero_buckets().iter().map(|(i, c)| format!("[{i},{c}]")).collect();
+            writeln!(
+                w,
+                "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}",
+                escape(name),
+                h.count,
+                h.sum_ns,
+                h.min_ns,
+                h.max_ns,
+                buckets.join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_peak() {
+        let rec = Recorder::new();
+        rec.count("mixes", 3);
+        rec.count("mixes", 4);
+        rec.gauge_max("peak", 5);
+        rec.gauge_max("peak", 2);
+        rec.gauge_set("exact", 9);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["mixes"], 7);
+        assert_eq!(snap.gauges["peak"], 5);
+        assert_eq!(snap.gauges["exact"], 9);
+    }
+
+    #[test]
+    fn spans_record_duration_and_histogram() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.span("phase_a");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "phase_a");
+        assert!(snap.spans[0].dur_ns >= 1_000_000, "slept 2ms");
+        let h = &snap.histograms["span.phase_a"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum_ns, snap.spans[0].dur_ns);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        {
+            let _g = rec.span("never");
+        }
+        rec.count("never", 1);
+        rec.gauge_max("never", 1);
+        rec.record_duration("never", Duration::from_secs(1));
+        let snap = rec.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_the_session() {
+        let rec = Recorder::new();
+        rec.count("x", 1);
+        rec.reset();
+        assert!(rec.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min_ns, 0);
+        assert_eq!(h.max_ns, 1000);
+        assert_eq!(h.mean_ns(), 334);
+        assert_eq!(h.nonzero_buckets().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let rec = std::sync::Arc::new(Recorder::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        rec.count("shared", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.snapshot().counters["shared"], 8000);
+    }
+}

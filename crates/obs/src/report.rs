@@ -1,0 +1,173 @@
+use crate::{fmt_ns, Recorder, Snapshot, Table};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate latency of one pipeline phase (all spans sharing a name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseLatency {
+    /// Span name (`engine_plan`, `sched_srs`, …).
+    pub name: String,
+    /// Number of spans recorded under the name.
+    pub calls: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Mean wall time per call, nanoseconds.
+    pub mean_ns: u64,
+    /// Slowest call, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A recorded session folded into the paper's vocabulary: per-phase
+/// latency plus the domain counters and gauges (`q`, `W`, `Tms`, hops,
+/// actuations, …) the instrumented crates emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Phases in order of first appearance in the session.
+    pub phases: Vec<PhaseLatency>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Wall time covered by the session, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl MetricsReport {
+    /// Folds a snapshot into a report.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: BTreeMap<&str, PhaseLatency> = BTreeMap::new();
+        for span in &snapshot.spans {
+            let entry = agg.entry(span.name).or_insert_with(|| {
+                order.push(span.name.to_owned());
+                PhaseLatency {
+                    name: span.name.to_owned(),
+                    calls: 0,
+                    total_ns: 0,
+                    mean_ns: 0,
+                    max_ns: 0,
+                }
+            });
+            entry.calls += 1;
+            entry.total_ns += span.dur_ns;
+            entry.max_ns = entry.max_ns.max(span.dur_ns);
+        }
+        let phases = order
+            .iter()
+            .map(|name| {
+                let mut p = agg[name.as_str()].clone();
+                p.mean_ns = p.total_ns / p.calls.max(1);
+                p
+            })
+            .collect();
+        MetricsReport {
+            phases,
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+            elapsed_ns: snapshot.elapsed_ns,
+        }
+    }
+
+    /// Snapshots `recorder` and folds it into a report.
+    pub fn from_recorder(recorder: &Recorder) -> Self {
+        MetricsReport::from_snapshot(&recorder.snapshot())
+    }
+
+    /// Looks up a gauge, then a counter, under `name`.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).or_else(|| self.counters.get(name)).copied()
+    }
+
+    /// The phase entry named `name`, if recorded.
+    pub fn phase(&self, name: &str) -> Option<&PhaseLatency> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    /// The human-readable summary the CLI and the bench binaries print: a
+    /// per-phase latency table followed by a metric table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.phases.is_empty() {
+            writeln!(f, "phase latency (wall clock, {} total):", fmt_ns(self.elapsed_ns))?;
+            let mut t = Table::new(["phase", "calls", "total", "mean", "max"]);
+            for p in &self.phases {
+                t.row([
+                    p.name.clone(),
+                    p.calls.to_string(),
+                    fmt_ns(p.total_ns),
+                    fmt_ns(p.mean_ns),
+                    fmt_ns(p.max_ns),
+                ]);
+            }
+            write!(f, "{t}")?;
+        }
+        if !self.gauges.is_empty() || !self.counters.is_empty() {
+            if !self.phases.is_empty() {
+                writeln!(f)?;
+            }
+            writeln!(f, "metrics:")?;
+            let mut t = Table::new(["metric", "kind", "value"]);
+            for (name, value) in &self.gauges {
+                t.row([name.clone(), "gauge".to_owned(), value.to_string()]);
+            }
+            for (name, value) in &self.counters {
+                t.row([name.clone(), "counter".to_owned(), value.to_string()]);
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn snapshot_with_spans() -> Snapshot {
+        Snapshot {
+            elapsed_ns: 10_000,
+            spans: vec![
+                SpanRecord { name: "forest_build", start_ns: 0, dur_ns: 300 },
+                SpanRecord { name: "sched_srs", start_ns: 300, dur_ns: 700 },
+                SpanRecord { name: "forest_build", start_ns: 1_000, dur_ns: 500 },
+            ],
+            counters: BTreeMap::from([("plan.mix_splits".to_owned(), 27u64)]),
+            gauges: BTreeMap::from([("plan.storage_peak".to_owned(), 5u64)]),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn phases_aggregate_in_first_seen_order() {
+        let report = MetricsReport::from_snapshot(&snapshot_with_spans());
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].name, "forest_build");
+        assert_eq!(report.phases[0].calls, 2);
+        assert_eq!(report.phases[0].total_ns, 800);
+        assert_eq!(report.phases[0].mean_ns, 400);
+        assert_eq!(report.phases[0].max_ns, 500);
+        assert_eq!(report.phases[1].name, "sched_srs");
+    }
+
+    #[test]
+    fn lookups_cover_gauges_and_counters() {
+        let report = MetricsReport::from_snapshot(&snapshot_with_spans());
+        assert_eq!(report.value("plan.storage_peak"), Some(5));
+        assert_eq!(report.value("plan.mix_splits"), Some(27));
+        assert_eq!(report.value("missing"), None);
+        assert!(report.phase("sched_srs").is_some());
+        assert!(report.phase("missing").is_none());
+    }
+
+    #[test]
+    fn renders_both_tables() {
+        let text = MetricsReport::from_snapshot(&snapshot_with_spans()).to_string();
+        assert!(text.contains("phase latency"));
+        assert!(text.contains("forest_build"));
+        assert!(text.contains("metrics:"));
+        assert!(text.contains("plan.storage_peak"));
+        assert!(text.contains("gauge"));
+    }
+}

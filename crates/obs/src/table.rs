@@ -1,0 +1,147 @@
+use std::fmt;
+
+/// A plain-text summary table: auto-sized columns, numeric cells
+/// right-aligned, text cells left-aligned.
+///
+/// The shared formatter for every benchmark binary and the CLI's
+/// `--metrics` summary, so all exhibits present metrics one way.
+///
+/// # Examples
+///
+/// ```
+/// use dmf_obs::Table;
+///
+/// let mut t = Table::new(["scheme", "Tc", "q"]);
+/// t.row(["MM+SRS", "11", "5"]);
+/// t.row(["RMM", "128", "1"]);
+/// let text = t.to_string();
+/// assert!(text.contains("MM+SRS"));
+/// assert!(text.lines().count() == 4); // header + rule + two rows
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; missing cells render empty, extra cells are kept
+    /// and widen the table.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).chain(std::iter::once(self.headers.len())).max().unwrap_or(0)
+    }
+
+    fn numeric(cell: &str) -> bool {
+        !cell.is_empty() && cell.trim_end_matches('%').parse::<f64>().is_ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self.column_count();
+        let mut widths = vec![0usize; columns];
+        fn cell_at(row: &[String], i: usize) -> &str {
+            row.get(i).map(String::as_str).unwrap_or("")
+        }
+        for (i, width) in widths.iter_mut().enumerate() {
+            *width = std::iter::once(cell_at(&self.headers, i))
+                .chain(self.rows.iter().map(|r| cell_at(r, i)))
+                .map(|c| c.chars().count())
+                .max()
+                .unwrap_or(0);
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cell_at(row, i);
+                let pad = width.saturating_sub(cell.chars().count());
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if Table::numeric(cell) {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                } else {
+                    line.push_str(cell);
+                    if i + 1 < columns {
+                        line.push_str(&" ".repeat(pad));
+                    }
+                }
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        write_row(f, &rule)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_numbers_right_and_text_left() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["long-name", "1"]);
+        t.row(["x", "12345"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("long-name"));
+        assert!(lines[3].ends_with("12345"));
+        // Numeric column is right-aligned: "1" ends where "12345" ends.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn percentages_count_as_numeric() {
+        assert!(Table::numeric("72.5%"));
+        assert!(Table::numeric("-4.2"));
+        assert!(!Table::numeric("MM+SRS"));
+        assert!(!Table::numeric(""));
+    }
+
+    #[test]
+    fn ragged_rows_render() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2", "3"]);
+        t.row(Vec::<String>::new());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.to_string();
+        assert!(text.contains('3'));
+    }
+}

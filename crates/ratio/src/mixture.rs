@@ -155,12 +155,8 @@ impl Mixture {
         }
         let ls = common - self.level;
         let rs = common - other.level;
-        let parts: Vec<u64> = self
-            .parts
-            .iter()
-            .zip(&other.parts)
-            .map(|(&a, &b)| (a << ls) + (b << rs))
-            .collect();
+        let parts: Vec<u64> =
+            self.parts.iter().zip(&other.parts).map(|(&a, &b)| (a << ls) + (b << rs)).collect();
         let mut mixture = Mixture { level: common + 1, parts };
         mixture.canonicalise();
         Ok(mixture)
@@ -275,10 +271,7 @@ mod tests {
     fn mix_rejects_fluid_count_mismatch() {
         let a = Mixture::pure(0, 2);
         let b = Mixture::pure(0, 3);
-        assert_eq!(
-            a.mix(&b),
-            Err(RatioError::FluidCountMismatch { left: 2, right: 3 })
-        );
+        assert_eq!(a.mix(&b), Err(RatioError::FluidCountMismatch { left: 2, right: 3 }));
     }
 
     #[test]

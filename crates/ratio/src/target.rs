@@ -75,6 +75,7 @@ impl TargetRatio {
     /// [`RatioError::AllZero`] when all weights are zero and
     /// [`RatioError::AccuracyTooLarge`] for `accuracy >= 63`.
     pub fn approximate(weights: &[f64], accuracy: u32) -> Result<Self, RatioError> {
+        let _span = dmf_obs::span!("ratio_approx");
         if weights.is_empty() {
             return Err(RatioError::Empty);
         }
@@ -154,13 +155,7 @@ impl TargetRatio {
         let scale = target_sum as f64;
         let mut parts: Vec<u64> = weights
             .iter()
-            .map(|&w| {
-                if w == 0.0 {
-                    0
-                } else {
-                    ((w / total * scale + 0.5).floor() as u64).max(1)
-                }
-            })
+            .map(|&w| if w == 0.0 { 0 } else { ((w / total * scale + 0.5).floor() as u64).max(1) })
             .collect();
         // The largest component (the "filler", e.g. water) absorbs the
         // rounding residue.
@@ -170,12 +165,8 @@ impl TargetRatio {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
             .map(|(i, _)| i)
             .expect("non-empty weights");
-        let others: u64 = parts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != filler)
-            .map(|(_, &p)| p)
-            .sum();
+        let others: u64 =
+            parts.iter().enumerate().filter(|(i, _)| *i != filler).map(|(_, &p)| p).sum();
         if others >= target_sum {
             // Degenerate: even without the filler the minimums overflow the
             // grid; fall back to the largest-remainder method.
@@ -232,7 +223,8 @@ impl TargetRatio {
 
     /// The target expressed as a droplet [`Mixture`] at level `d`.
     pub fn to_mixture(&self) -> Mixture {
-        Mixture::new(self.accuracy, self.parts.clone()).expect("ratio invariants imply a valid mixture")
+        Mixture::new(self.accuracy, self.parts.clone())
+            .expect("ratio invariants imply a valid mixture")
     }
 
     /// Maximum absolute CF error of this grid approximation against the
@@ -273,10 +265,8 @@ impl std::str::FromStr for TargetRatio {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut parts = Vec::new();
         for (index, text) in s.split(':').enumerate() {
-            let value = text
-                .trim()
-                .parse::<u64>()
-                .map_err(|_| RatioError::ParseComponent { index })?;
+            let value =
+                text.trim().parse::<u64>().map_err(|_| RatioError::ParseComponent { index })?;
             parts.push(value);
         }
         TargetRatio::new(parts)
@@ -297,10 +287,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_sums() {
-        assert_eq!(
-            TargetRatio::new(vec![1, 2]),
-            Err(RatioError::SumNotPowerOfTwo { sum: 3 })
-        );
+        assert_eq!(TargetRatio::new(vec![1, 2]), Err(RatioError::SumNotPowerOfTwo { sum: 3 }));
         assert_eq!(TargetRatio::new(vec![0, 0]), Err(RatioError::AllZero));
         assert_eq!(TargetRatio::new(vec![]), Err(RatioError::Empty));
     }
@@ -320,12 +307,7 @@ mod tests {
         let r = TargetRatio::paper_approximate(&pcr, 8).unwrap();
         assert_eq!(r.parts(), &[26, 20, 2, 2, 3, 3, 200]);
         let published = TargetRatio::new(vec![26, 21, 2, 2, 3, 3, 199]).unwrap();
-        let diff: u64 = r
-            .parts()
-            .iter()
-            .zip(published.parts())
-            .map(|(&a, &b)| a.abs_diff(b))
-            .sum();
+        let diff: u64 = r.parts().iter().zip(published.parts()).map(|(&a, &b)| a.abs_diff(b)).sum();
         assert_eq!(diff, 2); // one unit moved between two components
     }
 

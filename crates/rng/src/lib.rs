@@ -1,0 +1,291 @@
+//! Deterministic pseudo-random numbers without external dependencies.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace cannot depend on the `rand` crate. This crate provides the
+//! small API surface the workspace actually uses — seedable generation,
+//! ranged sampling and slice shuffling — with `rand`-compatible names
+//! ([`StdRng`], [`Rng`], [`SeedableRng`], [`SliceRandom`]) so call sites
+//! only change their import path.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s small RNGs use. It is deterministic per seed
+//! across platforms, which the schedulers, the placer and the corpus
+//! sampler all rely on for reproducible experiments. It is **not**
+//! cryptographically secure and must never gate anything
+//! security-sensitive.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmf_rng::{Rng, SeedableRng, SliceRandom, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.gen_range(0..10usize);
+//! assert!(k < 10);
+//! let mut v = vec![1, 2, 3, 4, 5];
+//! v.shuffle(&mut rng);
+//! assert_eq!(StdRng::seed_from_u64(7).gen_range(0..100u64), StdRng::seed_from_u64(7).gen_range(0..100u64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A seedable deterministic generator (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Construction of a generator from a seed, mirroring
+/// `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors (Blackman & Vigna).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl StdRng {
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types samplable uniformly from a generator's raw output —
+/// the counterpart of `rand`'s `Standard` distribution.
+pub trait Sample {
+    /// Draws one uniform value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty, like `rand`.
+    fn sample_from(self, rng: &mut StdRng) -> Self::Output;
+}
+
+/// Uniform integer in `[0, bound)` by Lemire-style rejection on the top
+/// bits (debiased modulo).
+fn bounded(rng: &mut StdRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection zone keeps the distribution exactly uniform.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + bounded(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Sampling methods on a generator, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draws one uniform value of type `T`.
+    fn gen<T: Sample>(&mut self) -> T;
+    /// Draws one value uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+    /// Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut StdRng);
+    /// A uniformly chosen element, or `None` on an empty slice.
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = bounded(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[bounded(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(124);
+        assert_ne!(StdRng::seed_from_u64(123).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(rng.gen_range(3..17u64) >= 3);
+            assert!(rng.gen_range(3..17u64) < 17);
+            let v = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&v));
+            assert!(rng.gen_range(0..1usize) == 0);
+        }
+    }
+
+    #[test]
+    fn all_residues_reachable() {
+        // Every value of a small range appears over enough draws.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(0).gen_range(5..5usize);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // Overwhelmingly likely to differ from identity.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = [10, 20, 30];
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

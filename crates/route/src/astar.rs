@@ -33,9 +33,7 @@ pub fn shortest_path(
 ) -> Option<Vec<Coord>> {
     // Endpoints may sit on blocked or avoided cells (module ports live
     // inside footprints); everything else must be passable and un-avoided.
-    let ok = |c: Coord| {
-        c == from || c == to || (grid.passable(c) && !avoid.contains(&c))
-    };
+    let ok = |c: Coord| c == from || c == to || (grid.passable(c) && !avoid.contains(&c));
     let in_bounds = |c: Coord| c.x >= 0 && c.x < grid.width() && c.y >= 0 && c.y < grid.height();
     if !in_bounds(from) || !in_bounds(to) {
         return None;
@@ -113,8 +111,9 @@ mod tests {
         for y in 0..5 {
             grid.block(Coord::new(2, y));
         }
-        assert!(shortest_path(&grid, Coord::new(0, 0), Coord::new(4, 4), &Default::default())
-            .is_none());
+        assert!(
+            shortest_path(&grid, Coord::new(0, 0), Coord::new(4, 4), &Default::default()).is_none()
+        );
     }
 
     #[test]

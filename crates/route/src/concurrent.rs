@@ -126,17 +126,13 @@ fn space_time_astar(
         return None;
     }
     best.insert((request.from, 0), 0);
-    open.push(Item(
-        std::cmp::Reverse((request.from.manhattan(request.to), 0)),
-        request.from,
-        0,
-    ));
+    open.push(Item(std::cmp::Reverse((request.from.manhattan(request.to), 0)), request.from, 0));
     while let Some(Item(_, pos, t)) = open.pop() {
         if pos == request.to {
             // The droplet parks here: verify no later conflicts while the
             // remaining planned droplets finish moving.
-            let tail_clear = (t + 1..=max_duration(planned))
-                .all(|tt| !conflicts(planned, pos, pos, tt));
+            let tail_clear =
+                (t + 1..=max_duration(planned)).all(|tt| !conflicts(planned, pos, pos, tt));
             if tail_clear {
                 let mut cells = vec![pos];
                 let mut key = (pos, t);
@@ -261,10 +257,7 @@ mod tests {
     fn many_droplets_on_open_grid() {
         let grid = Grid::new(16, 16);
         let requests: Vec<RouteRequest> = (0..5)
-            .map(|i| RouteRequest {
-                from: Coord::new(0, 3 * i),
-                to: Coord::new(15, 3 * (4 - i)),
-            })
+            .map(|i| RouteRequest { from: Coord::new(0, 3 * i), to: Coord::new(15, 3 * (4 - i)) })
             .collect();
         let paths = route_concurrent(&grid, &requests).unwrap();
         check_fluidic_constraints(&paths);
@@ -273,9 +266,7 @@ mod tests {
 
     #[test]
     fn timed_path_accessors() {
-        let p = TimedPath {
-            cells: vec![Coord::new(0, 0), Coord::new(0, 0), Coord::new(1, 0)],
-        };
+        let p = TimedPath { cells: vec![Coord::new(0, 0), Coord::new(0, 0), Coord::new(1, 0)] };
         assert_eq!(p.at(0), Coord::new(0, 0));
         assert_eq!(p.at(99), Coord::new(1, 0));
         assert_eq!(p.actuations(), 1);

@@ -1,9 +1,9 @@
-//! Property tests: path validity and fluidic-constraint safety on random
-//! grids and request sets.
+//! Randomized tests: path validity and fluidic-constraint safety on random
+//! grids and request sets, driven by a fixed-seed [`dmf_rng::StdRng`].
 
 use dmf_chip::Coord;
+use dmf_rng::{Rng, SeedableRng, StdRng};
 use dmf_route::{actuations, route_concurrent, shortest_path, Grid, RouteRequest, TimedPath};
-use proptest::prelude::*;
 
 fn assert_fluidic_safe(paths: &[TimedPath]) {
     let steps = paths.iter().map(TimedPath::duration).max().unwrap_or(0);
@@ -23,41 +23,40 @@ fn assert_fluidic_safe(paths: &[TimedPath]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// A* paths are connected, in-bounds, endpoint-correct and
-    /// Manhattan-optimal on obstacle-free grids.
-    #[test]
-    fn astar_paths_are_valid(
-        w in 4i32..20, h in 4i32..20,
-        fx in 0i32..20, fy in 0i32..20,
-        tx in 0i32..20, ty in 0i32..20,
-    ) {
-        let from = Coord::new(fx % w, fy % h);
-        let to = Coord::new(tx % w, ty % h);
+/// A* paths are connected, in-bounds, endpoint-correct and
+/// Manhattan-optimal on obstacle-free grids.
+#[test]
+fn astar_paths_are_valid() {
+    let mut rng = StdRng::seed_from_u64(0xA57A);
+    for _ in 0..96 {
+        let w = rng.gen_range(4i32..20);
+        let h = rng.gen_range(4i32..20);
+        let from = Coord::new(rng.gen_range(0i32..20) % w, rng.gen_range(0i32..20) % h);
+        let to = Coord::new(rng.gen_range(0i32..20) % w, rng.gen_range(0i32..20) % h);
         let grid = Grid::new(w, h);
         let path = shortest_path(&grid, from, to, &Default::default()).expect("open grid routes");
-        prop_assert_eq!(*path.first().unwrap(), from);
-        prop_assert_eq!(*path.last().unwrap(), to);
-        prop_assert_eq!(actuations(&path), from.manhattan(to));
+        assert_eq!(*path.first().unwrap(), from);
+        assert_eq!(*path.last().unwrap(), to);
+        assert_eq!(actuations(&path), from.manhattan(to));
         for pair in path.windows(2) {
-            prop_assert_eq!(pair[0].manhattan(pair[1]), 1);
-            prop_assert!(grid.passable(pair[1]));
+            assert_eq!(pair[0].manhattan(pair[1]), 1);
+            assert!(grid.passable(pair[1]));
         }
     }
+}
 
-    /// A* with random obstacles either finds a valid path or correctly
-    /// reports none (verified against BFS reachability).
-    #[test]
-    fn astar_agrees_with_bfs_reachability(
-        blocks in proptest::collection::hash_set((0i32..10, 0i32..10), 0..30),
-    ) {
+/// A* with random obstacles either finds a valid path or correctly
+/// reports none (verified against BFS reachability).
+#[test]
+fn astar_agrees_with_bfs_reachability() {
+    let mut rng = StdRng::seed_from_u64(0xBF5E);
+    for _ in 0..96 {
         let mut grid = Grid::new(10, 10);
         let from = Coord::new(0, 0);
         let to = Coord::new(9, 9);
-        for &(x, y) in &blocks {
-            let c = Coord::new(x, y);
+        let blocks = rng.gen_range(0usize..30);
+        for _ in 0..blocks {
+            let c = Coord::new(rng.gen_range(0i32..10), rng.gen_range(0i32..10));
             if c != from && c != to {
                 grid.block(c);
             }
@@ -74,35 +73,39 @@ proptest! {
         }
         let reachable = seen.contains(&to);
         let path = shortest_path(&grid, from, to, &Default::default());
-        prop_assert_eq!(path.is_some(), reachable);
+        assert_eq!(path.is_some(), reachable);
         if let Some(p) = path {
             for c in &p[1..] {
-                prop_assert!(grid.passable(*c));
+                assert!(grid.passable(*c));
             }
         }
     }
+}
 
-    /// Concurrent routing never violates the fluidic constraints when it
-    /// succeeds.
-    #[test]
-    fn concurrent_routing_is_fluidically_safe(
-        lanes in proptest::collection::vec((0i32..5, 0i32..5), 2..5),
-    ) {
+/// Concurrent routing never violates the fluidic constraints when it
+/// succeeds.
+#[test]
+fn concurrent_routing_is_fluidically_safe() {
+    let mut rng = StdRng::seed_from_u64(0xF1D1);
+    for _ in 0..96 {
         let grid = Grid::new(20, 20);
+        let n = rng.gen_range(2usize..5);
         // Spread droplets out: lane k starts on row 4k.
-        let requests: Vec<RouteRequest> = lanes
-            .iter()
-            .enumerate()
-            .map(|(k, &(dx, dy))| RouteRequest {
-                from: Coord::new(0, (4 * k) as i32),
-                to: Coord::new(14 + dx, ((4 * ((lanes.len() - 1 - k)) as i32) + dy).min(19)),
+        let requests: Vec<RouteRequest> = (0..n)
+            .map(|k| {
+                let dx = rng.gen_range(0i32..5);
+                let dy = rng.gen_range(0i32..5);
+                RouteRequest {
+                    from: Coord::new(0, (4 * k) as i32),
+                    to: Coord::new(14 + dx, ((4 * (n - 1 - k) as i32) + dy).min(19)),
+                }
             })
             .collect();
         if let Ok(paths) = route_concurrent(&grid, &requests) {
             assert_fluidic_safe(&paths);
             for (req, path) in requests.iter().zip(&paths) {
-                prop_assert_eq!(path.at(0), req.from);
-                prop_assert_eq!(path.at(path.duration()), req.to);
+                assert_eq!(path.at(0), req.from);
+                assert_eq!(path.at(path.duration()), req.to);
             }
         }
     }

@@ -1,8 +1,6 @@
-use crate::{Schedule, SchedError};
+use crate::{SchedError, Schedule};
 use dmf_mixgraph::{MixGraph, NodeId, Operand};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use dmf_rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
 /// Configuration of the genetic-algorithm scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,11 +168,7 @@ fn decode(graph: &MixGraph, mixers: usize, priorities: &[u32]) -> Schedule {
     Schedule::from_assignments(mixers, node_cycle, node_mixer)
 }
 
-fn tournament<'a>(
-    scored: &'a [(f64, Vec<u32>)],
-    size: usize,
-    rng: &mut StdRng,
-) -> &'a [u32] {
+fn tournament<'a>(scored: &'a [(f64, Vec<u32>)], size: usize, rng: &mut StdRng) -> &'a [u32] {
     let mut best: Option<&(f64, Vec<u32>)> = None;
     for _ in 0..size.max(1) {
         let candidate = &scored[rng.gen_range(0..scored.len())];
@@ -259,10 +253,10 @@ mod tests {
     #[test]
     fn storage_weight_trades_time_for_storage() {
         let g = pcr_forest(20);
-        let fast = ga_schedule(&g, 3, &GaConfig { storage_weight: 0.0, ..Default::default() })
-            .unwrap();
-        let lean = ga_schedule(&g, 3, &GaConfig { storage_weight: 4.0, ..Default::default() })
-            .unwrap();
+        let fast =
+            ga_schedule(&g, 3, &GaConfig { storage_weight: 0.0, ..Default::default() }).unwrap();
+        let lean =
+            ga_schedule(&g, 3, &GaConfig { storage_weight: 4.0, ..Default::default() }).unwrap();
         fast.validate(&g).unwrap();
         lean.validate(&g).unwrap();
         assert!(lean.storage(&g).peak <= fast.storage(&g).peak);
@@ -271,8 +265,8 @@ mod tests {
     #[test]
     fn ga_is_competitive_with_mms() {
         let g = pcr_forest(20);
-        let ga = ga_schedule(&g, 3, &GaConfig { storage_weight: 0.0, ..Default::default() })
-            .unwrap();
+        let ga =
+            ga_schedule(&g, 3, &GaConfig { storage_weight: 0.0, ..Default::default() }).unwrap();
         let mms = mms_schedule(&g, 3).unwrap();
         assert!(ga.makespan() <= mms.makespan() + 1);
     }
@@ -280,9 +274,6 @@ mod tests {
     #[test]
     fn rejects_zero_mixers() {
         let g = pcr_forest(4);
-        assert!(matches!(
-            ga_schedule(&g, 0, &GaConfig::default()),
-            Err(SchedError::NoMixers)
-        ));
+        assert!(matches!(ga_schedule(&g, 0, &GaConfig::default()), Err(SchedError::NoMixers)));
     }
 }

@@ -30,12 +30,7 @@ impl Schedule {
     pub fn gantt(&self, graph: &MixGraph) -> String {
         let labels = graph.labels();
         let tc = self.makespan();
-        let col = labels
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(4)
-            .max(4);
+        let col = labels.iter().map(String::len).max().unwrap_or(4).max(4);
         let mut grid = vec![vec![String::new(); tc as usize]; self.mixer_count()];
         for (id, _) in graph.iter() {
             let t = self.cycle_of(id) as usize;

@@ -1,4 +1,4 @@
-use crate::{Schedule, SchedError};
+use crate::{SchedError, Schedule};
 use dmf_mixgraph::{MixGraph, NodeId, Operand};
 
 /// Length of the longest precedence chain — the makespan lower bound
@@ -37,6 +37,7 @@ pub fn critical_path(graph: &MixGraph) -> u32 {
 /// # }
 /// ```
 pub fn oms_schedule(graph: &MixGraph, mixers: usize) -> Result<Schedule, SchedError> {
+    let _span = dmf_obs::span!("sched_oms");
     if mixers == 0 {
         return Err(SchedError::NoMixers);
     }

@@ -1,4 +1,4 @@
-use crate::{Schedule, SchedError};
+use crate::{SchedError, Schedule};
 use dmf_mixgraph::{MixGraph, NodeId, Operand};
 use std::collections::VecDeque;
 
@@ -41,6 +41,7 @@ use std::collections::VecDeque;
 /// # }
 /// ```
 pub fn mms_schedule(graph: &MixGraph, mixers: usize) -> Result<Schedule, SchedError> {
+    let _span = dmf_obs::span!("sched_mms");
     if mixers == 0 {
         return Err(SchedError::NoMixers);
     }

@@ -51,9 +51,9 @@ pub fn optimal_makespan(graph: &MixGraph, mixers: usize) -> Option<u32> {
         }
         // Ready vertices: not yet done, all predecessors done.
         let mut ready = 0u32;
-        for i in 0..n {
+        for (i, &pred) in preds.iter().enumerate().take(n) {
             let bit = 1u32 << i;
-            if mask & bit == 0 && preds[i] & !mask == 0 {
+            if mask & bit == 0 && pred & !mask == 0 {
                 ready |= bit;
             }
         }
@@ -133,7 +133,8 @@ mod tests {
         let target = TargetRatio::new(vec![3, 5]).unwrap();
         let template = BaseAlgorithm::MinMix.algorithm().build_template(&target).unwrap();
         for demand in [4u64, 8, 12] {
-            let forest = build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap();
+            let forest =
+                build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap();
             if forest.node_count() > OPTIMAL_LIMIT {
                 continue;
             }

@@ -1,4 +1,4 @@
-use crate::{Schedule, SchedError};
+use crate::{SchedError, Schedule};
 use dmf_mixgraph::{MixGraph, NodeId, Operand};
 
 /// Path scheduling of a mixing graph, after Grissom & Brisk (DAC 2012) —

@@ -158,6 +158,7 @@ impl Schedule {
 
     /// On-chip storage demand of this schedule (generalised Algorithm 3).
     pub fn storage(&self, graph: &MixGraph) -> StorageProfile {
+        let _span = dmf_obs::span!("sched_storage");
         StorageProfile::compute(self, graph)
     }
 }

@@ -1,4 +1,4 @@
-use crate::{Schedule, SchedError};
+use crate::{SchedError, Schedule};
 use dmf_mixgraph::{MixGraph, NodeId, Operand};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -42,6 +42,7 @@ use std::collections::BinaryHeap;
 /// # }
 /// ```
 pub fn srs_schedule(graph: &MixGraph, mixers: usize) -> Result<Schedule, SchedError> {
+    let _span = dmf_obs::span!("sched_srs");
     if mixers == 0 {
         return Err(SchedError::NoMixers);
     }
@@ -69,10 +70,10 @@ pub fn srs_schedule(graph: &MixGraph, mixers: usize) -> Result<Schedule, SchedEr
             .all(|op| matches!(op, Operand::Input(_)))
     };
     let enqueue = |i: usize,
-                       q_int: &mut BinaryHeap<(u32, Reverse<usize>)>,
-                       q_leaf: &mut BinaryHeap<(Reverse<u32>, Reverse<usize>)>,
-                       next_seq: &mut usize,
-                       seq: &mut Vec<usize>| {
+                   q_int: &mut BinaryHeap<(u32, Reverse<usize>)>,
+                   q_leaf: &mut BinaryHeap<(Reverse<u32>, Reverse<usize>)>,
+                   next_seq: &mut usize,
+                   seq: &mut Vec<usize>| {
         seq[i] = *next_seq;
         *next_seq += 1;
         let level = graph.node(NodeId::new(i as u32)).level();

@@ -1,0 +1,75 @@
+//! [`TraceEvent`] → [`Recorder`] bridge.
+//!
+//! Folds a simulator event log (or a finished [`SimReport`]) into the
+//! `sim.*` counters and gauges of a [`dmf_obs::Recorder`], so an observed
+//! run can be compared metric-for-metric against the schedule that
+//! produced it: `sim.storage_peak` against the schedule's `q`,
+//! `sim.waste_droplets` against the plan's `W`, `sim.mix_splits` against
+//! `Tms`.
+//!
+//! Both functions are no-ops (no allocation, no locking) when the target
+//! recorder is disabled.
+
+use crate::{SimReport, Trace, TraceEvent};
+use dmf_obs::Recorder;
+
+/// Folds an event log into `recorder`.
+///
+/// Derives every `sim.*` metric from first principles — storage occupancy
+/// is replayed from `Stored`/`Fetched` pairs rather than copied from the
+/// report — so this is also an independent check of the simulator's own
+/// accounting.
+pub fn record_trace(recorder: &Recorder, trace: &Trace) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let mut occupancy: u64 = 0;
+    let mut peak: u64 = 0;
+    let mut mix_splits: u64 = 0;
+    let mut dispensed: u64 = 0;
+    let mut discarded: u64 = 0;
+    let mut emitted: u64 = 0;
+    let mut hops: u64 = 0;
+    for timed in trace.events() {
+        match &timed.event {
+            TraceEvent::Dispensed { .. } => dispensed += 1,
+            TraceEvent::Moved { hops: h, .. } => hops += u64::from(*h),
+            TraceEvent::Mixed { .. } => mix_splits += 1,
+            TraceEvent::Stored { .. } => {
+                occupancy += 1;
+                peak = peak.max(occupancy);
+            }
+            TraceEvent::Fetched { .. } => occupancy = occupancy.saturating_sub(1),
+            TraceEvent::Discarded { .. } => discarded += 1,
+            TraceEvent::Emitted { .. } => emitted += 1,
+        }
+    }
+    recorder.count("sim.mix_splits", mix_splits);
+    recorder.count("sim.dispensed", dispensed);
+    recorder.count("sim.waste_droplets", discarded);
+    recorder.count("sim.emitted", emitted);
+    recorder.count("sim.droplet_hops", hops);
+    // Every hop and every dispense actuates one electrode (matching
+    // `SimReport::electrode_actuations`).
+    recorder.count("sim.electrode_actuations", hops + dispensed);
+    recorder.gauge_max("sim.storage_peak", peak);
+}
+
+/// Folds a finished report into `recorder`.
+///
+/// The simulator calls this on every successful run, so enabling the
+/// global recorder is all it takes to get `sim.*` metrics from existing
+/// call sites.
+pub fn record_report(recorder: &Recorder, report: &SimReport) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    recorder.count("sim.mix_splits", report.mix_splits);
+    recorder.count("sim.dispensed", report.dispensed);
+    recorder.count("sim.waste_droplets", report.discarded);
+    recorder.count("sim.emitted", report.emitted);
+    recorder.count("sim.droplet_hops", report.transport_actuations);
+    recorder.count("sim.electrode_actuations", report.transport_actuations + report.dispensed);
+    recorder.gauge_max("sim.storage_peak", report.storage_peak as u64);
+    recorder.gauge_max("sim.cycles", u64::from(report.cycles));
+}

@@ -54,6 +54,7 @@ impl<'a> Simulator<'a> {
         program: &ChipProgram,
         traced: bool,
     ) -> Result<(SimReport, Option<Trace>), SimError> {
+        let _span = dmf_obs::span!("sim_execute");
         let mut state = SimState::new(self.chip);
         if traced {
             state.trace = Some(Trace::default());
@@ -65,6 +66,7 @@ impl<'a> Simulator<'a> {
         if !self.allow_leftovers && !state.droplets.is_empty() {
             return Err(SimError::LeftoverDroplets { count: state.droplets.len() });
         }
+        crate::bridge::record_report(dmf_obs::global(), &state.report);
         Ok((state.report, state.trace))
     }
 }
@@ -110,8 +112,7 @@ impl<'a> SimState<'a> {
                     return Err(SimError::DuplicateDroplet { droplet: *droplet });
                 }
                 let port = module.port();
-                if let Some((parked, at)) =
-                    self.droplets.iter().find(|(_, &pos)| pos.touches(port))
+                if let Some((parked, at)) = self.droplets.iter().find(|(_, &pos)| pos.touches(port))
                 {
                     return Err(SimError::FluidicViolation {
                         moving: *droplet,
@@ -169,8 +170,8 @@ impl<'a> SimState<'a> {
                 Ok(())
             }
             Instruction::Store { droplet, cell } => {
-                let module =
-                    self.expect_kind(*cell, "a storage cell", |k| matches!(k, ModuleKind::Storage))?;
+                let module = self
+                    .expect_kind(*cell, "a storage cell", |k| matches!(k, ModuleKind::Storage))?;
                 self.expect_at(*droplet, module.port())?;
                 if self.storage.contains_key(cell) {
                     return Err(SimError::StorageBusy { cell: *cell });
@@ -180,19 +181,17 @@ impl<'a> SimState<'a> {
                 self.record(crate::TraceEvent::Stored { droplet: *droplet, cell: *cell });
                 Ok(())
             }
-            Instruction::Fetch { droplet, cell } => {
-                match self.storage.get(cell) {
-                    Some(d) if d == droplet => {
-                        self.storage.remove(cell);
-                        self.record(crate::TraceEvent::Fetched { droplet: *droplet, cell: *cell });
-                        Ok(())
-                    }
-                    _ => Err(SimError::StorageBusy { cell: *cell }),
+            Instruction::Fetch { droplet, cell } => match self.storage.get(cell) {
+                Some(d) if d == droplet => {
+                    self.storage.remove(cell);
+                    self.record(crate::TraceEvent::Fetched { droplet: *droplet, cell: *cell });
+                    Ok(())
                 }
-            }
+                _ => Err(SimError::StorageBusy { cell: *cell }),
+            },
             Instruction::Discard { droplet, waste } => {
-                let module =
-                    self.expect_kind(*waste, "a waste reservoir", |k| matches!(k, ModuleKind::Waste))?;
+                let module = self
+                    .expect_kind(*waste, "a waste reservoir", |k| matches!(k, ModuleKind::Waste))?;
                 self.expect_at(*droplet, module.port())?;
                 self.droplets.remove(droplet);
                 self.report.discarded += 1;
@@ -200,8 +199,8 @@ impl<'a> SimState<'a> {
                 Ok(())
             }
             Instruction::Emit { droplet, output } => {
-                let module =
-                    self.expect_kind(*output, "an output port", |k| matches!(k, ModuleKind::Output))?;
+                let module = self
+                    .expect_kind(*output, "an output port", |k| matches!(k, ModuleKind::Output))?;
                 self.expect_at(*droplet, module.port())?;
                 self.droplets.remove(droplet);
                 self.report.emitted += 1;
@@ -248,11 +247,7 @@ impl<'a> SimState<'a> {
     /// droplet that is parked on an open cell (droplets inside module
     /// footprints are shielded by the module geometry).
     fn parked_guard(&self, moving: DropletId) -> Vec<(DropletId, Coord)> {
-        self.droplets
-            .iter()
-            .filter(|(id, _)| **id != moving)
-            .map(|(id, pos)| (*id, *pos))
-            .collect()
+        self.droplets.iter().filter(|(id, _)| **id != moving).map(|(id, pos)| (*id, *pos)).collect()
     }
 
     fn transport(&mut self, droplet: DropletId, path: Vec<Coord>) -> Result<(), SimError> {
@@ -275,7 +270,10 @@ impl<'a> SimState<'a> {
         };
         let mut pos = from;
         for &next in rest {
-            if next.x < 0 || next.x >= self.chip.width() || next.y < 0 || next.y >= self.chip.height()
+            if next.x < 0
+                || next.x >= self.chip.width()
+                || next.y < 0
+                || next.y >= self.chip.height()
             {
                 return Err(SimError::BadPath { droplet, reason: format!("{next} off grid") });
             }

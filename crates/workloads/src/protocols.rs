@@ -14,11 +14,7 @@ pub struct Protocol {
 }
 
 fn protocol(id: &'static str, name: &'static str, parts: Vec<u64>) -> Protocol {
-    Protocol {
-        id,
-        name,
-        ratio: TargetRatio::new(parts).expect("published ratios are valid"),
-    }
+    Protocol { id, name, ratio: TargetRatio::new(parts).expect("published ratios are valid") }
 }
 
 /// Ex.1 — the PCR master mix for DNA amplification, `L = 256`.
@@ -83,8 +79,7 @@ mod tests {
 
     #[test]
     fn fluid_counts_match_paper() {
-        let counts: Vec<usize> =
-            table2_examples().iter().map(|p| p.ratio.fluid_count()).collect();
+        let counts: Vec<usize> = table2_examples().iter().map(|p| p.ratio.fluid_count()).collect();
         assert_eq!(counts, vec![7, 3, 10, 5, 7]);
     }
 

@@ -9,9 +9,7 @@
 //! the paper's count, whose exact filter is unspecified.
 
 use dmf_ratio::TargetRatio;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dmf_rng::{SeedableRng, SliceRandom, StdRng};
 
 /// Generates every partition of `total` into exactly `parts` positive
 /// components, each in non-increasing order.

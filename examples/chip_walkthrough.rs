@@ -64,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
     let template = Rma.build_template(&target)?;
     let forest = build_forest(&template, &target, 8, ReusePolicy::AcrossTrees)?;
-    println!(
-        "forest: {} — pipe the DOT below through `dot -Tsvg` to visualise\n",
-        forest.stats()
-    );
+    println!("forest: {} — pipe the DOT below through `dot -Tsvg` to visualise\n", forest.stats());
     println!("{}", forest.to_dot());
     Ok(())
 }

@@ -23,12 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, pass) in plan.passes.iter().enumerate() {
         let program = realize_pass(pass, &chip)?;
         let report = Simulator::new(&chip).run(&program)?;
-        println!(
-            "pass {}: {} instructions -> {}",
-            i + 1,
-            program.len(),
-            report
-        );
+        println!("pass {}: {} instructions -> {}", i + 1, program.len(), report);
         assert_eq!(report.storage_peak, pass.storage_units(), "sim agrees with Algorithm 3");
     }
     Ok(())

@@ -15,12 +15,14 @@ use dmfstream::ratio::TargetRatio;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let percents = [10.0, 8.0, 0.8, 0.8, 1.0, 1.0, 78.4];
     println!("PCR master mix, demand D = 32, SRS with Mlb mixers\n");
-    println!("{:>3} {:>3} | {:>6} {:>9} {:>8} {:>7}", "d", "q'", "passes", "cycles", "waste", "inputs");
+    println!(
+        "{:>3} {:>3} | {:>6} {:>9} {:>8} {:>7}",
+        "d", "q'", "passes", "cycles", "waste", "inputs"
+    );
     for d in [4u32, 5, 6] {
         let target = TargetRatio::paper_approximate(&percents, d)?;
         for limit in [3usize, 5, 7] {
-            let engine =
-                StreamingEngine::new(EngineConfig::default().with_storage_limit(limit));
+            let engine = StreamingEngine::new(EngineConfig::default().with_storage_limit(limit));
             match engine.plan(&target, 32) {
                 Ok(plan) => println!(
                     "{:>3} {:>3} | {:>6} {:>9} {:>8} {:>7}",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, tests, formatting and lints — fully offline.
+# The workspace has no external dependencies, so no network is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

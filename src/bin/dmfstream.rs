@@ -6,14 +6,24 @@
 //! dmfstream plan 2:1:1:1:1:1:9 --demand 32 --storage 3 --mixers 3
 //! dmfstream simulate 2:1:1:1:1:1:9 --demand 20
 //! dmfstream gantt 2:1:1:1:1:1:9 --demand 20
+//! dmfstream simulate 2:1:1:1:1:1:9 --demand 20 --metrics out.jsonl
+//! DMF_OBS=1 dmfstream simulate 2:1:1:1:1:1:9 --demand 20
 //! ```
+//!
+//! `--metrics <path>` (or the `DMF_OBS=1` environment variable, which
+//! defaults to `results/obs/dmfstream.jsonl`) enables the global
+//! [`dmf_obs`] recorder: the run's spans, counters and gauges are dumped
+//! as JSON lines to the path and a human-readable summary table is
+//! printed at the end.
 
 use dmfstream::chip::presets::streaming_chip;
 use dmfstream::engine::{realize_pass, EngineConfig, StreamingEngine};
 use dmfstream::mixalgo::BaseAlgorithm;
+use dmfstream::obs;
 use dmfstream::ratio::TargetRatio;
 use dmfstream::sched::SchedulerKind;
 use dmfstream::sim::Simulator;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
@@ -22,13 +32,15 @@ struct Args {
     demand: u64,
     config: EngineConfig,
     trace: bool,
+    metrics: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dmfstream <plan|gantt|simulate> <a1:a2:...:aN> \
          [--demand D] [--mixers M] [--storage Q] \
-         [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace]"
+         [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace] \
+         [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)"
     );
     ExitCode::from(2)
 }
@@ -42,14 +54,16 @@ fn parse_args() -> Result<Args, String> {
     let mut demand = 32u64;
     let mut config = EngineConfig::default();
     let mut trace = false;
+    let mut metrics: Option<PathBuf> = None;
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--trace" => trace = true,
+            "--metrics" => metrics = Some(PathBuf::from(value()?)),
             "--demand" => demand = value()?.parse().map_err(|e| format!("bad demand: {e}"))?,
             "--mixers" => {
-                config = config
-                    .with_mixers(value()?.parse().map_err(|e| format!("bad mixers: {e}"))?)
+                config =
+                    config.with_mixers(value()?.parse().map_err(|e| format!("bad mixers: {e}"))?)
             }
             "--storage" => {
                 config = config
@@ -74,7 +88,10 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(Args { command, ratio, demand, config, trace })
+    if metrics.is_none() && std::env::var_os("DMF_OBS").is_some_and(|v| v != "0") {
+        metrics = Some(PathBuf::from("results/obs/dmfstream.jsonl"));
+    }
+    Ok(Args { command, ratio, demand, config, trace, metrics })
 }
 
 fn main() -> ExitCode {
@@ -85,6 +102,21 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if args.metrics.is_some() {
+        obs::global().set_enabled(true);
+    }
+    let code = run(&args);
+    if let Some(path) = &args.metrics {
+        match obs::global().export_jsonl_path(path) {
+            Ok(()) => eprintln!("metrics written to {}", path.display()),
+            Err(e) => eprintln!("error: cannot write metrics to {}: {e}", path.display()),
+        }
+        println!("\n{}", obs::MetricsReport::from_recorder(obs::global()));
+    }
+    code
+}
+
+fn run(args: &Args) -> ExitCode {
     let engine = StreamingEngine::new(args.config);
     let plan = match engine.plan(&args.ratio, args.demand) {
         Ok(plan) => plan,

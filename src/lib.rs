@@ -51,6 +51,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Observability: spans, counters, gauges, JSONL export ([`dmf_obs`]).
+pub mod obs {
+    pub use dmf_obs::*;
+}
+
 /// Exact concentration-factor arithmetic ([`dmf_ratio`]).
 pub mod ratio {
     pub use dmf_ratio::*;

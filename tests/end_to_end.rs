@@ -14,9 +14,8 @@ fn all_protocols_all_algorithms_all_schedulers_plan_cleanly() {
     for protocol in protocols::table2_examples() {
         for algorithm in BaseAlgorithm::ALL {
             for scheduler in SchedulerKind::ALL {
-                let config = EngineConfig::default()
-                    .with_algorithm(algorithm)
-                    .with_scheduler(scheduler);
+                let config =
+                    EngineConfig::default().with_algorithm(algorithm).with_scheduler(scheduler);
                 let engine = StreamingEngine::new(config);
                 let plan = engine
                     .plan(&protocol.ratio, 32)
@@ -71,12 +70,8 @@ fn three_fluid_protocol_realizes_and_simulates() {
     let protocol = protocols::one_step_miniprep();
     let engine = StreamingEngine::new(EngineConfig::default());
     let plan = engine.plan(&protocol.ratio, 8).unwrap();
-    let chip = streaming_chip(
-        protocol.ratio.fluid_count(),
-        plan.mixers,
-        plan.storage_peak.max(1),
-    )
-    .unwrap();
+    let chip = streaming_chip(protocol.ratio.fluid_count(), plan.mixers, plan.storage_peak.max(1))
+        .unwrap();
     let mut emitted = 0;
     for pass in &plan.passes {
         let program = realize_pass(pass, &chip).unwrap();

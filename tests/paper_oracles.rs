@@ -21,10 +21,7 @@ fn fig1_forest_demand_16() {
     let template = MinMix.build_template(&target).unwrap();
     let forest = build_forest(&template, &target, 16, ReusePolicy::AcrossTrees).unwrap();
     let s = forest.stats();
-    assert_eq!(
-        (s.trees, s.mix_splits, s.waste, s.input_total),
-        (8, 19, 0, 16)
-    );
+    assert_eq!((s.trees, s.mix_splits, s.waste, s.input_total), (8, 19, 0, 16));
     assert_eq!(s.inputs, vec![2, 1, 1, 1, 1, 1, 9]);
 }
 
@@ -36,10 +33,7 @@ fn fig2_forest_demand_20() {
     let template = MinMix.build_template(&target).unwrap();
     let forest = build_forest(&template, &target, 20, ReusePolicy::AcrossTrees).unwrap();
     let s = forest.stats();
-    assert_eq!(
-        (s.trees, s.mix_splits, s.waste, s.input_total),
-        (10, 27, 5, 25)
-    );
+    assert_eq!((s.trees, s.mix_splits, s.waste, s.input_total), (10, 27, 5, 25));
     assert_eq!(s.inputs, vec![3, 2, 2, 2, 2, 2, 12]);
 }
 
