@@ -1,4 +1,5 @@
 use crate::{ChipError, Coord, Module, ModuleId, ModuleKind, Rect};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A complete biochip description: a `width × height` electrode array with
@@ -27,6 +28,7 @@ pub struct ChipSpec {
     width: i32,
     height: i32,
     modules: Vec<Module>,
+    dead: BTreeSet<Coord>,
 }
 
 impl ChipSpec {
@@ -39,7 +41,7 @@ impl ChipSpec {
         if width <= 0 || height <= 0 {
             return Err(ChipError::EmptyGrid);
         }
-        Ok(ChipSpec { width, height, modules: Vec::new() })
+        Ok(ChipSpec { width, height, modules: Vec::new(), dead: BTreeSet::new() })
     }
 
     /// Electrode-array width.
@@ -162,6 +164,27 @@ impl ChipSpec {
             .collect()
     }
 
+    /// Marks an electrode as permanently stuck (a diagnosed stuck-at
+    /// fault). Dead cells are excluded from routing by
+    /// [`crate::ChipSpec::dead_cells`] consumers; marking a cell outside
+    /// the array is a no-op.
+    pub fn mark_dead(&mut self, cell: Coord) {
+        if self.in_bounds(cell) {
+            self.dead.insert(cell);
+        }
+    }
+
+    /// Whether `cell` has been diagnosed dead via
+    /// [`ChipSpec::mark_dead`].
+    pub fn is_dead(&self, cell: Coord) -> bool {
+        self.dead.contains(&cell)
+    }
+
+    /// The diagnosed-dead electrodes in coordinate order.
+    pub fn dead_cells(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.dead.iter().copied()
+    }
+
     /// Re-validates all geometric rules (useful after deserialisation).
     ///
     /// # Errors
@@ -226,6 +249,9 @@ impl ChipSpec {
                 grid[c.y as usize][c.x as usize] = ch;
             }
         }
+        for c in &self.dead {
+            grid[c.y as usize][c.x as usize] = 'x';
+        }
         grid.into_iter().map(|row| row.into_iter().collect::<String>() + "\n").collect()
     }
 }
@@ -287,6 +313,17 @@ mod tests {
         chip.add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 0, 1, 1)).unwrap();
         let err = chip.validate_for_engine(2).unwrap_err();
         assert!(matches!(err, ChipError::MissingResource { ref what } if what.contains("x2")));
+    }
+
+    #[test]
+    fn dead_cells_are_tracked_and_rendered() {
+        let mut chip = ChipSpec::new(6, 4).unwrap();
+        assert!(!chip.is_dead(Coord::new(1, 1)));
+        chip.mark_dead(Coord::new(1, 1));
+        chip.mark_dead(Coord::new(9, 9)); // out of bounds: ignored
+        assert!(chip.is_dead(Coord::new(1, 1)));
+        assert_eq!(chip.dead_cells().collect::<Vec<_>>(), vec![Coord::new(1, 1)]);
+        assert!(chip.render().contains('x'));
     }
 
     #[test]

@@ -48,5 +48,5 @@ mod engine;
 mod gradient;
 
 pub use algorithms::{BitScan, Dmrw};
-pub use engine::{stream_dilution, DilutionAlgorithm, DilutionStreamReport};
+pub use engine::{stream_dilution, DilutionAlgorithm, DilutionError, DilutionStreamReport};
 pub use gradient::{dilution_gradient, GradientReport};

@@ -42,9 +42,11 @@ mod config;
 mod error;
 mod plan;
 mod realize;
+mod recovery;
 
 pub use compare::{improvement_over_baseline, repeated, Improvement};
 pub use config::{EngineConfig, MixerBudget};
 pub use error::EngineError;
 pub use plan::{PassPlan, StreamPlan, StreamingEngine};
 pub use realize::realize_pass;
+pub use recovery::{RecoveryPlan, RecoveryPolicy};

@@ -1,0 +1,83 @@
+/// Knobs of the seeded fault model and its sensors.
+///
+/// The `fault_rate` is the master dial the Monte-Carlo exhibits sweep;
+/// the per-mechanism weights scale it into the probability of each
+/// physical failure class, and the wear terms add actuation-dependent
+/// degradation on top (electrodes actuated beyond `wear_threshold`
+/// become increasingly likely to die).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Master fault rate (0 disables injection entirely — a zero-rate
+    /// run is byte-identical to the fault-free baseline).
+    pub fault_rate: f64,
+    /// Per-electrode scale: each open electrode dies before a run with
+    /// probability `fault_rate * electrode_weight` (plus wear).
+    pub electrode_weight: f64,
+    /// Per-dispense scale: each dispense fails with probability
+    /// `fault_rate * dispense_weight`.
+    pub dispense_weight: f64,
+    /// Per-split scale: each mix-split is volume-perturbed with
+    /// probability `fault_rate * split_weight`; a perturbed split is
+    /// erroneous when its sampled error exceeds the forest's
+    /// split-error margin.
+    pub split_weight: f64,
+    /// Actuation count beyond which an electrode starts degrading.
+    pub wear_threshold: u32,
+    /// Extra death probability per actuation beyond the threshold.
+    pub wear_factor: f64,
+    /// Sensor checkpoint period in schedule cycles (0 = end-of-run
+    /// checkpoint only).
+    pub sensor_period: u32,
+    /// CF tolerance handed to `split_error_margin` when sizing the
+    /// tolerated split-volume error.
+    pub split_tolerance: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            fault_rate: 0.0,
+            electrode_weight: 0.02,
+            dispense_weight: 1.0,
+            split_weight: 1.0,
+            wear_threshold: 256,
+            wear_factor: 1e-4,
+            sensor_period: 2,
+            split_tolerance: 1e-3,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the master fault rate.
+    #[must_use]
+    pub fn with_fault_rate(mut self, rate: f64) -> Self {
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Sets the sensor checkpoint period.
+    #[must_use]
+    pub fn with_sensor_period(mut self, period: u32) -> Self {
+        self.sensor_period = period;
+        self
+    }
+
+    /// Sets the wear threshold and factor of the degradation model.
+    #[must_use]
+    pub fn with_wear(mut self, threshold: u32, factor: f64) -> Self {
+        self.wear_threshold = threshold;
+        self.wear_factor = factor;
+        self
+    }
+}

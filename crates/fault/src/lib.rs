@@ -1,0 +1,59 @@
+//! Fault injection and error recovery for the droplet-streaming engine.
+//!
+//! Digital microfluidic chips fail in the field: electrodes degrade with
+//! actuation and get stuck, reservoirs misfire, splits come out uneven.
+//! This crate closes the loop the DAC 2014 streaming engine leaves open —
+//! it *injects* such faults deterministically, lets the simulator's
+//! sensor checkpoints *detect* them, and drives the engine's
+//! demand-level *recovery* until the demanded target droplets are
+//! actually delivered.
+//!
+//! The pieces:
+//!
+//! * [`FaultConfig`] — the seeded fault model's knobs (master rate,
+//!   per-mechanism weights, wear degradation, sensor period);
+//! * [`WearTracker`] — cumulative per-electrode actuation counts,
+//!   feeding the degradation term;
+//! * [`FaultModel`] — samples a concrete [`dmf_sim::InjectedFaults`]
+//!   plan for one run (same seed, same history → same plan);
+//! * [`lineage`] — reconstructs droplet contents from a trace, the
+//!   ground truth for salvage crediting and CF verification;
+//! * [`run_resilient`] — the campaign loop: realize, run under faults,
+//!   diagnose dead electrodes (rerouted around next run), salvage,
+//!   re-plan the shortfall, until the demand is met.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmf_engine::{EngineConfig, RecoveryPolicy};
+//! use dmf_fault::{run_resilient, FaultConfig};
+//! use dmf_ratio::TargetRatio;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9])?;
+//! let faults = FaultConfig::default().with_seed(42).with_fault_rate(0.05);
+//! let out = run_resilient(
+//!     &target,
+//!     20,
+//!     EngineConfig::default(),
+//!     &faults,
+//!     RecoveryPolicy::default().with_max_replans(32),
+//! )?;
+//! assert!(out.demand_met());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod lineage;
+mod model;
+mod runner;
+mod wear;
+
+pub use config::FaultConfig;
+pub use model::FaultModel;
+pub use runner::{run_resilient, FaultError, ResilientOutcome};
+pub use wear::WearTracker;

@@ -1,0 +1,96 @@
+//! Mixture reconstruction from traces.
+//!
+//! The simulator tracks droplets, not contents; this module replays a
+//! [`Trace`]'s dispense and mix events against the chip's reservoir map
+//! to recover what every droplet actually held — the ground truth the
+//! recovery runner uses to credit salvaged survivors and the tests use
+//! to verify that every emitted target carries the demanded CF vector.
+
+use dmf_chip::{ChipSpec, ModuleKind};
+use dmf_ratio::Mixture;
+use dmf_sim::{DropletId, Trace, TraceEvent};
+use std::collections::HashMap;
+
+/// Replays `trace` into a droplet → mixture map over `fluid_count`
+/// fluids. Droplets born from a mix inherit the 1:1 combination of their
+/// parents; unknown parents (never dispensed on this chip) are skipped.
+pub fn droplet_mixtures(
+    trace: &Trace,
+    chip: &ChipSpec,
+    fluid_count: usize,
+) -> HashMap<DropletId, Mixture> {
+    let mut contents: HashMap<DropletId, Mixture> = HashMap::new();
+    for timed in trace.events() {
+        match &timed.event {
+            TraceEvent::Dispensed { droplet, reservoir, .. } => {
+                if let ModuleKind::Reservoir { fluid } = chip.module(*reservoir).kind() {
+                    contents.insert(*droplet, Mixture::pure(fluid, fluid_count));
+                }
+            }
+            TraceEvent::Mixed { inputs, outputs, .. } => {
+                let mixed = match (contents.get(&inputs[0]), contents.get(&inputs[1])) {
+                    (Some(a), Some(b)) => a.mix(b).ok(),
+                    _ => None,
+                };
+                if let Some(m) = mixed {
+                    contents.insert(outputs[0], m.clone());
+                    contents.insert(outputs[1], m);
+                }
+            }
+            _ => {}
+        }
+    }
+    contents
+}
+
+/// The droplets emitted at output ports, in emission order.
+pub fn emitted_droplets(trace: &Trace) -> Vec<DropletId> {
+    trace
+        .events()
+        .iter()
+        .filter_map(|e| match e.event {
+            TraceEvent::Emitted { droplet } => Some(droplet),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_chip::presets::pcr_chip;
+    use dmf_sim::{ChipProgram, Instruction, Simulator};
+
+    #[test]
+    fn lineage_recovers_mixture_contents() {
+        let chip = pcr_chip();
+        let r1 = chip.reservoir_for(0).unwrap().id();
+        let r7 = chip.reservoir_for(6).unwrap().id();
+        let m1 = chip.mixers().next().unwrap().id();
+        let w1 = chip.waste_reservoirs().next().unwrap().id();
+        let o1 = chip.outputs().next().unwrap().id();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::TransportTo { droplet: DropletId(0), module: m1 });
+        p.push(Instruction::Dispense { reservoir: r7, droplet: DropletId(1) });
+        p.push(Instruction::TransportTo { droplet: DropletId(1), module: m1 });
+        p.push(Instruction::MixSplit {
+            mixer: m1,
+            a: DropletId(0),
+            b: DropletId(1),
+            out_a: DropletId(2),
+            out_b: DropletId(3),
+        });
+        p.push(Instruction::TransportTo { droplet: DropletId(2), module: o1 });
+        p.push(Instruction::Emit { droplet: DropletId(2), output: o1 });
+        p.push(Instruction::TransportTo { droplet: DropletId(3), module: w1 });
+        p.push(Instruction::Discard { droplet: DropletId(3), waste: w1 });
+        let (_, trace) = Simulator::new(&chip).run_traced(&p).unwrap();
+        let contents = droplet_mixtures(&trace, &chip, 7);
+        assert_eq!(contents[&DropletId(0)], Mixture::pure(0, 7));
+        let expected = Mixture::pure(0, 7).mix(&Mixture::pure(6, 7)).unwrap();
+        assert_eq!(contents[&DropletId(2)], expected);
+        assert_eq!(contents[&DropletId(2)], contents[&DropletId(3)]);
+        assert_eq!(emitted_droplets(&trace), vec![DropletId(2)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! The seeded fault model: turns a fault rate, the chip's wear history
+//! and a program into a concrete [`InjectedFaults`] plan.
+
+use crate::{FaultConfig, WearTracker};
+use dmf_chip::{ChipSpec, Coord};
+use dmf_rng::{Rng, SeedableRng, StdRng};
+use dmf_sim::{ChipProgram, InjectedFaults, Instruction};
+use std::collections::HashSet;
+
+/// A deterministic fault sampler: same seed, same chip history, same
+/// program → same fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    config: FaultConfig,
+    rng: StdRng,
+}
+
+impl FaultModel {
+    /// Creates a model seeded from `config.seed`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultModel { rng: StdRng::seed_from_u64(config.seed), config }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Samples a fault plan for one run of `program` on `chip`.
+    ///
+    /// * every open, still-alive electrode dies (stuck-open/closed) with
+    ///   probability `fault_rate · electrode_weight` plus the wear term
+    ///   `wear_factor · excess(cell, wear_threshold)` — the degradation
+    ///   model consuming the simulator's actuation counts;
+    /// * every dispense ordinal fails with `fault_rate · dispense_weight`;
+    /// * every mix-split ordinal is volume-perturbed with
+    ///   `fault_rate · split_weight`; the perturbation magnitude is drawn
+    ///   uniformly from `[0, 2 · split_margin)` and only out-of-margin
+    ///   draws make the split erroneous.
+    ///
+    /// A non-positive `fault_rate` short-circuits to an empty plan
+    /// without consuming any randomness, so zero-rate campaigns stay
+    /// byte-identical to the baseline regardless of wear history.
+    pub fn sample(
+        &mut self,
+        chip: &ChipSpec,
+        program: &ChipProgram,
+        wear: &WearTracker,
+        split_margin: f64,
+    ) -> InjectedFaults {
+        let mut plan =
+            InjectedFaults { sensor_period: self.config.sensor_period, ..Default::default() };
+        if self.config.fault_rate <= 0.0 {
+            return plan;
+        }
+        let module_cells: HashSet<Coord> =
+            chip.modules().iter().flat_map(|m| m.rect().cells().collect::<Vec<_>>()).collect();
+        let base = self.config.fault_rate * self.config.electrode_weight;
+        for y in 0..chip.height() {
+            for x in 0..chip.width() {
+                let cell = Coord::new(x, y);
+                if module_cells.contains(&cell) || chip.is_dead(cell) {
+                    continue;
+                }
+                let degradation =
+                    self.config.wear_factor * wear.excess(cell, self.config.wear_threshold) as f64;
+                if self.rng.gen_bool((base + degradation).min(1.0)) {
+                    plan.dead_cells.insert(cell);
+                }
+            }
+        }
+        let p_dispense = (self.config.fault_rate * self.config.dispense_weight).min(1.0);
+        let dispenses = program
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, Instruction::Dispense { .. }))
+            .count() as u64;
+        for ordinal in 0..dispenses {
+            if self.rng.gen_bool(p_dispense) {
+                plan.failed_dispenses.insert(ordinal);
+            }
+        }
+        let p_split = (self.config.fault_rate * self.config.split_weight).min(1.0);
+        for ordinal in 0..program.mix_count() as u64 {
+            if self.rng.gen_bool(p_split) {
+                // A perturbed split: the volumetric error is uniform in
+                // [0, 2·margin), so half the perturbations stay inside
+                // the forest's tolerated split-error margin.
+                let epsilon = self.rng.gen::<f64>() * 2.0 * split_margin;
+                if epsilon > split_margin {
+                    plan.bad_splits.insert(ordinal);
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_chip::presets::pcr_chip;
+    use dmf_sim::DropletId;
+
+    fn program_with(dispenses: usize, mixes: usize) -> ChipProgram {
+        let chip = pcr_chip();
+        let r = chip.reservoir_for(0).unwrap().id();
+        let m = chip.mixers().next().unwrap().id();
+        let mut p = ChipProgram::new();
+        for i in 0..dispenses {
+            p.push(Instruction::Dispense { reservoir: r, droplet: DropletId(i as u64) });
+        }
+        for i in 0..mixes {
+            let base = 100 + 4 * i as u64;
+            p.push(Instruction::MixSplit {
+                mixer: m,
+                a: DropletId(base),
+                b: DropletId(base + 1),
+                out_a: DropletId(base + 2),
+                out_b: DropletId(base + 3),
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn zero_rate_samples_nothing() {
+        let chip = pcr_chip();
+        let mut model = FaultModel::new(FaultConfig::default().with_seed(7));
+        let plan = model.sample(&chip, &program_with(50, 50), &WearTracker::new(), 0.05);
+        assert!(plan.is_empty());
+        assert_eq!(plan.sensor_period, FaultConfig::default().sensor_period);
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let chip = pcr_chip();
+        let cfg = FaultConfig::default().with_seed(42).with_fault_rate(0.2);
+        let wear = WearTracker::new();
+        let p = program_with(40, 40);
+        let a = FaultModel::new(cfg).sample(&chip, &p, &wear, 0.05);
+        let b = FaultModel::new(cfg).sample(&chip, &p, &wear, 0.05);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "rate 0.2 over 80 ordinals injects something");
+    }
+
+    #[test]
+    fn wear_raises_electrode_failure_probability() {
+        let chip = pcr_chip();
+        let cfg = FaultConfig::default().with_fault_rate(1e-9).with_wear(0, 1.0);
+        let mut worn = WearTracker::new();
+        let mut report = dmf_sim::SimReport::default();
+        // A non-module cell, actuated far past the (zero) threshold.
+        let hot = Coord::new(0, 1);
+        report.electrode_actuations.insert(hot, 1000);
+        worn.absorb(&report);
+        let plan = FaultModel::new(cfg).sample(&chip, &program_with(1, 1), &worn, 0.05);
+        assert!(plan.dead_cells.contains(&hot), "worn-out electrode must die");
+    }
+
+    #[test]
+    fn diagnosed_dead_cells_are_not_resampled() {
+        let mut chip = pcr_chip();
+        let cfg = FaultConfig::default().with_fault_rate(50.0); // every cell dies
+        let diagnosed = Coord::new(0, 1);
+        chip.mark_dead(diagnosed);
+        let plan =
+            FaultModel::new(cfg).sample(&chip, &program_with(0, 0), &WearTracker::new(), 0.05);
+        assert!(!plan.dead_cells.contains(&diagnosed));
+        assert!(!plan.dead_cells.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-electrode wear accounting across runs.
+//!
+//! The simulator has always *recorded* per-electrode actuation counts
+//! ([`dmf_sim::SimReport::electrode_actuations`]); this tracker finally
+//! *consumes* them: accumulated actuations feed the degradation term of
+//! the fault model, so heavily used electrodes (the paper's reliability
+//! concern, Huang et al. ICCAD 2011) are the first to die.
+
+use dmf_chip::Coord;
+use dmf_sim::SimReport;
+use std::collections::HashMap;
+
+/// Cumulative per-electrode actuation counts over a chip's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WearTracker {
+    counts: HashMap<Coord, u64>,
+}
+
+impl WearTracker {
+    /// A fresh chip with no wear.
+    pub fn new() -> Self {
+        WearTracker::default()
+    }
+
+    /// Adds one run's actuation counts to the lifetime totals.
+    pub fn absorb(&mut self, report: &SimReport) {
+        for (&cell, &n) in &report.electrode_actuations {
+            *self.counts.entry(cell).or_insert(0) += u64::from(n);
+        }
+    }
+
+    /// Lifetime actuations of one electrode.
+    pub fn wear(&self, cell: Coord) -> u64 {
+        self.counts.get(&cell).copied().unwrap_or(0)
+    }
+
+    /// Actuations beyond the degradation threshold (0 while healthy).
+    pub fn excess(&self, cell: Coord, threshold: u32) -> u64 {
+        self.wear(cell).saturating_sub(u64::from(threshold))
+    }
+
+    /// Lifetime actuations summed over all electrodes.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of electrodes ever actuated.
+    pub fn touched(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wear_accumulates_across_reports() {
+        let mut w = WearTracker::new();
+        let mut r = SimReport::default();
+        r.electrode_actuations.insert(Coord::new(1, 1), 5);
+        w.absorb(&r);
+        w.absorb(&r);
+        assert_eq!(w.wear(Coord::new(1, 1)), 10);
+        assert_eq!(w.wear(Coord::new(0, 0)), 0);
+        assert_eq!(w.total(), 10);
+        assert_eq!(w.touched(), 1);
+        assert_eq!(w.excess(Coord::new(1, 1), 4), 6);
+        assert_eq!(w.excess(Coord::new(1, 1), 256), 0);
+    }
+}

@@ -21,9 +21,11 @@ pub struct TimedPath {
 }
 
 impl TimedPath {
-    /// Position at step `t`, clamping to the final cell after arrival.
+    /// Position at step `t`, clamping to the final cell after arrival. An
+    /// empty path (which [`route_concurrent`] never produces) reports the
+    /// origin electrode rather than panicking.
     pub fn at(&self, t: usize) -> Coord {
-        *self.cells.get(t).unwrap_or_else(|| self.cells.last().expect("non-empty path"))
+        self.cells.get(t).or_else(|| self.cells.last()).copied().unwrap_or_default()
     }
 
     /// Electrode actuations (hops onto a new electrode).

@@ -15,6 +15,14 @@ pub enum RouteError {
         /// Destination electrode.
         to: Coord,
     },
+    /// A single droplet is boxed in: no path exists between the endpoints
+    /// on the given grid (blocked cells, dead electrodes or avoid set).
+    NoRoute {
+        /// Source electrode.
+        from: Coord,
+        /// Destination electrode.
+        to: Coord,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -22,6 +30,9 @@ impl fmt::Display for RouteError {
         match self {
             RouteError::Unroutable { index, from, to } => {
                 write!(f, "droplet {index} cannot be routed from {from} to {to}")
+            }
+            RouteError::NoRoute { from, to } => {
+                write!(f, "no route exists from {from} to {to}")
             }
         }
     }

@@ -18,10 +18,15 @@ impl Grid {
 
     /// Builds the routing grid of a chip, blocking every module footprint
     /// except the modules listed in `open` (typically the source and
-    /// destination of the current transport).
+    /// destination of the current transport). Electrodes diagnosed dead on
+    /// the chip ([`ChipSpec::dead_cells`]) are always blocked, even inside
+    /// an `open` module.
     pub fn from_spec(spec: &ChipSpec, open: &[dmf_chip::ModuleId]) -> Self {
         let mut grid = Grid::new(spec.width(), spec.height());
         for cell in spec.obstacles(open) {
+            grid.block(cell);
+        }
+        for cell in spec.dead_cells() {
             grid.block(cell);
         }
         grid
@@ -83,5 +88,18 @@ mod tests {
         assert!(!closed.passable(Coord::new(4, 4)));
         let open = Grid::from_spec(&spec, &[m]);
         assert!(open.passable(Coord::new(4, 4)));
+    }
+
+    #[test]
+    fn from_spec_blocks_dead_electrodes() {
+        let mut spec = ChipSpec::new(10, 10).unwrap();
+        let m = spec.add_module("M1", ModuleKind::Mixer, Rect::new(4, 4, 2, 2)).unwrap();
+        spec.mark_dead(Coord::new(1, 1));
+        spec.mark_dead(Coord::new(4, 4));
+        let g = Grid::from_spec(&spec, &[m]);
+        assert!(!g.passable(Coord::new(1, 1)));
+        // Dead cells stay blocked even inside an open module footprint.
+        assert!(!g.passable(Coord::new(4, 4)));
+        assert!(g.passable(Coord::new(5, 5)));
     }
 }

@@ -38,7 +38,7 @@ mod concurrent;
 mod error;
 mod grid;
 
-pub use astar::{actuations, shortest_path};
+pub use astar::{actuations, shortest_path, try_shortest_path};
 pub use concurrent::{route_concurrent, RouteRequest, TimedPath};
 pub use error::RouteError;
 pub use grid::Grid;

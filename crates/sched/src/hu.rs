@@ -14,7 +14,7 @@ pub fn critical_path(graph: &MixGraph) -> u32 {
 /// Implemented as Hu's highest-level-first list scheduling, which is
 /// makespan-optimal for unit-time tasks with in-forest precedence — the same
 /// guarantee the paper gets from Luo–Akella's OMS. Accepts arbitrary mixing
-/// DAGs (shared droplets from [`dmf_mixalgo::Mtcs`]-style sharing), for
+/// DAGs (shared droplets from `dmf_mixalgo::Mtcs`-style sharing), for
 /// which HLF is a well-behaved heuristic rather than provably optimal.
 ///
 /// # Errors

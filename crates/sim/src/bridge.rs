@@ -30,6 +30,8 @@ pub fn record_trace(recorder: &Recorder, trace: &Trace) {
     let mut discarded: u64 = 0;
     let mut emitted: u64 = 0;
     let mut hops: u64 = 0;
+    let mut injected: u64 = 0;
+    let mut detected: u64 = 0;
     for timed in trace.events() {
         match &timed.event {
             TraceEvent::Dispensed { .. } => dispensed += 1,
@@ -42,6 +44,8 @@ pub fn record_trace(recorder: &Recorder, trace: &Trace) {
             TraceEvent::Fetched { .. } => occupancy = occupancy.saturating_sub(1),
             TraceEvent::Discarded { .. } => discarded += 1,
             TraceEvent::Emitted { .. } => emitted += 1,
+            TraceEvent::FaultInjected { .. } => injected += 1,
+            TraceEvent::FaultDetected { .. } => detected += 1,
         }
     }
     recorder.count("sim.mix_splits", mix_splits);
@@ -53,6 +57,14 @@ pub fn record_trace(recorder: &Recorder, trace: &Trace) {
     // `SimReport::electrode_actuations`).
     recorder.count("sim.electrode_actuations", hops + dispensed);
     recorder.gauge_max("sim.storage_peak", peak);
+    // Fault counters appear only on fault-injected runs, so zero-fault
+    // exports stay identical to the pre-fault schema.
+    if injected > 0 {
+        recorder.count("fault.injected", injected);
+    }
+    if detected > 0 {
+        recorder.count("fault.detected", detected);
+    }
 }
 
 /// Folds a finished report into `recorder`.
@@ -72,4 +84,10 @@ pub fn record_report(recorder: &Recorder, report: &SimReport) {
     recorder.count("sim.electrode_actuations", report.transport_actuations + report.dispensed);
     recorder.gauge_max("sim.storage_peak", report.storage_peak as u64);
     recorder.gauge_max("sim.cycles", u64::from(report.cycles));
+    if report.faults_injected > 0 {
+        recorder.count("fault.injected", report.faults_injected);
+    }
+    if report.faults_detected > 0 {
+        recorder.count("fault.detected", report.faults_detected);
+    }
 }

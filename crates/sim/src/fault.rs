@@ -1,0 +1,160 @@
+//! Fault injection for the simulator: deterministic fault plans, the
+//! records the simulator keeps about them, and the outcome of a faulty
+//! run.
+//!
+//! The simulator itself stays ignorant of *how* faults are chosen — a
+//! fault plan ([`InjectedFaults`]) is plain data produced elsewhere
+//! (`dmf-fault` samples one from a seeded RNG, tests write them by hand).
+//! [`crate::Simulator::run_faulty`] executes a program under such a plan:
+//! droplets hit latent dead electrodes and get stuck, dispense ordinals
+//! fail, split ordinals produce out-of-tolerance volumes whose error
+//! taints every downstream mix. Checkpoint "sensor" cycles compare the
+//! observed droplet state against the plan and turn injected faults into
+//! detected ones; an output-port sensor rejects erroneous droplets so no
+//! bad target is ever emitted.
+
+use crate::DropletId;
+use dmf_chip::{Coord, ModuleId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A deterministic fault plan for one simulated run.
+///
+/// All ordinals are 0-based positions within the program: the `n`-th
+/// `Dispense` instruction, the `n`-th `MixSplit` instruction. Dead cells
+/// are *latent*: the router does not know about them (unlike
+/// [`dmf_chip::ChipSpec::dead_cells`], which models already-diagnosed
+/// electrodes), so a droplet routed across one gets stuck there.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Electrodes that are stuck (open or closed) but not yet diagnosed.
+    pub dead_cells: BTreeSet<Coord>,
+    /// 0-based dispense ordinals that produce no droplet.
+    pub failed_dispenses: BTreeSet<u64>,
+    /// 0-based mix-split ordinals whose split volume falls outside the
+    /// forest's split-error margin (both halves are erroneous).
+    pub bad_splits: BTreeSet<u64>,
+    /// Run a sensor checkpoint every this many schedule cycles (0 =
+    /// only the implicit end-of-run checkpoint).
+    pub sensor_period: u32,
+}
+
+impl InjectedFaults {
+    /// Whether the plan injects nothing (checkpoints still run, but can
+    /// never fire).
+    pub fn is_empty(&self) -> bool {
+        self.dead_cells.is_empty() && self.failed_dispenses.is_empty() && self.bad_splits.is_empty()
+    }
+
+    /// Total number of faults this plan injects (upper bound: a fault
+    /// only manifests when its electrode/ordinal is actually exercised).
+    pub fn len(&self) -> usize {
+        self.dead_cells.len() + self.failed_dispenses.len() + self.bad_splits.len()
+    }
+}
+
+/// What kind of physical failure a [`FaultRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// A droplet got stuck on a latent dead electrode mid-transport.
+    StuckElectrode {
+        /// The dead electrode.
+        cell: Coord,
+    },
+    /// A reservoir failed to produce a droplet.
+    DispenseFailed {
+        /// The reservoir.
+        reservoir: ModuleId,
+    },
+    /// A mix-split produced volumes outside the tolerated margin.
+    SplitError {
+        /// The mixer.
+        mixer: ModuleId,
+    },
+    /// A droplet was boxed in with no route to its destination
+    /// (secondary effect of dead electrodes and stranded droplets).
+    Stranded {
+        /// Where the droplet was abandoned.
+        at: Coord,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckElectrode { cell } => write!(f, "stuck on dead electrode {cell}"),
+            FaultKind::DispenseFailed { reservoir } => {
+                write!(f, "dispense failed at {reservoir}")
+            }
+            FaultKind::SplitError { mixer } => write!(f, "split-volume error at {mixer}"),
+            FaultKind::Stranded { at } => write!(f, "stranded without a route at {at}"),
+        }
+    }
+}
+
+/// One injected fault, with its detection status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// What happened.
+    pub kind: FaultKind,
+    /// The droplet the fault first manifested on.
+    pub droplet: DropletId,
+    /// Schedule cycle active at injection.
+    pub injected_cycle: u32,
+    /// Schedule cycle of the sensor checkpoint that noticed it (`None`
+    /// only while the run is still in flight — the end-of-run checkpoint
+    /// detects everything).
+    pub detected_cycle: Option<u32>,
+}
+
+/// The result of one fault-injected run: the usual report and trace plus
+/// the fault records and the droplets that survived on chip.
+///
+/// A faulty run never aborts on fluid loss — lost droplets cascade
+/// (instructions referencing them are skipped) and whatever is left on
+/// chip at the end is reported as `survivors`, the salvageable pool the
+/// recovery planner works from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultyOutcome {
+    /// Aggregate statistics (including `faults_injected`,
+    /// `faults_detected` and `droplets_lost`).
+    pub report: crate::SimReport,
+    /// The full event log, including `FaultInjected`/`FaultDetected`.
+    pub trace: crate::Trace,
+    /// Every injected fault in injection order.
+    pub faults: Vec<FaultRecord>,
+    /// Droplets still on chip (or quarantined by the sensor controller)
+    /// at the end of the run, in id order. All are fault-free: erroneous
+    /// droplets are rejected by the final checkpoint.
+    pub survivors: Vec<DropletId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let f = InjectedFaults::default();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        let mut g = f.clone();
+        g.failed_dispenses.insert(3);
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn fault_kinds_render() {
+        let kinds = [
+            FaultKind::StuckElectrode { cell: Coord::new(1, 2) },
+            FaultKind::DispenseFailed { reservoir: ModuleId(0) },
+            FaultKind::SplitError { mixer: ModuleId(1) },
+            FaultKind::Stranded { at: Coord::new(3, 4) },
+        ];
+        for k in kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -49,12 +49,14 @@
 
 pub mod bridge;
 mod error;
+mod fault;
 mod program;
 mod report;
 mod simulator;
 mod trace;
 
 pub use error::SimError;
+pub use fault::{FaultKind, FaultRecord, FaultyOutcome, InjectedFaults};
 pub use program::{ChipProgram, DropletId, Instruction};
 pub use report::SimReport;
 pub use simulator::Simulator;

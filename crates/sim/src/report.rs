@@ -27,6 +27,16 @@ pub struct SimReport {
     /// concern the paper's electrode-actuation comparison addresses);
     /// [`SimReport::max_electrode_actuations`] is the wear hot-spot.
     pub electrode_actuations: HashMap<Coord, u32>,
+    /// Faults injected by the active fault plan (0 outside
+    /// [`crate::Simulator::run_faulty`]).
+    pub faults_injected: u64,
+    /// Fault records detected by sensor checkpoints or the output-port
+    /// sensor.
+    pub faults_detected: u64,
+    /// Droplets physically lost to faults (failed dispenses, stuck or
+    /// stranded droplets). Skipped mixes do not lose fluid: their
+    /// surviving operand is quarantined, not destroyed.
+    pub droplets_lost: u64,
 }
 
 impl SimReport {
@@ -62,6 +72,14 @@ impl fmt::Display for SimReport {
             self.discarded,
             self.storage_peak,
             self.cycles
-        )
+        )?;
+        if self.faults_injected > 0 || self.faults_detected > 0 {
+            write!(
+                f,
+                " faults={}/{} lost={}",
+                self.faults_detected, self.faults_injected, self.droplets_lost
+            )?;
+        }
+        Ok(())
     }
 }

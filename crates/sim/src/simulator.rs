@@ -1,4 +1,7 @@
-use crate::{ChipProgram, DropletId, Instruction, SimError, SimReport, Trace};
+use crate::{
+    ChipProgram, DropletId, FaultKind, FaultRecord, FaultyOutcome, InjectedFaults, Instruction,
+    SimError, SimReport, Trace,
+};
 use dmf_chip::{ChipSpec, Coord, ModuleId, ModuleKind};
 use dmf_route::{shortest_path, Grid};
 use std::collections::{HashMap, HashSet};
@@ -49,6 +52,52 @@ impl<'a> Simulator<'a> {
         Ok((report, trace.expect("tracing was enabled")))
     }
 
+    /// Runs a program under a fault plan, always traced and tolerant of
+    /// leftover droplets (survivors are the point).
+    ///
+    /// With an empty [`InjectedFaults`] the run is byte-identical to
+    /// [`Simulator::run_traced`]: same trace, same report (the fault
+    /// counters stay zero). With faults, lost droplets cascade — every
+    /// instruction referencing a lost droplet is skipped, a mix with a
+    /// lost operand is skipped and quarantines the surviving operand —
+    /// and sensor checkpoints (every [`InjectedFaults::sensor_period`]
+    /// cycles, plus one at the end of the run) detect missing droplets
+    /// and reject erroneous ones to waste, so the program completes with
+    /// a truthful account of what survived.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] only for violations the fault model cannot
+    /// explain (malformed programs); fluid loss is not an error here.
+    pub fn run_faulty(
+        &self,
+        program: &ChipProgram,
+        faults: &InjectedFaults,
+    ) -> Result<FaultyOutcome, SimError> {
+        let _span = dmf_obs::span!("sim_execute");
+        let mut state = SimState::new(self.chip);
+        state.trace = Some(Trace::default());
+        state.fault = Some(FaultCtx::new(faults.clone()));
+        for (step, instruction) in program.instructions().iter().enumerate() {
+            state.step = step;
+            state.execute_faulty(instruction)?;
+        }
+        // End-of-run checkpoint: everything still latent becomes detected
+        // and no erroneous droplet survives.
+        state.sensor_checkpoint();
+        let ctx = state.fault.take().expect("fault mode");
+        let mut survivors: Vec<DropletId> = state.droplets.keys().copied().collect();
+        survivors.extend(ctx.quarantined.iter().copied());
+        survivors.sort_unstable();
+        crate::bridge::record_report(dmf_obs::global(), &state.report);
+        Ok(FaultyOutcome {
+            report: state.report,
+            trace: state.trace.expect("tracing was enabled"),
+            faults: ctx.records,
+            survivors,
+        })
+    }
+
     fn execute_program(
         &self,
         program: &ChipProgram,
@@ -71,6 +120,38 @@ impl<'a> Simulator<'a> {
     }
 }
 
+/// Fault-mode bookkeeping: the plan being injected and the cascade state
+/// (which droplets are lost or carrying a volume error, and which record
+/// each traces back to).
+struct FaultCtx {
+    faults: InjectedFaults,
+    /// Lost droplet → index of the originating record in `records`.
+    lost: HashMap<DropletId, usize>,
+    /// Erroneous droplet → index of the originating record.
+    tainted: HashMap<DropletId, usize>,
+    records: Vec<FaultRecord>,
+    /// Fault-free droplets pulled aside by the controller when their mix
+    /// partner was lost (kept off the chip so they cannot contaminate
+    /// later rendezvous at the same mixer port).
+    quarantined: Vec<DropletId>,
+    dispense_seq: u64,
+    mix_seq: u64,
+}
+
+impl FaultCtx {
+    fn new(faults: InjectedFaults) -> Self {
+        FaultCtx {
+            faults,
+            lost: HashMap::new(),
+            tainted: HashMap::new(),
+            records: Vec::new(),
+            quarantined: Vec::new(),
+            dispense_seq: 0,
+            mix_seq: 0,
+        }
+    }
+}
+
 struct SimState<'a> {
     chip: &'a ChipSpec,
     droplets: HashMap<DropletId, Coord>,
@@ -78,6 +159,7 @@ struct SimState<'a> {
     report: SimReport,
     trace: Option<Trace>,
     step: usize,
+    fault: Option<FaultCtx>,
 }
 
 impl<'a> SimState<'a> {
@@ -89,6 +171,7 @@ impl<'a> SimState<'a> {
             report: SimReport::default(),
             trace: None,
             step: 0,
+            fault: None,
         }
     }
 
@@ -307,12 +390,260 @@ impl<'a> SimState<'a> {
         Ok(())
     }
 
+    /// Fault-mode dispatcher: cascades losses (instructions referencing a
+    /// lost droplet are skipped), injects planned faults at their ordinal
+    /// or electrode, propagates split-error taint through mixes, and runs
+    /// sensor checkpoints. With an empty plan every arm reduces to
+    /// [`SimState::execute`], keeping zero-fault runs byte-identical to
+    /// the baseline.
+    fn execute_faulty(&mut self, instruction: &Instruction) -> Result<(), SimError> {
+        match instruction {
+            Instruction::Dispense { reservoir, droplet } => {
+                let seq = {
+                    let ctx = self.fault.as_mut().expect("fault mode");
+                    let s = ctx.dispense_seq;
+                    ctx.dispense_seq += 1;
+                    s
+                };
+                let fails = self
+                    .fault
+                    .as_ref()
+                    .is_some_and(|ctx| ctx.faults.failed_dispenses.contains(&seq));
+                if fails {
+                    self.report.droplets_lost += 1;
+                    let idx =
+                        self.inject(FaultKind::DispenseFailed { reservoir: *reservoir }, *droplet);
+                    self.mark_lost(*droplet, idx);
+                    return Ok(());
+                }
+                self.execute(instruction)
+            }
+            Instruction::Transport { droplet, path } => {
+                if self.is_lost(*droplet) {
+                    return Ok(());
+                }
+                self.transport_with_faults(*droplet, path.clone())
+            }
+            Instruction::TransportTo { droplet, module } => {
+                if self.is_lost(*droplet) {
+                    return Ok(());
+                }
+                let target = self
+                    .chip
+                    .modules()
+                    .get(module.0)
+                    .ok_or(SimError::WrongModuleKind { module: *module, expected: "present" })?;
+                let to = target.port();
+                let from = self.position(*droplet)?;
+                if from == to {
+                    return Ok(());
+                }
+                match self.route(from, to, *droplet) {
+                    Some(path) => self.transport_with_faults(*droplet, path),
+                    None => {
+                        // Boxed in (dead electrodes closed every corridor):
+                        // the controller abandons the droplet rather than
+                        // aborting the whole run.
+                        self.droplets.remove(droplet);
+                        self.report.droplets_lost += 1;
+                        let idx = self.inject(FaultKind::Stranded { at: from }, *droplet);
+                        self.mark_lost(*droplet, idx);
+                        Ok(())
+                    }
+                }
+            }
+            Instruction::MixSplit { mixer, a, b, out_a, out_b } => {
+                let seq = {
+                    let ctx = self.fault.as_mut().expect("fault mode");
+                    let s = ctx.mix_seq;
+                    ctx.mix_seq += 1;
+                    s
+                };
+                if let Some(idx) = self.lost_record(*a).or_else(|| self.lost_record(*b)) {
+                    // The mix cannot fire. Quarantine a surviving operand so
+                    // it cannot contaminate later rendezvous at this port,
+                    // and propagate the loss to both outputs.
+                    for operand in [*a, *b] {
+                        if !self.is_lost(operand) && self.droplets.remove(&operand).is_some() {
+                            self.fault.as_mut().expect("fault mode").quarantined.push(operand);
+                        }
+                    }
+                    self.mark_lost(*out_a, idx);
+                    self.mark_lost(*out_b, idx);
+                    return Ok(());
+                }
+                self.execute(instruction)?;
+                let inherited = self.taint_record(*a).or_else(|| self.taint_record(*b));
+                let bad_split =
+                    self.fault.as_ref().is_some_and(|ctx| ctx.faults.bad_splits.contains(&seq));
+                let idx = if bad_split {
+                    Some(self.inject(FaultKind::SplitError { mixer: *mixer }, *out_a))
+                } else {
+                    inherited
+                };
+                if let Some(idx) = idx {
+                    let ctx = self.fault.as_mut().expect("fault mode");
+                    ctx.tainted.insert(*out_a, idx);
+                    ctx.tainted.insert(*out_b, idx);
+                }
+                Ok(())
+            }
+            Instruction::Store { droplet, .. }
+            | Instruction::Fetch { droplet, .. }
+            | Instruction::Discard { droplet, .. } => {
+                if self.is_lost(*droplet) {
+                    return Ok(());
+                }
+                self.execute(instruction)
+            }
+            Instruction::Emit { droplet, .. } => {
+                if self.is_lost(*droplet) {
+                    return Ok(());
+                }
+                if let Some(idx) = self.taint_record(*droplet) {
+                    // Output-port sensor: the droplet's CF is outside the
+                    // tolerated margin — reject it to waste, never emit.
+                    self.reject(*droplet, idx);
+                    return Ok(());
+                }
+                self.execute(instruction)
+            }
+            Instruction::CycleMarker { cycle } => {
+                self.execute(instruction)?;
+                let period =
+                    self.fault.as_ref().map(|ctx| ctx.faults.sensor_period).unwrap_or_default();
+                if period > 0 && cycle % period == 0 {
+                    self.sensor_checkpoint();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Like [`SimState::transport`], but a path crossing a latent dead
+    /// electrode strands the droplet there: it moves up to the dead cell,
+    /// sticks, and is lost.
+    fn transport_with_faults(
+        &mut self,
+        droplet: DropletId,
+        path: Vec<Coord>,
+    ) -> Result<(), SimError> {
+        let dead_at = self.fault.as_ref().and_then(|ctx| {
+            path.iter().enumerate().skip(1).find(|(_, c)| ctx.faults.dead_cells.contains(c))
+        });
+        match dead_at.map(|(i, _)| i) {
+            None => self.transport(droplet, path),
+            Some(i) => {
+                let cell = path[i];
+                self.transport(droplet, path[..=i].to_vec())?;
+                self.droplets.remove(&droplet);
+                self.report.droplets_lost += 1;
+                let idx = self.inject(FaultKind::StuckElectrode { cell }, droplet);
+                self.mark_lost(droplet, idx);
+                Ok(())
+            }
+        }
+    }
+
+    /// Records an injected fault and its trace event, returning the
+    /// record's index.
+    fn inject(&mut self, kind: FaultKind, droplet: DropletId) -> usize {
+        let cycle = self.report.cycles;
+        self.report.faults_injected += 1;
+        self.record(crate::TraceEvent::FaultInjected { droplet, kind });
+        let ctx = self.fault.as_mut().expect("fault mode");
+        ctx.records.push(FaultRecord {
+            kind,
+            droplet,
+            injected_cycle: cycle,
+            detected_cycle: None,
+        });
+        ctx.records.len() - 1
+    }
+
+    fn mark_lost(&mut self, droplet: DropletId, idx: usize) {
+        self.fault.as_mut().expect("fault mode").lost.insert(droplet, idx);
+    }
+
+    fn lost_record(&self, droplet: DropletId) -> Option<usize> {
+        self.fault.as_ref().and_then(|ctx| ctx.lost.get(&droplet).copied())
+    }
+
+    fn is_lost(&self, droplet: DropletId) -> bool {
+        self.lost_record(droplet).is_some()
+    }
+
+    fn taint_record(&self, droplet: DropletId) -> Option<usize> {
+        self.fault.as_ref().and_then(|ctx| ctx.tainted.get(&droplet).copied())
+    }
+
+    /// Marks record `idx` detected at the current cycle (idempotent).
+    fn detect(&mut self, idx: usize) {
+        let cycle = self.report.cycles;
+        let ctx = self.fault.as_mut().expect("fault mode");
+        let fresh = ctx.records[idx].detected_cycle.is_none();
+        if fresh {
+            ctx.records[idx].detected_cycle = Some(cycle);
+        }
+        if fresh {
+            self.report.faults_detected += 1;
+        }
+    }
+
+    /// A sensor rejects an erroneous droplet to waste: it is removed from
+    /// the chip (and storage), discarded, and its record marked detected.
+    fn reject(&mut self, droplet: DropletId, idx: usize) {
+        self.droplets.remove(&droplet);
+        self.storage.retain(|_, d| *d != droplet);
+        self.record(crate::TraceEvent::FaultDetected { droplet });
+        self.record(crate::TraceEvent::Discarded { droplet });
+        self.report.discarded += 1;
+        self.mark_lost(droplet, idx);
+        self.detect(idx);
+    }
+
+    /// A checkpoint "sensor" cycle: compares observed droplet state with
+    /// the plan. Erroneous droplets still on chip are rejected to waste
+    /// (in id order, for determinism) and every still-latent fault record
+    /// — a droplet the plan expects but the chip no longer carries — is
+    /// marked detected.
+    fn sensor_checkpoint(&mut self) {
+        if self.fault.is_none() {
+            return;
+        }
+        let mut bad: Vec<(DropletId, usize)> = {
+            let ctx = self.fault.as_ref().expect("fault mode");
+            self.droplets.keys().filter_map(|d| ctx.tainted.get(d).map(|&idx| (*d, idx))).collect()
+        };
+        bad.sort_unstable_by_key(|(d, _)| d.0);
+        for (droplet, idx) in bad {
+            self.reject(droplet, idx);
+        }
+        let latent: Vec<(usize, DropletId)> = {
+            let ctx = self.fault.as_ref().expect("fault mode");
+            ctx.records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.detected_cycle.is_none())
+                .map(|(idx, r)| (idx, r.droplet))
+                .collect()
+        };
+        for (idx, droplet) in latent {
+            self.record(crate::TraceEvent::FaultDetected { droplet });
+            self.detect(idx);
+        }
+    }
+
     fn route(&self, from: Coord, to: Coord, moving: DropletId) -> Option<Vec<Coord>> {
         // Open grid except other droplets' guard bands; module footprints
         // stay passable because ports live inside them and droplets travel
         // between ports. (Module interiors are shielded, so crossing a
-        // footprint corner is harmless in this abstraction.)
-        let grid = Grid::new(self.chip.width(), self.chip.height());
+        // footprint corner is harmless in this abstraction.) Electrodes
+        // diagnosed dead on the chip are never routed across.
+        let mut grid = Grid::new(self.chip.width(), self.chip.height());
+        for cell in self.chip.dead_cells() {
+            grid.block(cell);
+        }
         let mut avoid: HashSet<Coord> = HashSet::new();
         let in_module = |c: Coord| self.chip.modules().iter().any(|m| m.rect().contains(c));
         let in_mixer = |c: Coord| self.chip.mixers().any(|m| m.rect().contains(c));

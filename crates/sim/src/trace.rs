@@ -2,7 +2,7 @@
 //! simulator did, for debugging compiled programs and inspecting droplet
 //! life cycles.
 
-use crate::DropletId;
+use crate::{DropletId, FaultKind};
 use dmf_chip::{Coord, ModuleId};
 use std::fmt;
 
@@ -62,6 +62,19 @@ pub enum TraceEvent {
         /// The droplet.
         droplet: DropletId,
     },
+    /// A fault manifested on a droplet (fault-injected runs only).
+    FaultInjected {
+        /// The droplet the fault first hit.
+        droplet: DropletId,
+        /// What happened.
+        kind: FaultKind,
+    },
+    /// A sensor noticed a fault: a checkpoint found a droplet missing or
+    /// erroneous, or the output-port sensor rejected a bad target.
+    FaultDetected {
+        /// The droplet the detection names.
+        droplet: DropletId,
+    },
 }
 
 /// A timestamped event: the schedule cycle active when it happened and the
@@ -110,7 +123,9 @@ impl Trace {
                 | TraceEvent::Stored { droplet: d, .. }
                 | TraceEvent::Fetched { droplet: d, .. }
                 | TraceEvent::Discarded { droplet: d }
-                | TraceEvent::Emitted { droplet: d } => *d == droplet,
+                | TraceEvent::Emitted { droplet: d }
+                | TraceEvent::FaultInjected { droplet: d, .. }
+                | TraceEvent::FaultDetected { droplet: d } => *d == droplet,
                 TraceEvent::Mixed { inputs, outputs, .. } => {
                     inputs.contains(&droplet) || outputs.contains(&droplet)
                 }
@@ -156,6 +171,12 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Fetched { droplet, cell } => write!(f, "{droplet} fetched from {cell}"),
             TraceEvent::Discarded { droplet } => write!(f, "{droplet} discarded to waste"),
             TraceEvent::Emitted { droplet } => write!(f, "{droplet} emitted as target"),
+            TraceEvent::FaultInjected { droplet, kind } => {
+                write!(f, "{droplet} fault injected: {kind}")
+            }
+            TraceEvent::FaultDetected { droplet } => {
+                write!(f, "{droplet} fault detected by sensor")
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //! dmfstream gantt 2:1:1:1:1:1:9 --demand 20
 //! dmfstream simulate 2:1:1:1:1:1:9 --demand 20 --metrics out.jsonl
 //! DMF_OBS=1 dmfstream simulate 2:1:1:1:1:1:9 --demand 20
+//! dmfstream fault 2:1:1:1:1:1:9 --demand 20 --seed 42 --fault-rate 0.05
 //! ```
 //!
 //! `--metrics <path>` (or the `DMF_OBS=1` environment variable, which
@@ -17,7 +18,8 @@
 //! printed at the end.
 
 use dmfstream::chip::presets::streaming_chip;
-use dmfstream::engine::{realize_pass, EngineConfig, StreamingEngine};
+use dmfstream::engine::{realize_pass, EngineConfig, RecoveryPolicy, StreamingEngine};
+use dmfstream::fault::{run_resilient, FaultConfig};
 use dmfstream::mixalgo::BaseAlgorithm;
 use dmfstream::obs;
 use dmfstream::ratio::TargetRatio;
@@ -31,16 +33,20 @@ struct Args {
     ratio: TargetRatio,
     demand: u64,
     config: EngineConfig,
+    fault: FaultConfig,
+    policy: RecoveryPolicy,
     trace: bool,
     metrics: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dmfstream <plan|gantt|simulate> <a1:a2:...:aN> \
+        "usage: dmfstream <plan|gantt|simulate|fault> <a1:a2:...:aN> \
          [--demand D] [--mixers M] [--storage Q] \
          [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace] \
-         [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)"
+         [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)\n\
+         fault-only flags: [--seed S] [--fault-rate R] [--sensor-period C] \
+         [--max-replans N]"
     );
     ExitCode::from(2)
 }
@@ -53,12 +59,31 @@ fn parse_args() -> Result<Args, String> {
         ratio_text.parse().map_err(|e| format!("bad ratio {ratio_text:?}: {e}"))?;
     let mut demand = 32u64;
     let mut config = EngineConfig::default();
+    let mut fault = FaultConfig::default();
+    let mut policy = RecoveryPolicy::default();
     let mut trace = false;
     let mut metrics: Option<PathBuf> = None;
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--trace" => trace = true,
+            "--seed" => {
+                fault = fault.with_seed(value()?.parse().map_err(|e| format!("bad seed: {e}"))?)
+            }
+            "--fault-rate" => {
+                fault = fault
+                    .with_fault_rate(value()?.parse().map_err(|e| format!("bad fault rate: {e}"))?)
+            }
+            "--sensor-period" => {
+                fault = fault.with_sensor_period(
+                    value()?.parse().map_err(|e| format!("bad sensor period: {e}"))?,
+                )
+            }
+            "--max-replans" => {
+                policy = policy.with_max_replans(
+                    value()?.parse().map_err(|e| format!("bad replan budget: {e}"))?,
+                )
+            }
             "--metrics" => metrics = Some(PathBuf::from(value()?)),
             "--demand" => demand = value()?.parse().map_err(|e| format!("bad demand: {e}"))?,
             "--mixers" => {
@@ -91,7 +116,7 @@ fn parse_args() -> Result<Args, String> {
     if metrics.is_none() && std::env::var_os("DMF_OBS").is_some_and(|v| v != "0") {
         metrics = Some(PathBuf::from("results/obs/dmfstream.jsonl"));
     }
-    Ok(Args { command, ratio, demand, config, trace, metrics })
+    Ok(Args { command, ratio, demand, config, fault, policy, trace, metrics })
 }
 
 fn main() -> ExitCode {
@@ -117,6 +142,9 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> ExitCode {
+    if args.command == "fault" {
+        return run_fault(args);
+    }
     let engine = StreamingEngine::new(args.config);
     let plan = match engine.plan(&args.ratio, args.demand) {
         Ok(plan) => plan,
@@ -195,5 +223,34 @@ fn run(args: &Args) -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage(),
+    }
+}
+
+fn run_fault(args: &Args) -> ExitCode {
+    match run_resilient(&args.ratio, args.demand, args.config, &args.fault, args.policy) {
+        Ok(outcome) => {
+            println!("{outcome}");
+            if args.trace {
+                for (i, trace) in outcome.traces.iter().enumerate() {
+                    println!("\nrun {}:", i + 1);
+                    println!("{}", trace.render());
+                }
+            }
+            if !outcome.dead_cells.is_empty() {
+                let rendered: Vec<String> =
+                    outcome.dead_cells.iter().map(|c| c.to_string()).collect();
+                println!("diagnosed dead electrodes: {}", rendered.join(" "));
+            }
+            if outcome.demand_met() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: delivered {}/{} targets", outcome.delivered(), outcome.demand);
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -22,6 +22,7 @@
 //! | routing | [`route`] | A* + space-time multi-droplet routing with fluidic constraints |
 //! | simulation | [`sim`] | strict cycle-level executor, electrode-actuation accounting |
 //! | the engine | [`engine`] | demand-driven multi-pass streaming under storage budgets |
+//! | fault tolerance | [`fault`] | seeded fault injection, sensor checkpoints, demand-level recovery |
 //! | workloads | [`workloads`] | five bioprotocol ratios, 6k-ratio synthetic corpus |
 //!
 //! # Quickstart
@@ -99,6 +100,11 @@ pub mod sim {
 /// The demand-driven streaming engine ([`dmf_engine`]).
 pub mod engine {
     pub use dmf_engine::*;
+}
+
+/// Fault injection and error recovery ([`dmf_fault`]).
+pub mod fault {
+    pub use dmf_fault::*;
 }
 
 /// Evaluation workloads ([`dmf_workloads`]).
