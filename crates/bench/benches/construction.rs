@@ -1,5 +1,8 @@
 //! Micro-benchmarks: base-tree algorithms and mixing-forest construction.
 
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::micro::MicroBench;
 use dmf_forest::{build_forest, ReusePolicy};
 use dmf_mixalgo::BaseAlgorithm;

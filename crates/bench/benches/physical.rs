@@ -1,6 +1,9 @@
 //! Micro-benchmarks: placement, routing, program compilation and full
 //! simulation of the PCR engine.
 
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::micro::MicroBench;
 use dmf_chip::presets::pcr_chip;
 use dmf_chip::{Coord, FlowMatrix, ModuleKind, PlacementConfig, PlacementRequest, Placer};

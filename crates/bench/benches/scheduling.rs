@@ -1,6 +1,9 @@
 //! Micro-benchmarks: MMS, SRS and OMS scheduling plus storage accounting
 //! on forests of growing size.
 
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::micro::MicroBench;
 use dmf_forest::{build_forest, ReusePolicy};
 use dmf_mixalgo::BaseAlgorithm;

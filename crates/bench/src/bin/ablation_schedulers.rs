@@ -6,6 +6,9 @@
 //!
 //! Optional first argument: sample size (default 150; GA is the slow one).
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_forest::{build_forest, ReusePolicy};
 use dmf_mixalgo::BaseAlgorithm;
 use dmf_sched::{ga_schedule, mms_schedule, oms_schedule, path_schedule, srs_schedule, GaConfig};

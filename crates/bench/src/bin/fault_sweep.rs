@@ -17,6 +17,9 @@
 //! bottom are read back from the global `dmf-obs` recorder, not from the
 //! outcomes. Exits non-zero if any trial misses its demand.
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::{export_obs, obs_from_env};
 use dmf_engine::{EngineConfig, RecoveryPolicy};
 use dmf_fault::{run_resilient, FaultConfig};

@@ -2,6 +2,9 @@
 //! (2:1:1:1:1:1:9, d = 4) at demands 16 and 20, plus the Graphviz export
 //! of the D = 16 forest.
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_forest::{build_forest, build_forest_report, ReusePolicy};
 use dmf_mixalgo::{MinMix, MixingAlgorithm};
 use dmf_ratio::TargetRatio;

@@ -2,6 +2,9 @@
 //! number of on-chip mixers for the PCR master mix (2:1:1:1:1:1:9,
 //! D = 32), comparing RMA+MMS against RMA+SRS.
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_forest::{build_forest, ReusePolicy};
 use dmf_mixalgo::{MixingAlgorithm, Rma};
 use dmf_ratio::TargetRatio;

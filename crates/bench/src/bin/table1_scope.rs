@@ -1,5 +1,8 @@
 //! Table 1 — scope of earlier work versus the proposed streaming engine.
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_mixalgo::{BaseAlgorithm, Capabilities};
 
 fn cell(b: bool) -> &'static str {

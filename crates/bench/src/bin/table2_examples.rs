@@ -1,6 +1,9 @@
 //! Table 2 — `Tc`, `q` and `I` for the five example bioprotocols under the
 //! nine schemes (D = 32, Mlb mixers of each target's MM tree).
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::{run_scheme, Scheme};
 use dmf_workloads::protocols;
 

@@ -6,6 +6,9 @@
 //! full 6066-ratio corpus; use e.g. `500` for a quick run). Set `DMF_OBS=1`
 //! to dump the run's metrics to `results/obs/table3_improvements.jsonl`.
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::{export_obs, obs_from_env, run_scheme, Scheme};
 use dmf_mixalgo::BaseAlgorithm;
 use dmf_obs::Table;

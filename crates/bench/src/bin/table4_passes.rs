@@ -2,6 +2,9 @@
 //! number of storage units: passes, total cycles and total waste for
 //! every (q', d, D) combination the paper reports.
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_engine::{EngineConfig, StreamingEngine};
 use dmf_ratio::TargetRatio;
 use dmf_workloads::protocols::PCR_MASTER_MIX_PERCENT;

@@ -1,0 +1,406 @@
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` diagnostics mean the artifact violates a hard invariant of the
+/// paper's synthesis flow and must not be executed; `Warning` diagnostics
+/// flag conventions whose violation degrades quality but not correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Convention violated; the artifact is still executable.
+    Warning,
+    /// Hard invariant violated; the artifact is unsound.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable identifiers for every rule the checker knows, grouped by the
+/// artifact family the rule inspects (`CF*` mixing forest, `SCH*` schedule,
+/// `PLC*` placement, `RT*` timed routes, `PLN*` whole-plan aggregates).
+///
+/// Codes are append-only: a code, once published, keeps its meaning so that
+/// JSONL exports remain comparable across versions. See DESIGN.md §11 for
+/// the full catalogue and the procedure for adding a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum RuleCode {
+    /// Mix node's stored mixture differs from the (1:1) mix of its operands.
+    Cf001,
+    /// CF denominator does not divide `2^d` (dyadic level exceeds accuracy).
+    Cf002,
+    /// Root mixture differs from the target ratio.
+    Cf003,
+    /// Droplet conservation broken: over-consumed, dangling or root-consumed
+    /// droplets, or an operand referencing a node outside the graph.
+    Cf004,
+    /// Zero-waste theorem violated: `W > 0` although `D = p·2^d` (§4.1).
+    Cf005,
+    /// Forest shape wrong: tree count differs from `⌈D/2⌉`.
+    Cf006,
+    /// Schedule does not cover the graph (size mismatch / unscheduled node).
+    Sch001,
+    /// Precedence violated: a node runs no later than one of its operands.
+    Sch002,
+    /// Mixer occupancy exceeds the mixer budget `Mc` in some cycle.
+    Sch003,
+    /// Mixer double-booked in a cycle, or mixer index out of range.
+    Sch004,
+    /// Independent storage recount disagrees with the claimed `q'`
+    /// (Algorithm 3 cross-check).
+    Sch005,
+    /// Module footprint outside the electrode array.
+    Plc001,
+    /// Module footprints overlap or violate the one-cell guard band.
+    Plc002,
+    /// Dead electrode under a module footprint.
+    Plc003,
+    /// World-facing module (reservoir / waste / output) not on the chip
+    /// boundary (warning).
+    Plc004,
+    /// Route leaves the grid, crosses a blocked cell, or is empty /
+    /// mismatched against its request.
+    Rt001,
+    /// Route teleports: consecutive cells are not equal or orthogonally
+    /// adjacent.
+    Rt002,
+    /// Static fluidic constraint violated: two droplets within one cell of
+    /// each other at the same step.
+    Rt003,
+    /// Dynamic fluidic constraint violated: a droplet within one cell of
+    /// another droplet's position at `t ± 1`.
+    Rt004,
+    /// Pass demands do not cover the plan demand.
+    Pln001,
+    /// Plan aggregates (`Tc`, `Tms`, `W`, `I`, `q`) disagree with an
+    /// independent recount over the passes.
+    Pln002,
+}
+
+impl RuleCode {
+    /// Every rule, in catalogue order.
+    pub const ALL: [RuleCode; 21] = [
+        RuleCode::Cf001,
+        RuleCode::Cf002,
+        RuleCode::Cf003,
+        RuleCode::Cf004,
+        RuleCode::Cf005,
+        RuleCode::Cf006,
+        RuleCode::Sch001,
+        RuleCode::Sch002,
+        RuleCode::Sch003,
+        RuleCode::Sch004,
+        RuleCode::Sch005,
+        RuleCode::Plc001,
+        RuleCode::Plc002,
+        RuleCode::Plc003,
+        RuleCode::Plc004,
+        RuleCode::Rt001,
+        RuleCode::Rt002,
+        RuleCode::Rt003,
+        RuleCode::Rt004,
+        RuleCode::Pln001,
+        RuleCode::Pln002,
+    ];
+
+    /// The stable textual code (`"CF001"`, `"SCH003"`, …).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleCode::Cf001 => "CF001",
+            RuleCode::Cf002 => "CF002",
+            RuleCode::Cf003 => "CF003",
+            RuleCode::Cf004 => "CF004",
+            RuleCode::Cf005 => "CF005",
+            RuleCode::Cf006 => "CF006",
+            RuleCode::Sch001 => "SCH001",
+            RuleCode::Sch002 => "SCH002",
+            RuleCode::Sch003 => "SCH003",
+            RuleCode::Sch004 => "SCH004",
+            RuleCode::Sch005 => "SCH005",
+            RuleCode::Plc001 => "PLC001",
+            RuleCode::Plc002 => "PLC002",
+            RuleCode::Plc003 => "PLC003",
+            RuleCode::Plc004 => "PLC004",
+            RuleCode::Rt001 => "RT001",
+            RuleCode::Rt002 => "RT002",
+            RuleCode::Rt003 => "RT003",
+            RuleCode::Rt004 => "RT004",
+            RuleCode::Pln001 => "PLN001",
+            RuleCode::Pln002 => "PLN002",
+        }
+    }
+
+    /// One-line summary of what the rule enforces.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleCode::Cf001 => "mix node content must equal the 1:1 mix of its operands",
+            RuleCode::Cf002 => "CF denominators must divide 2^d",
+            RuleCode::Cf003 => "root mixtures must equal the target ratio",
+            RuleCode::Cf004 => "every droplet pair feeds 1..=2 consumers; roots feed none",
+            RuleCode::Cf005 => "W = 0 whenever D = p*2^d (zero-waste theorem)",
+            RuleCode::Cf006 => "a demand-D forest has ceil(D/2) component trees",
+            RuleCode::Sch001 => "every mix node is scheduled exactly once",
+            RuleCode::Sch002 => "operands execute strictly before their consumer",
+            RuleCode::Sch003 => "per-cycle mixer occupancy stays within Mc",
+            RuleCode::Sch004 => "one node per mixer per cycle, mixers within range",
+            RuleCode::Sch005 => "independent storage recount equals the claimed q'",
+            RuleCode::Plc001 => "module footprints stay on the electrode array",
+            RuleCode::Plc002 => "module footprints keep a one-cell guard band",
+            RuleCode::Plc003 => "no module sits on a diagnosed-dead electrode",
+            RuleCode::Plc004 => "world-facing modules sit on the chip boundary",
+            RuleCode::Rt001 => "routes stay on passable cells and match their request",
+            RuleCode::Rt002 => "routes move at most one orthogonal cell per step",
+            RuleCode::Rt003 => "droplets keep one cell apart at every step",
+            RuleCode::Rt004 => "droplets keep one cell apart across adjacent steps",
+            RuleCode::Pln001 => "pass demands cover the plan demand exactly",
+            RuleCode::Pln002 => "plan aggregates match an independent recount",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleCode::Plc004 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Span-like location of a finding inside its artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// The whole artifact (no finer location applies).
+    Artifact,
+    /// A mix-split vertex, by arena index (renders as `n3`).
+    Node(u32),
+    /// A schedule timestep (1-based, renders as `t=4`).
+    Cycle(u32),
+    /// A chip module, by name.
+    Module(String),
+    /// An electrode.
+    Cell {
+        /// Column.
+        x: i32,
+        /// Row.
+        y: i32,
+    },
+    /// A step of one timed route (droplet = request index).
+    Droplet {
+        /// Index of the route request.
+        index: usize,
+        /// Time step within the route.
+        step: usize,
+    },
+    /// A pass of a streaming plan (0-based).
+    Pass(usize),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Artifact => write!(f, "-"),
+            Location::Node(i) => write!(f, "n{i}"),
+            Location::Cycle(t) => write!(f, "t={t}"),
+            Location::Module(name) => f.write_str(name),
+            Location::Cell { x, y } => write!(f, "({x},{y})"),
+            Location::Droplet { index, step } => write!(f, "d{index}@t{step}"),
+            Location::Pass(i) => write!(f, "pass {}", i + 1),
+        }
+    }
+}
+
+/// One finding: a violated rule, where it was observed and a human-readable
+/// explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: RuleCode,
+    /// Severity (defaults to the rule's own severity).
+    pub severity: Severity,
+    /// Where the violation was observed.
+    pub location: Location,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the rule's default severity.
+    pub fn new(rule: RuleCode, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic { rule, severity: rule.severity(), location, message: message.into() }
+    }
+
+    /// One JSON object (single line, no trailing newline) for JSONL export.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
+            self.rule,
+            self.severity,
+            dmf_obs::json::escape(&self.location.to_string()),
+            dmf_obs::json::escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] at {}: {}", self.severity, self.rule, self.location, self.message)
+    }
+}
+
+/// The outcome of a checker pass: an ordered list of [`Diagnostic`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        CheckReport::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Records a finding at the rule's default severity.
+    pub fn report(&mut self, rule: RuleCode, location: Location, message: impl Into<String>) {
+        self.push(Diagnostic::new(rule, location, message));
+    }
+
+    /// Absorbs another report's findings.
+    pub fn merge(&mut self, other: CheckReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All findings, in discovery order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether no finding at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether no *error*-severity finding was recorded (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether some finding carries the given rule code.
+    pub fn has(&self, rule: RuleCode) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// Renders the findings through the shared [`dmf_obs::Table`] writer.
+    pub fn table(&self) -> dmf_obs::Table {
+        let mut table = dmf_obs::Table::new(["severity", "rule", "location", "message"]);
+        for d in &self.diagnostics {
+            table.row([
+                d.severity.to_string(),
+                d.rule.to_string(),
+                d.location.to_string(),
+                d.message.clone(),
+            ]);
+        }
+        table
+    }
+
+    /// All findings as JSON lines (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "check: clean (0 diagnostics)");
+        }
+        writeln!(f, "check: {} error(s), {} warning(s)", self.error_count(), self.warning_count())?;
+        write!(f, "{}", self.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for rule in RuleCode::ALL {
+            assert!(seen.insert(rule.code()), "duplicate code {}", rule.code());
+            assert!(!rule.summary().is_empty());
+        }
+        assert_eq!(RuleCode::Cf001.code(), "CF001");
+        assert_eq!(RuleCode::Sch005.code(), "SCH005");
+        assert_eq!(RuleCode::Plc004.severity(), Severity::Warning);
+        assert_eq!(RuleCode::Rt002.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_rendering() {
+        let mut report = CheckReport::new();
+        assert!(report.is_clean() && report.is_empty());
+        report.report(RuleCode::Plc004, Location::Module("R1".into()), "not on boundary");
+        assert!(report.is_clean(), "warnings leave the report clean");
+        report.report(RuleCode::Cf001, Location::Node(3), "got <1:1>/2, stored <3:1>/4");
+        assert!(!report.is_clean());
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has(RuleCode::Cf001));
+        assert!(!report.has(RuleCode::Rt001));
+        let text = report.table().to_string();
+        assert!(text.contains("CF001") && text.contains("n3"));
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            dmf_obs::json::parse(line).expect("valid JSON");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::new(RuleCode::Rt003, Location::Droplet { index: 1, step: 4 }, "x");
+        assert_eq!(d.to_string(), "error[RT003] at d1@t4: x");
+        assert_eq!(Location::Cell { x: 2, y: 5 }.to_string(), "(2,5)");
+        assert_eq!(Location::Cycle(7).to_string(), "t=7");
+        assert_eq!(Location::Pass(0).to_string(), "pass 1");
+    }
+}

@@ -1,0 +1,123 @@
+//! Placement rules (`PLC001`–`PLC004`).
+//!
+//! Geometry is re-derived from the raw module rectangles with local
+//! coordinate arithmetic — the checker does not call
+//! [`dmf_chip::ChipSpec::validate`] or the `Rect` adjacency helpers, so it
+//! stays an independent second opinion on the layout.
+
+use crate::{CheckReport, Location, RuleCode};
+use dmf_chip::{ChipSpec, ModuleKind, Rect};
+
+fn rects_within_guard_band(a: &Rect, b: &Rect) -> bool {
+    // Two footprints conflict when their bounding boxes come within one
+    // cell of each other (overlap or missing guard band).
+    a.x < b.x + b.w + 1 && b.x < a.x + a.w + 1 && a.y < b.y + b.h + 1 && b.y < a.y + a.h + 1
+}
+
+fn on_boundary(chip: &ChipSpec, r: &Rect) -> bool {
+    r.x == 0 || r.y == 0 || r.x + r.w == chip.width() || r.y + r.h == chip.height()
+}
+
+/// Checks a chip layout. Covers rules `PLC001`–`PLC004`.
+pub fn check_placement(chip: &ChipSpec) -> CheckReport {
+    let mut report = CheckReport::new();
+    let modules = chip.modules();
+    for module in modules {
+        let r = module.rect();
+        let loc = || Location::Module(module.name().to_string());
+        if r.x < 0 || r.y < 0 || r.x + r.w > chip.width() || r.y + r.h > chip.height() {
+            report.report(
+                RuleCode::Plc001,
+                loc(),
+                format!(
+                    "footprint {}x{} at ({},{}) leaves the {}x{} array",
+                    r.w,
+                    r.h,
+                    r.x,
+                    r.y,
+                    chip.width(),
+                    chip.height()
+                ),
+            );
+        }
+        for dead in chip.dead_cells() {
+            if dead.x >= r.x && dead.x < r.x + r.w && dead.y >= r.y && dead.y < r.y + r.h {
+                report.report(
+                    RuleCode::Plc003,
+                    loc(),
+                    format!("dead electrode ({},{}) under the footprint", dead.x, dead.y),
+                );
+            }
+        }
+        let world_facing = matches!(
+            module.kind(),
+            ModuleKind::Reservoir { .. } | ModuleKind::Waste | ModuleKind::Output
+        );
+        if world_facing && !on_boundary(chip, &r) {
+            report.report(
+                RuleCode::Plc004,
+                loc(),
+                "world-facing module placed in the chip interior".to_string(),
+            );
+        }
+    }
+    for (i, a) in modules.iter().enumerate() {
+        for b in &modules[i + 1..] {
+            if rects_within_guard_band(&a.rect(), &b.rect()) {
+                report.report(
+                    RuleCode::Plc002,
+                    Location::Module(a.name().to_string()),
+                    format!("within one cell of {}", b.name()),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_chip::{Coord, ModuleKind};
+
+    #[test]
+    fn streaming_presets_are_clean() {
+        for (f, m, s) in [(7, 3, 5), (2, 1, 1), (10, 5, 8)] {
+            let chip = dmf_chip::presets::streaming_chip(f, m, s).expect("preset fits");
+            let report = check_placement(&chip);
+            assert!(report.is_empty(), "({f},{m},{s}): {report}");
+        }
+    }
+
+    #[test]
+    fn guard_band_violation_trips_plc002() {
+        let mut chip = ChipSpec::new(12, 12).expect("grid");
+        chip.add_module("M1", ModuleKind::Mixer, Rect::new(0, 0, 2, 2)).expect("fits");
+        chip.add_module("M2", ModuleKind::Mixer, Rect::new(6, 6, 2, 2)).expect("fits");
+        // The spec constructor would reject an adjacent module, so corrupt
+        // the check input by testing the raw predicate.
+        assert!(rects_within_guard_band(&Rect::new(0, 0, 2, 2), &Rect::new(2, 0, 2, 2)));
+        assert!(!rects_within_guard_band(&Rect::new(0, 0, 2, 2), &Rect::new(3, 0, 2, 2)));
+        assert!(check_placement(&chip).is_empty());
+    }
+
+    #[test]
+    fn dead_electrode_under_module_trips_plc003() {
+        let mut chip = ChipSpec::new(12, 12).expect("grid");
+        chip.add_module("M1", ModuleKind::Mixer, Rect::new(4, 4, 2, 2)).expect("fits");
+        chip.mark_dead(Coord::new(5, 5));
+        let report = check_placement(&chip);
+        assert!(report.has(RuleCode::Plc003), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn interior_reservoir_is_a_warning_only() {
+        let mut chip = ChipSpec::new(12, 12).expect("grid");
+        chip.add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(5, 5, 1, 1))
+            .expect("fits");
+        let report = check_placement(&chip);
+        assert!(report.has(RuleCode::Plc004), "{report}");
+        assert!(report.is_clean(), "PLC004 is warning-severity");
+    }
+}

@@ -1,0 +1,195 @@
+//! Timed-route rules (`RT001`–`RT004`).
+//!
+//! The fluidic-constraint adjacency test is re-implemented locally (a
+//! coordinate-difference check, not [`dmf_chip::Coord::touches`]) and the
+//! rules read only the raw space-time cells, never the router's own
+//! conflict bookkeeping.
+
+use crate::{CheckReport, Location, RuleCode};
+use dmf_chip::Coord;
+use dmf_route::{Grid, RouteRequest, TimedPath};
+
+/// Whether two electrodes are within one cell of each other (same cell,
+/// orthogonal or diagonal neighbour) — the paper's fluidic exclusion zone.
+fn within_one_cell(a: Coord, b: Coord) -> bool {
+    (a.x - b.x).abs() <= 1 && (a.y - b.y).abs() <= 1
+}
+
+/// Position of droplet `index` at step `t`, parking at the destination
+/// after arrival.
+fn position(paths: &[TimedPath], index: usize, t: usize) -> Option<Coord> {
+    let cells = &paths[index].cells;
+    cells.get(t).or_else(|| cells.last()).copied()
+}
+
+/// Checks a set of timed routes against the grid they run on and the
+/// requests they serve. Covers rules `RT001`–`RT004`.
+pub fn check_routes(grid: &Grid, requests: &[RouteRequest], paths: &[TimedPath]) -> CheckReport {
+    let mut report = CheckReport::new();
+    if requests.len() != paths.len() {
+        report.report(
+            RuleCode::Rt001,
+            Location::Artifact,
+            format!("{} request(s) but {} route(s)", requests.len(), paths.len()),
+        );
+        return report;
+    }
+    for (index, (request, path)) in requests.iter().zip(paths).enumerate() {
+        if path.cells.is_empty() {
+            report.report(
+                RuleCode::Rt001,
+                Location::Droplet { index, step: 0 },
+                "empty route".to_string(),
+            );
+            continue;
+        }
+        if path.cells[0] != request.from {
+            report.report(
+                RuleCode::Rt001,
+                Location::Droplet { index, step: 0 },
+                format!(
+                    "route starts at {} but the request departs {}",
+                    path.cells[0], request.from
+                ),
+            );
+        }
+        if *path.cells.last().unwrap_or(&request.from) != request.to {
+            report.report(
+                RuleCode::Rt001,
+                Location::Droplet { index, step: path.cells.len() - 1 },
+                format!("route ends off the requested destination {}", request.to),
+            );
+        }
+        for (step, &cell) in path.cells.iter().enumerate() {
+            if !grid.passable(cell) {
+                report.report(
+                    RuleCode::Rt001,
+                    Location::Droplet { index, step },
+                    format!("cell {cell} is off-grid or blocked"),
+                );
+            }
+        }
+        for (step, pair) in path.cells.windows(2).enumerate() {
+            let (a, b) = (pair[0], pair[1]);
+            let hop = (a.x - b.x).abs() + (a.y - b.y).abs();
+            if hop > 1 {
+                report.report(
+                    RuleCode::Rt002,
+                    Location::Droplet { index, step: step + 1 },
+                    format!("jumps from {a} to {b} in one step"),
+                );
+            }
+        }
+    }
+    let steps = paths.iter().map(|p| p.cells.len().saturating_sub(1)).max().unwrap_or(0);
+    for t in 0..=steps {
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                let (Some(a), Some(b)) = (position(paths, i, t), position(paths, j, t)) else {
+                    continue;
+                };
+                if within_one_cell(a, b) {
+                    report.report(
+                        RuleCode::Rt003,
+                        Location::Droplet { index: j, step: t },
+                        format!("droplet {j} at {b} within one cell of droplet {i} at {a}"),
+                    );
+                }
+                if t > 0 {
+                    let prev_a = position(paths, i, t - 1);
+                    let prev_b = position(paths, j, t - 1);
+                    if prev_b.is_some_and(|pb| within_one_cell(a, pb)) {
+                        report.report(
+                            RuleCode::Rt004,
+                            Location::Droplet { index: i, step: t },
+                            format!("droplet {i} at {a} enters droplet {j}'s previous cell zone"),
+                        );
+                    }
+                    if prev_a.is_some_and(|pa| within_one_cell(b, pa)) {
+                        report.report(
+                            RuleCode::Rt004,
+                            Location::Droplet { index: j, step: t },
+                            format!("droplet {j} at {b} enters droplet {i}'s previous cell zone"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_route::route_concurrent;
+
+    #[test]
+    fn concurrent_router_output_is_clean() {
+        let grid = Grid::new(12, 12);
+        let requests = [
+            RouteRequest { from: Coord::new(0, 0), to: Coord::new(11, 0) },
+            RouteRequest { from: Coord::new(0, 5), to: Coord::new(11, 5) },
+            RouteRequest { from: Coord::new(5, 11), to: Coord::new(5, 2) },
+        ];
+        let paths = route_concurrent(&grid, &requests).expect("routable");
+        let report = check_routes(&grid, &requests, &paths);
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn teleport_trips_rt002() {
+        let grid = Grid::new(8, 8);
+        let requests = [RouteRequest { from: Coord::new(0, 0), to: Coord::new(4, 0) }];
+        let paths = [TimedPath { cells: vec![Coord::new(0, 0), Coord::new(4, 0)] }];
+        let report = check_routes(&grid, &requests, &paths);
+        assert!(report.has(RuleCode::Rt002), "{report}");
+    }
+
+    #[test]
+    fn blocked_cell_trips_rt001() {
+        let mut grid = Grid::new(8, 8);
+        grid.block(Coord::new(1, 0));
+        let requests = [RouteRequest { from: Coord::new(0, 0), to: Coord::new(2, 0) }];
+        let paths =
+            [TimedPath { cells: vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)] }];
+        let report = check_routes(&grid, &requests, &paths);
+        assert!(report.has(RuleCode::Rt001), "{report}");
+    }
+
+    #[test]
+    fn touching_droplets_trip_rt003() {
+        let grid = Grid::new(8, 8);
+        let requests = [
+            RouteRequest { from: Coord::new(0, 0), to: Coord::new(3, 0) },
+            RouteRequest { from: Coord::new(0, 1), to: Coord::new(3, 1) },
+        ];
+        let paths = [
+            TimedPath {
+                cells: vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0), Coord::new(3, 0)],
+            },
+            TimedPath {
+                cells: vec![Coord::new(0, 1), Coord::new(1, 1), Coord::new(2, 1), Coord::new(3, 1)],
+            },
+        ];
+        let report = check_routes(&grid, &requests, &paths);
+        assert!(report.has(RuleCode::Rt003), "{report}");
+    }
+
+    #[test]
+    fn wake_crossing_trips_rt004() {
+        let grid = Grid::new(10, 10);
+        let requests = [
+            RouteRequest { from: Coord::new(0, 0), to: Coord::new(2, 0) },
+            RouteRequest { from: Coord::new(0, 2), to: Coord::new(0, 1) },
+        ];
+        let paths = [
+            TimedPath { cells: vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)] },
+            TimedPath { cells: vec![Coord::new(0, 2), Coord::new(0, 2), Coord::new(0, 1)] },
+        ];
+        let report = check_routes(&grid, &requests, &paths);
+        // Droplet 1 reaches (0,1) at t=2; droplet 0 stood at (1,0) at t=1 —
+        // diagonal contact across adjacent steps.
+        assert!(report.has(RuleCode::Rt004), "{report}");
+    }
+}

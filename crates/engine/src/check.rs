@@ -1,0 +1,102 @@
+//! Plan-level static verification (`PLN001`–`PLN002`) plus the per-pass
+//! composition from `dmf-check`.
+//!
+//! The engine is a *producer* of artifacts, so it never verifies its own
+//! output with its own accounting: everything here defers to `dmf-check`'s
+//! independent re-derivations ([`dmf_check::check_pass`],
+//! [`dmf_check::recount_forest`], [`dmf_check::recount_storage_units`]) and
+//! only contributes the two plan-aggregate rules that need visibility into
+//! [`StreamPlan`].
+
+use crate::{PassPlan, StreamPlan};
+use dmf_check::{CheckReport, Location, RuleCode};
+
+/// Statically verifies a complete streaming plan: every pass's forest and
+/// schedule (rules `CF*`/`SCH*`), demand coverage (`PLN001`) and the
+/// droplet-exact aggregates (`PLN002`).
+///
+/// In debug builds [`crate::StreamingEngine::plan`] runs this on every plan
+/// it emits and asserts a clean report; release builds skip the hook, and
+/// the `dmfstream check` CLI verb exposes it on demand.
+pub fn static_check(plan: &StreamPlan) -> CheckReport {
+    let _span = dmf_obs::span!("static_check");
+    let mut report = CheckReport::new();
+    for (i, pass) in plan.passes.iter().enumerate() {
+        report.merge(dmf_check::check_pass(
+            &plan.target,
+            pass.demand,
+            &pass.forest,
+            &pass.schedule,
+            Some(pass.storage.peak),
+        ));
+        if pass.demand == 0 {
+            report.report(RuleCode::Pln001, Location::Pass(i), "pass covers zero demand");
+        }
+    }
+    let covered: u64 = plan.passes.iter().map(|p| p.demand).sum();
+    if covered != plan.demand {
+        report.report(
+            RuleCode::Pln001,
+            Location::Artifact,
+            format!("passes cover {covered} droplet(s) but the plan demands {}", plan.demand),
+        );
+    }
+    let mut splits = 0u64;
+    let mut waste = 0u64;
+    let mut inputs = vec![0u64; plan.target.fluid_count()];
+    let mut cycles = 0u64;
+    let mut storage = 0usize;
+    for pass in &plan.passes {
+        let counts = dmf_check::recount_forest(&pass.forest);
+        splits += counts.mix_splits;
+        waste += counts.waste;
+        for (acc, v) in inputs.iter_mut().zip(&counts.inputs) {
+            *acc += v;
+        }
+        cycles += u64::from(pass.schedule.makespan());
+        storage = storage.max(dmf_check::recount_storage_units(&pass.forest, &pass.schedule));
+    }
+    let input_total: u64 = inputs.iter().sum();
+    let mut aggregate = |what: &str, claimed: u64, recounted: u64| {
+        if claimed != recounted {
+            report.report(
+                RuleCode::Pln002,
+                Location::Artifact,
+                format!("{what}: plan claims {claimed}, independent recount gives {recounted}"),
+            );
+        }
+    };
+    aggregate("Tms", plan.total_mix_splits, splits);
+    aggregate("W", plan.total_waste, waste);
+    aggregate("I", plan.total_inputs, input_total);
+    aggregate("Tc", plan.total_cycles, cycles);
+    aggregate("q", plan.storage_peak as u64, storage as u64);
+    if plan.inputs != inputs {
+        report.report(
+            RuleCode::Pln002,
+            Location::Artifact,
+            format!("I[]: plan claims {:?}, independent recount gives {inputs:?}", plan.inputs),
+        );
+    }
+    report
+}
+
+/// Debug-build hook: verifies one pass before it is realized onto a chip.
+#[cfg(debug_assertions)]
+pub(crate) fn debug_check_pass(pass: &PassPlan) {
+    // Rebuild the target ratio from the forest's canonical target mixture;
+    // its parts sum to a power of two by construction.
+    if let Ok(target) = dmf_ratio::TargetRatio::new(pass.forest.target().parts().to_vec()) {
+        let report = dmf_check::check_pass(
+            &target,
+            pass.demand,
+            &pass.forest,
+            &pass.schedule,
+            Some(pass.storage.peak),
+        );
+        debug_assert!(report.is_clean(), "realizing an unsound pass:\n{report}");
+    }
+}
+
+#[cfg(not(debug_assertions))]
+pub(crate) fn debug_check_pass(_pass: &PassPlan) {}

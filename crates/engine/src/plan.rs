@@ -63,6 +63,12 @@ impl StreamPlan {
     pub fn pass_count(&self) -> usize {
         self.passes.len()
     }
+
+    /// Runs the independent static verifier over this plan (see
+    /// [`crate::static_check`]).
+    pub fn static_check(&self) -> dmf_check::CheckReport {
+        crate::static_check(self)
+    }
 }
 
 impl fmt::Display for StreamPlan {
@@ -179,6 +185,13 @@ impl StreamingEngine {
             obs.gauge_set("plan.waste", plan.total_waste);
             obs.gauge_set("plan.inputs", plan.total_inputs);
             obs.gauge_set("plan.storage_peak", plan.storage_peak as u64);
+        }
+        // Translation validation: in debug builds every emitted plan must
+        // satisfy the independent checker's invariants.
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::static_check(&plan);
+            debug_assert!(report.is_clean(), "engine emitted an unsound plan:\n{report}");
         }
         Ok(plan)
     }

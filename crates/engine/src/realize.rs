@@ -44,6 +44,14 @@ use std::collections::HashMap;
 /// ```
 pub fn realize_pass(pass: &PassPlan, chip: &ChipSpec) -> Result<ChipProgram, EngineError> {
     let _span = dmf_obs::span!("engine_realize");
+    // Translation validation: in debug builds the independent checker
+    // vets the pass artifacts and the target layout before lowering.
+    crate::check::debug_check_pass(pass);
+    #[cfg(debug_assertions)]
+    {
+        let placement = dmf_check::check_placement(chip);
+        debug_assert!(placement.is_clean(), "realizing onto an unsound layout:\n{placement}");
+    }
     Realizer::new(pass, chip)?.compile()
 }
 

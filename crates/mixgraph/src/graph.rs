@@ -54,6 +54,16 @@ pub struct MixNode {
 }
 
 impl MixNode {
+    /// Builds a node from raw parts, without consistency checks.
+    ///
+    /// Together with [`MixGraph::from_raw_parts`] this allows external
+    /// deserialisers — and deliberately corrupting test harnesses such as
+    /// the `dmf-check` mutation suite — to assemble graphs that bypass
+    /// [`crate::GraphBuilder`]'s validation.
+    pub fn new(left: Operand, right: Operand, mixture: Mixture, level: u32, tree: u32) -> Self {
+        MixNode { left, right, mixture, level, tree }
+    }
+
     /// Left operand.
     pub fn left(&self) -> Operand {
         self.left
@@ -106,6 +116,33 @@ pub struct MixGraph {
 }
 
 impl MixGraph {
+    /// Assembles a graph from raw parts **without validation**, deriving
+    /// the consumer lists from the node operands.
+    ///
+    /// [`crate::GraphBuilder`] remains the safe construction path; this
+    /// constructor exists for deserialisation layers and for tests that
+    /// need structurally corrupt graphs (e.g. pitting `dmf-check` against
+    /// mutated artifacts). Call [`MixGraph::validate`] before executing a
+    /// graph assembled this way.
+    pub fn from_raw_parts(
+        fluid_count: usize,
+        nodes: Vec<MixNode>,
+        roots: Vec<NodeId>,
+        targets: Vec<Mixture>,
+    ) -> Self {
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            for op in node.operands() {
+                if let Operand::Droplet(src) = op {
+                    if src.index() < consumers.len() {
+                        consumers[src.index()].push(NodeId(i as u32));
+                    }
+                }
+            }
+        }
+        MixGraph { fluid_count, nodes, roots, consumers, targets }
+    }
+
     /// Number of fluids in the underlying fluid set.
     pub fn fluid_count(&self) -> usize {
         self.fluid_count

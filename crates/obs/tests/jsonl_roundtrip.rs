@@ -2,6 +2,9 @@
 //! and the minimal parser: escaping, stability of field ordering, and
 //! value fidelity.
 
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_obs::json::{self, Json};
 use dmf_obs::Recorder;
 use std::time::Duration;

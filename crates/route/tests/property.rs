@@ -1,6 +1,9 @@
 //! Randomized tests: path validity and fluidic-constraint safety on random
 //! grids and request sets, driven by a fixed-seed [`dmf_rng::StdRng`].
 
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_chip::Coord;
 use dmf_rng::{Rng, SeedableRng, StdRng};
 use dmf_route::{actuations, route_concurrent, shortest_path, Grid, RouteRequest, TimedPath};

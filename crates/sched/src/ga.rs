@@ -89,7 +89,7 @@ pub fn ga_schedule(
     for (rank, &i) in level_seed.iter().enumerate() {
         seed_priorities[i] = rank as u32;
     }
-    individuals.push(seed_priorities);
+    individuals.push(seed_priorities.clone());
     for _ in 1..population {
         let mut perm: Vec<u32> = (0..n as u32).collect();
         perm.shuffle(&mut rng);
@@ -107,15 +107,16 @@ pub fn ga_schedule(
     for _ in 0..config.generations {
         let mut next: Vec<(f64, Vec<u32>)> = Vec::with_capacity(population);
         // Elitism: keep the best individual.
-        let best = scored
-            .iter()
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitness"))
-            .expect("non-empty population")
-            .clone();
-        next.push(best);
+        if let Some(best) = scored.iter().min_by(|a, b| a.0.total_cmp(&b.0)) {
+            next.push(best.clone());
+        }
         while next.len() < population {
-            let a = tournament(&scored, config.tournament, &mut rng);
-            let b = tournament(&scored, config.tournament, &mut rng);
+            let (Some(a), Some(b)) = (
+                tournament(&scored, config.tournament, &mut rng),
+                tournament(&scored, config.tournament, &mut rng),
+            ) else {
+                break;
+            };
             let mut child = order_crossover(a, b, &mut rng);
             for i in 0..n {
                 if rng.gen::<f64>() < config.mutation_rate {
@@ -128,11 +129,13 @@ pub fn ga_schedule(
         }
         scored = next;
     }
-    let best = scored
-        .into_iter()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitness"))
-        .expect("non-empty population");
-    Ok(decode(graph, mixers, &best.1))
+    // `scored` is never empty (population >= 2); decode the level-ordered
+    // seed rather than panic if that invariant ever broke.
+    let best = scored.into_iter().min_by(|a, b| a.0.total_cmp(&b.0));
+    Ok(match best {
+        Some((_, priorities)) => decode(graph, mixers, &priorities),
+        None => decode(graph, mixers, &seed_priorities),
+    })
 }
 
 /// List-schedules with the chromosome as priority (lower value runs first).
@@ -168,15 +171,22 @@ fn decode(graph: &MixGraph, mixers: usize, priorities: &[u32]) -> Schedule {
     Schedule::from_assignments(mixers, node_cycle, node_mixer)
 }
 
-fn tournament<'a>(scored: &'a [(f64, Vec<u32>)], size: usize, rng: &mut StdRng) -> &'a [u32] {
-    let mut best: Option<&(f64, Vec<u32>)> = None;
-    for _ in 0..size.max(1) {
+fn tournament<'a>(
+    scored: &'a [(f64, Vec<u32>)],
+    size: usize,
+    rng: &mut StdRng,
+) -> Option<&'a [u32]> {
+    if scored.is_empty() {
+        return None;
+    }
+    let mut best = &scored[rng.gen_range(0..scored.len())];
+    for _ in 1..size.max(1) {
         let candidate = &scored[rng.gen_range(0..scored.len())];
-        if best.map(|b| candidate.0 < b.0).unwrap_or(true) {
-            best = Some(candidate);
+        if candidate.0 < best.0 {
+            best = candidate;
         }
     }
-    &best.expect("non-empty tournament").1
+    Some(&best.1)
 }
 
 /// Order crossover (OX) on priority permutations.
@@ -204,14 +214,13 @@ fn order_crossover(a: &[u32], b: &[u32], rng: &mut StdRng) -> Vec<u32> {
         used[pa[i]] = true;
     }
     let mut fill = pb.iter().copied().filter(|&v| !used[v]);
-    for slot in child_perm.iter_mut() {
-        if slot.is_none() {
-            *slot = fill.next();
-        }
-    }
     let mut priorities = vec![0u32; n];
-    for (rank, v) in child_perm.into_iter().enumerate() {
-        priorities[v.expect("filled permutation")] = rank as u32;
+    for (rank, slot) in child_perm.into_iter().enumerate() {
+        // Each empty slot has exactly one unused position left in `fill`
+        // (a counting identity), so the fallback to `rank` never fires; it
+        // only keeps the arithmetic total.
+        let v = slot.or_else(|| fill.next()).unwrap_or(rank);
+        priorities[v] = rank as u32;
     }
     priorities
 }

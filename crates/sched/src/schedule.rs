@@ -36,6 +36,25 @@ impl Schedule {
         Schedule { mixers, node_cycle, node_mixer, makespan }
     }
 
+    /// Builds a schedule from raw per-node cycle and mixer assignments
+    /// (`node_cycle[i]` / `node_mixer[i]` belong to the node with arena
+    /// index `i`; cycles are 1-based).
+    ///
+    /// No validation is performed — this is the entry point for externally
+    /// supplied schedules and for tests that need deliberately corrupt
+    /// assignments (e.g. the `dmf-check` mutation suite). Run
+    /// [`Schedule::validate`] or `dmf-check`'s `check_schedule` before
+    /// trusting the result.
+    pub fn from_parts(mixers: usize, node_cycle: Vec<u32>, node_mixer: Vec<u32>) -> Self {
+        Schedule::from_assignments(mixers, node_cycle, node_mixer)
+    }
+
+    /// Raw per-node assignments `(cycle, mixer)` in arena order — the
+    /// inverse of [`Schedule::from_parts`].
+    pub fn assignments(&self) -> Vec<(u32, u32)> {
+        self.node_cycle.iter().copied().zip(self.node_mixer.iter().copied()).collect()
+    }
+
     /// Number of mixers the schedule was computed for (`Mc`).
     pub fn mixer_count(&self) -> usize {
         self.mixers

@@ -70,6 +70,13 @@ pub enum SimError {
         /// How many droplets were left behind.
         count: usize,
     },
+    /// The simulator's own bookkeeping broke an internal invariant (e.g. a
+    /// fault-mode handler ran without a fault context). Indicates a bug in
+    /// the simulator, never in the program being executed.
+    Internal {
+        /// The invariant that did not hold.
+        invariant: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -97,6 +104,9 @@ impl fmt::Display for SimError {
             }
             SimError::LeftoverDroplets { count } => {
                 write!(f, "{count} droplet(s) left on chip at program end")
+            }
+            SimError::Internal { invariant } => {
+                write!(f, "simulator invariant violated: {invariant}")
             }
         }
     }

@@ -49,7 +49,8 @@ impl<'a> Simulator<'a> {
     /// Same conditions as [`Simulator::run`].
     pub fn run_traced(&self, program: &ChipProgram) -> Result<(SimReport, Trace), SimError> {
         let (report, trace) = self.execute_program(program, true)?;
-        Ok((report, trace.expect("tracing was enabled")))
+        let trace = trace.ok_or(SimError::Internal { invariant: "traced run records a trace" })?;
+        Ok((report, trace))
     }
 
     /// Runs a program under a fault plan, always traced and tolerant of
@@ -84,18 +85,18 @@ impl<'a> Simulator<'a> {
         }
         // End-of-run checkpoint: everything still latent becomes detected
         // and no erroneous droplet survives.
-        state.sensor_checkpoint();
-        let ctx = state.fault.take().expect("fault mode");
+        state.sensor_checkpoint()?;
+        let ctx = state
+            .fault
+            .take()
+            .ok_or(SimError::Internal { invariant: "fault context in fault mode" })?;
         let mut survivors: Vec<DropletId> = state.droplets.keys().copied().collect();
         survivors.extend(ctx.quarantined.iter().copied());
         survivors.sort_unstable();
         crate::bridge::record_report(dmf_obs::global(), &state.report);
-        Ok(FaultyOutcome {
-            report: state.report,
-            trace: state.trace.expect("tracing was enabled"),
-            faults: ctx.records,
-            survivors,
-        })
+        let trace =
+            state.trace.ok_or(SimError::Internal { invariant: "traced run records a trace" })?;
+        Ok(FaultyOutcome { report: state.report, trace, faults: ctx.records, survivors })
     }
 
     fn execute_program(
@@ -173,6 +174,15 @@ impl<'a> SimState<'a> {
             step: 0,
             fault: None,
         }
+    }
+
+    /// The fault context, which every fault-mode handler relies on.
+    ///
+    /// Fault-mode entry points install it before dispatching, so a miss is
+    /// a simulator bug and surfaces as [`SimError::Internal`] instead of a
+    /// panic.
+    fn fault_ctx(&mut self) -> Result<&mut FaultCtx, SimError> {
+        self.fault.as_mut().ok_or(SimError::Internal { invariant: "fault context in fault mode" })
     }
 
     fn record(&mut self, event: crate::TraceEvent) {
@@ -400,7 +410,7 @@ impl<'a> SimState<'a> {
         match instruction {
             Instruction::Dispense { reservoir, droplet } => {
                 let seq = {
-                    let ctx = self.fault.as_mut().expect("fault mode");
+                    let ctx = self.fault_ctx()?;
                     let s = ctx.dispense_seq;
                     ctx.dispense_seq += 1;
                     s
@@ -412,8 +422,8 @@ impl<'a> SimState<'a> {
                 if fails {
                     self.report.droplets_lost += 1;
                     let idx =
-                        self.inject(FaultKind::DispenseFailed { reservoir: *reservoir }, *droplet);
-                    self.mark_lost(*droplet, idx);
+                        self.inject(FaultKind::DispenseFailed { reservoir: *reservoir }, *droplet)?;
+                    self.mark_lost(*droplet, idx)?;
                     return Ok(());
                 }
                 self.execute(instruction)
@@ -446,15 +456,15 @@ impl<'a> SimState<'a> {
                         // aborting the whole run.
                         self.droplets.remove(droplet);
                         self.report.droplets_lost += 1;
-                        let idx = self.inject(FaultKind::Stranded { at: from }, *droplet);
-                        self.mark_lost(*droplet, idx);
+                        let idx = self.inject(FaultKind::Stranded { at: from }, *droplet)?;
+                        self.mark_lost(*droplet, idx)?;
                         Ok(())
                     }
                 }
             }
             Instruction::MixSplit { mixer, a, b, out_a, out_b } => {
                 let seq = {
-                    let ctx = self.fault.as_mut().expect("fault mode");
+                    let ctx = self.fault_ctx()?;
                     let s = ctx.mix_seq;
                     ctx.mix_seq += 1;
                     s
@@ -465,11 +475,11 @@ impl<'a> SimState<'a> {
                     // and propagate the loss to both outputs.
                     for operand in [*a, *b] {
                         if !self.is_lost(operand) && self.droplets.remove(&operand).is_some() {
-                            self.fault.as_mut().expect("fault mode").quarantined.push(operand);
+                            self.fault_ctx()?.quarantined.push(operand);
                         }
                     }
-                    self.mark_lost(*out_a, idx);
-                    self.mark_lost(*out_b, idx);
+                    self.mark_lost(*out_a, idx)?;
+                    self.mark_lost(*out_b, idx)?;
                     return Ok(());
                 }
                 self.execute(instruction)?;
@@ -477,12 +487,12 @@ impl<'a> SimState<'a> {
                 let bad_split =
                     self.fault.as_ref().is_some_and(|ctx| ctx.faults.bad_splits.contains(&seq));
                 let idx = if bad_split {
-                    Some(self.inject(FaultKind::SplitError { mixer: *mixer }, *out_a))
+                    Some(self.inject(FaultKind::SplitError { mixer: *mixer }, *out_a)?)
                 } else {
                     inherited
                 };
                 if let Some(idx) = idx {
-                    let ctx = self.fault.as_mut().expect("fault mode");
+                    let ctx = self.fault_ctx()?;
                     ctx.tainted.insert(*out_a, idx);
                     ctx.tainted.insert(*out_b, idx);
                 }
@@ -503,7 +513,7 @@ impl<'a> SimState<'a> {
                 if let Some(idx) = self.taint_record(*droplet) {
                     // Output-port sensor: the droplet's CF is outside the
                     // tolerated margin — reject it to waste, never emit.
-                    self.reject(*droplet, idx);
+                    self.reject(*droplet, idx)?;
                     return Ok(());
                 }
                 self.execute(instruction)
@@ -513,7 +523,7 @@ impl<'a> SimState<'a> {
                 let period =
                     self.fault.as_ref().map(|ctx| ctx.faults.sensor_period).unwrap_or_default();
                 if period > 0 && cycle % period == 0 {
-                    self.sensor_checkpoint();
+                    self.sensor_checkpoint()?;
                 }
                 Ok(())
             }
@@ -538,8 +548,8 @@ impl<'a> SimState<'a> {
                 self.transport(droplet, path[..=i].to_vec())?;
                 self.droplets.remove(&droplet);
                 self.report.droplets_lost += 1;
-                let idx = self.inject(FaultKind::StuckElectrode { cell }, droplet);
-                self.mark_lost(droplet, idx);
+                let idx = self.inject(FaultKind::StuckElectrode { cell }, droplet)?;
+                self.mark_lost(droplet, idx)?;
                 Ok(())
             }
         }
@@ -547,22 +557,23 @@ impl<'a> SimState<'a> {
 
     /// Records an injected fault and its trace event, returning the
     /// record's index.
-    fn inject(&mut self, kind: FaultKind, droplet: DropletId) -> usize {
+    fn inject(&mut self, kind: FaultKind, droplet: DropletId) -> Result<usize, SimError> {
         let cycle = self.report.cycles;
         self.report.faults_injected += 1;
         self.record(crate::TraceEvent::FaultInjected { droplet, kind });
-        let ctx = self.fault.as_mut().expect("fault mode");
+        let ctx = self.fault_ctx()?;
         ctx.records.push(FaultRecord {
             kind,
             droplet,
             injected_cycle: cycle,
             detected_cycle: None,
         });
-        ctx.records.len() - 1
+        Ok(ctx.records.len() - 1)
     }
 
-    fn mark_lost(&mut self, droplet: DropletId, idx: usize) {
-        self.fault.as_mut().expect("fault mode").lost.insert(droplet, idx);
+    fn mark_lost(&mut self, droplet: DropletId, idx: usize) -> Result<(), SimError> {
+        self.fault_ctx()?.lost.insert(droplet, idx);
+        Ok(())
     }
 
     fn lost_record(&self, droplet: DropletId) -> Option<usize> {
@@ -578,28 +589,35 @@ impl<'a> SimState<'a> {
     }
 
     /// Marks record `idx` detected at the current cycle (idempotent).
-    fn detect(&mut self, idx: usize) {
+    fn detect(&mut self, idx: usize) -> Result<(), SimError> {
         let cycle = self.report.cycles;
-        let ctx = self.fault.as_mut().expect("fault mode");
-        let fresh = ctx.records[idx].detected_cycle.is_none();
-        if fresh {
-            ctx.records[idx].detected_cycle = Some(cycle);
-        }
+        let ctx = self.fault_ctx()?;
+        let fresh = match ctx.records.get_mut(idx) {
+            Some(record) if record.detected_cycle.is_none() => {
+                record.detected_cycle = Some(cycle);
+                true
+            }
+            Some(_) => false,
+            None => {
+                return Err(SimError::Internal { invariant: "fault record index in range" });
+            }
+        };
         if fresh {
             self.report.faults_detected += 1;
         }
+        Ok(())
     }
 
     /// A sensor rejects an erroneous droplet to waste: it is removed from
     /// the chip (and storage), discarded, and its record marked detected.
-    fn reject(&mut self, droplet: DropletId, idx: usize) {
+    fn reject(&mut self, droplet: DropletId, idx: usize) -> Result<(), SimError> {
         self.droplets.remove(&droplet);
         self.storage.retain(|_, d| *d != droplet);
         self.record(crate::TraceEvent::FaultDetected { droplet });
         self.record(crate::TraceEvent::Discarded { droplet });
         self.report.discarded += 1;
-        self.mark_lost(droplet, idx);
-        self.detect(idx);
+        self.mark_lost(droplet, idx)?;
+        self.detect(idx)
     }
 
     /// A checkpoint "sensor" cycle: compares observed droplet state with
@@ -607,20 +625,18 @@ impl<'a> SimState<'a> {
     /// (in id order, for determinism) and every still-latent fault record
     /// — a droplet the plan expects but the chip no longer carries — is
     /// marked detected.
-    fn sensor_checkpoint(&mut self) {
-        if self.fault.is_none() {
-            return;
-        }
-        let mut bad: Vec<(DropletId, usize)> = {
-            let ctx = self.fault.as_ref().expect("fault mode");
-            self.droplets.keys().filter_map(|d| ctx.tainted.get(d).map(|&idx| (*d, idx))).collect()
+    fn sensor_checkpoint(&mut self) -> Result<(), SimError> {
+        let Some(ctx) = self.fault.as_ref() else {
+            return Ok(());
         };
+        let mut bad: Vec<(DropletId, usize)> =
+            self.droplets.keys().filter_map(|d| ctx.tainted.get(d).map(|&idx| (*d, idx))).collect();
         bad.sort_unstable_by_key(|(d, _)| d.0);
         for (droplet, idx) in bad {
-            self.reject(droplet, idx);
+            self.reject(droplet, idx)?;
         }
         let latent: Vec<(usize, DropletId)> = {
-            let ctx = self.fault.as_ref().expect("fault mode");
+            let ctx = self.fault_ctx()?;
             ctx.records
                 .iter()
                 .enumerate()
@@ -630,8 +646,9 @@ impl<'a> SimState<'a> {
         };
         for (idx, droplet) in latent {
             self.record(crate::TraceEvent::FaultDetected { droplet });
-            self.detect(idx);
+            self.detect(idx)?;
         }
+        Ok(())
     }
 
     fn route(&self, from: Coord, to: Coord, moving: DropletId) -> Option<Vec<Coord>> {

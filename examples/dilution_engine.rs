@@ -6,6 +6,9 @@
 //! cargo run --example dilution_engine
 //! ```
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::dilution::{dilution_gradient, stream_dilution, DilutionAlgorithm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -6,6 +6,9 @@
 //! cargo run --example pcr_master_mix
 //! ```
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::chip::presets::pcr_chip;
 use dmfstream::engine::{realize_pass, EngineConfig, StreamingEngine};
 use dmfstream::ratio::TargetRatio;

@@ -5,6 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::engine::{improvement_over_baseline, repeated, EngineConfig, StreamingEngine};
 use dmfstream::mixalgo::BaseAlgorithm;
 use dmfstream::ratio::TargetRatio;

@@ -9,6 +9,9 @@
 //! cargo run --example storage_constrained
 //! ```
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::engine::{EngineConfig, StreamingEngine};
 use dmfstream::ratio::TargetRatio;
 

@@ -22,4 +22,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> fault_sweep smoke (fixed seed, all five protocols must meet demand)"
 cargo run --release -q -p dmf-bench --bin fault_sweep -- --seed 42 --fault-rate 0.05 --trials 1 >/dev/null
 
+echo "==> dmfstream check --all-protocols (static verifier, exit 1 on any error)"
+cargo run --release -q --bin dmfstream -- check --all-protocols
+
 echo "verify: OK"

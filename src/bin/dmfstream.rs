@@ -17,6 +17,9 @@
 //! as JSON lines to the path and a human-readable summary table is
 //! printed at the end.
 
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::chip::presets::streaming_chip;
 use dmfstream::engine::{realize_pass, EngineConfig, RecoveryPolicy, StreamingEngine};
 use dmfstream::fault::{run_resilient, FaultConfig};
@@ -30,33 +33,44 @@ use std::process::ExitCode;
 
 struct Args {
     command: String,
-    ratio: TargetRatio,
+    ratio: Option<TargetRatio>,
+    all_protocols: bool,
     demand: u64,
     config: EngineConfig,
     fault: FaultConfig,
     policy: RecoveryPolicy,
     trace: bool,
     metrics: Option<PathBuf>,
+    report: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dmfstream <plan|gantt|simulate|fault> <a1:a2:...:aN> \
+        "usage: dmfstream <plan|gantt|simulate|fault|check> <a1:a2:...:aN> \
          [--demand D] [--mixers M] [--storage Q] \
          [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace] \
          [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)\n\
          fault-only flags: [--seed S] [--fault-rate R] [--sensor-period C] \
-         [--max-replans N]"
+         [--max-replans N]\n\
+         check-only flags: dmfstream check <ratio|--all-protocols> \
+         [--report PATH] writes diagnostics as JSONL; exit 1 on any \
+         error-severity diagnostic"
     );
     ExitCode::from(2)
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
     let command = argv.next().ok_or("missing command")?;
-    let ratio_text = argv.next().ok_or("missing target ratio")?;
-    let ratio: TargetRatio =
-        ratio_text.parse().map_err(|e| format!("bad ratio {ratio_text:?}: {e}"))?;
+    let ratio = match argv.peek() {
+        Some(text) if !text.starts_with("--") => {
+            let text = argv.next().ok_or("missing target ratio")?;
+            Some(text.parse::<TargetRatio>().map_err(|e| format!("bad ratio {text:?}: {e}"))?)
+        }
+        _ => None,
+    };
+    let mut all_protocols = false;
+    let mut report: Option<PathBuf> = None;
     let mut demand = 32u64;
     let mut config = EngineConfig::default();
     let mut fault = FaultConfig::default();
@@ -67,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--trace" => trace = true,
+            "--all-protocols" => all_protocols = true,
+            "--report" => report = Some(PathBuf::from(value()?)),
             "--seed" => {
                 fault = fault.with_seed(value()?.parse().map_err(|e| format!("bad seed: {e}"))?)
             }
@@ -116,7 +132,18 @@ fn parse_args() -> Result<Args, String> {
     if metrics.is_none() && std::env::var_os("DMF_OBS").is_some_and(|v| v != "0") {
         metrics = Some(PathBuf::from("results/obs/dmfstream.jsonl"));
     }
-    Ok(Args { command, ratio, demand, config, fault, policy, trace, metrics })
+    Ok(Args {
+        command,
+        ratio,
+        all_protocols,
+        demand,
+        config,
+        fault,
+        policy,
+        trace,
+        metrics,
+        report,
+    })
 }
 
 fn main() -> ExitCode {
@@ -142,11 +169,18 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> ExitCode {
+    if args.command == "check" {
+        return run_check(args);
+    }
+    let Some(ratio) = &args.ratio else {
+        eprintln!("error: missing target ratio");
+        return usage();
+    };
     if args.command == "fault" {
-        return run_fault(args);
+        return run_fault(args, ratio);
     }
     let engine = StreamingEngine::new(args.config);
-    let plan = match engine.plan(&args.ratio, args.demand) {
+    let plan = match engine.plan(ratio, args.demand) {
         Ok(plan) => plan,
         Err(e) => {
             eprintln!("error: {e}");
@@ -178,17 +212,14 @@ fn run(args: &Args) -> ExitCode {
             ExitCode::SUCCESS
         }
         "simulate" => {
-            let chip = match streaming_chip(
-                args.ratio.fluid_count(),
-                plan.mixers,
-                plan.storage_peak.max(1),
-            ) {
-                Ok(chip) => chip,
-                Err(e) => {
-                    eprintln!("error: cannot size a chip: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let chip =
+                match streaming_chip(ratio.fluid_count(), plan.mixers, plan.storage_peak.max(1)) {
+                    Ok(chip) => chip,
+                    Err(e) => {
+                        eprintln!("error: cannot size a chip: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
             println!("{}", chip.render());
             for (i, pass) in plan.passes.iter().enumerate() {
                 let program = match realize_pass(pass, &chip) {
@@ -226,8 +257,112 @@ fn run(args: &Args) -> ExitCode {
     }
 }
 
-fn run_fault(args: &Args) -> ExitCode {
-    match run_resilient(&args.ratio, args.demand, args.config, &args.fault, args.policy) {
+/// `dmfstream check`: plans each selected target, then runs the independent
+/// static verifier over every synthesis artifact — the plan's forests,
+/// schedules and storage claims, the streaming chip layout the plan would
+/// run on, and a concurrently routed dispense wave across that chip.
+/// Exits non-zero when any error-severity diagnostic is found.
+fn run_check(args: &Args) -> ExitCode {
+    use dmfstream::check::{check_placement, check_routes, CheckReport};
+    use dmfstream::route::{route_concurrent, Grid, RouteRequest};
+
+    let targets: Vec<(String, TargetRatio)> = if args.all_protocols {
+        dmfstream::workloads::protocols::table2_examples()
+            .into_iter()
+            .map(|p| (format!("{} ({})", p.id, p.name), p.ratio))
+            .collect()
+    } else if let Some(ratio) = &args.ratio {
+        vec![(format!("{ratio}"), ratio.clone())]
+    } else {
+        eprintln!("error: check needs a target ratio or --all-protocols");
+        return usage();
+    };
+    let engine = StreamingEngine::new(args.config);
+    let mut summary = obs::Table::new(["target", "artifacts", "errors", "warnings", "verdict"]);
+    let mut combined = CheckReport::new();
+    let mut failed = false;
+    for (label, ratio) in &targets {
+        let mut report = CheckReport::new();
+        let mut artifacts = 0usize;
+        match engine.plan(ratio, args.demand) {
+            Ok(plan) => {
+                artifacts += plan.passes.len() + 1; // per-pass artifacts + aggregates
+                report.merge(plan.static_check());
+                match streaming_chip(ratio.fluid_count(), plan.mixers, plan.storage_peak.max(1)) {
+                    Ok(chip) => {
+                        artifacts += 1;
+                        report.merge(check_placement(&chip));
+                        // Route a dispense wave: one droplet per reservoir /
+                        // storage-cell pair, across the mixer band.
+                        let open: Vec<_> =
+                            chip.reservoirs().chain(chip.storage_cells()).map(|m| m.id()).collect();
+                        let grid = Grid::from_spec(&chip, &open);
+                        let requests: Vec<RouteRequest> = chip
+                            .reservoirs()
+                            .zip(chip.storage_cells())
+                            .map(|(r, s)| RouteRequest { from: r.port(), to: s.port() })
+                            .collect();
+                        if !requests.is_empty() {
+                            artifacts += 1;
+                            match route_concurrent(&grid, &requests) {
+                                Ok(paths) => report.merge(check_routes(&grid, &requests, &paths)),
+                                Err(e) => {
+                                    eprintln!("error: {label}: dispense wave unroutable: {e}");
+                                    failed = true;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {label}: cannot size a chip: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {label}: planning failed: {e}");
+                failed = true;
+            }
+        }
+        let verdict = if report.is_clean() { "clean" } else { "FAIL" };
+        summary.row([
+            label.clone(),
+            artifacts.to_string(),
+            report.error_count().to_string(),
+            report.warning_count().to_string(),
+            verdict.to_string(),
+        ]);
+        if !report.is_clean() {
+            failed = true;
+        }
+        combined.merge(report);
+    }
+    println!("{summary}");
+    if !combined.is_empty() {
+        println!("\n{}", combined.table());
+    }
+    if let Some(path) = &args.report {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, combined.to_jsonl()) {
+            Ok(()) => eprintln!("diagnostics written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write diagnostics to {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("check: {} target(s), {} diagnostics — all clean", targets.len(), combined.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_fault(args: &Args, ratio: &TargetRatio) -> ExitCode {
+    match run_resilient(ratio, args.demand, args.config, &args.fault, args.policy) {
         Ok(outcome) => {
             println!("{outcome}");
             if args.trace {

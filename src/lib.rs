@@ -116,3 +116,8 @@ pub mod workloads {
 pub mod dilution {
     pub use dmf_dilution::*;
 }
+
+/// Independent static verification of synthesis artifacts ([`dmf_check`]).
+pub mod check {
+    pub use dmf_check::*;
+}

@@ -1,0 +1,195 @@
+//! Mutation tests for the `dmf-check` static verifier.
+//!
+//! Each test takes a **known-good** artifact (a real forest, schedule,
+//! placement or route set), applies one targeted mutation through the
+//! unvalidated constructors (`MixGraph::from_raw_parts`,
+//! `Schedule::from_parts`, `TimedPath.cells`, `ChipSpec::mark_dead`), and
+//! asserts that the checker trips the *intended* rule code — one test per
+//! rule family. A checker that stays silent on any of these mutations has
+//! lost its teeth.
+
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use dmfstream::check::{check_pass, check_placement, check_routes, check_schedule, RuleCode};
+use dmfstream::chip::presets::streaming_chip;
+use dmfstream::chip::Coord;
+use dmfstream::engine::{EngineConfig, StreamingEngine};
+use dmfstream::forest::{build_forest, ReusePolicy};
+use dmfstream::mixalgo::{MinMix, MixingAlgorithm};
+use dmfstream::mixgraph::{MixGraph, MixNode, Operand};
+use dmfstream::ratio::{FluidId, TargetRatio};
+use dmfstream::route::{route_concurrent, Grid, RouteRequest};
+use dmfstream::sched::{srs_schedule, Schedule};
+
+fn pcr_d4() -> TargetRatio {
+    TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap()
+}
+
+/// A known-good (forest, schedule) pair for the PCR running example.
+fn good_pass(demand: u64) -> (TargetRatio, MixGraph, Schedule) {
+    let target = pcr_d4();
+    let template = MinMix.build_template(&target).unwrap();
+    let forest = build_forest(&template, &target, demand, ReusePolicy::AcrossTrees).unwrap();
+    let schedule = srs_schedule(&forest, 3).unwrap();
+    (target, forest, schedule)
+}
+
+fn clone_nodes(graph: &MixGraph) -> Vec<MixNode> {
+    graph.iter().map(|(_, n)| n.clone()).collect()
+}
+
+#[test]
+fn baseline_is_clean() {
+    let (target, forest, schedule) = good_pass(20);
+    let report = check_pass(&target, 20, &forest, &schedule, None);
+    assert!(report.is_clean(), "unmutated pass must be clean:\n{report}");
+}
+
+/// CF family: replacing one mix input with a different reagent makes the
+/// node's stored mixture disagree with the mix of its (new) operands.
+#[test]
+fn dropped_mix_input_trips_cf001() {
+    let (target, forest, schedule) = good_pass(8);
+    let mut nodes = clone_nodes(&forest);
+    // Find a node with an Input operand and swap the reagent for another.
+    let victim = nodes
+        .iter()
+        .position(|n| matches!(n.left(), Operand::Input(_)))
+        .expect("some node consumes a fresh input");
+    let new_left = match nodes[victim].left() {
+        Operand::Input(f) => Operand::Input(FluidId((f.0 + 1) % forest.fluid_count())),
+        Operand::Droplet(_) => unreachable!("victim consumes an input"),
+    };
+    let n = &nodes[victim];
+    nodes[victim] = MixNode::new(new_left, n.right(), n.mixture().clone(), n.level(), n.tree());
+    let mutated = MixGraph::from_raw_parts(
+        forest.fluid_count(),
+        nodes,
+        forest.roots().to_vec(),
+        forest.targets().to_vec(),
+    );
+    let report = check_pass(&target, 8, &mutated, &schedule, None);
+    assert!(report.has(RuleCode::Cf001), "swapping a mix input must trip CF001, got:\n{report}");
+}
+
+/// SCH family (precedence): swapping a producer's cycle with its
+/// consumer's makes the consumer fire before its operand exists.
+#[test]
+fn swapped_schedule_steps_trip_sch002() {
+    let (_, forest, schedule) = good_pass(8);
+    let mut assignments = schedule.assignments();
+    // Find a producer/consumer pair and swap their cycles.
+    let (producer, consumer) = forest
+        .iter()
+        .find_map(|(id, node)| {
+            node.operands().iter().find_map(|op| match op {
+                Operand::Droplet(src) => Some((src.index(), id.index())),
+                Operand::Input(_) => None,
+            })
+        })
+        .expect("forest has at least one droplet edge");
+    let (pc, pm) = assignments[producer];
+    let (cc, cm) = assignments[consumer];
+    assert!(pc < cc, "producer runs first in a valid schedule");
+    assignments[producer] = (cc, pm);
+    assignments[consumer] = (pc, cm);
+    let mutated = Schedule::from_parts(
+        schedule.mixer_count(),
+        assignments.iter().map(|&(c, _)| c).collect(),
+        assignments.iter().map(|&(_, m)| m).collect(),
+    );
+    let report = check_schedule(&forest, &mutated, None);
+    assert!(
+        report.has(RuleCode::Sch002),
+        "swapped producer/consumer cycles must trip SCH002, got:\n{report}"
+    );
+}
+
+/// SCH family (capacity): double-booking a mixer overbooks both the
+/// (cycle, mixer) slot and the cycle's total occupancy.
+#[test]
+fn overbooked_mixer_trips_sch003_and_sch004() {
+    let (_, forest, schedule) = good_pass(8);
+    let mut assignments = schedule.assignments();
+    // Cram three leaf nodes (no droplet operands, so no precedence noise)
+    // into cycle 1 of a 2-mixer schedule: mixer 0 twice, mixer 1 once.
+    let leaves: Vec<usize> = forest
+        .iter()
+        .filter(|(_, n)| n.operands().iter().all(|op| matches!(op, Operand::Input(_))))
+        .map(|(id, _)| id.index())
+        .collect();
+    assert!(leaves.len() >= 3, "PCR forest has enough leaf mixes");
+    assignments[leaves[0]] = (1, 0);
+    assignments[leaves[1]] = (1, 0);
+    assignments[leaves[2]] = (1, 1);
+    let mutated = Schedule::from_parts(
+        2,
+        assignments.iter().map(|&(c, _)| c).collect(),
+        assignments.iter().map(|&(_, m)| m).collect(),
+    );
+    let report = check_schedule(&forest, &mutated, None);
+    assert!(report.has(RuleCode::Sch004), "double-booked mixer must trip SCH004, got:\n{report}");
+    assert!(report.has(RuleCode::Sch003), "3 mixes on 2 mixers must trip SCH003, got:\n{report}");
+}
+
+/// SCH family (storage): claiming one unit fewer than the recount.
+#[test]
+fn wrong_storage_claim_trips_sch005() {
+    let (_, forest, schedule) = good_pass(20);
+    let peak = schedule.storage(&forest).peak;
+    let report = check_schedule(&forest, &schedule, Some(peak + 1));
+    assert!(
+        report.has(RuleCode::Sch005),
+        "inflated storage claim must trip SCH005, got:\n{report}"
+    );
+    assert!(check_schedule(&forest, &schedule, Some(peak)).is_clean());
+}
+
+/// RT family: deleting one step from a timed path makes the droplet jump
+/// two cells in one step.
+#[test]
+fn shifted_route_trips_rt002() {
+    let grid = Grid::new(8, 8);
+    let requests = vec![
+        RouteRequest { from: Coord::new(0, 0), to: Coord::new(6, 0) },
+        RouteRequest { from: Coord::new(0, 4), to: Coord::new(6, 4) },
+    ];
+    let mut paths = route_concurrent(&grid, &requests).unwrap();
+    assert!(check_routes(&grid, &requests, &paths).is_clean());
+    // Drop the second step of the first path: the droplet now teleports
+    // from cells[0] to what used to be cells[2].
+    assert!(paths[0].cells.len() >= 4, "straight-line route is long enough");
+    paths[0].cells.remove(1);
+    let report = check_routes(&grid, &requests, &paths);
+    assert!(
+        report.has(RuleCode::Rt002),
+        "a path with a missing step must trip RT002, got:\n{report}"
+    );
+}
+
+/// PLC family: a dead electrode under a mixer footprint.
+#[test]
+fn dead_electrode_under_mixer_trips_plc003() {
+    let mut chip = streaming_chip(7, 3, 5).unwrap();
+    assert!(check_placement(&chip).is_clean());
+    let cell = chip.mixers().next().unwrap().port();
+    chip.mark_dead(cell);
+    let report = check_placement(&chip);
+    assert!(
+        report.has(RuleCode::Plc003),
+        "dead electrode under a mixer must trip PLC003, got:\n{report}"
+    );
+}
+
+/// PLN family: tampering with a plan's aggregate totals after planning.
+#[test]
+fn tampered_plan_aggregate_trips_pln002() {
+    let engine = StreamingEngine::new(EngineConfig::default());
+    let mut plan = engine.plan(&pcr_d4(), 20).unwrap();
+    assert!(plan.static_check().is_clean());
+    plan.total_waste += 1;
+    let report = plan.static_check();
+    assert!(report.has(RuleCode::Pln002), "tampered waste total must trip PLN002, got:\n{report}");
+}

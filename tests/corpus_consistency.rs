@@ -2,6 +2,9 @@
 //! multi-target sharing over a deterministic sample of the synthetic
 //! corpus.
 
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::engine::{repeated, EngineConfig, StreamingEngine};
 use dmfstream::forest::{build_multi_target_forest, ReusePolicy};
 use dmfstream::mixalgo::{BaseAlgorithm, MinMix, MixingAlgorithm};

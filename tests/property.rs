@@ -7,6 +7,9 @@
 //! testing framework), while still sweeping a broad random sample of the
 //! input space on every run.
 
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_rng::{Rng, SeedableRng, StdRng};
 use dmfstream::forest::{build_forest, ReusePolicy};
 use dmfstream::mixalgo::BaseAlgorithm;
