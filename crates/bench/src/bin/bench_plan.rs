@@ -1,0 +1,106 @@
+//! Planner micro-benchmark exhibit: cold planning versus warm-cache
+//! lookups, and batch wall time at one versus four workers.
+//!
+//! Prints a [`dmf_bench::micro`] summary table and writes the figures as
+//! hand-rolled JSON to `results/BENCH_plan.json` (override the path with
+//! the first argument). Exits non-zero if a warm-cache plan is not at
+//! least 10x faster than a cold plan — the regression gate the cache
+//! exists to win.
+
+// Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
+// deny wall applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+use dmf_bench::micro::MicroBench;
+use dmf_engine::{plan_batch, BatchOptions, EngineConfig, PlanCache, PlanRequest, StreamingEngine};
+use dmf_ratio::TargetRatio;
+use dmf_workloads::protocols;
+use std::num::NonZeroUsize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The minimum cold/warm latency ratio the cache must deliver.
+const REQUIRED_SPEEDUP: f64 = 10.0;
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_plan.json".into());
+    let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+    let demand = 20u64;
+    let mut bench = MicroBench::new("plan: cold vs warm cache");
+
+    // Cold: a full pipeline run (tree, forest, schedule, pass split).
+    let cold_engine = StreamingEngine::new(EngineConfig::default());
+    let cold =
+        bench.bench("plan_cold (PCR d4, D=20)", || cold_engine.plan(&target, demand).unwrap());
+
+    // Warm: the same request against a warmed cache — one lookup plus an
+    // `Arc` clone.
+    let warm_engine = StreamingEngine::new(EngineConfig::default()).with_cache(PlanCache::shared());
+    warm_engine.plan_shared(&target, demand).unwrap();
+    let warm =
+        bench.bench("plan_warm (cache hit)", || warm_engine.plan_shared(&target, demand).unwrap());
+    bench.finish();
+
+    // Batch wall time over the five Table 2 protocols plus a synthetic
+    // corpus sample, uncached so every worker does real planning work.
+    let requests: Vec<PlanRequest> = protocols::table2_examples()
+        .into_iter()
+        .map(|p| p.ratio)
+        .chain(dmf_workloads::synthetic::sampled_corpus(250, 2014))
+        .flat_map(|ratio| [16u64, 32].map(|d| PlanRequest::new(ratio.clone(), d)))
+        .collect();
+    let wall_ns = |jobs: usize| {
+        let options = BatchOptions::new().with_jobs(NonZeroUsize::new(jobs).unwrap());
+        let t = Instant::now();
+        // Corpus ratios that cannot plan (pure targets) count as work too;
+        // the comparison only needs both sides to do the same work.
+        std::hint::black_box(plan_batch(&requests, &options));
+        t.elapsed().as_nanos() as u64
+    };
+    // Interleave a few rounds and keep the fastest of each, so scheduler
+    // noise cannot favour either side.
+    let (mut jobs1_ns, mut jobs4_ns) = (u64::MAX, u64::MAX);
+    for _ in 0..5 {
+        jobs1_ns = jobs1_ns.min(wall_ns(1));
+        jobs4_ns = jobs4_ns.min(wall_ns(4));
+    }
+    println!(
+        "\nplan_batch over {} requests: jobs=1 {} ns, jobs=4 {} ns ({:.2}x)",
+        requests.len(),
+        jobs1_ns,
+        jobs4_ns,
+        jobs1_ns as f64 / jobs4_ns.max(1) as f64
+    );
+
+    let speedup = cold.mean_ns as f64 / warm.mean_ns.max(1) as f64;
+    let json = format!(
+        "{{\n  \"suite\": \"plan\",\n  \"target\": \"2:1:1:1:1:1:9\",\n  \"demand\": {demand},\n  \
+         \"cold_plan_ns\": {{ \"min\": {}, \"mean\": {}, \"max\": {} }},\n  \
+         \"warm_cache_plan_ns\": {{ \"min\": {}, \"mean\": {}, \"max\": {} }},\n  \
+         \"warm_speedup\": {speedup:.1},\n  \
+         \"batch\": {{ \"requests\": {}, \"jobs1_wall_ns\": {jobs1_ns}, \"jobs4_wall_ns\": {jobs4_ns} }}\n}}\n",
+        cold.min_ns,
+        cold.mean_ns,
+        cold.max_ns,
+        warm.min_ns,
+        warm.mean_ns,
+        warm.max_ns,
+        requests.len(),
+    );
+    let path = std::path::Path::new(&out_path);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("warm-cache speedup: {speedup:.1}x (required: >= {REQUIRED_SPEEDUP:.0}x)");
+    if speedup < REQUIRED_SPEEDUP {
+        eprintln!("error: warm-cache plan is only {speedup:.1}x faster than cold");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

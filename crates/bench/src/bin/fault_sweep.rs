@@ -21,8 +21,8 @@
 // deny wall applies to library code only (see Cargo.toml).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::{export_obs, obs_from_env};
-use dmf_engine::{EngineConfig, RecoveryPolicy};
-use dmf_fault::{run_resilient, FaultConfig};
+use dmf_engine::{EngineConfig, PlanCache, RecoveryPolicy};
+use dmf_fault::{run_resilient_cached, FaultConfig};
 use dmf_obs::{MetricsReport, Table};
 use dmf_workloads::protocols;
 use std::process::ExitCode;
@@ -74,6 +74,9 @@ fn main() -> ExitCode {
         "protocol", "rate", "yield", "inj", "det", "replans", "restarts", "dead", "overhead",
     ]);
     let mut all_met = true;
+    // One plan cache for the whole sweep: every trial's baseline plan and
+    // every replan for an already-seen residual demand is a cache hit.
+    let cache = PlanCache::shared();
     for (p, protocol) in protocols::table2_examples().iter().enumerate() {
         for &rate in &args.rates {
             let mut met = 0u64;
@@ -89,12 +92,13 @@ fn main() -> ExitCode {
                     .wrapping_add((rate * 1e6) as u64);
                 let config = FaultConfig::default().with_seed(seed).with_fault_rate(rate);
                 let policy = RecoveryPolicy::default().with_max_replans(64);
-                match run_resilient(
+                match run_resilient_cached(
                     &protocol.ratio,
                     args.demand,
                     EngineConfig::default(),
                     &config,
                     policy,
+                    std::sync::Arc::clone(&cache),
                 ) {
                     Ok(out) => {
                         if out.demand_met() {

@@ -9,7 +9,8 @@
 // Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
 // deny wall applies to library code only (see Cargo.toml).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
-use dmf_bench::{export_obs, obs_from_env, run_scheme, Scheme};
+use dmf_bench::{export_obs, obs_from_env, run_schemes_batch, Scheme};
+use dmf_engine::PlanCache;
 use dmf_mixalgo::BaseAlgorithm;
 use dmf_obs::Table;
 use dmf_sched::SchedulerKind;
@@ -37,23 +38,27 @@ fn main() {
     headers.extend(schemes.iter().map(|s| format!("Tc {}", s.name())));
     headers.extend(schemes.iter().map(|s| format!("I {}", s.name())));
     let mut table = Table::new(headers);
+    // One shared plan cache across every demand level; each demand level
+    // batches the whole corpus (4 schemes per target) through the
+    // parallel planner in chunks.
+    let cache = PlanCache::shared();
     for demand in (2..=32u64).step_by(2) {
         let mut tc = [0.0f64; 4];
         let mut inputs = [0.0f64; 4];
         let mut n = 0usize;
-        for target in &corpus {
-            let mut results = Vec::with_capacity(4);
-            for &scheme in &schemes {
-                match run_scheme(scheme, target, demand) {
-                    Ok(r) => results.push(r),
-                    Err(_) => break,
-                }
-            }
-            if results.len() == 4 {
-                n += 1;
-                for (k, r) in results.iter().enumerate() {
-                    tc[k] += r.cycles as f64;
-                    inputs[k] += r.inputs as f64;
+        for chunk in corpus.chunks(512) {
+            let work: Vec<(Scheme, _, u64)> = chunk
+                .iter()
+                .flat_map(|target| schemes.iter().map(move |&s| (s, target.clone(), demand)))
+                .collect();
+            let results = run_schemes_batch(&work, None, &cache);
+            for per_target in results.chunks(schemes.len()) {
+                if per_target.iter().all(Result::is_ok) {
+                    n += 1;
+                    for (k, r) in per_target.iter().flatten().enumerate() {
+                        tc[k] += r.cycles as f64;
+                        inputs[k] += r.inputs as f64;
+                    }
                 }
             }
         }

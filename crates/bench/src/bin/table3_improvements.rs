@@ -9,7 +9,8 @@
 // Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
 // deny wall applies to library code only (see Cargo.toml).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
-use dmf_bench::{export_obs, obs_from_env, run_scheme, Scheme};
+use dmf_bench::{export_obs, obs_from_env, run_schemes_batch, Scheme};
+use dmf_engine::PlanCache;
 use dmf_mixalgo::BaseAlgorithm;
 use dmf_obs::Table;
 use dmf_sched::SchedulerKind;
@@ -38,29 +39,42 @@ fn main() {
     let mut tc_srs_vs_mms = [0.0f64; 3];
     let mut counted = [0usize; 3];
 
-    for target in &corpus {
-        for (k, &algorithm) in algorithms.iter().enumerate() {
-            let Ok(repeated) = run_scheme(Scheme::Repeated(algorithm), target, demand) else {
-                continue;
-            };
-            let Ok(mms) =
-                run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Mms), target, demand)
-            else {
-                continue;
-            };
-            let Ok(srs) =
-                run_scheme(Scheme::Streaming(algorithm, SchedulerKind::Srs), target, demand)
-            else {
-                continue;
-            };
-            counted[k] += 1;
-            let pct = |new: f64, old: f64| if old > 0.0 { (old - new) / old * 100.0 } else { 0.0 };
-            tc_mms[k] += pct(mms.cycles as f64, repeated.cycles as f64);
-            tc_srs[k] += pct(srs.cycles as f64, repeated.cycles as f64);
-            // MMS and SRS build the same forest, so I is shared.
-            i_stream[k] += pct(mms.inputs as f64, repeated.inputs as f64);
-            q_srs_vs_mms[k] += pct(srs.storage as f64, mms.storage as f64);
-            tc_srs_vs_mms[k] += pct(srs.cycles as f64, mms.cycles as f64);
+    // Batch the corpus through the parallel planner in chunks (9 requests
+    // per target: 3 algorithms x {Repeated, MMS, SRS}), sharing one plan
+    // cache across chunks.
+    let cache = PlanCache::shared();
+    for chunk in corpus.chunks(256) {
+        let work: Vec<(Scheme, _, u64)> = chunk
+            .iter()
+            .flat_map(|target| {
+                algorithms.iter().flat_map(move |&algorithm| {
+                    [
+                        (Scheme::Repeated(algorithm), target.clone(), demand),
+                        (Scheme::Streaming(algorithm, SchedulerKind::Mms), target.clone(), demand),
+                        (Scheme::Streaming(algorithm, SchedulerKind::Srs), target.clone(), demand),
+                    ]
+                })
+            })
+            .collect();
+        let results = run_schemes_batch(&work, None, &cache);
+        for t in 0..chunk.len() {
+            for k in 0..algorithms.len() {
+                let base = (t * algorithms.len() + k) * 3;
+                let (Ok(repeated), Ok(mms), Ok(srs)) =
+                    (&results[base], &results[base + 1], &results[base + 2])
+                else {
+                    continue;
+                };
+                counted[k] += 1;
+                let pct =
+                    |new: f64, old: f64| if old > 0.0 { (old - new) / old * 100.0 } else { 0.0 };
+                tc_mms[k] += pct(mms.cycles as f64, repeated.cycles as f64);
+                tc_srs[k] += pct(srs.cycles as f64, repeated.cycles as f64);
+                // MMS and SRS build the same forest, so I is shared.
+                i_stream[k] += pct(mms.inputs as f64, repeated.inputs as f64);
+                q_srs_vs_mms[k] += pct(srs.storage as f64, mms.storage as f64);
+                tc_srs_vs_mms[k] += pct(srs.cycles as f64, mms.cycles as f64);
+            }
         }
     }
 

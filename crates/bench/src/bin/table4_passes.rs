@@ -1,13 +1,20 @@
 //! Table 4 — the PCR master-mix engine with three mixers and a fixed
 //! number of storage units: passes, total cycles and total waste for
 //! every (q', d, D) combination the paper reports.
+//!
+//! The full (D, d, q') grid is planned in one [`dmf_engine::plan_batch`]
+//! call over a shared plan cache, then formatted row by row.
 
 // Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
 // deny wall applies to library code only (see Cargo.toml).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
-use dmf_engine::{EngineConfig, StreamingEngine};
+use dmf_engine::{plan_batch, BatchOptions, EngineConfig, PlanCache, PlanRequest};
 use dmf_ratio::TargetRatio;
 use dmf_workloads::protocols::PCR_MASTER_MIX_PERCENT;
+
+const DEMANDS: [u64; 4] = [2, 16, 20, 32];
+const ACCURACIES: [u32; 3] = [4, 5, 6];
+const LIMITS: [usize; 3] = [3, 5, 7];
 
 fn main() {
     println!("Table 4: PCR master-mix engine, three mixers, fixed storage (SRS)\n");
@@ -20,22 +27,35 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" | ")
     );
-    for demand in [2u64, 16, 20, 32] {
-        let mut cells = Vec::new();
-        for d in [4u32, 5, 6] {
+    // The whole grid as one batch, in row-major (D, d, q') order.
+    let mut requests = Vec::new();
+    for &demand in &DEMANDS {
+        for &d in &ACCURACIES {
             let target = TargetRatio::paper_approximate(&PCR_MASTER_MIX_PERCENT, d)
                 .expect("PCR approximates at d>=3");
-            let mut sub = Vec::new();
-            for limit in [3usize, 5, 7] {
+            for &limit in &LIMITS {
                 let config = EngineConfig::default().with_storage_limit(limit).with_mixers(3);
-                match StreamingEngine::new(config).plan(&target, demand) {
-                    Ok(plan) => sub.push(format!(
+                requests.push(PlanRequest::new(target.clone(), demand).with_config(config));
+            }
+        }
+    }
+    let options = BatchOptions::new().with_cache(PlanCache::shared());
+    let results = plan_batch(&requests, &options);
+
+    let mut grid = results.iter();
+    for demand in DEMANDS {
+        let mut cells = Vec::new();
+        for _ in ACCURACIES {
+            let mut sub = Vec::new();
+            for _ in LIMITS {
+                match grid.next().and_then(|r| r.as_ref().ok()) {
+                    Some(plan) => sub.push(format!(
                         "{}({},{})",
                         plan.pass_count(),
                         plan.total_cycles,
                         plan.total_waste
                     )),
-                    Err(_) => sub.push("inf".into()),
+                    None => sub.push("inf".into()),
                 }
             }
             cells.push(format!("{:<30}", sub.join(" / ")));

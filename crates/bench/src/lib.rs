@@ -100,8 +100,7 @@ pub fn run_scheme(
     demand: u64,
 ) -> Result<SchemeResult, dmf_engine::EngineError> {
     let _span = dmf_obs::span!("bench_scheme");
-    let mm = BaseAlgorithm::MinMix.algorithm().build_graph(target)?;
-    let mixers = mixer_lower_bound(&mm)?;
+    let mixers = minmix_mlb(target)?;
     match scheme {
         Scheme::Repeated(algorithm) => {
             let baseline = dmf_engine::repeated(algorithm, target, demand, mixers)?;
@@ -128,6 +127,98 @@ pub fn run_scheme(
             })
         }
     }
+}
+
+/// Evaluates many `(scheme, target, demand)` requests at once.
+///
+/// Streaming schemes are planned by [`dmf_engine::plan_batch`] — parallel
+/// workers plus the supplied content-addressed plan cache, so duplicate
+/// requests (the same target under the same scheme at the same demand)
+/// are planned exactly once. Repeated baselines are closed-form and
+/// evaluated inline. The `Mlb` mixer budget of each target's MinMix tree
+/// is computed once per distinct target rather than once per request.
+///
+/// Results come back in input order, one slot per request, and are
+/// byte-identical to calling [`run_scheme`] on each request in sequence.
+pub fn run_schemes_batch(
+    work: &[(Scheme, TargetRatio, u64)],
+    jobs: Option<std::num::NonZeroUsize>,
+    cache: &std::sync::Arc<dmf_engine::PlanCache>,
+) -> Vec<Result<SchemeResult, dmf_engine::EngineError>> {
+    use dmf_engine::{plan_batch, BatchOptions, PlanRequest};
+
+    let _span = dmf_obs::span!("bench_scheme_batch");
+    let mut mlb: std::collections::HashMap<(u32, Vec<u64>), usize> =
+        std::collections::HashMap::new();
+    let mut slots: Vec<Option<Result<SchemeResult, dmf_engine::EngineError>>> = Vec::new();
+    slots.resize_with(work.len(), || None);
+    let mut requests: Vec<PlanRequest> = Vec::new();
+    let mut request_slots: Vec<usize> = Vec::new();
+    for (i, (scheme, target, demand)) in work.iter().enumerate() {
+        let key = (target.accuracy(), target.parts().to_vec());
+        let mixers = match mlb.get(&key) {
+            Some(&m) => m,
+            None => match minmix_mlb(target) {
+                Ok(m) => {
+                    mlb.insert(key, m);
+                    m
+                }
+                Err(e) => {
+                    slots[i] = Some(Err(e));
+                    continue;
+                }
+            },
+        };
+        match *scheme {
+            Scheme::Repeated(algorithm) => {
+                slots[i] = Some(dmf_engine::repeated(algorithm, target, *demand, mixers).map(
+                    |baseline| SchemeResult {
+                        cycles: baseline.total_cycles,
+                        storage: baseline.storage,
+                        inputs: baseline.total_inputs,
+                        waste: baseline.total_waste,
+                    },
+                ));
+            }
+            Scheme::Streaming(algorithm, scheduler) => {
+                let config = EngineConfig {
+                    algorithm,
+                    scheduler,
+                    mixers: MixerBudget::Fixed(mixers),
+                    ..EngineConfig::default()
+                };
+                requests.push(PlanRequest::new(target.clone(), *demand).with_config(config));
+                request_slots.push(i);
+            }
+        }
+    }
+    let mut options = BatchOptions::new().with_cache(std::sync::Arc::clone(cache));
+    if let Some(jobs) = jobs {
+        options = options.with_jobs(jobs);
+    }
+    for (slot, outcome) in request_slots.into_iter().zip(plan_batch(&requests, &options)) {
+        slots[slot] = Some(outcome.map(|plan| SchemeResult {
+            cycles: plan.total_cycles,
+            storage: plan.storage_peak,
+            inputs: plan.total_inputs,
+            waste: plan.total_waste,
+        }));
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.unwrap_or_else(|| {
+                Err(dmf_engine::EngineError::Internal { what: "batch slot unfilled".into() })
+            })
+        })
+        .collect()
+}
+
+/// `Mlb` of the target's MinMix tree — the mixer budget every Table 2
+/// scheme runs with.
+fn minmix_mlb(target: &TargetRatio) -> Result<usize, dmf_engine::EngineError> {
+    let mm = BaseAlgorithm::MinMix.algorithm().build_graph(target)?;
+    Ok(mixer_lower_bound(&mm)?)
 }
 
 /// Enables the global [`dmf_obs`] recorder when the `DMF_OBS` environment

@@ -1,0 +1,165 @@
+//! Content-addressed plan cache.
+//!
+//! A streaming plan is a pure function of its inputs — the target CF
+//! vector, the demand `D`, the base algorithm, the scheduler, the mixer
+//! budget `Mc`, the storage budget `q'` and the reuse policy (the mixing
+//! -graph literature models graph construction as a pure function of the
+//! target ratio). [`PlanKey`] captures exactly that tuple, so two requests
+//! with equal keys are guaranteed to produce byte-identical plans and the
+//! second one never needs to plan at all.
+//!
+//! The cache stores plans behind [`Arc`], so a hit is a pointer clone:
+//! callers that keep the `Arc` (see
+//! [`crate::StreamingEngine::plan_shared`]) can even observe hits by
+//! [`Arc::ptr_eq`]. Hit/miss totals are exported through `dmf-obs` as the
+//! `cache.hits` / `cache.misses` counters whenever the global recorder is
+//! enabled.
+
+use crate::{EngineConfig, StreamPlan};
+use dmf_hash::{Fnv64, FnvBuildHasher};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The content address of a plan: every input [`crate::StreamingEngine`]
+/// folds into its output.
+///
+/// Equal keys imply byte-identical plans; the [`PlanKey::fingerprint`]
+/// digest is stable across processes (unseeded FNV-1a), so it can name
+/// plan artifacts on disk or across runs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    config: EngineConfig,
+    accuracy: u32,
+    parts: Vec<u64>,
+    demand: u64,
+}
+
+impl PlanKey {
+    /// The content address of planning `demand` droplets of `target`
+    /// under `config`.
+    pub fn new(config: &EngineConfig, target: &dmf_ratio::TargetRatio, demand: u64) -> Self {
+        PlanKey {
+            config: *config,
+            accuracy: target.accuracy(),
+            parts: target.parts().to_vec(),
+            demand,
+        }
+    }
+
+    /// A stable 64-bit FNV-1a digest of this key — identical across
+    /// processes and runs for equal keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A thread-safe, content-addressed store of finished plans.
+///
+/// Clone-free on hits (plans are handed out as [`Arc`]); safe to share
+/// across the [`crate::plan_batch`] worker pool. The map itself uses the
+/// deterministic FNV hasher, so cache behavior does not depend on
+/// process-seeded hash state.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<StreamPlan>, FnvBuildHasher>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// An empty cache ready to share across engines and worker threads.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(PlanCache::new())
+    }
+
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<StreamPlan>, FnvBuildHasher>> {
+        // A poisoned lock only means another worker panicked mid-insert;
+        // the map itself is never left half-written (inserts are atomic at
+        // this level), so recover the guard instead of propagating.
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks `key` up, counting `cache.hits` / `cache.misses`.
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<StreamPlan>> {
+        let found = self.map().get(key).cloned();
+        let obs = dmf_obs::global();
+        if obs.is_enabled() {
+            obs.count(if found.is_some() { "cache.hits" } else { "cache.misses" }, 1);
+        }
+        found
+    }
+
+    /// Stores a finished plan under `key`. Concurrent writers may race on
+    /// the same key; both plans are byte-identical by construction, so
+    /// either insert is correct.
+    pub fn store(&self, key: PlanKey, plan: Arc<StreamPlan>) {
+        self.map().insert(key, plan);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map().is_empty()
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&self) {
+        self.map().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, StreamingEngine};
+    use dmf_ratio::TargetRatio;
+
+    fn pcr_d4() -> TargetRatio {
+        TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let config = EngineConfig::default();
+        let a = PlanKey::new(&config, &pcr_d4(), 20);
+        let b = PlanKey::new(&config, &pcr_d4(), 20);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Every component of the tuple must perturb the address.
+        assert_ne!(a.fingerprint(), PlanKey::new(&config, &pcr_d4(), 22).fingerprint());
+        let mms = config.with_scheduler(dmf_sched::SchedulerKind::Mms);
+        assert_ne!(a.fingerprint(), PlanKey::new(&mms, &pcr_d4(), 20).fingerprint());
+        let limited = config.with_storage_limit(5);
+        assert_ne!(a.fingerprint(), PlanKey::new(&limited, &pcr_d4(), 20).fingerprint());
+        let other = TargetRatio::new(vec![1, 1, 1, 1, 1, 1, 10]).unwrap();
+        assert_ne!(a.fingerprint(), PlanKey::new(&config, &other, 20).fingerprint());
+    }
+
+    #[test]
+    fn lookup_store_round_trip() {
+        let cache = PlanCache::new();
+        let config = EngineConfig::default();
+        let key = PlanKey::new(&config, &pcr_d4(), 20);
+        assert!(cache.lookup(&key).is_none());
+        let plan = Arc::new(StreamingEngine::new(config).plan(&pcr_d4(), 20).unwrap());
+        cache.store(key.clone(), Arc::clone(&plan));
+        let hit = cache.lookup(&key).unwrap();
+        assert!(Arc::ptr_eq(&hit, &plan));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -18,7 +18,7 @@ pub enum MixerBudget {
 /// The default reproduces the paper's headline configuration: MinMix base
 /// trees, SRS scheduling, `Mlb` mixers, paper-faithful across-tree droplet
 /// reuse and no storage budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineConfig {
     /// Base mixing-tree algorithm seeding the forest.
     pub algorithm: BaseAlgorithm,

@@ -40,6 +40,13 @@ pub enum EngineError {
         /// Human-readable description of the failing transport.
         what: String,
     },
+    /// An internal invariant was violated — a bug in the engine itself
+    /// (e.g. a pipeline stage ran out of order, or the pass compiler lost
+    /// track of a droplet), surfaced as a typed error instead of a panic.
+    Internal {
+        /// Human-readable description of the violated invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -58,6 +65,9 @@ impl fmt::Display for EngineError {
             EngineError::Chip(e) => write!(f, "chip error: {e}"),
             EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
             EngineError::Unroutable { what } => write!(f, "unroutable transport: {what}"),
+            EngineError::Internal { what } => {
+                write!(f, "internal engine invariant violated (bug): {what}")
+            }
         }
     }
 }

@@ -36,20 +36,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// TODO(lint-wall): crate-wide exemption from the workspace
-// `unwrap_used`/`expect_used`/`panic` deny wall. Offenders here predate the
-// wall (documented-panic convenience constructors and provably-safe
-// `expect`s); burn them down and drop this allow.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+mod batch;
+mod cache;
 mod check;
 mod compare;
 mod config;
 mod error;
+pub mod pipeline;
 mod plan;
 mod realize;
 mod recovery;
 
+pub use batch::{plan_batch, BatchOptions, PlanRequest};
+pub use cache::{PlanCache, PlanKey};
 pub use check::static_check;
 pub use compare::{improvement_over_baseline, repeated, Improvement};
 pub use config::{EngineConfig, MixerBudget};

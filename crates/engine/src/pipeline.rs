@@ -1,0 +1,331 @@
+//! The staged planning pipeline: `BuildTree → BuildForest → Schedule →
+//! SplitPasses`.
+//!
+//! [`crate::StreamingEngine::plan`] is a thin facade over these stages.
+//! Each stage consumes and produces a shared [`PlanContext`] and runs
+//! under its own `dmf-obs` span (`stage_build_tree`, `stage_build_forest`,
+//! `stage_schedule`, `stage_split_passes`), so per-stage wall time shows
+//! up in the metrics report without changing a single droplet of output:
+//! the pipeline performs exactly the calls the former monolithic planner
+//! made, in the same order.
+//!
+//! Stage contract (see `DESIGN.md` §12):
+//!
+//! 1. [`PlanContext::build_tree`] — builds the base-algorithm template for
+//!    the target and resolves the mixer budget (`Mc`, the MinMix `Mlb`
+//!    under [`crate::MixerBudget::MmLowerBound`]). Must run first.
+//! 2. [`PlanContext::build_forest`] — expands the template into a mixing
+//!    forest covering one pass's demand, applying the engine's droplet
+//!    reuse policy (subgraph-sharing base algorithms force eager reuse).
+//! 3. [`PlanContext::schedule`] — schedules a forest onto the mixer
+//!    budget and derives its storage profile, yielding a [`PassPlan`].
+//! 4. [`PlanContext::split_passes`] — drives stages 2–3 to split the
+//!    demand into the fewest passes fitting the storage budget `q'`
+//!    (the paper's §6 multi-pass streaming; the whole demand in one pass
+//!    when unconstrained).
+//!
+//! [`PlanContext::into_plan`] then folds the passes into a [`StreamPlan`]
+//! with droplet-exact aggregates.
+
+use crate::{EngineConfig, EngineError, MixerBudget, PassPlan, StreamPlan};
+use dmf_mixalgo::{BaseAlgorithm, Template};
+use dmf_mixgraph::MixGraph;
+use dmf_ratio::TargetRatio;
+use dmf_sched::mixer_lower_bound;
+
+/// Shared state threaded through the pipeline stages.
+///
+/// A context is created per `(target, demand)` planning request, advanced
+/// by the stage methods, and consumed by [`PlanContext::into_plan`].
+#[derive(Debug)]
+pub struct PlanContext<'a> {
+    config: EngineConfig,
+    target: &'a TargetRatio,
+    demand: u64,
+    template: Option<Template>,
+    mixers: Option<usize>,
+    passes: Vec<PassPlan>,
+}
+
+/// Resolves the mixer budget for `target` under `config` (the `Mlb` of its
+/// MinMix tree for [`MixerBudget::MmLowerBound`]).
+pub(crate) fn resolve_mixers(
+    config: &EngineConfig,
+    target: &TargetRatio,
+) -> Result<usize, EngineError> {
+    match config.mixers {
+        MixerBudget::Fixed(m) => Ok(m),
+        MixerBudget::MmLowerBound => {
+            let mm = BaseAlgorithm::MinMix.algorithm().build_graph(target)?;
+            Ok(mixer_lower_bound(&mm)?)
+        }
+    }
+}
+
+impl<'a> PlanContext<'a> {
+    /// Opens a planning context for `demand` droplets of `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZeroDemand`] for `demand == 0`.
+    pub fn new(
+        config: EngineConfig,
+        target: &'a TargetRatio,
+        demand: u64,
+    ) -> Result<Self, EngineError> {
+        if demand == 0 {
+            return Err(EngineError::ZeroDemand);
+        }
+        Ok(PlanContext { config, target, demand, template: None, mixers: None, passes: Vec::new() })
+    }
+
+    /// The engine configuration this context plans under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The target ratio being planned.
+    pub fn target(&self) -> &TargetRatio {
+        self.target
+    }
+
+    /// The requested demand `D`.
+    pub fn demand(&self) -> u64 {
+        self.demand
+    }
+
+    /// The resolved mixer budget, once [`PlanContext::build_tree`] ran.
+    pub fn mixers(&self) -> Option<usize> {
+        self.mixers
+    }
+
+    /// The passes planned so far, in execution order.
+    pub fn passes(&self) -> &[PassPlan] {
+        &self.passes
+    }
+
+    fn ready_template(&self) -> Result<&Template, EngineError> {
+        self.template.as_ref().ok_or_else(|| EngineError::Internal {
+            what: "pipeline stage ran before build_tree".into(),
+        })
+    }
+
+    fn ready_mixers(&self) -> Result<usize, EngineError> {
+        self.mixers.ok_or_else(|| EngineError::Internal {
+            what: "pipeline stage ran before build_tree".into(),
+        })
+    }
+
+    /// Stage 1 — `BuildTree`: builds the base-algorithm template and
+    /// resolves the mixer budget. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-tree construction and mixer-bound failures.
+    pub fn build_tree(&mut self) -> Result<(), EngineError> {
+        let _stage = dmf_obs::span!("stage_build_tree");
+        if self.template.is_none() {
+            let _span = dmf_obs::span!("mixalgo_build");
+            self.template = Some(self.config.algorithm.algorithm().build_template(self.target)?);
+        }
+        if self.mixers.is_none() {
+            self.mixers = Some(resolve_mixers(&self.config, self.target)?);
+        }
+        Ok(())
+    }
+
+    /// Stage 2 — `BuildForest`: expands the template into a mixing forest
+    /// covering `demand` droplets under the engine's reuse policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails before [`PlanContext::build_tree`] has run; propagates forest
+    /// construction failures.
+    pub fn build_forest(&self, demand: u64) -> Result<MixGraph, EngineError> {
+        let _stage = dmf_obs::span!("stage_build_forest");
+        // Subgraph-sharing base algorithms (MTCS, RSM) reuse droplets even
+        // within one tree; their forests must too, or the engine would lose
+        // the sharing the repeated baseline enjoys.
+        let reuse = if self.config.algorithm.algorithm().shares_subgraphs() {
+            dmf_forest::ReusePolicy::Eager
+        } else {
+            self.config.reuse
+        };
+        Ok(dmf_forest::build_forest(self.ready_template()?, self.target, demand, reuse)?)
+    }
+
+    /// Stage 3 — `Schedule`: schedules `forest` onto the mixer budget and
+    /// derives its storage profile, completing one [`PassPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Fails before [`PlanContext::build_tree`] has run; propagates
+    /// scheduling failures.
+    pub fn schedule(&self, forest: MixGraph, demand: u64) -> Result<PassPlan, EngineError> {
+        let _stage = dmf_obs::span!("stage_schedule");
+        let schedule = self.config.scheduler.run(&forest, self.ready_mixers()?)?;
+        let storage = schedule.storage(&forest);
+        Ok(PassPlan { demand, forest, schedule, storage })
+    }
+
+    /// Stages 2+3 for one pass.
+    fn build_pass(&self, demand: u64) -> Result<PassPlan, EngineError> {
+        let forest = self.build_forest(demand)?;
+        self.schedule(forest, demand)
+    }
+
+    /// Stage 4 — `SplitPasses`: splits the demand into the fewest passes
+    /// whose schedules each fit the storage budget `q'` (one pass covers
+    /// everything when unconstrained), appending them to the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::StorageInfeasible`] when even a demand-2
+    /// pass exceeds the budget; propagates stage-2/3 failures.
+    pub fn split_passes(&mut self) -> Result<(), EngineError> {
+        let _stage = dmf_obs::span!("stage_split_passes");
+        let mut remaining = self.demand;
+        while remaining > 0 {
+            let pass_demand = match self.config.storage_limit {
+                None => remaining,
+                Some(limit) => self.max_pass_demand(remaining, limit)?,
+            };
+            self.passes.push(self.build_pass(pass_demand)?);
+            remaining = remaining.saturating_sub(pass_demand);
+        }
+        Ok(())
+    }
+
+    /// The paper's `D'`: the largest demand (up to `remaining`) whose
+    /// single-pass schedule fits the storage budget.
+    fn max_pass_demand(&self, remaining: u64, limit: usize) -> Result<u64, EngineError> {
+        let first = self.build_pass(remaining.min(2))?;
+        if first.storage_units() > limit {
+            return Err(EngineError::StorageInfeasible { limit, needed: first.storage_units() });
+        }
+        // SRS storage is not strictly monotone in the demand (see the
+        // Fig. 7 jitter), so keep scanning past the first infeasible
+        // demand for a short window before giving up.
+        let mut best = remaining.min(2);
+        let mut candidate = best + 2;
+        let mut misses = 0u32;
+        while candidate <= remaining && misses < 4 {
+            let pass = self.build_pass(candidate)?;
+            if pass.storage_units() > limit {
+                misses += 1;
+            } else {
+                best = candidate;
+                misses = 0;
+            }
+            candidate += 2;
+        }
+        Ok(best)
+    }
+
+    /// Folds the planned passes into a [`StreamPlan`] with droplet-exact
+    /// aggregates, publishing the `plan.*` gauges. In debug builds the
+    /// independent checker vets the emitted plan.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no pass was planned ([`PlanContext::split_passes`] has
+    /// not run).
+    pub fn into_plan(self) -> Result<StreamPlan, EngineError> {
+        if self.passes.is_empty() {
+            return Err(EngineError::Internal { what: "into_plan ran before split_passes".into() });
+        }
+        let mixers = self.ready_mixers()?;
+        let passes = self.passes;
+        let total_cycles = passes.iter().map(|p| u64::from(p.cycles())).sum();
+        let mut inputs = vec![0u64; self.target.fluid_count()];
+        let mut total_waste = 0u64;
+        let mut total_mix_splits = 0u64;
+        for pass in &passes {
+            let stats = pass.forest.stats();
+            total_waste += stats.waste as u64;
+            total_mix_splits += stats.mix_splits as u64;
+            for (acc, v) in inputs.iter_mut().zip(&stats.inputs) {
+                *acc += v;
+            }
+        }
+        let plan = StreamPlan {
+            target: self.target.clone(),
+            demand: self.demand,
+            mixers,
+            total_cycles,
+            total_mix_splits,
+            total_waste,
+            total_inputs: inputs.iter().sum(),
+            inputs,
+            storage_peak: passes.iter().map(PassPlan::storage_units).max().unwrap_or(0),
+            passes,
+        };
+        let obs = dmf_obs::global();
+        if obs.is_enabled() {
+            obs.gauge_set("plan.demand", plan.demand);
+            obs.gauge_set("plan.passes", plan.passes.len() as u64);
+            obs.gauge_set("plan.cycles", plan.total_cycles);
+            obs.gauge_set("plan.mix_splits", plan.total_mix_splits);
+            obs.gauge_set("plan.waste", plan.total_waste);
+            obs.gauge_set("plan.inputs", plan.total_inputs);
+            obs.gauge_set("plan.storage_peak", plan.storage_peak as u64);
+        }
+        // Translation validation: in debug builds every emitted plan must
+        // satisfy the independent checker's invariants.
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::static_check(&plan);
+            debug_assert!(report.is_clean(), "engine emitted an unsound plan:\n{report}");
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcr_d4() -> TargetRatio {
+        TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap()
+    }
+
+    #[test]
+    fn stages_compose_to_the_facade_output() {
+        let target = pcr_d4();
+        let mut ctx = PlanContext::new(EngineConfig::default(), &target, 20).unwrap();
+        ctx.build_tree().unwrap();
+        ctx.split_passes().unwrap();
+        let plan = ctx.into_plan().unwrap();
+        assert_eq!(plan.total_cycles, 11);
+        assert_eq!(plan.storage_peak, 5);
+        assert_eq!(plan.total_inputs, 25);
+    }
+
+    #[test]
+    fn stages_out_of_order_are_internal_errors() {
+        let target = pcr_d4();
+        let ctx = PlanContext::new(EngineConfig::default(), &target, 20).unwrap();
+        assert!(matches!(ctx.build_forest(2), Err(EngineError::Internal { .. })));
+        let ctx = PlanContext::new(EngineConfig::default(), &target, 20).unwrap();
+        assert!(matches!(ctx.into_plan(), Err(EngineError::Internal { .. })));
+    }
+
+    #[test]
+    fn zero_demand_rejected_at_the_door() {
+        let target = pcr_d4();
+        assert!(matches!(
+            PlanContext::new(EngineConfig::default(), &target, 0),
+            Err(EngineError::ZeroDemand)
+        ));
+    }
+
+    #[test]
+    fn build_tree_is_idempotent() {
+        let target = pcr_d4();
+        let mut ctx = PlanContext::new(EngineConfig::default(), &target, 4).unwrap();
+        ctx.build_tree().unwrap();
+        let mixers = ctx.mixers();
+        ctx.build_tree().unwrap();
+        assert_eq!(ctx.mixers(), mixers);
+    }
+}

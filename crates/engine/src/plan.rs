@@ -1,10 +1,11 @@
-use crate::{EngineConfig, EngineError, MixerBudget};
-use dmf_forest::build_forest;
-use dmf_mixalgo::{BaseAlgorithm, Template};
+use crate::cache::PlanKey;
+use crate::pipeline::PlanContext;
+use crate::{EngineConfig, EngineError, PlanCache};
 use dmf_mixgraph::MixGraph;
 use dmf_ratio::TargetRatio;
-use dmf_sched::{mixer_lower_bound, Schedule, StorageProfile};
+use dmf_sched::{Schedule, StorageProfile};
 use std::fmt;
+use std::sync::Arc;
 
 /// One pass of the streaming engine: a mixing forest plus its schedule and
 /// storage profile.
@@ -89,15 +90,30 @@ impl fmt::Display for StreamPlan {
 }
 
 /// The demand-driven mixture-preparation engine (see crate docs).
+///
+/// `plan` is a thin facade over the staged pipeline in [`crate::pipeline`]
+/// (`BuildTree → BuildForest → Schedule → SplitPasses`); an optional
+/// content-addressed [`PlanCache`] (see [`StreamingEngine::with_cache`])
+/// short-circuits repeat requests.
 #[derive(Debug, Clone, Default)]
 pub struct StreamingEngine {
     config: EngineConfig,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl StreamingEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        StreamingEngine { config }
+        StreamingEngine { config, cache: None }
+    }
+
+    /// Attaches a shared content-addressed plan cache: repeat
+    /// `(target, demand)` requests under the same configuration are served
+    /// from the cache (counted as `cache.hits`) instead of replanned.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The engine's configuration.
@@ -105,27 +121,29 @@ impl StreamingEngine {
         &self.config
     }
 
+    /// The attached plan cache, if any.
+    pub fn cache(&self) -> Option<&Arc<PlanCache>> {
+        self.cache.as_ref()
+    }
+
     /// Resolves the mixer budget for a target (the `Mlb` of its MinMix
-    /// tree under [`MixerBudget::MmLowerBound`]).
+    /// tree under [`crate::MixerBudget::MmLowerBound`]).
     ///
     /// # Errors
     ///
     /// Propagates base-tree construction and scheduling failures.
     pub fn mixer_count(&self, target: &TargetRatio) -> Result<usize, EngineError> {
-        match self.config.mixers {
-            MixerBudget::Fixed(m) => Ok(m),
-            MixerBudget::MmLowerBound => {
-                let mm = BaseAlgorithm::MinMix.algorithm().build_graph(target)?;
-                Ok(mixer_lower_bound(&mm)?)
-            }
-        }
+        crate::pipeline::resolve_mixers(&self.config, target)
     }
 
     /// Plans the production of `demand` droplets of `target`.
     ///
     /// With a storage budget configured, the demand is split into the
     /// fewest passes whose schedules each fit the budget; otherwise a
-    /// single pass covers the whole demand.
+    /// single pass covers the whole demand. With a cache attached (see
+    /// [`StreamingEngine::with_cache`]) repeat requests return a copy of
+    /// the cached plan — byte-identical, since a plan is a pure function
+    /// of the [`PlanKey`] tuple.
     ///
     /// # Errors
     ///
@@ -133,121 +151,44 @@ impl StreamingEngine {
     /// [`EngineError::StorageInfeasible`] when even a demand-2 pass exceeds
     /// the storage budget, and propagates construction/scheduling failures.
     pub fn plan(&self, target: &TargetRatio, demand: u64) -> Result<StreamPlan, EngineError> {
-        let _span = dmf_obs::span!("engine_plan");
-        if demand == 0 {
-            return Err(EngineError::ZeroDemand);
+        match &self.cache {
+            None => self.plan_uncached(target, demand),
+            Some(_) => self.plan_shared(target, demand).map(|plan| (*plan).clone()),
         }
-        let template = {
-            let _span = dmf_obs::span!("mixalgo_build");
-            self.config.algorithm.algorithm().build_template(target)?
+    }
+
+    /// Like [`StreamingEngine::plan`], but hands out the plan behind an
+    /// [`Arc`]: on a cache hit this is a pointer clone of the stored plan
+    /// (observable via [`Arc::ptr_eq`]), and without a cache the freshly
+    /// planned result is wrapped without copying.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingEngine::plan`].
+    pub fn plan_shared(
+        &self,
+        target: &TargetRatio,
+        demand: u64,
+    ) -> Result<Arc<StreamPlan>, EngineError> {
+        let Some(cache) = &self.cache else {
+            return self.plan_uncached(target, demand).map(Arc::new);
         };
-        let mixers = self.mixer_count(target)?;
-        let mut passes: Vec<PassPlan> = Vec::new();
-        let mut remaining = demand;
-        while remaining > 0 {
-            let pass_demand = match self.config.storage_limit {
-                None => remaining,
-                Some(limit) => self.max_pass_demand(&template, target, remaining, mixers, limit)?,
-            };
-            passes.push(self.build_pass(&template, target, pass_demand, mixers)?);
-            remaining = remaining.saturating_sub(pass_demand);
+        let key = PlanKey::new(&self.config, target, demand);
+        if let Some(hit) = cache.lookup(&key) {
+            return Ok(hit);
         }
-        let total_cycles = passes.iter().map(|p| p.cycles() as u64).sum();
-        let mut inputs = vec![0u64; target.fluid_count()];
-        let mut total_waste = 0u64;
-        let mut total_mix_splits = 0u64;
-        for pass in &passes {
-            let stats = pass.forest.stats();
-            total_waste += stats.waste as u64;
-            total_mix_splits += stats.mix_splits as u64;
-            for (acc, v) in inputs.iter_mut().zip(&stats.inputs) {
-                *acc += v;
-            }
-        }
-        let plan = StreamPlan {
-            target: target.clone(),
-            demand,
-            mixers,
-            total_cycles,
-            total_mix_splits,
-            total_waste,
-            total_inputs: inputs.iter().sum(),
-            inputs,
-            storage_peak: passes.iter().map(PassPlan::storage_units).max().unwrap_or(0),
-            passes,
-        };
-        let obs = dmf_obs::global();
-        if obs.is_enabled() {
-            obs.gauge_set("plan.demand", plan.demand);
-            obs.gauge_set("plan.passes", plan.passes.len() as u64);
-            obs.gauge_set("plan.cycles", plan.total_cycles);
-            obs.gauge_set("plan.mix_splits", plan.total_mix_splits);
-            obs.gauge_set("plan.waste", plan.total_waste);
-            obs.gauge_set("plan.inputs", plan.total_inputs);
-            obs.gauge_set("plan.storage_peak", plan.storage_peak as u64);
-        }
-        // Translation validation: in debug builds every emitted plan must
-        // satisfy the independent checker's invariants.
-        #[cfg(debug_assertions)]
-        {
-            let report = crate::static_check(&plan);
-            debug_assert!(report.is_clean(), "engine emitted an unsound plan:\n{report}");
-        }
+        let plan = Arc::new(self.plan_uncached(target, demand)?);
+        cache.store(key, Arc::clone(&plan));
         Ok(plan)
     }
 
-    fn build_pass(
-        &self,
-        template: &Template,
-        target: &TargetRatio,
-        demand: u64,
-        mixers: usize,
-    ) -> Result<PassPlan, EngineError> {
-        // Subgraph-sharing base algorithms (MTCS, RSM) reuse droplets even
-        // within one tree; their forests must too, or the engine would lose
-        // the sharing the repeated baseline enjoys.
-        let reuse = if self.config.algorithm.algorithm().shares_subgraphs() {
-            dmf_forest::ReusePolicy::Eager
-        } else {
-            self.config.reuse
-        };
-        let forest = build_forest(template, target, demand, reuse)?;
-        let schedule = self.config.scheduler.run(&forest, mixers)?;
-        let storage = schedule.storage(&forest);
-        Ok(PassPlan { demand, forest, schedule, storage })
-    }
-
-    /// The paper's `D'`: the largest demand (up to `remaining`) whose
-    /// single-pass schedule fits the storage budget.
-    fn max_pass_demand(
-        &self,
-        template: &Template,
-        target: &TargetRatio,
-        remaining: u64,
-        mixers: usize,
-        limit: usize,
-    ) -> Result<u64, EngineError> {
-        let first = self.build_pass(template, target, remaining.min(2), mixers)?;
-        if first.storage_units() > limit {
-            return Err(EngineError::StorageInfeasible { limit, needed: first.storage_units() });
-        }
-        // SRS storage is not strictly monotone in the demand (see the
-        // Fig. 7 jitter), so keep scanning past the first infeasible
-        // demand for a short window before giving up.
-        let mut best = remaining.min(2);
-        let mut candidate = best + 2;
-        let mut misses = 0u32;
-        while candidate <= remaining && misses < 4 {
-            let pass = self.build_pass(template, target, candidate, mixers)?;
-            if pass.storage_units() > limit {
-                misses += 1;
-            } else {
-                best = candidate;
-                misses = 0;
-            }
-            candidate += 2;
-        }
-        Ok(best)
+    /// Runs the staged pipeline end to end, bypassing any cache.
+    fn plan_uncached(&self, target: &TargetRatio, demand: u64) -> Result<StreamPlan, EngineError> {
+        let _span = dmf_obs::span!("engine_plan");
+        let mut ctx = PlanContext::new(self.config, target, demand)?;
+        ctx.build_tree()?;
+        ctx.split_passes()?;
+        ctx.into_plan()
     }
 }
 
@@ -318,5 +259,31 @@ mod tests {
         assert_eq!(engine.mixer_count(&pcr_d4()).unwrap(), 3);
         let fixed = StreamingEngine::new(EngineConfig::default().with_mixers(7));
         assert_eq!(fixed.mixer_count(&pcr_d4()).unwrap(), 7);
+    }
+
+    #[test]
+    fn cached_plan_is_byte_identical_and_pointer_shared() {
+        let cache = PlanCache::shared();
+        let engine = StreamingEngine::new(EngineConfig::default()).with_cache(Arc::clone(&cache));
+        let cold = engine.plan_shared(&pcr_d4(), 20).unwrap();
+        let warm = engine.plan_shared(&pcr_d4(), 20).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm), "warm hit must be the stored Arc");
+        let uncached = StreamingEngine::new(EngineConfig::default()).plan(&pcr_d4(), 20).unwrap();
+        assert_eq!(format!("{warm}"), format!("{uncached}"));
+        // Different demand misses: a separate entry appears.
+        let _ = engine.plan_shared(&pcr_d4(), 22).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn config_perturbations_do_not_alias_in_the_cache() {
+        let cache = PlanCache::shared();
+        let srs = StreamingEngine::new(EngineConfig::default()).with_cache(Arc::clone(&cache));
+        let mms = StreamingEngine::new(EngineConfig::default().with_scheduler(SchedulerKind::Mms))
+            .with_cache(Arc::clone(&cache));
+        let a = srs.plan_shared(&pcr_d4(), 32).unwrap();
+        let b = mms.plan_shared(&pcr_d4(), 32).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -61,6 +61,13 @@ enum Loc {
     InStorage(ModuleId),
 }
 
+/// A violated compiler invariant, surfaced as a typed error: the pass
+/// artifacts were vetted up front, so reaching one of these means a bug in
+/// the lowering itself, not bad input.
+fn internal(what: &str) -> EngineError {
+    EngineError::Internal { what: what.into() }
+}
+
 struct Realizer<'a> {
     pass: &'a PassPlan,
     chip: &'a ChipSpec,
@@ -160,7 +167,11 @@ impl<'a> Realizer<'a> {
                 for &d in queue.clone().iter() {
                     if let Some(Loc::InStorage(cell)) = self.loc.get(&d).copied() {
                         self.program.push(Instruction::Fetch { droplet: d, cell });
-                        let idx = self.storage.iter().position(|&c| c == cell).expect("known cell");
+                        let idx = self
+                            .storage
+                            .iter()
+                            .position(|&c| c == cell)
+                            .ok_or_else(|| internal("droplet stored in an unknown cell"))?;
                         self.storage_free[idx] = true;
                         self.program.push(Instruction::TransportTo { droplet: d, module: mixer });
                         self.loc.insert(d, Loc::AtMixer(mixer));
@@ -177,8 +188,10 @@ impl<'a> Realizer<'a> {
         }
         for &node in &self.by_cycle[t as usize].clone() {
             let consumers = self.ordered_consumers(node);
-            let produced: Vec<DropletId> =
-                self.reserved_outputs(node).expect("outputs assigned when the node fired").to_vec();
+            let produced: Vec<DropletId> = self
+                .reserved_outputs(node)
+                .ok_or_else(|| internal("dispatching a node that never fired"))?
+                .to_vec();
             for (i, d) in produced.iter().enumerate() {
                 match consumers.get(i) {
                     Some(&consumer) => {
@@ -202,7 +215,7 @@ impl<'a> Realizer<'a> {
                                 .push(Instruction::TransportTo { droplet: *d, module: out });
                             self.program.push(Instruction::Emit { droplet: *d, output: out });
                         } else {
-                            let waste = self.nearest_waste(self.mixer_of(node));
+                            let waste = self.nearest_waste(self.mixer_of(node))?;
                             self.program
                                 .push(Instruction::TransportTo { droplet: *d, module: waste });
                             self.program.push(Instruction::Discard { droplet: *d, waste });
@@ -221,8 +234,11 @@ impl<'a> Realizer<'a> {
             for op in self.pass.forest.node(node).operands() {
                 match op {
                     Operand::Input(f) => {
-                        let reservoir =
-                            self.chip.reservoir_for(f.0).expect("validated for engine").id();
+                        let reservoir = self
+                            .chip
+                            .reservoir_for(f.0)
+                            .ok_or_else(|| internal("no reservoir for a validated fluid"))?
+                            .id();
                         let d = self.fresh();
                         self.program.push(Instruction::Dispense { reservoir, droplet: d });
                         self.program.push(Instruction::TransportTo { droplet: d, module: mixer });
@@ -261,14 +277,14 @@ impl<'a> Realizer<'a> {
                         // by position: the freshest dispenses at this mixer.
                         // They are tracked via loc with AtMixer(mixer); take
                         // the oldest unclaimed one.
-                        let d = self.take_input_at(mixer, &operands);
+                        let d = self.take_input_at(mixer, &operands)?;
                         operands.push(d);
                     }
                     Operand::Droplet(src) => {
                         let queue = self
                             .reserved
                             .get_mut(&(node, src))
-                            .expect("operand reserved at production");
+                            .ok_or_else(|| internal("operand never reserved at production"))?;
                         let d = queue.remove(0);
                         if queue.is_empty() {
                             self.reserved.remove(&(node, src));
@@ -322,17 +338,21 @@ impl<'a> Realizer<'a> {
         Ok(self.storage[i])
     }
 
-    fn nearest_waste(&self, near: ModuleId) -> ModuleId {
-        *self
-            .wastes
+    fn nearest_waste(&self, near: ModuleId) -> Result<ModuleId, EngineError> {
+        self.wastes
             .iter()
             .min_by_key(|&&w| self.chip.transport_cost(near, w))
-            .expect("validated for engine")
+            .copied()
+            .ok_or_else(|| internal("no waste reservoir on a validated chip"))
     }
 
     /// Takes the oldest dispensed input droplet waiting at `mixer` not yet
     /// claimed by this mix.
-    fn take_input_at(&self, mixer: ModuleId, claimed: &[DropletId]) -> DropletId {
+    fn take_input_at(
+        &self,
+        mixer: ModuleId,
+        claimed: &[DropletId],
+    ) -> Result<DropletId, EngineError> {
         let mut candidates: Vec<DropletId> = self
             .loc
             .iter()
@@ -345,7 +365,10 @@ impl<'a> Realizer<'a> {
             .map(|(d, _)| *d)
             .collect();
         candidates.sort();
-        *candidates.first().expect("input dispensed during gather")
+        candidates
+            .first()
+            .copied()
+            .ok_or_else(|| internal("no input droplet dispensed during gather"))
     }
 }
 

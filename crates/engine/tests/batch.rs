@@ -1,0 +1,122 @@
+//! End-to-end guarantees of the batch planner and the plan cache:
+//!
+//! * `plan_batch` output is byte-identical to sequential `plan` calls for
+//!   every worker-thread count, over the paper's five Table 2 protocols;
+//! * a warmed cache answers with pointer-equal plans and counts
+//!   `cache.hits`;
+//! * every plan served from the cache still passes the `dmf-check` static
+//!   verifier.
+
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+use dmf_engine::{plan_batch, BatchOptions, EngineConfig, PlanCache, PlanRequest, StreamingEngine};
+use dmf_ratio::TargetRatio;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+/// The five Table 2 bioprotocol ratios (Ex.1–Ex.5, all `L = 256`).
+fn table2_ratios() -> Vec<TargetRatio> {
+    [
+        vec![26, 21, 2, 2, 3, 3, 199],
+        vec![128, 123, 5],
+        vec![25, 5, 5, 5, 5, 13, 13, 25, 1, 159],
+        vec![9, 17, 26, 9, 195],
+        vec![57, 28, 6, 6, 6, 3, 150],
+    ]
+    .into_iter()
+    .map(|parts| TargetRatio::new(parts).unwrap())
+    .collect()
+}
+
+/// A plan's full observable surface: summary line, inputs, and per-pass
+/// forest/schedule figures.
+fn render(plan: &dmf_engine::StreamPlan) -> String {
+    let mut out = format!("{plan}\nI[] = {:?}\n", plan.inputs);
+    for pass in &plan.passes {
+        out.push_str(&format!(
+            "pass: D'={} Tc={} q={} nodes={}\n",
+            pass.demand,
+            pass.cycles(),
+            pass.storage_units(),
+            pass.forest.node_count()
+        ));
+    }
+    out
+}
+
+#[test]
+fn batch_is_byte_identical_to_sequential_at_every_thread_count() {
+    let requests: Vec<PlanRequest> = table2_ratios()
+        .into_iter()
+        .flat_map(|ratio| [12u64, 32].map(|demand| PlanRequest::new(ratio.clone(), demand)))
+        .collect();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| render(&StreamingEngine::new(r.config).plan(&r.target, r.demand).unwrap()))
+        .collect();
+    for jobs in [1usize, 2, 4, 8] {
+        let options = BatchOptions::new()
+            .with_jobs(NonZeroUsize::new(jobs).unwrap())
+            .with_cache(PlanCache::shared());
+        let results = plan_batch(&requests, &options);
+        assert_eq!(results.len(), requests.len());
+        for (i, outcome) in results.iter().enumerate() {
+            let plan = outcome.as_ref().unwrap();
+            assert_eq!(render(plan), expected[i], "jobs={jobs}, request {i}");
+        }
+    }
+}
+
+#[test]
+fn warmed_cache_returns_pointer_equal_plans_and_counts_hits() {
+    let cache = PlanCache::shared();
+    let requests: Vec<PlanRequest> =
+        table2_ratios().into_iter().map(|ratio| PlanRequest::new(ratio, 20)).collect();
+    let options =
+        BatchOptions::new().with_jobs(NonZeroUsize::new(4).unwrap()).with_cache(Arc::clone(&cache));
+    let cold: Vec<_> = plan_batch(&requests, &options).into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(cache.len(), requests.len());
+
+    // The warm pass runs under the recorder so the hits are observable.
+    let obs = dmf_obs::global();
+    let was_enabled = obs.is_enabled();
+    obs.set_enabled(true);
+    let hits_before = dmf_obs::MetricsReport::from_recorder(obs).value("cache.hits").unwrap_or(0);
+    let warm: Vec<_> = plan_batch(&requests, &options).into_iter().map(|r| r.unwrap()).collect();
+    let hits_after = dmf_obs::MetricsReport::from_recorder(obs).value("cache.hits").unwrap_or(0);
+    obs.set_enabled(was_enabled);
+
+    for (c, w) in cold.iter().zip(&warm) {
+        assert!(Arc::ptr_eq(c, w), "warm plan must be the cached allocation");
+    }
+    // Other tests may also hit caches concurrently, so the counter is
+    // checked as a lower bound.
+    assert!(
+        hits_after >= hits_before + requests.len() as u64,
+        "expected >= {} new cache.hits, saw {hits_before} -> {hits_after}",
+        requests.len()
+    );
+    assert_eq!(cache.len(), requests.len(), "warm pass must not grow the cache");
+}
+
+#[test]
+fn cached_plans_stay_clean_under_the_static_verifier() {
+    let cache = PlanCache::shared();
+    let requests: Vec<PlanRequest> = table2_ratios()
+        .into_iter()
+        .map(|ratio| {
+            PlanRequest::new(ratio, 16).with_config(EngineConfig::default().with_storage_limit(5))
+        })
+        .collect();
+    let options = BatchOptions::new().with_cache(Arc::clone(&cache));
+    // Warm, then read everything back through the cache.
+    for outcome in plan_batch(&requests, &options) {
+        outcome.unwrap();
+    }
+    for outcome in plan_batch(&requests, &options) {
+        let plan = outcome.unwrap();
+        let report = plan.static_check();
+        assert!(report.is_clean(), "cached plan fails dmf-check:\n{}", report.table());
+    }
+}

@@ -60,5 +60,5 @@ mod wear;
 
 pub use config::FaultConfig;
 pub use model::FaultModel;
-pub use runner::{run_resilient, FaultError, ResilientOutcome};
+pub use runner::{run_resilient, run_resilient_cached, FaultError, ResilientOutcome};
 pub use wear::WearTracker;

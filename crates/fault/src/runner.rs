@@ -5,12 +5,15 @@ use crate::lineage::droplet_mixtures;
 use crate::{FaultConfig, FaultModel, WearTracker};
 use dmf_chip::presets::streaming_chip;
 use dmf_chip::{ChipError, Coord};
-use dmf_engine::{realize_pass, EngineConfig, EngineError, RecoveryPolicy, StreamingEngine};
+use dmf_engine::{
+    realize_pass, EngineConfig, EngineError, PlanCache, RecoveryPolicy, StreamingEngine,
+};
 use dmf_ratio::TargetRatio;
 use dmf_sim::{FaultKind, SimError, Simulator, Trace};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors of a resilient campaign.
 #[derive(Debug)]
@@ -168,8 +171,30 @@ pub fn run_resilient(
     fault_config: &FaultConfig,
     policy: RecoveryPolicy,
 ) -> Result<ResilientOutcome, FaultError> {
+    run_resilient_cached(target, demand, engine_config, fault_config, policy, PlanCache::shared())
+}
+
+/// [`run_resilient`] with a caller-supplied plan cache.
+///
+/// The baseline plan and every [`StreamingEngine::plan_recovery`] replan
+/// go through `cache`, so a Monte-Carlo sweep that hands the same `Arc`
+/// to every trial plans each distinct `(config, target, demand)` once:
+/// trial 2's baseline and any replan for an already-seen residual demand
+/// are cache hits.
+///
+/// # Errors
+///
+/// As [`run_resilient`].
+pub fn run_resilient_cached(
+    target: &TargetRatio,
+    demand: u64,
+    engine_config: EngineConfig,
+    fault_config: &FaultConfig,
+    policy: RecoveryPolicy,
+    cache: Arc<PlanCache>,
+) -> Result<ResilientOutcome, FaultError> {
     let _span = dmf_obs::span!("run_resilient");
-    let engine = StreamingEngine::new(engine_config);
+    let engine = StreamingEngine::new(engine_config).with_cache(Arc::clone(&cache));
     let plan = engine.plan(target, demand)?;
     let baseline_cycles = plan.total_cycles;
     let mut chip = streaming_chip(target.fluid_count(), plan.mixers, plan.storage_peak.max(1))?;
@@ -177,7 +202,8 @@ pub fn run_resilient(
     // budget the baseline plan enjoyed.
     let chip_storage = chip.storage_cells().count();
     let recovery_limit = engine_config.storage_limit.map_or(chip_storage, |l| l.min(chip_storage));
-    let recovery_engine = StreamingEngine::new(engine_config.with_storage_limit(recovery_limit));
+    let recovery_engine =
+        StreamingEngine::new(engine_config.with_storage_limit(recovery_limit)).with_cache(cache);
 
     let mut model = FaultModel::new(*fault_config);
     let mut wear = WearTracker::new();

@@ -62,8 +62,8 @@ pub fn build_multi_target_forest(
             pool.commit();
         }
     }
-    let ratios: Vec<TargetRatio> = targets.iter().map(|(_, t)| t.clone()).collect();
-    builder.finish_multi(&ratios).map_err(ForestError::Graph)
+    let mixtures = targets.iter().map(|(_, t)| t.to_mixture()).collect();
+    builder.finish_with_targets(mixtures).map_err(ForestError::Graph)
 }
 
 #[cfg(test)]

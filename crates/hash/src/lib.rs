@@ -1,0 +1,151 @@
+//! Stable, dependency-free FNV-1a hashing.
+//!
+//! The workspace content-addresses planning artifacts: a streaming plan is
+//! a pure function of `(CF vector, D, algorithm, scheduler, Mc, q', reuse)`,
+//! so a stable 64-bit digest of those inputs identifies the plan across
+//! runs, processes and machines. `std`'s default hasher is seeded per
+//! process (`RandomState`), which makes it useless as a content address;
+//! this crate provides the classic FNV-1a function instead — tiny, fast on
+//! short keys, and bit-for-bit reproducible.
+//!
+//! Two entry points:
+//!
+//! - [`fnv1a_64`] digests a byte slice directly (for hand-fed canonical
+//!   encodings);
+//! - [`Fnv64`] implements [`std::hash::Hasher`] so any `#[derive(Hash)]`
+//!   type can be digested, and [`FnvBuildHasher`] plugs the same function
+//!   into `HashMap`/`HashSet` for deterministic (and DoS-irrelevant,
+//!   in-process) table behavior.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmf_hash::{fnv1a_64, FnvBuildHasher};
+//! use std::collections::HashMap;
+//!
+//! // The digest is stable across processes.
+//! assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+//! assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+//!
+//! let mut map: HashMap<&str, u32, FnvBuildHasher> = HashMap::default();
+//! map.insert("pcr", 4);
+//! assert_eq!(map.get("pcr"), Some(&4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hash::{BuildHasher, Hasher};
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Digests `bytes` with 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A [`Hasher`] running 64-bit FNV-1a — deterministic across processes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher starting from the standard offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// A [`BuildHasher`] producing [`Fnv64`] hashers, usable as the `S`
+/// parameter of `HashMap`/`HashSet` for deterministic iteration-free
+/// lookups keyed by short structured keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = Fnv64;
+
+    fn build_hasher(&self) -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hasher_matches_direct_function() {
+        let mut h = Fnv64::new();
+        h.write(b"droplet");
+        assert_eq!(h.finish(), fnv1a_64(b"droplet"));
+    }
+
+    #[test]
+    fn derived_hash_is_stable() {
+        // The whole point: the same value must digest identically in every
+        // process, so a content address computed today is valid tomorrow.
+        #[derive(Hash)]
+        struct Key {
+            parts: Vec<u64>,
+            demand: u64,
+        }
+        let digest = |k: &Key| {
+            let mut h = Fnv64::new();
+            k.hash(&mut h);
+            h.finish()
+        };
+        let a = Key { parts: vec![2, 1, 1, 1, 1, 1, 9], demand: 20 };
+        let b = Key { parts: vec![2, 1, 1, 1, 1, 1, 9], demand: 20 };
+        let c = Key { parts: vec![2, 1, 1, 1, 1, 1, 9], demand: 22 };
+        assert_eq!(digest(&a), digest(&b));
+        assert_ne!(digest(&a), digest(&c));
+    }
+
+    #[test]
+    fn build_hasher_drives_hashmap() {
+        let mut map: std::collections::HashMap<u64, &str, FnvBuildHasher> =
+            std::collections::HashMap::default();
+        map.insert(7, "seven");
+        map.insert(11, "eleven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        assert_eq!(map.len(), 2);
+    }
+}

@@ -51,13 +51,19 @@ impl WastePool {
     /// Offers a spare droplet produced by `node`.
     ///
     /// With `eager = true` the droplet is takeable immediately; otherwise it
-    /// is staged until the next [`WastePool::commit`].
-    pub fn offer(&mut self, mixture: Mixture, node: NodeId, eager: bool) {
+    /// is staged until the next [`WastePool::commit`]. The content is only
+    /// cloned when the pool does not already own an equal key (hot reuse
+    /// paths repeatedly offer the same few mixtures).
+    pub fn offer(&mut self, mixture: &Mixture, node: NodeId, eager: bool) {
         if eager {
-            self.available.entry(mixture).or_default().push_back(node);
+            if let Some(queue) = self.available.get_mut(mixture) {
+                queue.push_back(node);
+            } else {
+                self.available.insert(mixture.clone(), VecDeque::from([node]));
+            }
             self.len += 1;
         } else {
-            self.staged.push((mixture, node));
+            self.staged.push((mixture.clone(), node));
         }
     }
 
@@ -107,7 +113,7 @@ mod tests {
     fn eager_offers_are_takeable_immediately() {
         let mut pool = WastePool::new();
         let m = mixture(vec![1, 1], 1);
-        pool.offer(m.clone(), NodeId::new(0), true);
+        pool.offer(&m, NodeId::new(0), true);
         assert_eq!(pool.len(), 1);
         assert_eq!(pool.take(&m), Some(NodeId::new(0)));
         assert!(pool.is_empty());
@@ -118,7 +124,7 @@ mod tests {
     fn staged_offers_need_commit() {
         let mut pool = WastePool::new();
         let m = mixture(vec![1, 1], 1);
-        pool.offer(m.clone(), NodeId::new(3), false);
+        pool.offer(&m, NodeId::new(3), false);
         assert_eq!(pool.take(&m), None);
         assert_eq!(pool.staged_len(), 1);
         pool.commit();
@@ -129,8 +135,8 @@ mod tests {
     fn equal_content_is_fifo() {
         let mut pool = WastePool::new();
         let m = mixture(vec![3, 1], 2);
-        pool.offer(m.clone(), NodeId::new(1), true);
-        pool.offer(m.clone(), NodeId::new(2), true);
+        pool.offer(&m, NodeId::new(1), true);
+        pool.offer(&m, NodeId::new(2), true);
         assert_eq!(pool.take(&m), Some(NodeId::new(1)));
         assert_eq!(pool.take(&m), Some(NodeId::new(2)));
     }
@@ -139,7 +145,7 @@ mod tests {
     fn canonical_keys_unify_levels() {
         // <2:2>/4 canonicalises to <1:1>/2, so both lookups hit.
         let mut pool = WastePool::new();
-        pool.offer(mixture(vec![2, 2], 2), NodeId::new(5), true);
+        pool.offer(&mixture(vec![2, 2], 2), NodeId::new(5), true);
         assert_eq!(pool.take(&mixture(vec![1, 1], 1)), Some(NodeId::new(5)));
     }
 
@@ -147,8 +153,8 @@ mod tests {
     fn clear_empties_everything() {
         let mut pool = WastePool::new();
         let m = mixture(vec![1, 1], 1);
-        pool.offer(m.clone(), NodeId::new(0), true);
-        pool.offer(m.clone(), NodeId::new(1), false);
+        pool.offer(&m, NodeId::new(0), true);
+        pool.offer(&m, NodeId::new(1), false);
         pool.clear();
         assert!(pool.is_empty());
         assert_eq!(pool.staged_len(), 0);

@@ -60,7 +60,7 @@ fn rebuild_node(
             let ro = rebuild_node(right, builder, pool, eager, false)?;
             let id = builder.mix(lo, ro).map_err(MixAlgoError::Graph)?;
             if !is_root {
-                pool.offer(mixture.clone(), id, eager);
+                pool.offer(mixture, id, eager);
             }
             Ok(Operand::Droplet(id))
         }

@@ -1,5 +1,6 @@
 use crate::MixAlgoError;
 use dmf_ratio::{FluidId, Mixture};
+use std::borrow::Cow;
 
 /// A plain binary mixing tree with precomputed droplet contents.
 ///
@@ -21,10 +22,12 @@ pub(crate) enum TemplateNode {
 }
 
 impl TemplateNode {
-    pub(crate) fn mixture(&self, fluid_count: usize) -> Mixture {
+    /// The droplet content this node produces — borrowed from the
+    /// precomputed interior mixture, constructed only for leaves.
+    pub(crate) fn mixture(&self, fluid_count: usize) -> Cow<'_, Mixture> {
         match self {
-            TemplateNode::Leaf { fluid } => Mixture::pure(fluid.0, fluid_count),
-            TemplateNode::Mix { mixture, .. } => mixture.clone(),
+            TemplateNode::Leaf { fluid } => Cow::Owned(Mixture::pure(fluid.0, fluid_count)),
+            TemplateNode::Mix { mixture, .. } => Cow::Borrowed(mixture),
         }
     }
 
@@ -83,7 +86,7 @@ impl Template {
         let fluid_count = left.fluid_count;
         let lm = left.root.mixture(fluid_count);
         let rm = right.root.mixture(fluid_count);
-        let mixture = lm.mix(&rm).map_err(MixAlgoError::Ratio)?;
+        let mixture = lm.mix(rm.as_ref()).map_err(MixAlgoError::Ratio)?;
         let level = left.root.level().max(right.root.level()) + 1;
         Ok(Template {
             fluid_count,
@@ -108,7 +111,7 @@ impl Template {
 
     /// The droplet content produced at the root.
     pub fn mixture(&self) -> Mixture {
-        self.root.mixture(self.fluid_count)
+        self.root.mixture(self.fluid_count).into_owned()
     }
 
     /// Structural height of the tree (a paper-conformant base tree for

@@ -1,5 +1,6 @@
 use crate::{GraphError, MixGraph, MixNode, NodeId, Operand};
 use dmf_ratio::{Mixture, TargetRatio};
+use std::borrow::Cow;
 
 /// Incremental constructor for [`MixGraph`].
 ///
@@ -93,7 +94,7 @@ impl GraphBuilder {
                 }
             }
         }
-        let mixture = left_mix.mix(&right_mix).map_err(GraphError::Ratio)?;
+        let mixture = left_mix.mix(right_mix.as_ref()).map_err(GraphError::Ratio)?;
         for op in [left, right] {
             if let Operand::Droplet(id) = op {
                 self.consumed[id.index()] += 1;
@@ -132,8 +133,8 @@ impl GraphBuilder {
     /// [`GraphError::RootConsumed`] / [`GraphError::DanglingNode`] /
     /// [`GraphError::WrongTarget`] for conservation violations.
     pub fn finish(self, target: &TargetRatio) -> Result<MixGraph, GraphError> {
-        let targets = vec![target.clone(); self.roots.len().max(1)];
-        self.finish_multi(&targets)
+        let targets = vec![target.to_mixture(); self.roots.len().max(1)];
+        self.finish_with_targets(targets)
     }
 
     /// Finalises a *multi-target* graph: component tree `i` must realise
@@ -146,6 +147,18 @@ impl GraphBuilder {
     /// As [`GraphBuilder::finish`]; additionally [`GraphError::NoTrees`]
     /// when `targets.len()` differs from the number of finished trees.
     pub fn finish_multi(self, targets: &[TargetRatio]) -> Result<MixGraph, GraphError> {
+        self.finish_with_targets(targets.iter().map(TargetRatio::to_mixture).collect())
+    }
+
+    /// Finalises against already-canonicalised target mixtures, one per
+    /// finished tree — the allocation-free core of [`GraphBuilder::finish`]
+    /// / [`GraphBuilder::finish_multi`] for callers that hold [`Mixture`]s
+    /// rather than [`TargetRatio`]s.
+    ///
+    /// # Errors
+    ///
+    /// As [`GraphBuilder::finish_multi`].
+    pub fn finish_with_targets(self, targets: Vec<Mixture>) -> Result<MixGraph, GraphError> {
         if self.roots.is_empty() || targets.len() != self.roots.len() {
             return Err(GraphError::NoTrees);
         }
@@ -162,24 +175,26 @@ impl GraphBuilder {
             nodes: self.nodes,
             roots: self.roots,
             consumers,
-            targets: targets.iter().map(TargetRatio::to_mixture).collect(),
+            targets,
         };
         graph.validate()?;
         Ok(graph)
     }
 
-    fn operand_info(&self, op: Operand) -> Result<(Mixture, u32), GraphError> {
+    /// Mixture and level of an operand: borrowed from the arena for
+    /// droplet operands, constructed only for reservoir inputs.
+    fn operand_info(&self, op: Operand) -> Result<(Cow<'_, Mixture>, u32), GraphError> {
         match op {
             Operand::Input(f) => {
                 let m = Mixture::try_pure(f.0, self.fluid_count).map_err(GraphError::Ratio)?;
-                Ok((m, 0))
+                Ok((Cow::Owned(m), 0))
             }
             Operand::Droplet(id) => {
                 if id.index() >= self.nodes.len() {
                     return Err(GraphError::UnknownNode { node: id });
                 }
                 let node = &self.nodes[id.index()];
-                Ok((node.mixture.clone(), node.level))
+                Ok((Cow::Borrowed(&node.mixture), node.level))
             }
         }
     }

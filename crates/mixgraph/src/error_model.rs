@@ -49,15 +49,19 @@ impl MixGraph {
         let w_hi = (1.0 + epsilon) / 2.0;
         let mut out: Vec<CfInterval> = Vec::with_capacity(self.node_count());
         let pure = |fluid: usize| {
-            let mut v = vec![0.0; n_fluids];
-            v[fluid] = 1.0;
-            CfInterval { lo: v.clone(), hi: v }
+            let mut lo = vec![0.0; n_fluids];
+            lo[fluid] = 1.0;
+            let mut hi = vec![0.0; n_fluids];
+            hi[fluid] = 1.0;
+            CfInterval { lo, hi }
         };
         for (_, node) in self.iter() {
-            let operand_interval = |op: Operand| -> CfInterval {
+            // Droplet operands borrow the already-computed interval — no
+            // per-edge CF-vector copies.
+            let operand_interval = |op: Operand| -> std::borrow::Cow<'_, CfInterval> {
                 match op {
-                    Operand::Input(f) => pure(f.0),
-                    Operand::Droplet(src) => out[src.index()].clone(),
+                    Operand::Input(f) => std::borrow::Cow::Owned(pure(f.0)),
+                    Operand::Droplet(src) => std::borrow::Cow::Borrowed(&out[src.index()]),
                 }
             };
             let a = operand_interval(node.left());

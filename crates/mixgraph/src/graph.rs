@@ -1,5 +1,6 @@
 use crate::{GraphError, GraphStats};
 use dmf_ratio::{FluidId, Mixture};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Identifier of a mix-split vertex inside a [`MixGraph`] arena.
@@ -259,7 +260,7 @@ impl MixGraph {
         for (id, node) in self.iter() {
             let left = self.operand_mixture(node.left)?;
             let right = self.operand_mixture(node.right)?;
-            let mixed = left.mix(&right).map_err(GraphError::Ratio)?;
+            let mixed = left.mix(right.as_ref()).map_err(GraphError::Ratio)?;
             if mixed != node.mixture {
                 return Err(GraphError::MixtureMismatch { node: id });
             }
@@ -288,16 +289,19 @@ impl MixGraph {
         GraphStats::collect(self)
     }
 
-    pub(crate) fn operand_mixture(&self, op: Operand) -> Result<Mixture, GraphError> {
+    /// The content an operand contributes: borrowed straight from the
+    /// arena for droplet operands (the hot case — no CF-vector copy),
+    /// freshly constructed only for reservoir inputs.
+    pub(crate) fn operand_mixture(&self, op: Operand) -> Result<Cow<'_, Mixture>, GraphError> {
         match op {
             Operand::Input(f) => {
-                Mixture::try_pure(f.0, self.fluid_count).map_err(GraphError::Ratio)
+                Mixture::try_pure(f.0, self.fluid_count).map(Cow::Owned).map_err(GraphError::Ratio)
             }
             Operand::Droplet(id) => {
                 if id.index() >= self.nodes.len() {
                     return Err(GraphError::UnknownNode { node: id });
                 }
-                Ok(self.nodes[id.index()].mixture.clone())
+                Ok(Cow::Borrowed(&self.nodes[id.index()].mixture))
             }
         }
     }

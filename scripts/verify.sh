@@ -25,4 +25,12 @@ cargo run --release -q -p dmf-bench --bin fault_sweep -- --seed 42 --fault-rate 
 echo "==> dmfstream check --all-protocols (static verifier, exit 1 on any error)"
 cargo run --release -q --bin dmfstream -- check --all-protocols
 
+echo "==> batch determinism smoke (check --jobs 4 output must match --jobs 1)"
+cargo run --release -q --bin dmfstream -- check --all-protocols --jobs 1 > /tmp/dmf_check_j1.txt
+cargo run --release -q --bin dmfstream -- check --all-protocols --jobs 4 > /tmp/dmf_check_j4.txt
+diff /tmp/dmf_check_j1.txt /tmp/dmf_check_j4.txt
+
+echo "==> bench_plan (plan cache micro-benchmark; warm hit must be >= 10x faster)"
+cargo run --release -q -p dmf-bench --bin bench_plan >/dev/null
+
 echo "verify: OK"

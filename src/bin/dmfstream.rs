@@ -4,12 +4,20 @@
 //! dmfstream plan 2:1:1:1:1:1:9 --demand 20
 //! dmfstream plan 26:21:2:2:3:3:199 --demand 32 --algorithm rma --scheduler mms
 //! dmfstream plan 2:1:1:1:1:1:9 --demand 32 --storage 3 --mixers 3
+//! dmfstream plan --all-protocols --jobs 4
 //! dmfstream simulate 2:1:1:1:1:1:9 --demand 20
 //! dmfstream gantt 2:1:1:1:1:1:9 --demand 20
 //! dmfstream simulate 2:1:1:1:1:1:9 --demand 20 --metrics out.jsonl
 //! DMF_OBS=1 dmfstream simulate 2:1:1:1:1:1:9 --demand 20
 //! dmfstream fault 2:1:1:1:1:1:9 --demand 20 --seed 42 --fault-rate 0.05
+//! dmfstream check --all-protocols --jobs 4
 //! ```
+//!
+//! `plan --all-protocols` and `check --all-protocols` plan every Table 2
+//! protocol through the batch planner ([`dmf_engine::plan_batch`]) with a
+//! shared content-addressed plan cache; `--jobs N` sets the worker-thread
+//! count (default: available parallelism) and `--no-cache` disables the
+//! cache. Output is deterministic and independent of `--jobs`.
 //!
 //! `--metrics <path>` (or the `DMF_OBS=1` environment variable, which
 //! defaults to `results/obs/dmfstream.jsonl`) enables the global
@@ -21,13 +29,17 @@
 // deny wall applies to library code only (see Cargo.toml).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::chip::presets::streaming_chip;
-use dmfstream::engine::{realize_pass, EngineConfig, RecoveryPolicy, StreamingEngine};
+use dmfstream::engine::{
+    plan_batch, realize_pass, BatchOptions, EngineConfig, PlanCache, PlanRequest, RecoveryPolicy,
+    StreamingEngine,
+};
 use dmfstream::fault::{run_resilient, FaultConfig};
 use dmfstream::mixalgo::BaseAlgorithm;
 use dmfstream::obs;
 use dmfstream::ratio::TargetRatio;
 use dmfstream::sched::SchedulerKind;
 use dmfstream::sim::Simulator;
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -42,6 +54,64 @@ struct Args {
     trace: bool,
     metrics: Option<PathBuf>,
     report: Option<PathBuf>,
+    jobs: Option<NonZeroUsize>,
+    no_cache: bool,
+}
+
+/// The flags each verb accepts. Unknown-flag errors quote the relevant
+/// list, so a typo under `check` suggests `check`'s flags, not `fault`'s.
+fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "plan" => Some(&[
+            "--demand",
+            "--mixers",
+            "--storage",
+            "--algorithm",
+            "--scheduler",
+            "--metrics",
+            "--all-protocols",
+            "--jobs",
+            "--no-cache",
+        ]),
+        "gantt" => {
+            Some(&["--demand", "--mixers", "--storage", "--algorithm", "--scheduler", "--metrics"])
+        }
+        "simulate" => Some(&[
+            "--demand",
+            "--mixers",
+            "--storage",
+            "--algorithm",
+            "--scheduler",
+            "--metrics",
+            "--trace",
+        ]),
+        "fault" => Some(&[
+            "--demand",
+            "--mixers",
+            "--storage",
+            "--algorithm",
+            "--scheduler",
+            "--metrics",
+            "--trace",
+            "--seed",
+            "--fault-rate",
+            "--sensor-period",
+            "--max-replans",
+        ]),
+        "check" => Some(&[
+            "--demand",
+            "--mixers",
+            "--storage",
+            "--algorithm",
+            "--scheduler",
+            "--metrics",
+            "--all-protocols",
+            "--jobs",
+            "--no-cache",
+            "--report",
+        ]),
+        _ => None,
+    }
 }
 
 fn usage() -> ExitCode {
@@ -52,6 +122,7 @@ fn usage() -> ExitCode {
          [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)\n\
          fault-only flags: [--seed S] [--fault-rate R] [--sensor-period C] \
          [--max-replans N]\n\
+         batch flags (plan/check with --all-protocols): [--jobs N] [--no-cache]\n\
          check-only flags: dmfstream check <ratio|--all-protocols> \
          [--report PATH] writes diagnostics as JSONL; exit 1 on any \
          error-severity diagnostic"
@@ -62,6 +133,9 @@ fn usage() -> ExitCode {
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1).peekable();
     let command = argv.next().ok_or("missing command")?;
+    let allowed = valid_flags(&command).ok_or(format!(
+        "unknown command {command:?} (expected plan, gantt, simulate, fault or check)"
+    ))?;
     let ratio = match argv.peek() {
         Some(text) if !text.starts_with("--") => {
             let text = argv.next().ok_or("missing target ratio")?;
@@ -77,7 +151,15 @@ fn parse_args() -> Result<Args, String> {
     let mut policy = RecoveryPolicy::default();
     let mut trace = false;
     let mut metrics: Option<PathBuf> = None;
+    let mut jobs: Option<NonZeroUsize> = None;
+    let mut no_cache = false;
     while let Some(flag) = argv.next() {
+        if !allowed.contains(&flag.as_str()) {
+            return Err(format!(
+                "unknown flag {flag:?} for {command:?}; valid flags: {}",
+                allowed.join(", ")
+            ));
+        }
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--trace" => trace = true,
@@ -101,6 +183,13 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--metrics" => metrics = Some(PathBuf::from(value()?)),
+            "--jobs" => {
+                let raw = value()?;
+                jobs = Some(raw.parse::<NonZeroUsize>().map_err(|_| {
+                    format!("--jobs must be a positive integer (worker threads), got {raw:?}")
+                })?)
+            }
+            "--no-cache" => no_cache = true,
             "--demand" => demand = value()?.parse().map_err(|e| format!("bad demand: {e}"))?,
             "--mixers" => {
                 config =
@@ -143,7 +232,22 @@ fn parse_args() -> Result<Args, String> {
         trace,
         metrics,
         report,
+        jobs,
+        no_cache,
     })
+}
+
+/// Batch-planner options shared by `plan --all-protocols` and `check`:
+/// explicit `--jobs` if given, and a fresh shared cache unless `--no-cache`.
+fn batch_options(args: &Args) -> BatchOptions {
+    let mut options = BatchOptions::new();
+    if let Some(jobs) = args.jobs {
+        options = options.with_jobs(jobs);
+    }
+    if !args.no_cache {
+        options = options.with_cache(PlanCache::shared());
+    }
+    options
 }
 
 fn main() -> ExitCode {
@@ -171,6 +275,9 @@ fn main() -> ExitCode {
 fn run(args: &Args) -> ExitCode {
     if args.command == "check" {
         return run_check(args);
+    }
+    if args.command == "plan" && args.all_protocols {
+        return run_plan_all(args);
     }
     let Some(ratio) = &args.ratio else {
         eprintln!("error: missing target ratio");
@@ -257,6 +364,38 @@ fn run(args: &Args) -> ExitCode {
     }
 }
 
+/// `dmfstream plan --all-protocols`: plans every Table 2 protocol in one
+/// [`plan_batch`] call (parallel workers, shared plan cache) and prints each
+/// plan in protocol order — output is identical for every `--jobs` value.
+fn run_plan_all(args: &Args) -> ExitCode {
+    let protocols = dmfstream::workloads::protocols::table2_examples();
+    let requests: Vec<PlanRequest> = protocols
+        .iter()
+        .map(|p| PlanRequest::new(p.ratio.clone(), args.demand).with_config(args.config))
+        .collect();
+    let results = plan_batch(&requests, &batch_options(args));
+    let mut failed = false;
+    for (protocol, outcome) in protocols.iter().zip(&results) {
+        println!("== {} ({}) ==", protocol.id, protocol.name);
+        match outcome {
+            Ok(plan) => {
+                println!("{plan}");
+                println!("I[] = {:?}", plan.inputs);
+            }
+            Err(e) => {
+                eprintln!("error: {}: planning failed: {e}", protocol.id);
+                failed = true;
+            }
+        }
+        println!();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `dmfstream check`: plans each selected target, then runs the independent
 /// static verifier over every synthesis artifact — the plan's forests,
 /// schedules and storage claims, the streaming chip layout the plan would
@@ -277,14 +416,21 @@ fn run_check(args: &Args) -> ExitCode {
         eprintln!("error: check needs a target ratio or --all-protocols");
         return usage();
     };
-    let engine = StreamingEngine::new(args.config);
+    // All targets are planned up front by the batch planner — parallel
+    // workers plus a shared plan cache — while the chip/route checking below
+    // stays a serial walk so the summary prints in target order.
+    let requests: Vec<PlanRequest> = targets
+        .iter()
+        .map(|(_, ratio)| PlanRequest::new(ratio.clone(), args.demand).with_config(args.config))
+        .collect();
+    let plans = plan_batch(&requests, &batch_options(args));
     let mut summary = obs::Table::new(["target", "artifacts", "errors", "warnings", "verdict"]);
     let mut combined = CheckReport::new();
     let mut failed = false;
-    for (label, ratio) in &targets {
+    for ((label, ratio), outcome) in targets.iter().zip(&plans) {
         let mut report = CheckReport::new();
         let mut artifacts = 0usize;
-        match engine.plan(ratio, args.demand) {
+        match outcome {
             Ok(plan) => {
                 artifacts += plan.passes.len() + 1; // per-pass artifacts + aggregates
                 report.merge(plan.static_check());
