@@ -18,7 +18,7 @@ fn within_one_cell(a: Coord, b: Coord) -> bool {
 /// Position of droplet `index` at step `t`, parking at the destination
 /// after arrival.
 fn position(paths: &[TimedPath], index: usize, t: usize) -> Option<Coord> {
-    let cells = &paths[index].cells;
+    let cells = paths[index].cells();
     cells.get(t).or_else(|| cells.last()).copied()
 }
 
@@ -35,7 +35,7 @@ pub fn check_routes(grid: &Grid, requests: &[RouteRequest], paths: &[TimedPath])
         return report;
     }
     for (index, (request, path)) in requests.iter().zip(paths).enumerate() {
-        if path.cells.is_empty() {
+        if path.cells().is_empty() {
             report.report(
                 RuleCode::Rt001,
                 Location::Droplet { index, step: 0 },
@@ -43,24 +43,25 @@ pub fn check_routes(grid: &Grid, requests: &[RouteRequest], paths: &[TimedPath])
             );
             continue;
         }
-        if path.cells[0] != request.from {
+        if path.cells()[0] != request.from {
             report.report(
                 RuleCode::Rt001,
                 Location::Droplet { index, step: 0 },
                 format!(
                     "route starts at {} but the request departs {}",
-                    path.cells[0], request.from
+                    path.cells()[0],
+                    request.from
                 ),
             );
         }
-        if *path.cells.last().unwrap_or(&request.from) != request.to {
+        if *path.cells().last().unwrap_or(&request.from) != request.to {
             report.report(
                 RuleCode::Rt001,
-                Location::Droplet { index, step: path.cells.len() - 1 },
+                Location::Droplet { index, step: path.cells().len() - 1 },
                 format!("route ends off the requested destination {}", request.to),
             );
         }
-        for (step, &cell) in path.cells.iter().enumerate() {
+        for (step, &cell) in path.cells().iter().enumerate() {
             if !grid.passable(cell) {
                 report.report(
                     RuleCode::Rt001,
@@ -69,7 +70,7 @@ pub fn check_routes(grid: &Grid, requests: &[RouteRequest], paths: &[TimedPath])
                 );
             }
         }
-        for (step, pair) in path.cells.windows(2).enumerate() {
+        for (step, pair) in path.cells().windows(2).enumerate() {
             let (a, b) = (pair[0], pair[1]);
             let hop = (a.x - b.x).abs() + (a.y - b.y).abs();
             if hop > 1 {
@@ -81,7 +82,7 @@ pub fn check_routes(grid: &Grid, requests: &[RouteRequest], paths: &[TimedPath])
             }
         }
     }
-    let steps = paths.iter().map(|p| p.cells.len().saturating_sub(1)).max().unwrap_or(0);
+    let steps = paths.iter().map(|p| p.cells().len().saturating_sub(1)).max().unwrap_or(0);
     for t in 0..=steps {
         for i in 0..paths.len() {
             for j in (i + 1)..paths.len() {
@@ -141,7 +142,7 @@ mod tests {
     fn teleport_trips_rt002() {
         let grid = Grid::new(8, 8);
         let requests = [RouteRequest { from: Coord::new(0, 0), to: Coord::new(4, 0) }];
-        let paths = [TimedPath { cells: vec![Coord::new(0, 0), Coord::new(4, 0)] }];
+        let paths = [TimedPath::new(vec![Coord::new(0, 0), Coord::new(4, 0)]).unwrap()];
         let report = check_routes(&grid, &requests, &paths);
         assert!(report.has(RuleCode::Rt002), "{report}");
     }
@@ -152,7 +153,7 @@ mod tests {
         grid.block(Coord::new(1, 0));
         let requests = [RouteRequest { from: Coord::new(0, 0), to: Coord::new(2, 0) }];
         let paths =
-            [TimedPath { cells: vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)] }];
+            [TimedPath::new(vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)]).unwrap()];
         let report = check_routes(&grid, &requests, &paths);
         assert!(report.has(RuleCode::Rt001), "{report}");
     }
@@ -165,12 +166,20 @@ mod tests {
             RouteRequest { from: Coord::new(0, 1), to: Coord::new(3, 1) },
         ];
         let paths = [
-            TimedPath {
-                cells: vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0), Coord::new(3, 0)],
-            },
-            TimedPath {
-                cells: vec![Coord::new(0, 1), Coord::new(1, 1), Coord::new(2, 1), Coord::new(3, 1)],
-            },
+            TimedPath::new(vec![
+                Coord::new(0, 0),
+                Coord::new(1, 0),
+                Coord::new(2, 0),
+                Coord::new(3, 0),
+            ])
+            .unwrap(),
+            TimedPath::new(vec![
+                Coord::new(0, 1),
+                Coord::new(1, 1),
+                Coord::new(2, 1),
+                Coord::new(3, 1),
+            ])
+            .unwrap(),
         ];
         let report = check_routes(&grid, &requests, &paths);
         assert!(report.has(RuleCode::Rt003), "{report}");
@@ -184,8 +193,8 @@ mod tests {
             RouteRequest { from: Coord::new(0, 2), to: Coord::new(0, 1) },
         ];
         let paths = [
-            TimedPath { cells: vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)] },
-            TimedPath { cells: vec![Coord::new(0, 2), Coord::new(0, 2), Coord::new(0, 1)] },
+            TimedPath::new(vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)]).unwrap(),
+            TimedPath::new(vec![Coord::new(0, 2), Coord::new(0, 2), Coord::new(0, 1)]).unwrap(),
         ];
         let report = check_routes(&grid, &requests, &paths);
         // Droplet 1 reaches (0,1) at t=2; droplet 0 stood at (1,0) at t=1 —

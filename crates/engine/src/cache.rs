@@ -1,4 +1,4 @@
-//! Content-addressed plan cache.
+//! Content-addressed plan cache with a bounded LRU eviction policy.
 //!
 //! A streaming plan is a pure function of its inputs — the target CF
 //! vector, the demand `D`, the base algorithm, the scheduler, the mixer
@@ -11,15 +11,24 @@
 //! The cache stores plans behind [`Arc`], so a hit is a pointer clone:
 //! callers that keep the `Arc` (see
 //! [`crate::StreamingEngine::plan_shared`]) can even observe hits by
-//! [`Arc::ptr_eq`]. Hit/miss totals are exported through `dmf-obs` as the
-//! `cache.hits` / `cache.misses` counters whenever the global recorder is
-//! enabled.
+//! [`Arc::ptr_eq`]. The store is **bounded**: it holds at most
+//! [`PlanCache::capacity`] plans and evicts the least-recently-used entry
+//! when a store would exceed it, so a long-lived process (the
+//! `dmfstream serve` worker pool, a batch daemon) has a hard memory
+//! ceiling instead of the unbounded growth the original `HashMap` had.
+//! Hit/miss/eviction totals are kept in [`CacheStats`] and exported
+//! through `dmf-obs` as the `cache.hits` / `cache.misses` /
+//! `cache.evictions` counters whenever the global recorder is enabled.
 
 use crate::{EngineConfig, StreamPlan};
 use dmf_hash::{Fnv64, FnvBuildHasher};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default [`PlanCache`] capacity (plans, not bytes). Generous for every
+/// workload in this repository while still bounding a long-lived process.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
 
 /// The content address of a plan: every input [`crate::StreamingEngine`]
 /// folds into its output.
@@ -57,40 +66,127 @@ impl PlanKey {
     }
 }
 
-/// A thread-safe, content-addressed store of finished plans.
+/// Cumulative counters of one [`PlanCache`]'s behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Cached plans right now.
+    pub len: usize,
+    /// Maximum plans the cache will hold.
+    pub capacity: usize,
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Plans evicted to stay within the capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct LruInner {
+    /// Key → (plan, recency stamp). The stamp indexes into `order`.
+    map: HashMap<PlanKey, (Arc<StreamPlan>, u64), FnvBuildHasher>,
+    /// Recency stamp → key; the first entry is the least recently used.
+    order: BTreeMap<u64, PlanKey>,
+    /// Monotonic recency clock (bumped on every lookup hit and store).
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruInner {
+    /// Moves `key` (already present) to the most-recently-used position.
+    fn touch(&mut self, key: &PlanKey) {
+        if let Some((_, stamp)) = self.map.get(key) {
+            let old = *stamp;
+            self.order.remove(&old);
+            self.tick += 1;
+            let fresh = self.tick;
+            self.order.insert(fresh, key.clone());
+            if let Some((_, stamp)) = self.map.get_mut(key) {
+                *stamp = fresh;
+            }
+        }
+    }
+}
+
+/// A thread-safe, content-addressed, **bounded** store of finished plans.
 ///
 /// Clone-free on hits (plans are handed out as [`Arc`]); safe to share
-/// across the [`crate::plan_batch`] worker pool. The map itself uses the
-/// deterministic FNV hasher, so cache behavior does not depend on
-/// process-seeded hash state.
-#[derive(Debug, Default)]
+/// across the [`crate::plan_batch`] worker pool and the `dmfstream serve`
+/// request threads. The map itself uses the deterministic FNV hasher, so
+/// cache behavior does not depend on process-seeded hash state. When a
+/// store would push the cache past its capacity, the least-recently-used
+/// plan is dropped and counted in [`CacheStats::evictions`] (and the
+/// `cache.evictions` dmf-obs counter).
+#[derive(Debug)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<StreamPlan>, FnvBuildHasher>>,
+    capacity: usize,
+    inner: Mutex<LruInner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
     #[must_use]
     pub fn new() -> Self {
         PlanCache::default()
     }
 
-    /// An empty cache ready to share across engines and worker threads.
+    /// An empty cache holding at most `capacity` plans. A capacity of zero
+    /// is clamped to one (a cache that cannot hold anything would turn
+    /// every warm lookup into a replan, silently).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache { capacity: capacity.max(1), inner: Mutex::new(LruInner::default()) }
+    }
+
+    /// An empty default-capacity cache ready to share across engines and
+    /// worker threads.
     #[must_use]
     pub fn shared() -> Arc<Self> {
         Arc::new(PlanCache::new())
     }
 
-    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<StreamPlan>, FnvBuildHasher>> {
+    /// An empty bounded cache ready to share across engines and worker
+    /// threads.
+    #[must_use]
+    pub fn shared_with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(PlanCache::with_capacity(capacity))
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, LruInner> {
         // A poisoned lock only means another worker panicked mid-insert;
         // the map itself is never left half-written (inserts are atomic at
         // this level), so recover the guard instead of propagating.
-        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Looks `key` up, counting `cache.hits` / `cache.misses`.
+    /// Maximum number of plans this cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks `key` up, counting `cache.hits` / `cache.misses`. A hit also
+    /// marks the entry most recently used.
     pub fn lookup(&self, key: &PlanKey) -> Option<Arc<StreamPlan>> {
-        let found = self.map().get(key).cloned();
+        let found = {
+            let mut inner = self.inner();
+            let found = inner.map.get(key).map(|(plan, _)| Arc::clone(plan));
+            if found.is_some() {
+                inner.hits += 1;
+                inner.touch(key);
+            } else {
+                inner.misses += 1;
+            }
+            found
+        };
         let obs = dmf_obs::global();
         if obs.is_enabled() {
             obs.count(if found.is_some() { "cache.hits" } else { "cache.misses" }, 1);
@@ -98,26 +194,73 @@ impl PlanCache {
         found
     }
 
-    /// Stores a finished plan under `key`. Concurrent writers may race on
-    /// the same key; both plans are byte-identical by construction, so
-    /// either insert is correct.
+    /// Stores a finished plan under `key`, evicting the least-recently-used
+    /// entry if the cache is full. Concurrent writers may race on the same
+    /// key; both plans are byte-identical by construction, so either insert
+    /// is correct.
     pub fn store(&self, key: PlanKey, plan: Arc<StreamPlan>) {
-        self.map().insert(key, plan);
+        let evicted = {
+            let mut inner = self.inner();
+            if inner.map.contains_key(&key) {
+                // Refresh in place: byte-identical by construction, so only
+                // the recency changes.
+                inner.touch(&key);
+                if let Some((slot, _)) = inner.map.get_mut(&key) {
+                    *slot = plan;
+                }
+                0
+            } else {
+                inner.tick += 1;
+                let stamp = inner.tick;
+                inner.order.insert(stamp, key.clone());
+                inner.map.insert(key, (plan, stamp));
+                let mut evicted = 0u64;
+                while inner.map.len() > self.capacity {
+                    let Some((&oldest, _)) = inner.order.iter().next() else { break };
+                    if let Some(victim) = inner.order.remove(&oldest) {
+                        inner.map.remove(&victim);
+                        evicted += 1;
+                    }
+                }
+                inner.evictions += evicted;
+                evicted
+            }
+        };
+        if evicted > 0 {
+            let obs = dmf_obs::global();
+            if obs.is_enabled() {
+                obs.count("cache.evictions", evicted);
+            }
+        }
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.map().len()
+        self.inner().map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map().is_empty()
+        self.inner().map.is_empty()
     }
 
-    /// Drops every cached plan.
+    /// Cumulative hit/miss/eviction counters plus the current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner();
+        CacheStats {
+            len: inner.map.len(),
+            capacity: self.capacity,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Drops every cached plan (counters are kept).
     pub fn clear(&self) {
-        self.map().clear();
+        let mut inner = self.inner();
+        inner.map.clear();
+        inner.order.clear();
     }
 }
 
@@ -129,6 +272,10 @@ mod tests {
 
     fn pcr_d4() -> TargetRatio {
         TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap()
+    }
+
+    fn plan_arc(demand: u64) -> Arc<StreamPlan> {
+        Arc::new(StreamingEngine::new(EngineConfig::default()).plan(&pcr_d4(), demand).unwrap())
     }
 
     #[test]
@@ -151,15 +298,82 @@ mod tests {
     #[test]
     fn lookup_store_round_trip() {
         let cache = PlanCache::new();
+        assert_eq!(cache.capacity(), DEFAULT_PLAN_CACHE_CAPACITY);
         let config = EngineConfig::default();
         let key = PlanKey::new(&config, &pcr_d4(), 20);
         assert!(cache.lookup(&key).is_none());
-        let plan = Arc::new(StreamingEngine::new(config).plan(&pcr_d4(), 20).unwrap());
+        let plan = plan_arc(20);
         cache.store(key.clone(), Arc::clone(&plan));
         let hit = cache.lookup(&key).unwrap();
         assert!(Arc::ptr_eq(&hit, &plan));
         assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache_under_churn() {
+        let cache = PlanCache::with_capacity(4);
+        let config = EngineConfig::default();
+        let plan = plan_arc(2);
+        for demand in 1..=100u64 {
+            cache.store(PlanKey::new(&config, &pcr_d4(), demand), Arc::clone(&plan));
+            assert!(cache.len() <= 4, "cache exceeded its capacity");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.len, 4);
+        assert_eq!(stats.evictions, 96);
+        // The survivors are exactly the four most recent keys.
+        for demand in 97..=100u64 {
+            assert!(cache.lookup(&PlanKey::new(&config, &pcr_d4(), demand)).is_some());
+        }
+        assert!(cache.lookup(&PlanKey::new(&config, &pcr_d4(), 96)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_lookup_recency() {
+        let cache = PlanCache::with_capacity(2);
+        let config = EngineConfig::default();
+        let key_a = PlanKey::new(&config, &pcr_d4(), 2);
+        let key_b = PlanKey::new(&config, &pcr_d4(), 4);
+        let key_c = PlanKey::new(&config, &pcr_d4(), 6);
+        let plan = plan_arc(2);
+        cache.store(key_a.clone(), Arc::clone(&plan));
+        cache.store(key_b.clone(), Arc::clone(&plan));
+        // Touch A so B becomes the least recently used…
+        assert!(cache.lookup(&key_a).is_some());
+        cache.store(key_c.clone(), Arc::clone(&plan));
+        // …and is therefore the entry C evicted.
+        assert!(cache.lookup(&key_b).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(&key_a).is_some());
+        assert!(cache.lookup(&key_c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn storing_an_existing_key_does_not_evict() {
+        let cache = PlanCache::with_capacity(2);
+        let config = EngineConfig::default();
+        let key_a = PlanKey::new(&config, &pcr_d4(), 2);
+        let key_b = PlanKey::new(&config, &pcr_d4(), 4);
+        let plan = plan_arc(2);
+        cache.store(key_a.clone(), Arc::clone(&plan));
+        cache.store(key_b, Arc::clone(&plan));
+        cache.store(key_a, plan);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = PlanCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        let config = EngineConfig::default();
+        let plan = plan_arc(2);
+        cache.store(PlanKey::new(&config, &pcr_d4(), 2), Arc::clone(&plan));
+        cache.store(PlanKey::new(&config, &pcr_d4(), 4), plan);
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -49,7 +49,7 @@ mod realize;
 mod recovery;
 
 pub use batch::{plan_batch, BatchOptions, PlanRequest};
-pub use cache::{PlanCache, PlanKey};
+pub use cache::{CacheStats, PlanCache, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use check::static_check;
 pub use compare::{improvement_over_baseline, repeated, Improvement};
 pub use config::{EngineConfig, MixerBudget};

@@ -24,7 +24,9 @@ pub fn droplet_mixtures(
         match &timed.event {
             TraceEvent::Dispensed { droplet, reservoir, .. } => {
                 if let ModuleKind::Reservoir { fluid } = chip.module(*reservoir).kind() {
-                    contents.insert(*droplet, Mixture::pure(fluid, fluid_count));
+                    if let Ok(pure) = Mixture::try_pure(fluid, fluid_count) {
+                        contents.insert(*droplet, pure);
+                    }
                 }
             }
             TraceEvent::Mixed { inputs, outputs, .. } => {
@@ -87,8 +89,9 @@ mod tests {
         p.push(Instruction::Discard { droplet: DropletId(3), waste: w1 });
         let (_, trace) = Simulator::new(&chip).run_traced(&p).unwrap();
         let contents = droplet_mixtures(&trace, &chip, 7);
-        assert_eq!(contents[&DropletId(0)], Mixture::pure(0, 7));
-        let expected = Mixture::pure(0, 7).mix(&Mixture::pure(6, 7)).unwrap();
+        assert_eq!(contents[&DropletId(0)], Mixture::try_pure(0, 7).unwrap());
+        let expected =
+            Mixture::try_pure(0, 7).unwrap().mix(&Mixture::try_pure(6, 7).unwrap()).unwrap();
         assert_eq!(contents[&DropletId(2)], expected);
         assert_eq!(contents[&DropletId(2)], contents[&DropletId(3)]);
         assert_eq!(emitted_droplets(&trace), vec![DropletId(2)]);

@@ -26,7 +26,10 @@ impl TemplateNode {
     /// precomputed interior mixture, constructed only for leaves.
     pub(crate) fn mixture(&self, fluid_count: usize) -> Cow<'_, Mixture> {
         match self {
-            TemplateNode::Leaf { fluid } => Cow::Owned(Mixture::pure(fluid.0, fluid_count)),
+            TemplateNode::Leaf { fluid } => Cow::Owned(
+                Mixture::try_pure(fluid.0, fluid_count)
+                    .expect("template leaves reference fluids within their fluid set"),
+            ),
             TemplateNode::Mix { mixture, .. } => Cow::Borrowed(mixture),
         }
     }

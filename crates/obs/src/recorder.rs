@@ -159,6 +159,13 @@ impl Recorder {
         }
     }
 
+    /// The current value of counter `name` (0 when the counter has never
+    /// been bumped). Cheaper than [`Recorder::snapshot`] when only one
+    /// counter is needed — e.g. a test polling a server's progress.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().expect("recorder poisoned").counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Sets gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: u64) {
         if !self.is_enabled() {
@@ -343,6 +350,8 @@ mod tests {
         assert_eq!(snap.counters["mixes"], 7);
         assert_eq!(snap.gauges["peak"], 5);
         assert_eq!(snap.gauges["exact"], 9);
+        assert_eq!(rec.counter("mixes"), 7);
+        assert_eq!(rec.counter("never"), 0);
     }
 
     #[test]

@@ -29,8 +29,8 @@
 //! assert_eq!(target.accuracy(), 4);
 //!
 //! // Mix a pure droplet of fluid 0 with a pure droplet of fluid 6.
-//! let a = Mixture::pure(0, 7);
-//! let b = Mixture::pure(6, 7);
+//! let a = Mixture::try_pure(0, 7)?;
+//! let b = Mixture::try_pure(6, 7)?;
 //! let mixed = a.mix(&b)?;
 //! assert_eq!(mixed.level(), 1);
 //! assert_eq!(mixed.parts(), &[1, 0, 0, 0, 0, 0, 1]);
@@ -40,11 +40,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// TODO(lint-wall): crate-wide exemption from the workspace
-// `unwrap_used`/`expect_used`/`panic` deny wall. Offenders here predate the
-// wall (documented-panic convenience constructors and provably-safe
-// `expect`s); burn them down and drop this allow.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 mod error;
 mod mixture;

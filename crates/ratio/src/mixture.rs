@@ -19,7 +19,7 @@ use std::fmt;
 /// use dmf_ratio::Mixture;
 ///
 /// # fn main() -> Result<(), dmf_ratio::RatioError> {
-/// let half_and_half = Mixture::pure(0, 2).mix(&Mixture::pure(1, 2))?;
+/// let half_and_half = Mixture::try_pure(0, 2)?.mix(&Mixture::try_pure(1, 2)?)?;
 /// assert_eq!(half_and_half.level(), 1);
 /// assert_eq!(half_and_half.cf(0), (1, 2));
 ///
@@ -65,15 +65,9 @@ impl Mixture {
 
     /// Creates the level-0 mixture for a single pure fluid.
     ///
-    /// # Panics
-    ///
-    /// Panics if `fluid >= fluid_count` or `fluid_count == 0`; use
-    /// [`Mixture::try_pure`] for a fallible variant.
-    pub fn pure(fluid: usize, fluid_count: usize) -> Self {
-        Self::try_pure(fluid, fluid_count).expect("fluid index within fluid set")
-    }
-
-    /// Fallible variant of [`Mixture::pure`].
+    /// (The old panicking `Mixture::pure` convenience constructor is gone:
+    /// the workspace lint wall forbids panics in library code, so the
+    /// fallible form is the only form.)
     ///
     /// # Errors
     ///
@@ -180,6 +174,16 @@ impl Mixture {
         Ok(self.parts.iter().map(|&p| p << shift).collect())
     }
 
+    /// Crate-internal constructor for callers whose own invariants already
+    /// guarantee [`Mixture::new`]'s checks (non-empty parts summing to
+    /// `2^level` with `level < 63`) — [`crate::TargetRatio`] enforces
+    /// exactly these, so its conversion needs no panic and no `Result`.
+    pub(crate) fn from_checked_parts(level: u32, parts: Vec<u64>) -> Self {
+        let mut mixture = Mixture { level, parts };
+        mixture.canonicalise();
+        mixture
+    }
+
     fn canonicalise(&mut self) {
         while self.level > 0 && self.parts.iter().all(|p| p % 2 == 0) {
             for p in &mut self.parts {
@@ -209,7 +213,7 @@ mod tests {
 
     #[test]
     fn pure_is_level_zero() {
-        let m = Mixture::pure(2, 5);
+        let m = Mixture::try_pure(2, 5).unwrap();
         assert_eq!(m.level(), 0);
         assert_eq!(m.parts(), &[0, 0, 1, 0, 0]);
         assert_eq!(m.as_pure(), Some(FluidId(2)));
@@ -236,8 +240,8 @@ mod tests {
 
     #[test]
     fn mix_same_level() {
-        let a = Mixture::pure(0, 2);
-        let b = Mixture::pure(1, 2);
+        let a = Mixture::try_pure(0, 2).unwrap();
+        let b = Mixture::try_pure(1, 2).unwrap();
         let m = a.mix(&b).unwrap();
         assert_eq!(m.level(), 1);
         assert_eq!(m.parts(), &[1, 1]);
@@ -246,7 +250,7 @@ mod tests {
     #[test]
     fn mix_heterogeneous_levels() {
         // Root of the PCR d=4 tree: pure x7 mixed with a level-3 droplet.
-        let x7 = Mixture::pure(6, 7);
+        let x7 = Mixture::try_pure(6, 7).unwrap();
         let inner = Mixture::new(3, vec![2, 1, 1, 1, 1, 1, 1]).unwrap();
         let root = x7.mix(&inner).unwrap();
         assert_eq!(root.level(), 4);
@@ -269,8 +273,8 @@ mod tests {
 
     #[test]
     fn mix_rejects_fluid_count_mismatch() {
-        let a = Mixture::pure(0, 2);
-        let b = Mixture::pure(0, 3);
+        let a = Mixture::try_pure(0, 2).unwrap();
+        let b = Mixture::try_pure(0, 3).unwrap();
         assert_eq!(a.mix(&b), Err(RatioError::FluidCountMismatch { left: 2, right: 3 }));
     }
 

@@ -41,8 +41,10 @@ impl TargetRatio {
     /// # Errors
     ///
     /// Returns [`RatioError::Empty`] for no components,
-    /// [`RatioError::AllZero`] if every component is zero and
-    /// [`RatioError::SumNotPowerOfTwo`] otherwise when the sum is not `2^d`.
+    /// [`RatioError::AllZero`] if every component is zero,
+    /// [`RatioError::SumNotPowerOfTwo`] otherwise when the sum is not `2^d`
+    /// and [`RatioError::AccuracyTooLarge`] when `d >= 63` (the dyadic
+    /// arithmetic works in `u64` numerators).
     pub fn new(parts: Vec<u64>) -> Result<Self, RatioError> {
         if parts.is_empty() {
             return Err(RatioError::Empty);
@@ -54,7 +56,11 @@ impl TargetRatio {
         if !sum.is_power_of_two() {
             return Err(RatioError::SumNotPowerOfTwo { sum });
         }
-        Ok(TargetRatio { accuracy: sum.trailing_zeros(), parts })
+        let accuracy = sum.trailing_zeros();
+        if accuracy >= 63 {
+            return Err(RatioError::AccuracyTooLarge { accuracy });
+        }
+        Ok(TargetRatio { accuracy, parts })
     }
 
     /// Rounds a real-valued ratio (percentages, volumes, any non-negative
@@ -102,7 +108,9 @@ impl TargetRatio {
         order.sort_by(|&a, &b| {
             let fa = ideal[a] - ideal[a].floor();
             let fb = ideal[b] - ideal[b].floor();
-            fb.partial_cmp(&fa).expect("finite remainders").then(a.cmp(&b))
+            // total_cmp: remainders are finite (weights validated above),
+            // and a total order needs no panicking unwrap of partial_cmp.
+            fb.total_cmp(&fa).then(a.cmp(&b))
         });
         for i in order {
             if leftover == 0 {
@@ -159,12 +167,11 @@ impl TargetRatio {
             .collect();
         // The largest component (the "filler", e.g. water) absorbs the
         // rounding residue.
-        let filler = weights
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
-            .map(|(i, _)| i)
-            .expect("non-empty weights");
+        let Some(filler) =
+            weights.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
+        else {
+            return Err(RatioError::Empty);
+        };
         let others: u64 =
             parts.iter().enumerate().filter(|(i, _)| *i != filler).map(|(_, &p)| p).sum();
         if others >= target_sum {
@@ -222,9 +229,12 @@ impl TargetRatio {
     }
 
     /// The target expressed as a droplet [`Mixture`] at level `d`.
+    ///
+    /// Infallible: [`TargetRatio::new`] already enforces every invariant
+    /// [`Mixture::new`] would re-check (non-empty parts summing to `2^d`
+    /// with `d < 63`).
     pub fn to_mixture(&self) -> Mixture {
-        Mixture::new(self.accuracy, self.parts.clone())
-            .expect("ratio invariants imply a valid mixture")
+        Mixture::from_checked_parts(self.accuracy, self.parts.clone())
     }
 
     /// Maximum absolute CF error of this grid approximation against the
@@ -290,6 +300,19 @@ mod tests {
         assert_eq!(TargetRatio::new(vec![1, 2]), Err(RatioError::SumNotPowerOfTwo { sum: 3 }));
         assert_eq!(TargetRatio::new(vec![0, 0]), Err(RatioError::AllZero));
         assert_eq!(TargetRatio::new(vec![]), Err(RatioError::Empty));
+    }
+
+    #[test]
+    fn rejects_accuracy_above_mixture_range() {
+        // Regression: sum = 2^63 is a power of two, but no Mixture can carry
+        // level 63 — `to_mixture` used to be the place this blew up.
+        assert_eq!(
+            TargetRatio::new(vec![1u64 << 63]),
+            Err(RatioError::AccuracyTooLarge { accuracy: 63 })
+        );
+        // d = 62 is the largest representable accuracy and converts cleanly.
+        let edge = TargetRatio::new(vec![1u64 << 62]).unwrap();
+        assert_eq!(edge.to_mixture().level(), 0); // canonicalised: single fluid
     }
 
     #[test]

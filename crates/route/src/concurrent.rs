@@ -14,18 +14,42 @@ pub struct RouteRequest {
 /// A space-time path: `cells[t]` is the droplet's electrode at step `t`.
 /// Droplets may wait (`cells[t] == cells[t + 1]`); after its last entry a
 /// droplet is considered parked at its destination.
+///
+/// A `TimedPath` is never empty: a droplet always occupies at least its
+/// source electrode at step 0. The invariant is enforced by
+/// [`TimedPath::new`], which is the only way to construct one — so
+/// [`TimedPath::at`] never has to invent a position. (An earlier version
+/// defaulted an empty path to `(0, 0)`, which the conflict checker then
+/// treated as a phantom droplet parked on that electrode.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimedPath {
-    /// Per-step positions, starting at the source.
-    pub cells: Vec<Coord>,
+    /// Per-step positions, starting at the source. Invariant: non-empty.
+    cells: Vec<Coord>,
 }
 
 impl TimedPath {
-    /// Position at step `t`, clamping to the final cell after arrival. An
-    /// empty path (which [`route_concurrent`] never produces) reports the
-    /// origin electrode rather than panicking.
+    /// Wraps per-step positions into a path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::EmptyPath`] when `cells` is empty — a droplet
+    /// with no position is unrepresentable.
+    pub fn new(cells: Vec<Coord>) -> Result<Self, RouteError> {
+        if cells.is_empty() {
+            return Err(RouteError::EmptyPath);
+        }
+        Ok(TimedPath { cells })
+    }
+
+    /// Position at step `t`, clamping to the final cell after arrival.
     pub fn at(&self, t: usize) -> Coord {
-        self.cells.get(t).or_else(|| self.cells.last()).copied().unwrap_or_default()
+        // In-bounds by the non-empty invariant: len >= 1.
+        self.cells[t.min(self.cells.len() - 1)]
+    }
+
+    /// Per-step positions, starting at the source (never empty).
+    pub fn cells(&self) -> &[Coord] {
+        &self.cells
     }
 
     /// Electrode actuations (hops onto a new electrode).
@@ -35,7 +59,7 @@ impl TimedPath {
 
     /// Steps until arrival.
     pub fn duration(&self) -> usize {
-        self.cells.len().saturating_sub(1)
+        self.cells.len() - 1
     }
 }
 
@@ -73,14 +97,27 @@ pub fn route_concurrent(
     requests: &[RouteRequest],
 ) -> Result<Vec<TimedPath>, RouteError> {
     let mut planned: Vec<TimedPath> = Vec::with_capacity(requests.len());
-    // Generous horizon: grid perimeter plus congestion allowance.
-    let horizon = ((grid.width() + grid.height()) * 4 + 8 * requests.len() as i32) as usize;
+    let horizon = search_horizon(grid, requests.len());
     for (index, request) in requests.iter().enumerate() {
         let path = space_time_astar(grid, *request, &planned, horizon)
             .ok_or(RouteError::Unroutable { index, from: request.from, to: request.to })?;
         planned.push(path);
     }
     Ok(planned)
+}
+
+/// The space-time search horizon for a batch of `request_count` droplets:
+/// grid perimeter plus a congestion allowance of 8 steps per droplet.
+///
+/// Computed entirely in `usize` with saturating arithmetic. An earlier
+/// version multiplied `8 * requests.len() as i32`, which wraps for large
+/// batches and collapses the horizon to a tiny or negative window,
+/// spuriously rejecting every route.
+pub fn search_horizon(grid: &Grid, request_count: usize) -> usize {
+    let perimeter = usize::try_from(grid.width().max(0))
+        .unwrap_or(0)
+        .saturating_add(usize::try_from(grid.height().max(0)).unwrap_or(0));
+    perimeter.saturating_mul(4).saturating_add(request_count.saturating_mul(8))
 }
 
 fn conflicts(planned: &[TimedPath], pos: Coord, prev: Coord, t: usize) -> bool {
@@ -268,10 +305,41 @@ mod tests {
 
     #[test]
     fn timed_path_accessors() {
-        let p = TimedPath { cells: vec![Coord::new(0, 0), Coord::new(0, 0), Coord::new(1, 0)] };
+        let p = TimedPath::new(vec![Coord::new(0, 0), Coord::new(0, 0), Coord::new(1, 0)]).unwrap();
         assert_eq!(p.at(0), Coord::new(0, 0));
         assert_eq!(p.at(99), Coord::new(1, 0));
         assert_eq!(p.actuations(), 1);
         assert_eq!(p.duration(), 2);
+        assert_eq!(p.cells().len(), 3);
+    }
+
+    #[test]
+    fn empty_timed_path_is_unrepresentable() {
+        // Regression: an empty path used to report Coord::default() from
+        // `at`, which `conflicts()` then treated as a phantom droplet parked
+        // at (0,0). The constructor now rejects emptiness outright.
+        assert_eq!(TimedPath::new(vec![]), Err(RouteError::EmptyPath));
+        // A single-cell path is the minimal droplet: parked forever.
+        let parked = TimedPath::new(vec![Coord::new(3, 3)]).unwrap();
+        assert_eq!(parked.duration(), 0);
+        assert_eq!(parked.actuations(), 0);
+        assert_eq!(parked.at(0), Coord::new(3, 3));
+        assert_eq!(parked.at(1000), Coord::new(3, 3));
+    }
+
+    #[test]
+    fn horizon_survives_huge_request_batches() {
+        // Regression: `8 * requests.len() as i32` wrapped for large batches,
+        // collapsing the horizon to a tiny or negative window. The usize
+        // computation must stay monotonic instead.
+        let grid = Grid::new(16, 16);
+        let small = search_horizon(&grid, 2);
+        assert_eq!(small, (16 + 16) * 4 + 2 * 8);
+        let huge = search_horizon(&grid, 300_000_000);
+        assert!(huge >= 2_400_000_000, "horizon wrapped: {huge}");
+        assert!(search_horizon(&grid, usize::MAX) == usize::MAX, "must saturate, not wrap");
+        // Monotonic in the batch size: more droplets never shrink the
+        // search window.
+        assert!(huge > small);
     }
 }

@@ -23,6 +23,9 @@ pub enum RouteError {
         /// Destination electrode.
         to: Coord,
     },
+    /// A timed path with no positions was supplied — a droplet must occupy
+    /// at least its source electrode (see [`crate::TimedPath::new`]).
+    EmptyPath,
 }
 
 impl fmt::Display for RouteError {
@@ -33,6 +36,9 @@ impl fmt::Display for RouteError {
             }
             RouteError::NoRoute { from, to } => {
                 write!(f, "no route exists from {from} to {to}")
+            }
+            RouteError::EmptyPath => {
+                write!(f, "a timed path must contain at least its source electrode")
             }
         }
     }

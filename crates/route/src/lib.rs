@@ -39,6 +39,6 @@ mod error;
 mod grid;
 
 pub use astar::{actuations, shortest_path, try_shortest_path};
-pub use concurrent::{route_concurrent, RouteRequest, TimedPath};
+pub use concurrent::{route_concurrent, search_horizon, RouteRequest, TimedPath};
 pub use error::RouteError;
 pub use grid::Grid;

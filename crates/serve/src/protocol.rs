@@ -1,0 +1,285 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, in order. The
+//! grammar is the small JSON subset [`dmf_obs::json`] parses; every
+//! response is a single object whose first member is `"ok"`.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"plan","ratio":"2:1:1:1:1:1:9","demand":20}
+//! {"op":"plan","ratio":"3:5","demand":8,"algorithm":"rma","scheduler":"mms",
+//!  "mixers":3,"storage":4,"deadline_ms":5000}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! # Responses
+//!
+//! ```text
+//! {"ok":true,"type":"plan","fingerprint":"<16 hex>","demand":20,"passes":1,
+//!  "tc":11,"tms":27,"waste":5,"inputs":25,"storage_peak":5,"mixers":3,
+//!  "summary":"D=20 passes=1 Tc=11 Tms=27 W=5 I=25 q=5 (Mc=3)"}
+//! {"ok":false,"error":"busy","message":"..."}
+//! ```
+//!
+//! A plan response is a pure function of the request's
+//! [`dmf_engine::PlanKey`] tuple: equal keys produce byte-identical
+//! response lines whether they were served from the cache or planned
+//! fresh — the protocol deliberately carries no hit/miss marker.
+
+use dmf_engine::{EngineConfig, StreamPlan};
+use dmf_mixalgo::BaseAlgorithm;
+use dmf_obs::json::{self, Json};
+use dmf_ratio::TargetRatio;
+use dmf_sched::SchedulerKind;
+use std::fmt;
+
+/// Demand used when a plan request omits `"demand"` (matches the
+/// `dmfstream` CLI default).
+pub const DEFAULT_DEMAND: u64 = 32;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Plan a target; answered by a worker through the job queue.
+    Plan(PlanSpec),
+    /// Report `serve.*` metrics and plan-cache statistics.
+    Stats,
+    /// Liveness probe answered inline by the connection thread.
+    Ping,
+    /// Stop accepting connections and drain the queue.
+    Shutdown,
+    /// Test-only: occupy a worker for `ms` milliseconds. Used by the
+    /// integration tests (and nothing else) to fill the queue
+    /// deterministically; not part of the public grammar.
+    Stall {
+        /// How long the worker sleeps.
+        ms: u64,
+    },
+}
+
+/// A plan request: the target, demand and engine-config overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSpec {
+    /// The target CF ratio.
+    pub ratio: TargetRatio,
+    /// Demand `D` (defaults to [`DEFAULT_DEMAND`]).
+    pub demand: u64,
+    /// Engine configuration after applying the request's overrides.
+    pub config: EngineConfig,
+    /// Per-request queueing deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Why a request line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn member_u64(obj: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("{key:?} must be a non-negative integer"))),
+    }
+}
+
+fn member_str<'a>(obj: &'a Json, key: &str) -> Result<Option<&'a str>, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("{key:?} must be a string"))),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] describing the first problem: malformed
+/// JSON, a missing/unknown `"op"`, a bad ratio or an ill-typed member.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let value = json::parse(line).map_err(|e| ProtocolError::new(format!("bad JSON: {e}")))?;
+    let op = member_str(&value, "op")?.ok_or_else(|| {
+        ProtocolError::new("missing \"op\" (expected plan, stats, ping or shutdown)")
+    })?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "stall" => Ok(Request::Stall { ms: member_u64(&value, "ms")?.unwrap_or(100) }),
+        "plan" => {
+            let ratio_text = member_str(&value, "ratio")?
+                .ok_or_else(|| ProtocolError::new("plan needs a \"ratio\" string"))?;
+            let ratio = ratio_text
+                .parse::<TargetRatio>()
+                .map_err(|e| ProtocolError::new(format!("bad ratio {ratio_text:?}: {e}")))?;
+            let demand = member_u64(&value, "demand")?.unwrap_or(DEFAULT_DEMAND);
+            let mut config = EngineConfig::default();
+            if let Some(name) = member_str(&value, "algorithm")? {
+                config = config.with_algorithm(match name.to_lowercase().as_str() {
+                    "mm" | "minmix" => BaseAlgorithm::MinMix,
+                    "rma" => BaseAlgorithm::Rma,
+                    "mtcs" => BaseAlgorithm::Mtcs,
+                    "rsm" => BaseAlgorithm::Rsm,
+                    other => {
+                        return Err(ProtocolError::new(format!("unknown algorithm {other:?}")))
+                    }
+                });
+            }
+            if let Some(name) = member_str(&value, "scheduler")? {
+                config = config.with_scheduler(match name.to_lowercase().as_str() {
+                    "mms" => SchedulerKind::Mms,
+                    "srs" => SchedulerKind::Srs,
+                    other => {
+                        return Err(ProtocolError::new(format!("unknown scheduler {other:?}")))
+                    }
+                });
+            }
+            if let Some(mixers) = member_u64(&value, "mixers")? {
+                let mixers = usize::try_from(mixers)
+                    .map_err(|_| ProtocolError::new("\"mixers\" out of range"))?;
+                config = config.with_mixers(mixers);
+            }
+            if let Some(storage) = member_u64(&value, "storage")? {
+                let storage = usize::try_from(storage)
+                    .map_err(|_| ProtocolError::new("\"storage\" out of range"))?;
+                config = config.with_storage_limit(storage);
+            }
+            let deadline_ms = member_u64(&value, "deadline_ms")?;
+            Ok(Request::Plan(PlanSpec { ratio, demand, config, deadline_ms }))
+        }
+        other => Err(ProtocolError::new(format!(
+            "unknown op {other:?} (expected plan, stats, ping or shutdown)"
+        ))),
+    }
+}
+
+/// The success response for a planned request.
+///
+/// `fingerprint` is the request's [`dmf_engine::PlanKey::fingerprint`],
+/// rendered as 16 lowercase hex digits.
+pub fn plan_response(plan: &StreamPlan, fingerprint: u64) -> String {
+    format!(
+        "{{\"ok\":true,\"type\":\"plan\",\"fingerprint\":\"{fingerprint:016x}\",\
+         \"demand\":{},\"passes\":{},\"tc\":{},\"tms\":{},\"waste\":{},\"inputs\":{},\
+         \"storage_peak\":{},\"mixers\":{},\"summary\":\"{}\"}}",
+        plan.demand,
+        plan.passes.len(),
+        plan.total_cycles,
+        plan.total_mix_splits,
+        plan.total_waste,
+        plan.total_inputs,
+        plan.storage_peak,
+        plan.mixers,
+        json::escape(&plan.to_string()),
+    )
+}
+
+/// A typed error response; `code` is one of `bad_request`, `busy`,
+/// `deadline`, `plan_failed`, `shutting_down` or `internal`.
+pub fn error_response(code: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+        json::escape(code),
+        json::escape(message)
+    )
+}
+
+/// The response to `{"op":"ping"}`.
+pub fn pong_response() -> String {
+    "{\"ok\":true,\"type\":\"pong\"}".to_owned()
+}
+
+/// The response to `{"op":"shutdown"}`.
+pub fn shutdown_response() -> String {
+    "{\"ok\":true,\"type\":\"shutdown\"}".to_owned()
+}
+
+/// The response to a test-only stall request.
+pub fn stalled_response(ms: u64) -> String {
+    format!("{{\"ok\":true,\"type\":\"stalled\",\"ms\":{ms}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_engine::MixerBudget;
+
+    #[test]
+    fn parses_a_minimal_plan_request() {
+        let r = parse_request(r#"{"op":"plan","ratio":"2:1:1:1:1:1:9"}"#).unwrap();
+        let Request::Plan(spec) = r else { panic!("expected a plan request") };
+        assert_eq!(spec.demand, DEFAULT_DEMAND);
+        assert_eq!(spec.config, EngineConfig::default());
+        assert_eq!(spec.deadline_ms, None);
+        assert_eq!(spec.ratio.parts(), &[2, 1, 1, 1, 1, 1, 9]);
+    }
+
+    #[test]
+    fn parses_all_config_overrides() {
+        let r = parse_request(
+            r#"{"op":"plan","ratio":"3:5","demand":8,"algorithm":"rma","scheduler":"mms","mixers":3,"storage":4,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Plan(spec) = r else { panic!("expected a plan request") };
+        assert_eq!(spec.demand, 8);
+        assert_eq!(spec.config.algorithm, BaseAlgorithm::Rma);
+        assert_eq!(spec.config.scheduler, SchedulerKind::Mms);
+        assert_eq!(spec.config.mixers, MixerBudget::Fixed(3));
+        assert_eq!(spec.config.storage_limit, Some(4));
+        assert_eq!(spec.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert_eq!(parse_request(r#"{"op":"stall","ms":7}"#).unwrap(), Request::Stall { ms: 7 });
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"ratio":"1:1"}"#).is_err());
+        assert!(parse_request(r#"{"op":"teleport"}"#).is_err());
+        assert!(parse_request(r#"{"op":"plan"}"#).is_err());
+        assert!(parse_request(r#"{"op":"plan","ratio":"1:2"}"#).is_err()); // sum not 2^d
+        assert!(parse_request(r#"{"op":"plan","ratio":"1:1","demand":"many"}"#).is_err());
+        assert!(parse_request(r#"{"op":"plan","ratio":"1:1","algorithm":"magic"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_parse_back() {
+        let err = error_response("busy", "queue full \"now\"");
+        let v = json::parse(&err).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("busy"));
+        assert_eq!(v.get("message").and_then(Json::as_str), Some("queue full \"now\""));
+        assert!(json::parse(&pong_response()).is_ok());
+        assert!(json::parse(&shutdown_response()).is_ok());
+        assert!(json::parse(&stalled_response(3)).is_ok());
+    }
+}

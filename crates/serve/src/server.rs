@@ -1,0 +1,367 @@
+//! The planning server: accept loop, connection threads, worker pool.
+//!
+//! ```text
+//! clients ──TCP──▶ connection threads ──BoundedQueue──▶ workers
+//!                       │  (parse, admission control)      │
+//!                       ◀──────── mpsc reply channel ──────┘
+//! ```
+//!
+//! Every thread is scoped ([`std::thread::scope`]), so [`Server::run`]
+//! returns only after all connections and workers have exited — no
+//! detached threads outlive the server. Control requests (`ping`,
+//! `stats`, `shutdown`) are answered inline by the connection thread;
+//! plan requests pass through the bounded queue so a planner stampede
+//! degrades into fast `busy` rejections rather than unbounded memory.
+
+use crate::protocol::{self, PlanSpec, Request};
+use crate::queue::{BoundedQueue, PushError};
+use dmf_engine::{PlanCache, PlanKey, StreamingEngine, DEFAULT_PLAN_CACHE_CAPACITY};
+use dmf_obs::Recorder;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How often blocked I/O loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Per-connection socket read timeout; bounds shutdown latency.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (read it back with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing plan requests.
+    pub workers: usize,
+    /// Admission-control queue depth; a full queue answers `busy`.
+    pub queue_depth: usize,
+    /// Plan-cache capacity in entries (LRU beyond that).
+    pub cache_capacity: usize,
+    /// Default per-request queueing deadline, milliseconds. A request
+    /// still queued after this long is answered with a `deadline` error
+    /// instead of being planned; `"deadline_ms"` on the request overrides
+    /// it.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()).min(4),
+            queue_depth: 64,
+            cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            default_deadline_ms: 10_000,
+        }
+    }
+}
+
+enum Work {
+    Plan(PlanSpec),
+    Stall { ms: u64 },
+}
+
+struct Job {
+    work: Work,
+    enqueued: Instant,
+    deadline: Duration,
+    reply: mpsc::Sender<String>,
+}
+
+/// A bound planning service; see the crate docs for the protocol.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    cache: Arc<PlanCache>,
+    recorder: Recorder,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared plan cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, permission, …).
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = config.addr.to_socket_addrs()?.next().map_or_else(
+            || Err(io::Error::new(io::ErrorKind::InvalidInput, "empty bind address")),
+            TcpListener::bind,
+        )?;
+        let cache = PlanCache::shared_with_capacity(config.cache_capacity);
+        Ok(Server {
+            listener,
+            config,
+            cache,
+            recorder: Recorder::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address — the way to learn the port after binding `:0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The server-owned metric recorder backing `stats` responses.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Requests shutdown from outside the protocol (e.g. a signal
+    /// handler); equivalent to a client sending `{"op":"shutdown"}`.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Serves until a shutdown request arrives, then drains: queued plan
+    /// requests are still answered, every connection and worker thread is
+    /// joined, and only then does `run` return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener failures; per-connection I/O errors only
+    /// terminate that connection.
+    pub fn run(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let queue = BoundedQueue::new(self.config.queue_depth);
+        let queue_ref = &queue;
+        std::thread::scope(|s| {
+            for _ in 0..self.config.workers.max(1) {
+                s.spawn(move || self.worker_loop(queue_ref));
+            }
+            let result = self.accept_loop(s, queue_ref);
+            // Closing on every exit path (including listener errors) is
+            // what lets blocked workers drain and the scope join.
+            queue.close();
+            result
+        })
+    }
+
+    fn accept_loop<'scope>(
+        &'scope self,
+        s: &'scope std::thread::Scope<'scope, '_>,
+        queue: &'scope BoundedQueue<Job>,
+    ) -> io::Result<()> {
+        loop {
+            if self.shutting_down() {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.recorder.count("serve.connections", 1);
+                    s.spawn(move || self.handle_connection(stream, queue));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads newline-delimited requests off one socket and writes one
+    /// response line per request. Partial lines survive read timeouts —
+    /// the buffer is only consumed up to the last `\n`.
+    fn handle_connection(&self, mut stream: TcpStream, queue: &BoundedQueue<Job>) {
+        if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+            return;
+        }
+        let mut chunk = [0u8; 4096];
+        let mut pending: Vec<u8> = Vec::new();
+        'conn: loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    pending.extend_from_slice(&chunk[..n]);
+                    while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                        let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+                        let line = String::from_utf8_lossy(&line_bytes);
+                        let line = line.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        let (response, stop) = self.process_line(line, queue);
+                        if writeln!(stream, "{response}").and_then(|()| stream.flush()).is_err() {
+                            break 'conn;
+                        }
+                        if stop {
+                            break 'conn;
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.shutting_down() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Turns one request line into one response line; the flag asks the
+    /// connection loop to hang up (after a shutdown acknowledgement).
+    fn process_line(&self, line: &str, queue: &BoundedQueue<Job>) -> (String, bool) {
+        self.recorder.count("serve.requests", 1);
+        match protocol::parse_request(line) {
+            Err(e) => {
+                self.recorder.count("serve.bad_request", 1);
+                (protocol::error_response("bad_request", &e.to_string()), false)
+            }
+            Ok(Request::Ping) => (protocol::pong_response(), false),
+            Ok(Request::Stats) => (self.stats_response(), false),
+            Ok(Request::Shutdown) => {
+                self.recorder.count("serve.shutdown", 1);
+                self.shutdown.store(true, Ordering::Relaxed);
+                (protocol::shutdown_response(), true)
+            }
+            Ok(Request::Plan(spec)) => {
+                let deadline_ms = spec.deadline_ms;
+                (self.enqueue_and_wait(Work::Plan(spec), deadline_ms, queue), false)
+            }
+            Ok(Request::Stall { ms }) => {
+                (self.enqueue_and_wait(Work::Stall { ms }, None, queue), false)
+            }
+        }
+    }
+
+    /// Admission control: non-blocking push, then wait for the worker's
+    /// reply. A full queue is an immediate `busy`; a closed queue an
+    /// immediate `shutting_down`.
+    fn enqueue_and_wait(
+        &self,
+        work: Work,
+        deadline_ms: Option<u64>,
+        queue: &BoundedQueue<Job>,
+    ) -> String {
+        let (reply, receive) = mpsc::channel();
+        let deadline =
+            Duration::from_millis(deadline_ms.unwrap_or(self.config.default_deadline_ms));
+        let job = Job { work, enqueued: Instant::now(), deadline, reply };
+        match queue.try_push(job) {
+            Err(PushError::Full) => {
+                self.recorder.count("serve.busy", 1);
+                protocol::error_response(
+                    "busy",
+                    &format!("queue full ({} pending); retry later", queue.capacity()),
+                )
+            }
+            Err(PushError::Closed) => {
+                protocol::error_response("shutting_down", "server is draining; not accepting work")
+            }
+            Ok(()) => {
+                self.recorder.count("serve.enqueued", 1);
+                // Workers drain the queue even during shutdown, so every
+                // admitted job is answered and this recv cannot dangle.
+                receive.recv().unwrap_or_else(|_| {
+                    protocol::error_response("internal", "worker dropped the reply channel")
+                })
+            }
+        }
+    }
+
+    /// One worker: pop, check the queueing deadline, plan, reply.
+    fn worker_loop(&self, queue: &BoundedQueue<Job>) {
+        while let Some(job) = queue.pop() {
+            self.recorder.count("serve.dequeued", 1);
+            let waited = job.enqueued.elapsed();
+            let response = if waited > job.deadline {
+                self.recorder.count("serve.deadline", 1);
+                protocol::error_response(
+                    "deadline",
+                    &format!(
+                        "request waited {}ms in queue, past its {}ms deadline",
+                        waited.as_millis(),
+                        job.deadline.as_millis()
+                    ),
+                )
+            } else {
+                match job.work {
+                    Work::Stall { ms } => {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        protocol::stalled_response(ms)
+                    }
+                    Work::Plan(spec) => self.plan(&spec),
+                }
+            };
+            self.recorder.record_duration("serve.latency", job.enqueued.elapsed());
+            // The connection may have hung up while queued; nothing to do.
+            let _ = job.reply.send(response);
+        }
+    }
+
+    fn plan(&self, spec: &PlanSpec) -> String {
+        let engine = StreamingEngine::new(spec.config).with_cache(Arc::clone(&self.cache));
+        match engine.plan_shared(&spec.ratio, spec.demand) {
+            Ok(plan) => {
+                self.recorder.count("serve.planned", 1);
+                let key = PlanKey::new(&spec.config, &spec.ratio, spec.demand);
+                protocol::plan_response(&plan, key.fingerprint())
+            }
+            Err(e) => {
+                self.recorder.count("serve.plan_failed", 1);
+                protocol::error_response("plan_failed", &e.to_string())
+            }
+        }
+    }
+
+    /// The `stats` response: `serve.*` counters, request-latency summary
+    /// and plan-cache statistics, as one flat JSON object.
+    fn stats_response(&self) -> String {
+        let snapshot = self.recorder.snapshot();
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let (latency_count, latency_mean_ns) =
+            snapshot.histograms.get("serve.latency").map_or((0, 0), |h| (h.count, h.mean_ns()));
+        let cache = self.cache.stats();
+        format!(
+            "{{\"ok\":true,\"type\":\"stats\",\
+             \"requests\":{},\"connections\":{},\"planned\":{},\"plan_failed\":{},\
+             \"bad_request\":{},\"busy\":{},\"deadline\":{},\
+             \"enqueued\":{},\"dequeued\":{},\
+             \"latency_count\":{latency_count},\"latency_mean_ns\":{latency_mean_ns},\
+             \"workers\":{},\"queue_depth\":{},\
+             \"cache_len\":{},\"cache_capacity\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"cache_evictions\":{}}}",
+            counter("serve.requests"),
+            counter("serve.connections"),
+            counter("serve.planned"),
+            counter("serve.plan_failed"),
+            counter("serve.bad_request"),
+            counter("serve.busy"),
+            counter("serve.deadline"),
+            counter("serve.enqueued"),
+            counter("serve.dequeued"),
+            self.config.workers.max(1),
+            self.config.queue_depth.max(1),
+            cache.len,
+            cache.capacity,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+        )
+    }
+}

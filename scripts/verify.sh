@@ -33,4 +33,39 @@ diff /tmp/dmf_check_j1.txt /tmp/dmf_check_j4.txt
 echo "==> bench_plan (plan cache micro-benchmark; warm hit must be >= 10x faster)"
 cargo run --release -q -p dmf-bench --bin bench_plan >/dev/null
 
+echo "==> serve smoke (served plan must match dmfstream plan; clean shutdown)"
+serve_log=$(mktemp)
+target/release/dmfstream serve --port 0 --workers 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill -9 "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "^listening on " "$serve_log" && break
+  sleep 0.05
+done
+serve_addr=$(sed -n 's/^listening on //p' "$serve_log" | head -1)
+[ -n "$serve_addr" ] || { echo "serve smoke: server never announced its address"; exit 1; }
+plan_summary=$(target/release/dmfstream plan 2:1:1:1:1:1:9 --demand 20 | head -1)
+served=$(target/release/dmfstream request 2:1:1:1:1:1:9 --demand 20 --connect "$serve_addr")
+served_summary=$(printf '%s' "$served" | sed -n 's/.*"summary":"\([^"]*\)".*/\1/p')
+[ "$served_summary" = "$plan_summary" ] || {
+  echo "serve smoke: served summary '$served_summary' != plan output '$plan_summary'"
+  exit 1
+}
+stats=$(target/release/dmfstream request --op stats --connect "$serve_addr")
+printf '%s' "$stats" | grep -q '"planned":1' || {
+  echo "serve smoke: stats did not report the planned request: $stats"
+  exit 1
+}
+target/release/dmfstream request --op shutdown --connect "$serve_addr" >/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "serve smoke: server did not shut down within 10s"
+  exit 1
+fi
+trap - EXIT
+wait "$serve_pid" || { echo "serve smoke: server exited non-zero"; exit 1; }
+
 echo "verify: OK"

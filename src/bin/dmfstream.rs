@@ -11,6 +11,10 @@
 //! DMF_OBS=1 dmfstream simulate 2:1:1:1:1:1:9 --demand 20
 //! dmfstream fault 2:1:1:1:1:1:9 --demand 20 --seed 42 --fault-rate 0.05
 //! dmfstream check --all-protocols --jobs 4
+//! dmfstream serve --port 7070 --workers 4 --cache-capacity 256
+//! dmfstream request 2:1:1:1:1:1:9 --demand 20 --connect 127.0.0.1:7070
+//! dmfstream request --op stats --connect 127.0.0.1:7070
+//! dmfstream request --op shutdown --connect 127.0.0.1:7070
 //! ```
 //!
 //! `plan --all-protocols` and `check --all-protocols` plan every Table 2
@@ -24,6 +28,13 @@
 //! [`dmf_obs`] recorder: the run's spans, counters and gauges are dumped
 //! as JSON lines to the path and a human-readable summary table is
 //! printed at the end.
+//!
+//! `serve` starts the [`dmf_serve`] planning service (it prints
+//! `listening on ADDR` once bound — pass `--port 0` to pick a free port)
+//! and `request` is the matching one-shot client: it builds the protocol
+//! line from the same planning flags `plan` takes, sends it, and prints
+//! the raw JSON response. `request` exits non-zero when the server
+//! answers with an error response.
 
 // Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
 // deny wall applies to library code only (see Cargo.toml).
@@ -38,6 +49,7 @@ use dmfstream::mixalgo::BaseAlgorithm;
 use dmfstream::obs;
 use dmfstream::ratio::TargetRatio;
 use dmfstream::sched::SchedulerKind;
+use dmfstream::serve::{Client, ServeConfig, Server};
 use dmfstream::sim::Simulator;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -56,6 +68,10 @@ struct Args {
     report: Option<PathBuf>,
     jobs: Option<NonZeroUsize>,
     no_cache: bool,
+    serve: ServeConfig,
+    deadline_ms: Option<u64>,
+    connect: Option<String>,
+    op: String,
 }
 
 /// The flags each verb accepts. Unknown-flag errors quote the relevant
@@ -110,13 +126,31 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--no-cache",
             "--report",
         ]),
+        "serve" => Some(&[
+            "--addr",
+            "--port",
+            "--workers",
+            "--queue-depth",
+            "--cache-capacity",
+            "--deadline-ms",
+        ]),
+        "request" => Some(&[
+            "--connect",
+            "--op",
+            "--demand",
+            "--mixers",
+            "--storage",
+            "--algorithm",
+            "--scheduler",
+            "--deadline-ms",
+        ]),
         _ => None,
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dmfstream <plan|gantt|simulate|fault|check> <a1:a2:...:aN> \
+        "usage: dmfstream <plan|gantt|simulate|fault|check|serve|request> <a1:a2:...:aN> \
          [--demand D] [--mixers M] [--storage Q] \
          [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace] \
          [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)\n\
@@ -125,7 +159,11 @@ fn usage() -> ExitCode {
          batch flags (plan/check with --all-protocols): [--jobs N] [--no-cache]\n\
          check-only flags: dmfstream check <ratio|--all-protocols> \
          [--report PATH] writes diagnostics as JSONL; exit 1 on any \
-         error-severity diagnostic"
+         error-severity diagnostic\n\
+         serve flags: [--addr HOST:PORT | --port P] [--workers N] \
+         [--queue-depth N] [--cache-capacity N] [--deadline-ms MS]\n\
+         request flags: --connect HOST:PORT [--op plan|stats|ping|shutdown] \
+         [--deadline-ms MS] plus the plan flags above"
     );
     ExitCode::from(2)
 }
@@ -153,6 +191,10 @@ fn parse_args() -> Result<Args, String> {
     let mut metrics: Option<PathBuf> = None;
     let mut jobs: Option<NonZeroUsize> = None;
     let mut no_cache = false;
+    let mut serve = ServeConfig::default();
+    let mut deadline_ms: Option<u64> = None;
+    let mut connect: Option<String> = None;
+    let mut op = String::from("plan");
     while let Some(flag) = argv.next() {
         if !allowed.contains(&flag.as_str()) {
             return Err(format!(
@@ -190,6 +232,28 @@ fn parse_args() -> Result<Args, String> {
                 })?)
             }
             "--no-cache" => no_cache = true,
+            "--addr" => serve.addr = value()?,
+            "--port" => {
+                let port: u16 = value()?.parse().map_err(|e| format!("bad port: {e}"))?;
+                serve.addr = format!("127.0.0.1:{port}");
+            }
+            "--workers" => {
+                serve.workers = value()?.parse().map_err(|e| format!("bad workers: {e}"))?
+            }
+            "--queue-depth" => {
+                serve.queue_depth = value()?.parse().map_err(|e| format!("bad queue depth: {e}"))?
+            }
+            "--cache-capacity" => {
+                serve.cache_capacity =
+                    value()?.parse().map_err(|e| format!("bad cache capacity: {e}"))?
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value()?.parse().map_err(|e| format!("bad deadline: {e}"))?;
+                serve.default_deadline_ms = ms;
+                deadline_ms = Some(ms);
+            }
+            "--connect" => connect = Some(value()?),
+            "--op" => op = value()?,
             "--demand" => demand = value()?.parse().map_err(|e| format!("bad demand: {e}"))?,
             "--mixers" => {
                 config =
@@ -234,6 +298,10 @@ fn parse_args() -> Result<Args, String> {
         report,
         jobs,
         no_cache,
+        serve,
+        deadline_ms,
+        connect,
+        op,
     })
 }
 
@@ -273,6 +341,12 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> ExitCode {
+    if args.command == "serve" {
+        return run_serve(args);
+    }
+    if args.command == "request" {
+        return run_request(args);
+    }
     if args.command == "check" {
         return run_check(args);
     }
@@ -504,6 +578,118 @@ fn run_check(args: &Args) -> ExitCode {
     } else {
         println!("check: {} target(s), {} diagnostics — all clean", targets.len(), combined.len());
         ExitCode::SUCCESS
+    }
+}
+
+/// `dmfstream serve`: bind the planning service, announce the address
+/// (`--port 0` picks a free port; scripts parse the `listening on` line)
+/// and block until a client sends `{"op":"shutdown"}`.
+fn run_serve(args: &Args) -> ExitCode {
+    use std::io::Write as _;
+    let server = match Server::bind(args.serve.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.serve.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            println!("listening on {addr}");
+            // The line must reach a piping consumer before we block.
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("serve: drained and shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the protocol line for `dmfstream request` from the same flags
+/// `plan` takes; config members are only included when they differ from
+/// the engine default, so the server plans exactly what `dmfstream plan`
+/// would with the same flags.
+fn request_line(args: &Args) -> Result<String, String> {
+    match args.op.as_str() {
+        "stats" | "ping" | "shutdown" => Ok(format!("{{\"op\":\"{}\"}}", args.op)),
+        "plan" => {
+            let ratio = args.ratio.as_ref().ok_or("request --op plan needs a target ratio")?;
+            let defaults = EngineConfig::default();
+            let mut members = vec![
+                format!("\"op\":\"plan\""),
+                format!("\"ratio\":\"{ratio}\""),
+                format!("\"demand\":{}", args.demand),
+            ];
+            if args.config.algorithm != defaults.algorithm {
+                let name = match args.config.algorithm {
+                    BaseAlgorithm::MinMix => "mm",
+                    BaseAlgorithm::Rma => "rma",
+                    BaseAlgorithm::Mtcs => "mtcs",
+                    BaseAlgorithm::Rsm => "rsm",
+                };
+                members.push(format!("\"algorithm\":\"{name}\""));
+            }
+            if args.config.scheduler != defaults.scheduler {
+                let name = match args.config.scheduler {
+                    SchedulerKind::Mms => "mms",
+                    SchedulerKind::Srs => "srs",
+                };
+                members.push(format!("\"scheduler\":\"{name}\""));
+            }
+            if let dmfstream::engine::MixerBudget::Fixed(mixers) = args.config.mixers {
+                members.push(format!("\"mixers\":{mixers}"));
+            }
+            if let Some(storage) = args.config.storage_limit {
+                members.push(format!("\"storage\":{storage}"));
+            }
+            if let Some(ms) = args.deadline_ms {
+                members.push(format!("\"deadline_ms\":{ms}"));
+            }
+            Ok(format!("{{{}}}", members.join(",")))
+        }
+        other => Err(format!("unknown --op {other:?} (expected plan, stats, ping or shutdown)")),
+    }
+}
+
+/// `dmfstream request`: one-shot client — send one line, print the raw
+/// JSON response, exit non-zero on an `"ok":false` answer.
+fn run_request(args: &Args) -> ExitCode {
+    let Some(connect) = &args.connect else {
+        eprintln!("error: request needs --connect HOST:PORT");
+        return usage();
+    };
+    let line = match request_line(args) {
+        Ok(line) => line,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let response = Client::connect(connect).and_then(|mut client| client.request(&line));
+    match response {
+        Ok(response) => {
+            println!("{response}");
+            if response.starts_with("{\"ok\":true") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: request to {connect} failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -121,3 +121,8 @@ pub mod dilution {
 pub mod check {
     pub use dmf_check::*;
 }
+
+/// Concurrent planning service over line-delimited JSON ([`dmf_serve`]).
+pub mod serve {
+    pub use dmf_serve::*;
+}

@@ -20,7 +20,7 @@ use dmfstream::forest::{build_forest, ReusePolicy};
 use dmfstream::mixalgo::{MinMix, MixingAlgorithm};
 use dmfstream::mixgraph::{MixGraph, MixNode, Operand};
 use dmfstream::ratio::{FluidId, TargetRatio};
-use dmfstream::route::{route_concurrent, Grid, RouteRequest};
+use dmfstream::route::{route_concurrent, Grid, RouteRequest, TimedPath};
 use dmfstream::sched::{srs_schedule, Schedule};
 
 fn pcr_d4() -> TargetRatio {
@@ -160,8 +160,10 @@ fn shifted_route_trips_rt002() {
     assert!(check_routes(&grid, &requests, &paths).is_clean());
     // Drop the second step of the first path: the droplet now teleports
     // from cells[0] to what used to be cells[2].
-    assert!(paths[0].cells.len() >= 4, "straight-line route is long enough");
-    paths[0].cells.remove(1);
+    assert!(paths[0].cells().len() >= 4, "straight-line route is long enough");
+    let mut cells = paths[0].cells().to_vec();
+    cells.remove(1);
+    paths[0] = TimedPath::new(cells).unwrap();
     let report = check_routes(&grid, &requests, &paths);
     assert!(
         report.has(RuleCode::Rt002),
