@@ -105,7 +105,10 @@ fn plan_one(
 /// Workers pull requests from an atomic cursor, so load balances across
 /// heterogeneous request costs; determinism is unaffected because each
 /// plan only depends on its own request. Per-batch `batch.requests` /
-/// `batch.jobs` gauges are published when the global recorder is enabled.
+/// `batch.jobs` gauges are published when the global recorder is enabled,
+/// and each worker adopts the caller's [`dmf_obs::TraceContext`], so
+/// per-request `engine_plan` spans parent under the `plan_batch` span
+/// instead of becoming anonymous per-thread roots.
 ///
 /// Errors are per-request: one infeasible request yields an `Err` in its
 /// slot without disturbing its neighbors.
@@ -126,10 +129,16 @@ pub fn plan_batch(
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<Arc<StreamPlan>, EngineError>>> = Vec::new();
     slots.resize_with(requests.len(), || None);
+    // Capture the batch span's position so each worker thread can adopt
+    // it: per-request `engine_plan` spans then parent under `plan_batch`
+    // instead of floating as anonymous roots.
+    let ctx = dmf_obs::TraceContext::current();
+    let ctx_ref = &ctx;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
+                    let _adopted = ctx_ref.enter();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);

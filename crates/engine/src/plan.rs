@@ -174,7 +174,14 @@ impl StreamingEngine {
             return self.plan_uncached(target, demand).map(Arc::new);
         };
         let key = PlanKey::new(&self.config, target, demand);
-        if let Some(hit) = cache.lookup(&key) {
+        let hit = {
+            let _lookup = dmf_obs::span!("plan_cache_lookup");
+            cache.lookup(&key)
+        };
+        if let Some(hit) = hit {
+            // A zero-work marker span: the trace shows the request was
+            // answered from the cache (a miss shows `engine_plan` instead).
+            let _hit = dmf_obs::span!("plan_cache_hit");
             return Ok(hit);
         }
         let plan = Arc::new(self.plan_uncached(target, demand)?);

@@ -73,7 +73,10 @@ impl StreamingEngine {
     /// re-synthesizes a partial forest for the rest.
     ///
     /// Counts `recovery.replans` and runs under the `recovery_plan` span
-    /// when the global recorder is enabled.
+    /// when the global recorder is enabled. With span trees, the replan's
+    /// `engine_plan` (and its pipeline stages) nests under `recovery_plan`,
+    /// so profile reports attribute recovery overhead separately from
+    /// first-attempt planning instead of folding both into one bucket.
     ///
     /// # Errors
     ///

@@ -59,15 +59,20 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 pub mod json;
+mod profile;
 mod recorder;
 mod report;
 mod table;
 
-pub use recorder::{Histogram, Recorder, Snapshot, Span, SpanRecord, HIST_BUCKETS};
+pub use profile::{chrome_trace, ProfileNode, ProfileReport};
+pub use recorder::{
+    current_span, thread_ordinal, Histogram, Recorder, Snapshot, Span, SpanRecord,
+    DEFAULT_SPAN_CAPACITY, HIST_BUCKETS,
+};
 pub use report::{MetricsReport, PhaseLatency};
 pub use table::Table;
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 static GLOBAL: OnceLock<Recorder> = OnceLock::new();
 
@@ -77,7 +82,8 @@ pub fn global() -> &'static Recorder {
     GLOBAL.get_or_init(Recorder::disabled)
 }
 
-/// Starts a span on the [`global`] recorder.
+/// Starts a span on the thread's current sink: the recorder adopted via
+/// [`TraceContext::enter`] if one is active, else the [`global`] recorder.
 ///
 /// ```
 /// {
@@ -88,8 +94,110 @@ pub fn global() -> &'static Recorder {
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
-        $crate::global().span($name)
+        $crate::current_span($name)
     };
+}
+
+/// A portable handle to "where spans should go and what they hang under":
+/// a sink [`Recorder`] plus a `(trace_id, parent_id)` edge.
+///
+/// Capture one with [`TraceContext::current`] before handing work to
+/// another thread (or build one from an explicit root with
+/// [`Recorder::trace_context`]); the receiving thread calls
+/// [`TraceContext::enter`] and every span it starts — including
+/// [`crate::span!`] call sites deep inside library code — joins the
+/// originating trace as children of the captured span.
+///
+/// ```
+/// use dmf_obs::{Recorder, TraceContext};
+/// use std::sync::Arc;
+///
+/// let rec = Arc::new(Recorder::new());
+/// let root = rec.span("request");
+/// let (trace_id, span_id) = root.ids().unwrap();
+/// let ctx = rec.trace_context(trace_id, span_id);
+/// std::thread::scope(|s| {
+///     s.spawn(move || {
+///         let _adopted = ctx.enter();
+///         let _work = dmf_obs::span!("worker_phase"); // child of "request"
+///     });
+/// });
+/// drop(root);
+/// assert_eq!(rec.trace_spans(trace_id).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceContext {
+    pub(crate) sink: Option<Arc<Recorder>>,
+    pub(crate) trace_id: u64,
+    pub(crate) parent_id: u64,
+}
+
+impl TraceContext {
+    /// Captures the calling thread's current position: the adopted sink
+    /// (if any) and the innermost open span. With no open span the
+    /// context is empty and [`TraceContext::enter`] is a no-op — which
+    /// makes capture-and-enter safe to leave in place when tracing is off.
+    pub fn current() -> TraceContext {
+        let (trace_id, parent_id) = recorder::current_frame().unwrap_or((0, 0));
+        TraceContext { sink: recorder::current_sink(), trace_id, parent_id }
+    }
+
+    /// An empty context; entering it does nothing.
+    pub fn none() -> TraceContext {
+        TraceContext::default()
+    }
+
+    /// Whether entering this context links new spans into a trace.
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The trace this context belongs to (0 when inactive).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The span new children will hang under (0 when inactive).
+    pub fn parent_id(&self) -> u64 {
+        self.parent_id
+    }
+
+    /// Adopts the context on the calling thread until the returned guard
+    /// drops: the sink becomes the target of [`crate::span!`], and spans
+    /// started meanwhile nest under the context's parent span.
+    pub fn enter(&self) -> TraceScope {
+        let previous_sink =
+            self.sink.as_ref().map(|sink| recorder::swap_sink(Some(Arc::clone(sink))));
+        let pushed = if self.trace_id != 0 {
+            recorder::push_frame(self.trace_id, self.parent_id);
+            Some(self.parent_id)
+        } else {
+            None
+        };
+        TraceScope { previous_sink, pushed }
+    }
+}
+
+/// Guard for an adopted [`TraceContext`]; restores the thread's previous
+/// sink and span stack when dropped.
+#[must_use = "the context is only adopted while this guard is live"]
+#[derive(Debug)]
+pub struct TraceScope {
+    /// `Some(prev)` when the sink was swapped and must be restored.
+    previous_sink: Option<Option<Arc<Recorder>>>,
+    /// The frame pushed on enter, identified by its span_id.
+    pushed: Option<u64>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if let Some(span_id) = self.pushed.take() {
+            recorder::pop_frame(span_id);
+        }
+        if let Some(previous) = self.previous_sink.take() {
+            let _ = recorder::swap_sink(previous);
+        }
+    }
 }
 
 /// Formats a nanosecond quantity with an adaptive unit (`ns`, `µs`, `ms`,

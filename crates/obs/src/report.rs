@@ -1,4 +1,4 @@
-use crate::{fmt_ns, Recorder, Snapshot, Table};
+use crate::{fmt_ns, Histogram, Recorder, Snapshot, Table};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -28,6 +28,9 @@ pub struct MetricsReport {
     pub counters: BTreeMap<String, u64>,
     /// Gauges by name.
     pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name (spans feed `span.<name>`); rendered as a
+    /// count/mean/p50/p90/p99/max percentile table.
+    pub histograms: BTreeMap<String, Histogram>,
     /// Wall time covered by the session, nanoseconds.
     pub elapsed_ns: u64,
 }
@@ -64,6 +67,7 @@ impl MetricsReport {
             phases,
             counters: snapshot.counters.clone(),
             gauges: snapshot.gauges.clone(),
+            histograms: snapshot.histograms.clone(),
             elapsed_ns: snapshot.elapsed_ns,
         }
     }
@@ -116,6 +120,25 @@ impl fmt::Display for MetricsReport {
             }
             write!(f, "{t}")?;
         }
+        if !self.histograms.is_empty() {
+            if !self.phases.is_empty() || !self.gauges.is_empty() || !self.counters.is_empty() {
+                writeln!(f)?;
+            }
+            writeln!(f, "latency percentiles (2x-bucket estimates):")?;
+            let mut t = Table::new(["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
+            for (name, h) in &self.histograms {
+                t.row([
+                    name.clone(),
+                    h.count.to_string(),
+                    fmt_ns(h.mean_ns()),
+                    fmt_ns(h.percentile(0.50)),
+                    fmt_ns(h.percentile(0.90)),
+                    fmt_ns(h.percentile(0.99)),
+                    fmt_ns(h.max_ns),
+                ]);
+            }
+            write!(f, "{t}")?;
+        }
         Ok(())
     }
 }
@@ -125,14 +148,19 @@ mod tests {
     use super::*;
     use crate::SpanRecord;
 
+    fn span(name: &'static str, span_id: u64, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord { name, trace_id: 1, span_id, parent_id: 0, tid: 1, start_ns, dur_ns }
+    }
+
     fn snapshot_with_spans() -> Snapshot {
         Snapshot {
             elapsed_ns: 10_000,
             spans: vec![
-                SpanRecord { name: "forest_build", start_ns: 0, dur_ns: 300 },
-                SpanRecord { name: "sched_srs", start_ns: 300, dur_ns: 700 },
-                SpanRecord { name: "forest_build", start_ns: 1_000, dur_ns: 500 },
+                span("forest_build", 2, 0, 300),
+                span("sched_srs", 3, 300, 700),
+                span("forest_build", 4, 1_000, 500),
             ],
+            spans_dropped: 0,
             counters: BTreeMap::from([("plan.mix_splits".to_owned(), 27u64)]),
             gauges: BTreeMap::from([("plan.storage_peak".to_owned(), 5u64)]),
             histograms: BTreeMap::new(),
@@ -169,5 +197,21 @@ mod tests {
         assert!(text.contains("metrics:"));
         assert!(text.contains("plan.storage_peak"));
         assert!(text.contains("gauge"));
+    }
+
+    #[test]
+    fn renders_percentiles_for_histograms() {
+        let mut snap = snapshot_with_spans();
+        let mut h = Histogram::default();
+        for v in [100u64, 1_000, 10_000, 100_000] {
+            h.record(v);
+        }
+        snap.histograms.insert("serve.latency".to_owned(), h);
+        let report = MetricsReport::from_snapshot(&snap);
+        assert_eq!(report.histograms.len(), 1);
+        let text = report.to_string();
+        assert!(text.contains("latency percentiles"));
+        assert!(text.contains("serve.latency"));
+        assert!(text.contains("p99"));
     }
 }

@@ -33,7 +33,8 @@ fn session_roundtrips_through_jsonl() {
     // meta, 2 spans, 2 counters, 1 gauge, 3 histograms (2 span-fed + 1 direct).
     assert_eq!(lines.len(), 9, "unexpected line count in:\n{text}");
     assert_eq!(lines[0].get("type").unwrap().as_str(), Some("meta"));
-    assert_eq!(lines[0].get("version").unwrap().as_u64(), Some(1));
+    assert_eq!(lines[0].get("version").unwrap().as_u64(), Some(2));
+    assert_eq!(lines[0].get("spans_dropped").unwrap().as_u64(), Some(0));
 
     let spans: Vec<&Json> =
         lines.iter().filter(|l| l.get("type").and_then(Json::as_str) == Some("span")).collect();
@@ -45,6 +46,24 @@ fn session_roundtrips_through_jsonl() {
         assert!(s.get("start_ns").unwrap().as_u64().is_some());
         assert!(s.get("dur_ns").unwrap().as_u64().is_some());
     }
+
+    // Trace-tree fields: 16-hex-digit ID strings that decode back to the
+    // in-memory records, with the nesting intact on the wire.
+    let hex_id = |s: &Json, key: &str| {
+        let text = s.get(key).unwrap().as_str().unwrap();
+        assert_eq!(text.len(), 16, "{key} must be 16 hex digits, got {text:?}");
+        u64::from_str_radix(text, 16).unwrap()
+    };
+    let snap = rec.snapshot();
+    let inner = &snap.spans[0];
+    assert_eq!(hex_id(spans[0], "span_id"), inner.span_id);
+    assert_eq!(hex_id(spans[0], "trace_id"), inner.trace_id);
+    assert_eq!(hex_id(spans[0], "parent_id"), inner.parent_id);
+    assert_eq!(spans[0].get("tid").unwrap().as_u64(), Some(u64::from(inner.tid)));
+    // sched_srs nests under engine_plan; both share the root's trace.
+    assert_eq!(hex_id(spans[0], "parent_id"), hex_id(spans[1], "span_id"));
+    assert_eq!(hex_id(spans[0], "trace_id"), hex_id(spans[1], "trace_id"));
+    assert_eq!(hex_id(spans[1], "parent_id"), 0);
 
     let counter = |name: &str| {
         lines

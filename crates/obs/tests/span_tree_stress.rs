@@ -1,0 +1,127 @@
+//! Multi-threaded span-tree stress: N threads hammering one recorder must
+//! yield a well-formed forest (unique IDs, no orphan parents, traces that
+//! never leak across threads) and explicit cross-thread adoption must
+//! stitch worker spans into the originating trace.
+
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+use dmf_obs::{Recorder, SpanRecord};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const ITERATIONS: usize = 50;
+
+fn assert_well_formed(spans: &[SpanRecord]) -> HashMap<u64, SpanRecord> {
+    let mut by_id: HashMap<u64, SpanRecord> = HashMap::new();
+    for s in spans {
+        assert_ne!(s.span_id, 0, "span IDs are never 0");
+        assert!(by_id.insert(s.span_id, s.clone()).is_none(), "duplicate span_id {}", s.span_id);
+    }
+    for s in spans {
+        if s.parent_id == 0 {
+            assert_eq!(s.trace_id, s.span_id, "a root's trace_id is its own span_id");
+        } else {
+            let parent = by_id
+                .get(&s.parent_id)
+                .unwrap_or_else(|| panic!("orphan parent {} for span {}", s.parent_id, s.name));
+            assert_eq!(parent.trace_id, s.trace_id, "child and parent share a trace");
+        }
+    }
+    by_id
+}
+
+#[test]
+fn concurrent_span_forest_is_well_formed() {
+    let rec = Arc::new(Recorder::new());
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let rec = Arc::clone(&rec);
+            scope.spawn(move || {
+                for _ in 0..ITERATIONS {
+                    let outer = rec.span("outer");
+                    let (outer_trace, outer_id) = outer.ids().unwrap();
+                    {
+                        let mid = rec.span("mid");
+                        let (mid_trace, mid_id) = mid.ids().unwrap();
+                        assert_eq!(mid_trace, outer_trace);
+                        assert_ne!(mid_id, outer_id);
+                        let _leaf = rec.span("leaf");
+                    }
+                }
+            });
+        }
+    });
+    let snap = rec.snapshot();
+    assert_eq!(snap.spans.len(), THREADS * ITERATIONS * 3);
+    assert_eq!(snap.spans_dropped, 0);
+    let by_id = assert_well_formed(&snap.spans);
+
+    // Every iteration forms its own three-level trace; threads never bleed
+    // into each other's stacks, so each trace holds exactly 3 spans with
+    // a single root and consistent thread ownership.
+    let mut traces: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for s in &snap.spans {
+        traces.entry(s.trace_id).or_default().push(s);
+    }
+    assert_eq!(traces.len(), THREADS * ITERATIONS);
+    for (trace_id, members) in &traces {
+        assert_eq!(members.len(), 3, "trace {trace_id} has {} spans", members.len());
+        let roots: Vec<_> = members.iter().filter(|s| s.parent_id == 0).collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "outer");
+        let tids: HashSet<u32> = members.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 1, "one trace never spans threads without adoption");
+        let leaf = members.iter().find(|s| s.name == "leaf").unwrap();
+        let mid = members.iter().find(|s| s.name == "mid").unwrap();
+        assert_eq!(leaf.parent_id, mid.span_id);
+        assert_eq!(by_id[&mid.parent_id].name, "outer");
+    }
+}
+
+#[test]
+fn adopted_context_stitches_worker_spans_into_one_trace() {
+    let rec = Arc::new(Recorder::new());
+    let root = rec.span("request_root");
+    let (trace_id, root_id) = root.ids().unwrap();
+    let ctx = rec.trace_context(trace_id, root_id);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let rec = Arc::clone(&rec);
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                let _adopted = ctx.enter();
+                let worker = rec.span("worker");
+                assert_eq!(worker.ids().unwrap().0, trace_id, "worker joins the trace");
+                let _stage = rec.span("stage");
+            });
+        }
+    });
+    drop(root);
+
+    let spans = rec.trace_spans(trace_id);
+    assert_eq!(spans.len(), 9, "1 root + 4 workers x 2 spans");
+    assert_well_formed(&spans);
+    let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+    assert_eq!(workers.len(), 4);
+    for w in &workers {
+        assert_eq!(w.parent_id, root_id, "workers hang directly under the root");
+    }
+    let stages: Vec<_> = spans.iter().filter(|s| s.name == "stage").collect();
+    let worker_ids: HashSet<u64> = workers.iter().map(|w| w.span_id).collect();
+    for s in &stages {
+        assert!(worker_ids.contains(&s.parent_id), "stages nest under their worker");
+    }
+    // Four worker threads plus the main thread recorded into one tree.
+    let tids: HashSet<u32> = spans.iter().map(|s| s.tid).collect();
+    assert!(tids.len() >= 2, "adoption crosses threads");
+
+    // After the guards dropped, the spawning threads' stacks are clean:
+    // a fresh span on this thread starts a brand-new trace.
+    {
+        let fresh = rec.span("fresh");
+        let (fresh_trace, _) = fresh.ids().unwrap();
+        assert_ne!(fresh_trace, trace_id);
+    }
+}

@@ -24,14 +24,19 @@
 //! {"ok":false,"error":"busy","message":"..."}
 //! ```
 //!
-//! A plan response is a pure function of the request's
+//! A plain plan response is a pure function of the request's
 //! [`dmf_engine::PlanKey`] tuple: equal keys produce byte-identical
 //! response lines whether they were served from the cache or planned
-//! fresh — the protocol deliberately carries no hit/miss marker.
+//! fresh — the protocol deliberately carries no hit/miss marker. A
+//! request may opt out of that purity with `"trace":true`, which appends
+//! the request's `trace_id` (16 hex digits) and a `stages` array of
+//! `{name, start_ns, dur_ns}` span records — timings, by nature, differ
+//! between runs.
 
 use dmf_engine::{EngineConfig, StreamPlan};
 use dmf_mixalgo::BaseAlgorithm;
 use dmf_obs::json::{self, Json};
+use dmf_obs::SpanRecord;
 use dmf_ratio::TargetRatio;
 use dmf_sched::SchedulerKind;
 use std::fmt;
@@ -71,6 +76,9 @@ pub struct PlanSpec {
     pub config: EngineConfig,
     /// Per-request queueing deadline override, milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Whether the response should embed the request's trace ID and
+    /// per-stage span breakdown (`"trace":true`; defaults to `false`).
+    pub trace: bool,
 }
 
 /// Why a request line was rejected.
@@ -100,6 +108,14 @@ fn member_u64(obj: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| ProtocolError::new(format!("{key:?} must be a non-negative integer"))),
+    }
+}
+
+fn member_bool(obj: &Json, key: &str) -> Result<Option<bool>, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(ProtocolError::new(format!("{key:?} must be a boolean"))),
     }
 }
 
@@ -168,7 +184,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 config = config.with_storage_limit(storage);
             }
             let deadline_ms = member_u64(&value, "deadline_ms")?;
-            Ok(Request::Plan(PlanSpec { ratio, demand, config, deadline_ms }))
+            let trace = member_bool(&value, "trace")?.unwrap_or(false);
+            Ok(Request::Plan(PlanSpec { ratio, demand, config, deadline_ms, trace }))
         }
         other => Err(ProtocolError::new(format!(
             "unknown op {other:?} (expected plan, stats, ping or shutdown)"
@@ -176,15 +193,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     }
 }
 
-/// The success response for a planned request.
-///
-/// `fingerprint` is the request's [`dmf_engine::PlanKey::fingerprint`],
-/// rendered as 16 lowercase hex digits.
-pub fn plan_response(plan: &StreamPlan, fingerprint: u64) -> String {
+fn plan_response_body(plan: &StreamPlan, fingerprint: u64) -> String {
     format!(
-        "{{\"ok\":true,\"type\":\"plan\",\"fingerprint\":\"{fingerprint:016x}\",\
+        "\"ok\":true,\"type\":\"plan\",\"fingerprint\":\"{fingerprint:016x}\",\
          \"demand\":{},\"passes\":{},\"tc\":{},\"tms\":{},\"waste\":{},\"inputs\":{},\
-         \"storage_peak\":{},\"mixers\":{},\"summary\":\"{}\"}}",
+         \"storage_peak\":{},\"mixers\":{},\"summary\":\"{}\"",
         plan.demand,
         plan.passes.len(),
         plan.total_cycles,
@@ -195,6 +208,42 @@ pub fn plan_response(plan: &StreamPlan, fingerprint: u64) -> String {
         plan.mixers,
         json::escape(&plan.to_string()),
     )
+}
+
+/// The success response for a planned request.
+///
+/// `fingerprint` is the request's [`dmf_engine::PlanKey::fingerprint`],
+/// rendered as 16 lowercase hex digits.
+pub fn plan_response(plan: &StreamPlan, fingerprint: u64) -> String {
+    format!("{{{}}}", plan_response_body(plan, fingerprint))
+}
+
+/// Like [`plan_response`], but for requests that asked for a trace
+/// (`"trace":true`): appends the request's `trace_id` as 16 hex digits
+/// and a `stages` array with the span breakdown recorded so far
+/// (queue wait, pipeline stages, …), each as
+/// `{"name":…,"start_ns":…,"dur_ns":…}` relative to the recorder epoch.
+pub fn plan_response_traced(
+    plan: &StreamPlan,
+    fingerprint: u64,
+    trace_id: u64,
+    stages: &[SpanRecord],
+) -> String {
+    let mut out = format!("{{{}", plan_response_body(plan, fingerprint));
+    out.push_str(&format!(",\"trace_id\":\"{trace_id:016x}\",\"stages\":["));
+    for (i, s) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}",
+            json::escape(s.name),
+            s.start_ns,
+            s.dur_ns,
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// A typed error response; `code` is one of `bad_request`, `busy`,
@@ -234,7 +283,16 @@ mod tests {
         assert_eq!(spec.demand, DEFAULT_DEMAND);
         assert_eq!(spec.config, EngineConfig::default());
         assert_eq!(spec.deadline_ms, None);
+        assert!(!spec.trace);
         assert_eq!(spec.ratio.parts(), &[2, 1, 1, 1, 1, 1, 9]);
+    }
+
+    #[test]
+    fn parses_the_trace_flag() {
+        let r = parse_request(r#"{"op":"plan","ratio":"1:1","trace":true}"#).unwrap();
+        let Request::Plan(spec) = r else { panic!("expected a plan request") };
+        assert!(spec.trace);
+        assert!(parse_request(r#"{"op":"plan","ratio":"1:1","trace":"yes"}"#).is_err());
     }
 
     #[test]
@@ -281,5 +339,42 @@ mod tests {
         assert!(json::parse(&pong_response()).is_ok());
         assert!(json::parse(&shutdown_response()).is_ok());
         assert!(json::parse(&stalled_response(3)).is_ok());
+    }
+
+    #[test]
+    fn traced_plan_response_parses_back_with_stages() {
+        let plan = dmf_engine::StreamingEngine::new(EngineConfig::default())
+            .plan(&"2:1:1:1:1:1:9".parse::<TargetRatio>().unwrap(), 20)
+            .unwrap();
+        let stages = vec![
+            SpanRecord {
+                name: "serve_queue_wait",
+                trace_id: 0xabc,
+                span_id: 1,
+                parent_id: 0xabc,
+                tid: 1,
+                start_ns: 10,
+                dur_ns: 5,
+            },
+            SpanRecord {
+                name: "stage_schedule",
+                trace_id: 0xabc,
+                span_id: 2,
+                parent_id: 1,
+                tid: 2,
+                start_ns: 20,
+                dur_ns: 7,
+            },
+        ];
+        let line = plan_response_traced(&plan, 0x1234, 0xabc, &stages);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("trace_id").and_then(Json::as_str), Some("0000000000000abc"));
+        let Some(Json::Arr(out)) = v.get("stages") else { panic!("stages must be an array") };
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].get("name").and_then(Json::as_str), Some("stage_schedule"));
+        assert_eq!(out[1].get("dur_ns").and_then(Json::as_u64), Some(7));
+        // The untraced response is the traced one minus the trace members.
+        let plain = plan_response(&plan, 0x1234);
+        assert!(line.starts_with(&plain[..plain.len() - 1]));
     }
 }

@@ -46,6 +46,10 @@ pub struct ServeConfig {
     /// instead of being planned; `"deadline_ms"` on the request overrides
     /// it.
     pub default_deadline_ms: u64,
+    /// Slow-request threshold, milliseconds: a queued request whose total
+    /// latency (queue wait + work) reaches it is logged to stderr with its
+    /// trace ID and counted under `serve.slow`. `None` disables the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -56,9 +60,16 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             default_deadline_ms: 10_000,
+            slow_ms: None,
         }
     }
 }
+
+/// How many finished spans the server's recorder retains; old request
+/// trees are evicted beyond this, which keeps a long-lived server's
+/// memory bounded while leaving plenty of room to fetch the stage
+/// breakdown of any in-flight trace.
+const SERVE_SPAN_CAPACITY: usize = 8_192;
 
 enum Work {
     Plan(PlanSpec),
@@ -70,6 +81,11 @@ struct Job {
     enqueued: Instant,
     deadline: Duration,
     reply: mpsc::Sender<String>,
+    /// The request's trace and root-span IDs, captured from the
+    /// connection thread's `serve_request` span so the worker can join
+    /// the same tree from its own thread.
+    trace_id: u64,
+    parent_id: u64,
 }
 
 /// A bound planning service; see the crate docs for the protocol.
@@ -78,7 +94,7 @@ pub struct Server {
     listener: TcpListener,
     config: ServeConfig,
     cache: Arc<PlanCache>,
-    recorder: Recorder,
+    recorder: Arc<Recorder>,
     shutdown: AtomicBool,
 }
 
@@ -94,13 +110,9 @@ impl Server {
             TcpListener::bind,
         )?;
         let cache = PlanCache::shared_with_capacity(config.cache_capacity);
-        Ok(Server {
-            listener,
-            config,
-            cache,
-            recorder: Recorder::new(),
-            shutdown: AtomicBool::new(false),
-        })
+        let recorder = Arc::new(Recorder::new());
+        recorder.set_span_capacity(SERVE_SPAN_CAPACITY);
+        Ok(Server { listener, config, cache, recorder, shutdown: AtomicBool::new(false) })
     }
 
     /// The bound address — the way to learn the port after binding `:0`.
@@ -119,7 +131,7 @@ impl Server {
 
     /// The server-owned metric recorder backing `stats` responses.
     pub fn recorder(&self) -> &Recorder {
-        &self.recorder
+        self.recorder.as_ref()
     }
 
     /// Requests shutdown from outside the protocol (e.g. a signal
@@ -225,43 +237,69 @@ impl Server {
 
     /// Turns one request line into one response line; the flag asks the
     /// connection loop to hang up (after a shutdown acknowledgement).
+    ///
+    /// Every request runs under a `serve_request` root span on the
+    /// connection thread; decoding is a `serve_decode` child, and queued
+    /// work joins the same tree from the worker thread (queue wait,
+    /// planning stages, encode) via the job's captured trace IDs.
     fn process_line(&self, line: &str, queue: &BoundedQueue<Job>) -> (String, bool) {
+        let root = self.recorder.span("serve_request");
+        let (trace_id, root_id) = root.ids().unwrap_or((0, 0));
         self.recorder.count("serve.requests", 1);
-        match protocol::parse_request(line) {
+        let parsed = {
+            let _decode = self.recorder.span("serve_decode");
+            protocol::parse_request(line)
+        };
+        match parsed {
             Err(e) => {
                 self.recorder.count("serve.bad_request", 1);
                 (protocol::error_response("bad_request", &e.to_string()), false)
             }
-            Ok(Request::Ping) => (protocol::pong_response(), false),
-            Ok(Request::Stats) => (self.stats_response(), false),
+            Ok(Request::Ping) => {
+                self.recorder.count("serve.op.ping", 1);
+                (protocol::pong_response(), false)
+            }
+            Ok(Request::Stats) => {
+                self.recorder.count("serve.op.stats", 1);
+                (self.stats_response(), false)
+            }
             Ok(Request::Shutdown) => {
+                self.recorder.count("serve.op.shutdown", 1);
                 self.recorder.count("serve.shutdown", 1);
                 self.shutdown.store(true, Ordering::Relaxed);
                 (protocol::shutdown_response(), true)
             }
             Ok(Request::Plan(spec)) => {
+                self.recorder.count("serve.op.plan", 1);
                 let deadline_ms = spec.deadline_ms;
-                (self.enqueue_and_wait(Work::Plan(spec), deadline_ms, queue), false)
+                (
+                    self.enqueue_and_wait(Work::Plan(spec), deadline_ms, queue, trace_id, root_id),
+                    false,
+                )
             }
             Ok(Request::Stall { ms }) => {
-                (self.enqueue_and_wait(Work::Stall { ms }, None, queue), false)
+                self.recorder.count("serve.op.stall", 1);
+                (self.enqueue_and_wait(Work::Stall { ms }, None, queue, trace_id, root_id), false)
             }
         }
     }
 
     /// Admission control: non-blocking push, then wait for the worker's
     /// reply. A full queue is an immediate `busy`; a closed queue an
-    /// immediate `shutting_down`.
+    /// immediate `shutting_down`. On admission the observed queue depth
+    /// feeds the `serve.queue_depth` peak gauge.
     fn enqueue_and_wait(
         &self,
         work: Work,
         deadline_ms: Option<u64>,
         queue: &BoundedQueue<Job>,
+        trace_id: u64,
+        parent_id: u64,
     ) -> String {
         let (reply, receive) = mpsc::channel();
         let deadline =
             Duration::from_millis(deadline_ms.unwrap_or(self.config.default_deadline_ms));
-        let job = Job { work, enqueued: Instant::now(), deadline, reply };
+        let job = Job { work, enqueued: Instant::now(), deadline, reply, trace_id, parent_id };
         match queue.try_push(job) {
             Err(PushError::Full) => {
                 self.recorder.count("serve.busy", 1);
@@ -275,6 +313,9 @@ impl Server {
             }
             Ok(()) => {
                 self.recorder.count("serve.enqueued", 1);
+                // A worker may already have popped the job; at the moment
+                // of admission the depth was at least 1.
+                self.recorder.gauge_max("serve.queue_depth", queue.len().max(1) as u64);
                 // Workers drain the queue even during shutdown, so every
                 // admitted job is answered and this recv cannot dangle.
                 receive.recv().unwrap_or_else(|_| {
@@ -284,11 +325,26 @@ impl Server {
         }
     }
 
-    /// One worker: pop, check the queueing deadline, plan, reply.
+    /// One worker: pop, record the queue wait as a first-class span,
+    /// check the queueing deadline, plan, reply.
     fn worker_loop(&self, queue: &BoundedQueue<Job>) {
         while let Some(job) = queue.pop() {
             self.recorder.count("serve.dequeued", 1);
-            let waited = job.enqueued.elapsed();
+            // Adopt the request's trace for the duration of this job so
+            // every span below — including `span!` call sites inside the
+            // engine — lands in this server's recorder, under the
+            // request's root.
+            let ctx = self.recorder.trace_context(job.trace_id, job.parent_id);
+            let adopted = ctx.enter();
+            let dequeued = Instant::now();
+            self.recorder.record_span_at(
+                "serve_queue_wait",
+                job.trace_id,
+                job.parent_id,
+                job.enqueued,
+                dequeued,
+            );
+            let waited = dequeued.duration_since(job.enqueued);
             let response = if waited > job.deadline {
                 self.recorder.count("serve.deadline", 1);
                 protocol::error_response(
@@ -300,27 +356,54 @@ impl Server {
                     ),
                 )
             } else {
-                match job.work {
+                match &job.work {
                     Work::Stall { ms } => {
-                        std::thread::sleep(Duration::from_millis(ms));
-                        protocol::stalled_response(ms)
+                        std::thread::sleep(Duration::from_millis(*ms));
+                        protocol::stalled_response(*ms)
                     }
-                    Work::Plan(spec) => self.plan(&spec),
+                    Work::Plan(spec) => self.plan(spec, job.trace_id),
                 }
             };
-            self.recorder.record_duration("serve.latency", job.enqueued.elapsed());
+            drop(adopted);
+            let total = job.enqueued.elapsed();
+            self.recorder.record_duration("serve.latency", total);
+            if let Some(limit) = self.config.slow_ms {
+                if total >= Duration::from_millis(limit) {
+                    self.recorder.count("serve.slow", 1);
+                    eprintln!(
+                        "slow request: trace={:016x} total={}ms queue_wait={}ms (threshold {limit}ms)",
+                        job.trace_id,
+                        total.as_millis(),
+                        waited.as_millis(),
+                    );
+                }
+            }
             // The connection may have hung up while queued; nothing to do.
             let _ = job.reply.send(response);
         }
     }
 
-    fn plan(&self, spec: &PlanSpec) -> String {
-        let engine = StreamingEngine::new(spec.config).with_cache(Arc::clone(&self.cache));
-        match engine.plan_shared(&spec.ratio, spec.demand) {
+    /// Plans one request under a `serve_plan` span and encodes the
+    /// response under `serve_encode`; when the request asked for a trace,
+    /// the response embeds the request's `trace_id` and the stage
+    /// breakdown recorded so far.
+    fn plan(&self, spec: &PlanSpec, trace_id: u64) -> String {
+        let outcome = {
+            let _planning = self.recorder.span("serve_plan");
+            let engine = StreamingEngine::new(spec.config).with_cache(Arc::clone(&self.cache));
+            engine.plan_shared(&spec.ratio, spec.demand)
+        };
+        let _encode = self.recorder.span("serve_encode");
+        match outcome {
             Ok(plan) => {
                 self.recorder.count("serve.planned", 1);
                 let key = PlanKey::new(&spec.config, &spec.ratio, spec.demand);
-                protocol::plan_response(&plan, key.fingerprint())
+                if spec.trace {
+                    let stages = self.recorder.trace_spans(trace_id);
+                    protocol::plan_response_traced(&plan, key.fingerprint(), trace_id, &stages)
+                } else {
+                    protocol::plan_response(&plan, key.fingerprint())
+                }
             }
             Err(e) => {
                 self.recorder.count("serve.plan_failed", 1);
@@ -329,21 +412,26 @@ impl Server {
         }
     }
 
-    /// The `stats` response: `serve.*` counters, request-latency summary
-    /// and plan-cache statistics, as one flat JSON object.
+    /// The `stats` response: `serve.*` counters (including per-op
+    /// counts), request-latency summary with percentile estimates, queue
+    /// pressure and plan-cache statistics, as one flat JSON object.
     fn stats_response(&self) -> String {
         let snapshot = self.recorder.snapshot();
         let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
-        let (latency_count, latency_mean_ns) =
-            snapshot.histograms.get("serve.latency").map_or((0, 0), |h| (h.count, h.mean_ns()));
+        let latency = snapshot.histograms.get("serve.latency");
+        let (latency_count, latency_mean_ns) = latency.map_or((0, 0), |h| (h.count, h.mean_ns()));
+        let (p50, p90, p99) = latency
+            .map_or((0, 0, 0), |h| (h.percentile(0.50), h.percentile(0.90), h.percentile(0.99)));
         let cache = self.cache.stats();
         format!(
             "{{\"ok\":true,\"type\":\"stats\",\
              \"requests\":{},\"connections\":{},\"planned\":{},\"plan_failed\":{},\
-             \"bad_request\":{},\"busy\":{},\"deadline\":{},\
+             \"bad_request\":{},\"busy\":{},\"deadline\":{},\"slow\":{},\
+             \"op_plan\":{},\"op_stats\":{},\"op_ping\":{},\"op_shutdown\":{},\"op_stall\":{},\
              \"enqueued\":{},\"dequeued\":{},\
              \"latency_count\":{latency_count},\"latency_mean_ns\":{latency_mean_ns},\
-             \"workers\":{},\"queue_depth\":{},\
+             \"latency_p50_ns\":{p50},\"latency_p90_ns\":{p90},\"latency_p99_ns\":{p99},\
+             \"workers\":{},\"queue_depth\":{},\"queue_depth_peak\":{},\
              \"cache_len\":{},\"cache_capacity\":{},\"cache_hits\":{},\
              \"cache_misses\":{},\"cache_evictions\":{}}}",
             counter("serve.requests"),
@@ -353,10 +441,17 @@ impl Server {
             counter("serve.bad_request"),
             counter("serve.busy"),
             counter("serve.deadline"),
+            counter("serve.slow"),
+            counter("serve.op.plan"),
+            counter("serve.op.stats"),
+            counter("serve.op.ping"),
+            counter("serve.op.shutdown"),
+            counter("serve.op.stall"),
             counter("serve.enqueued"),
             counter("serve.dequeued"),
             self.config.workers.max(1),
             self.config.queue_depth.max(1),
+            snapshot.gauges.get("serve.queue_depth").copied().unwrap_or(0),
             cache.len,
             cache.capacity,
             cache.hits,

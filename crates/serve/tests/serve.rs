@@ -156,6 +156,65 @@ fn eight_concurrent_clients_get_byte_identical_summaries_for_equal_keys() {
 }
 
 #[test]
+fn a_traced_plan_request_yields_one_connected_span_tree() {
+    with_server(test_config(), |server, addr| {
+        let mut client = Client::connect(addr).unwrap();
+        let line = client
+            .request(&format!(r#"{{"op":"plan","ratio":"{PCR}","demand":20,"trace":true}}"#))
+            .unwrap();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "not ok: {line}");
+        assert_eq!(v.get("tc").unwrap().as_u64(), Some(11), "plan differs under tracing");
+
+        // The response carries the trace ID and a stage breakdown that
+        // includes the queue wait and every pipeline stage.
+        let trace_hex = v.get("trace_id").and_then(Json::as_str).unwrap();
+        assert_eq!(trace_hex.len(), 16);
+        let trace_id = u64::from_str_radix(trace_hex, 16).unwrap();
+        assert_ne!(trace_id, 0);
+        let Some(Json::Arr(stages)) = v.get("stages") else { panic!("no stages: {line}") };
+        let stage_names: Vec<&str> =
+            stages.iter().filter_map(|s| s.get("name").and_then(Json::as_str)).collect();
+        for expected in [
+            "serve_queue_wait",
+            "serve_plan",
+            "engine_plan",
+            "stage_build_tree",
+            "stage_build_forest",
+            "stage_schedule",
+            "stage_split_passes",
+        ] {
+            assert!(stage_names.contains(&expected), "missing {expected} in {stage_names:?}");
+        }
+
+        // Server-side, the same trace is one connected tree rooted at the
+        // connection thread's serve_request span. The root itself is still
+        // open while the response is being built, so wait for the request
+        // to fully finish before asserting tree shape.
+        await_counter(server, "serve.planned", 1);
+        let spans = server.recorder().trace_spans(trace_id);
+        let root: Vec<_> = spans.iter().filter(|s| s.parent_id == 0).collect();
+        assert_eq!(root.len(), 1, "one root per trace: {spans:?}");
+        assert_eq!(root[0].name, "serve_request");
+        assert_eq!(root[0].trace_id, root[0].span_id);
+        let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        for s in &spans {
+            assert_eq!(s.trace_id, trace_id);
+            if s.parent_id != 0 {
+                assert!(ids.contains(&s.parent_id), "orphan parent on {}", s.name);
+            }
+        }
+        let wait = spans.iter().find(|s| s.name == "serve_queue_wait").unwrap();
+        assert_eq!(wait.parent_id, root[0].span_id, "queue wait hangs off the request root");
+        // The connection thread decoded; a worker thread planned.
+        let decode = spans.iter().find(|s| s.name == "serve_decode").unwrap();
+        let plan_span = spans.iter().find(|s| s.name == "serve_plan").unwrap();
+        assert_eq!(decode.tid, root[0].tid);
+        assert_ne!(plan_span.tid, root[0].tid, "planning happens on a worker thread");
+    });
+}
+
+#[test]
 fn lru_cache_stays_bounded_under_churn_and_reports_evictions() {
     let config = ServeConfig { cache_capacity: 2, ..test_config() };
     with_server(config, |server, addr| {

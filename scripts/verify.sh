@@ -33,6 +33,26 @@ diff /tmp/dmf_check_j1.txt /tmp/dmf_check_j4.txt
 echo "==> bench_plan (plan cache micro-benchmark; warm hit must be >= 10x faster)"
 cargo run --release -q -p dmf-bench --bin bench_plan >/dev/null
 
+echo "==> bench_obs (tracing overhead gate: enabled sweep <= 10% over disabled)"
+cargo run --release -q -p dmf-bench --bin bench_obs -- /tmp/dmf_bench_obs.json >/dev/null
+
+echo "==> profile smoke (exporters: folded stacks well-formed, chrome trace parses back)"
+profile_out=$(target/release/dmfstream profile 2:1:1:1:1:1:9 --demand 20 \
+  --folded /tmp/dmf_profile.folded --chrome /tmp/dmf_profile.trace.json)
+printf '%s\n' "$profile_out" | grep -q '^chrome trace parse OK: [1-9][0-9]* events$' || {
+  echo "profile smoke: chrome trace did not parse back: $profile_out"
+  exit 1
+}
+[ -s /tmp/dmf_profile.folded ] || { echo "profile smoke: folded output empty"; exit 1; }
+grep -Eq '^[A-Za-z0-9_]+(;[A-Za-z0-9_]+)* [0-9]+$' /tmp/dmf_profile.folded || {
+  echo "profile smoke: folded stacks malformed"
+  exit 1
+}
+grep -q '^dmfstream_profile;engine_plan' /tmp/dmf_profile.folded || {
+  echo "profile smoke: folded stacks missing the engine_plan tree"
+  exit 1
+}
+
 echo "==> serve smoke (served plan must match dmfstream plan; clean shutdown)"
 serve_log=$(mktemp)
 target/release/dmfstream serve --port 0 --workers 2 >"$serve_log" 2>&1 &

@@ -11,8 +11,10 @@
 //! DMF_OBS=1 dmfstream simulate 2:1:1:1:1:1:9 --demand 20
 //! dmfstream fault 2:1:1:1:1:1:9 --demand 20 --seed 42 --fault-rate 0.05
 //! dmfstream check --all-protocols --jobs 4
-//! dmfstream serve --port 7070 --workers 4 --cache-capacity 256
+//! dmfstream profile 2:1:1:1:1:1:9 --demand 20 --folded plan.folded --chrome plan.trace.json
+//! dmfstream serve --port 7070 --workers 4 --cache-capacity 256 --slow-ms 250
 //! dmfstream request 2:1:1:1:1:1:9 --demand 20 --connect 127.0.0.1:7070
+//! dmfstream request 2:1:1:1:1:1:9 --demand 20 --trace --connect 127.0.0.1:7070
 //! dmfstream request --op stats --connect 127.0.0.1:7070
 //! dmfstream request --op shutdown --connect 127.0.0.1:7070
 //! ```
@@ -72,6 +74,8 @@ struct Args {
     deadline_ms: Option<u64>,
     connect: Option<String>,
     op: String,
+    folded: Option<PathBuf>,
+    chrome: Option<PathBuf>,
 }
 
 /// The flags each verb accepts. Unknown-flag errors quote the relevant
@@ -126,6 +130,15 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--no-cache",
             "--report",
         ]),
+        "profile" => Some(&[
+            "--demand",
+            "--mixers",
+            "--storage",
+            "--algorithm",
+            "--scheduler",
+            "--folded",
+            "--chrome",
+        ]),
         "serve" => Some(&[
             "--addr",
             "--port",
@@ -133,6 +146,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--queue-depth",
             "--cache-capacity",
             "--deadline-ms",
+            "--slow-ms",
         ]),
         "request" => Some(&[
             "--connect",
@@ -143,6 +157,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--algorithm",
             "--scheduler",
             "--deadline-ms",
+            "--trace",
         ]),
         _ => None,
     }
@@ -150,7 +165,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dmfstream <plan|gantt|simulate|fault|check|serve|request> <a1:a2:...:aN> \
+        "usage: dmfstream <plan|gantt|simulate|fault|check|profile|serve|request> <a1:a2:...:aN> \
          [--demand D] [--mixers M] [--storage Q] \
          [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace] \
          [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)\n\
@@ -160,10 +175,13 @@ fn usage() -> ExitCode {
          check-only flags: dmfstream check <ratio|--all-protocols> \
          [--report PATH] writes diagnostics as JSONL; exit 1 on any \
          error-severity diagnostic\n\
+         profile flags: dmfstream profile <ratio> [--folded PATH] [--chrome PATH] \
+         plans under the tracer and prints the span-tree profile; --folded \
+         writes flamegraph.pl folded stacks, --chrome a Chrome/Perfetto trace\n\
          serve flags: [--addr HOST:PORT | --port P] [--workers N] \
-         [--queue-depth N] [--cache-capacity N] [--deadline-ms MS]\n\
+         [--queue-depth N] [--cache-capacity N] [--deadline-ms MS] [--slow-ms MS]\n\
          request flags: --connect HOST:PORT [--op plan|stats|ping|shutdown] \
-         [--deadline-ms MS] plus the plan flags above"
+         [--deadline-ms MS] [--trace] plus the plan flags above"
     );
     ExitCode::from(2)
 }
@@ -172,7 +190,8 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1).peekable();
     let command = argv.next().ok_or("missing command")?;
     let allowed = valid_flags(&command).ok_or(format!(
-        "unknown command {command:?} (expected plan, gantt, simulate, fault or check)"
+        "unknown command {command:?} (expected plan, gantt, simulate, fault, check, profile, \
+         serve or request)"
     ))?;
     let ratio = match argv.peek() {
         Some(text) if !text.starts_with("--") => {
@@ -195,6 +214,8 @@ fn parse_args() -> Result<Args, String> {
     let mut deadline_ms: Option<u64> = None;
     let mut connect: Option<String> = None;
     let mut op = String::from("plan");
+    let mut folded: Option<PathBuf> = None;
+    let mut chrome: Option<PathBuf> = None;
     while let Some(flag) = argv.next() {
         if !allowed.contains(&flag.as_str()) {
             return Err(format!(
@@ -252,6 +273,12 @@ fn parse_args() -> Result<Args, String> {
                 serve.default_deadline_ms = ms;
                 deadline_ms = Some(ms);
             }
+            "--slow-ms" => {
+                serve.slow_ms =
+                    Some(value()?.parse().map_err(|e| format!("bad slow threshold: {e}"))?)
+            }
+            "--folded" => folded = Some(PathBuf::from(value()?)),
+            "--chrome" => chrome = Some(PathBuf::from(value()?)),
             "--connect" => connect = Some(value()?),
             "--op" => op = value()?,
             "--demand" => demand = value()?.parse().map_err(|e| format!("bad demand: {e}"))?,
@@ -302,6 +329,8 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms,
         connect,
         op,
+        folded,
+        chrome,
     })
 }
 
@@ -349,6 +378,9 @@ fn run(args: &Args) -> ExitCode {
     }
     if args.command == "check" {
         return run_check(args);
+    }
+    if args.command == "profile" {
+        return run_profile(args);
     }
     if args.command == "plan" && args.all_protocols {
         return run_plan_all(args);
@@ -581,6 +613,75 @@ fn run_check(args: &Args) -> ExitCode {
     }
 }
 
+/// `dmfstream profile`: plan one target with the tracer on and print the
+/// span-tree profile (per-span call counts, total and self time).
+/// `--folded` additionally writes flamegraph.pl-style folded stacks and
+/// `--chrome` a Chrome trace-event JSON loadable in Perfetto or
+/// `chrome://tracing`; the Chrome file is parsed back through
+/// [`obs::json`] before the command reports success, so a non-zero exit
+/// means the trace really is loadable.
+fn run_profile(args: &Args) -> ExitCode {
+    let Some(ratio) = &args.ratio else {
+        eprintln!("error: profile needs a target ratio");
+        return usage();
+    };
+    let recorder = obs::global();
+    recorder.reset();
+    recorder.set_enabled(true);
+    let plan = {
+        let _root = obs::span!("dmfstream_profile");
+        match StreamingEngine::new(args.config).plan(ratio, args.demand) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!("{plan}");
+    let snapshot = recorder.snapshot();
+    let report = obs::ProfileReport::from_snapshot(&snapshot);
+    println!("\n{report}");
+    let mut failed = false;
+    let mut write = |path: &PathBuf, payload: &str, what: &str| {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, payload) {
+            Ok(()) => println!("{what} written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {what} to {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    };
+    if let Some(path) = &args.folded {
+        write(path, &report.folded(), "folded stacks");
+    }
+    if let Some(path) = &args.chrome {
+        let trace = obs::chrome_trace(&snapshot);
+        write(path, &trace, "chrome trace");
+        match obs::json::parse(&trace) {
+            Ok(v) => {
+                let events = match v.get("traceEvents") {
+                    Some(obs::json::Json::Arr(events)) => events.len(),
+                    _ => 0,
+                };
+                println!("chrome trace parse OK: {events} events");
+            }
+            Err(e) => {
+                eprintln!("error: chrome trace does not parse back: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `dmfstream serve`: bind the planning service, announce the address
 /// (`--port 0` picks a free port; scripts parse the `listening on` line)
 /// and block until a client sends `{"op":"shutdown"}`.
@@ -655,6 +756,9 @@ fn request_line(args: &Args) -> Result<String, String> {
             }
             if let Some(ms) = args.deadline_ms {
                 members.push(format!("\"deadline_ms\":{ms}"));
+            }
+            if args.trace {
+                members.push("\"trace\":true".to_owned());
             }
             Ok(format!("{{{}}}", members.join(",")))
         }
