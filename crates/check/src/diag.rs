@@ -77,6 +77,18 @@ pub enum RuleCode {
     /// Dynamic fluidic constraint violated: a droplet within one cell of
     /// another droplet's position at `t ± 1`.
     Rt004,
+    /// Pin assignment malformed: wrong grid dimensions for the chip, or
+    /// groups that do not partition the electrode array.
+    Pin001,
+    /// Pin group self-hazard: two electrodes sharing a pin closer than the
+    /// minimum self-safe spacing (a droplet would drag its own ghost).
+    Pin002,
+    /// Concurrent-route co-activation hazard: an actuation's ghost fires
+    /// inside another droplet's fluidic exclusion zone at some step.
+    Pin003,
+    /// Program replay under the pin backend hits a co-activation hazard
+    /// (or fails to replay at all).
+    Pin004,
     /// Pass demands do not cover the plan demand.
     Pln001,
     /// Plan aggregates (`Tc`, `Tms`, `W`, `I`, `q`) disagree with an
@@ -86,7 +98,7 @@ pub enum RuleCode {
 
 impl RuleCode {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleCode; 21] = [
+    pub const ALL: [RuleCode; 25] = [
         RuleCode::Cf001,
         RuleCode::Cf002,
         RuleCode::Cf003,
@@ -106,6 +118,10 @@ impl RuleCode {
         RuleCode::Rt002,
         RuleCode::Rt003,
         RuleCode::Rt004,
+        RuleCode::Pin001,
+        RuleCode::Pin002,
+        RuleCode::Pin003,
+        RuleCode::Pin004,
         RuleCode::Pln001,
         RuleCode::Pln002,
     ];
@@ -132,6 +148,10 @@ impl RuleCode {
             RuleCode::Rt002 => "RT002",
             RuleCode::Rt003 => "RT003",
             RuleCode::Rt004 => "RT004",
+            RuleCode::Pin001 => "PIN001",
+            RuleCode::Pin002 => "PIN002",
+            RuleCode::Pin003 => "PIN003",
+            RuleCode::Pin004 => "PIN004",
             RuleCode::Pln001 => "PLN001",
             RuleCode::Pln002 => "PLN002",
         }
@@ -159,6 +179,10 @@ impl RuleCode {
             RuleCode::Rt002 => "routes move at most one orthogonal cell per step",
             RuleCode::Rt003 => "droplets keep one cell apart at every step",
             RuleCode::Rt004 => "droplets keep one cell apart across adjacent steps",
+            RuleCode::Pin001 => "pin assignments cover the chip and partition its electrodes",
+            RuleCode::Pin002 => "pin-sharing electrodes keep the minimum self-safe spacing",
+            RuleCode::Pin003 => "no route step ghost-fires inside another droplet's zone",
+            RuleCode::Pin004 => "programs replay cleanly under the pin backend",
             RuleCode::Pln001 => "pass demands cover the plan demand exactly",
             RuleCode::Pln002 => "plan aggregates match an independent recount",
         }

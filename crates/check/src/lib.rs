@@ -19,6 +19,10 @@
 //!   dead electrodes with local coordinate arithmetic.
 //! * **Routes** ([`check_routes`]) re-check grid membership, hop legality
 //!   and the static + dynamic fluidic constraints cell by cell.
+//! * **Pin backends** ([`check_pins`], [`check_routes_pinned`],
+//!   [`check_program_pins`]) audit shared-pin assignments and re-derive
+//!   the ghost co-activation hazard from raw group data (`PIN001`–
+//!   `PIN004`).
 //!
 //! Every violation is a typed [`Diagnostic`] with a [`Severity`], a stable
 //! [`RuleCode`] (`CF001`, `SCH003`, `RT002`, …) and a span-like
@@ -36,12 +40,14 @@
 
 mod diag;
 mod forest;
+mod pins;
 mod place;
 mod route;
 mod sched;
 
 pub use diag::{CheckReport, Diagnostic, Location, RuleCode, Severity};
 pub use forest::{check_forest, recount_forest, ForestCounts};
+pub use pins::{check_pins, check_program_pins, check_routes_pinned};
 pub use place::check_placement;
 pub use route::check_routes;
 pub use sched::{check_schedule, recount_storage_units};

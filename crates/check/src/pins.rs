@@ -1,0 +1,292 @@
+//! Pin-backend rules (`PIN001`–`PIN004`).
+//!
+//! `PIN001`/`PIN002` audit a [`PinAssignment`] itself; `PIN003` audits a
+//! set of concurrent timed routes against one. Following the checker's
+//! translation-validation stance, the ghost-hazard arithmetic here is
+//! re-derived from the raw group data (coordinate differences over
+//! [`PinAssignment::group_of`]) — it never calls
+//! [`PinAssignment::co_activation_conflict`] or the router's own
+//! bookkeeping, so a bug in the shared predicate cannot hide itself.
+//!
+//! `PIN004` is the exception by necessity: realized programs move
+//! droplets with `TransportTo`, whose concrete paths exist only at
+//! execution time, so the program audit replays the program through the
+//! strict pinned simulator and reports any co-activation hazard it
+//! raises. The simulator's hazard gate is itself exercised against the
+//! independent `PIN003` math by the route-level tests.
+
+use crate::{CheckReport, Location, RuleCode};
+use dmf_chip::{ChipSpec, Coord};
+use dmf_pins::PinAssignment;
+use dmf_route::{Grid, RouteRequest, TimedPath};
+use dmf_sim::{ChipProgram, SimError, Simulator};
+
+/// Minimum Chebyshev distance between two electrodes sharing a pin, below
+/// which a droplet's own motion would drag its ghost into its own zone.
+/// Mirrors (but does not import) the backend constructors' lower bound.
+const MIN_SELF_SAFE_SPACING: i32 = 3;
+
+/// Whether two electrodes are within one cell of each other — the fluidic
+/// exclusion zone, re-derived locally.
+fn within_one_cell(a: Coord, b: Coord) -> bool {
+    (a.x - b.x).abs() <= 1 && (a.y - b.y).abs() <= 1
+}
+
+fn chebyshev(a: Coord, b: Coord) -> i32 {
+    (a.x - b.x).abs().max((a.y - b.y).abs())
+}
+
+/// Checks a pin assignment against the chip it claims to drive. Covers
+/// `PIN001` (coverage and partition integrity) and `PIN002` (self-safe
+/// group spacing).
+pub fn check_pins(chip: &ChipSpec, pins: &PinAssignment) -> CheckReport {
+    let _span = dmf_obs::span!("check_pins");
+    let mut report = CheckReport::new();
+    if pins.width() != chip.width() || pins.height() != chip.height() {
+        report.report(
+            RuleCode::Pin001,
+            Location::Artifact,
+            format!(
+                "assignment covers {}x{} but the chip is {}x{}",
+                pins.width(),
+                pins.height(),
+                chip.width(),
+                chip.height()
+            ),
+        );
+        return report;
+    }
+    let mut covered = 0usize;
+    for y in 0..chip.height() {
+        for x in 0..chip.width() {
+            let cell = Coord::new(x, y);
+            let Some(pin) = pins.pin_of(cell) else {
+                report.report(RuleCode::Pin001, Location::Cell { x, y }, "electrode has no pin");
+                continue;
+            };
+            covered += 1;
+            let group = pins.group(pin);
+            if !group.contains(&cell) {
+                report.report(
+                    RuleCode::Pin001,
+                    Location::Cell { x, y },
+                    format!("electrode maps to {pin} but is missing from that pin's group"),
+                );
+            }
+            for &mate in group {
+                if mate != cell && chebyshev(cell, mate) < MIN_SELF_SAFE_SPACING {
+                    // Report each unordered pair once, from its lexically
+                    // first member.
+                    if (cell.y, cell.x) < (mate.y, mate.x) {
+                        report.report(
+                            RuleCode::Pin002,
+                            Location::Cell { x, y },
+                            format!(
+                                "shares {pin} with {mate} at distance {} (< {MIN_SELF_SAFE_SPACING})",
+                                chebyshev(cell, mate)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let cells = (chip.width() as usize) * (chip.height() as usize);
+    if covered == cells && pins.electrode_count() != cells {
+        report.report(
+            RuleCode::Pin001,
+            Location::Artifact,
+            format!("{} electrodes assigned on a {cells}-electrode chip", pins.electrode_count()),
+        );
+    }
+    report
+}
+
+/// Position of droplet `index` at step `t`, parking at the destination
+/// after arrival (same convention as the `RT*` rules).
+fn position(paths: &[TimedPath], index: usize, t: usize) -> Option<Coord> {
+    let cells = paths[index].cells();
+    cells.get(t).or_else(|| cells.last()).copied()
+}
+
+/// Checks concurrent timed routes under a pin backend: the `RT*` rules
+/// plus `PIN003` — at no step may an actuation's ghost electrode fire
+/// within one cell of another droplet's position at that step or the one
+/// before, except exactly on the cell being driven for that droplet.
+pub fn check_routes_pinned(
+    grid: &Grid,
+    requests: &[RouteRequest],
+    paths: &[TimedPath],
+    pins: &PinAssignment,
+) -> CheckReport {
+    let _span = dmf_obs::span!("check_routes_pinned");
+    let mut report = crate::check_routes(grid, requests, paths);
+    if requests.len() != paths.len() {
+        return report;
+    }
+    let steps = paths.iter().map(|p| p.cells().len().saturating_sub(1)).max().unwrap_or(0);
+    for t in 1..=steps {
+        for i in 0..paths.len() {
+            let (Some(now), Some(prev)) = (position(paths, i, t), position(paths, i, t - 1)) else {
+                continue;
+            };
+            if now == prev {
+                // Parked droplets hold no new electrode; only actuations
+                // cast ghosts.
+                continue;
+            }
+            for j in 0..paths.len() {
+                if j == i {
+                    continue;
+                }
+                let (Some(o_now), Some(o_prev)) =
+                    (position(paths, j, t), position(paths, j, t - 1))
+                else {
+                    continue;
+                };
+                for &g in pins.group_of(now) {
+                    if g == now || g == o_now {
+                        continue;
+                    }
+                    if within_one_cell(g, o_now) || within_one_cell(g, o_prev) {
+                        report.report(
+                            RuleCode::Pin003,
+                            Location::Droplet { index: i, step: t },
+                            format!(
+                                "moving onto {now} ghost-fires {g} inside droplet {j}'s zone \
+                                 ({o_prev} -> {o_now})"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Replays a realized program through the strict pinned simulator and
+/// reports `PIN004` for any co-activation hazard (or any other replay
+/// failure — a program that cannot even execute has no pin-safety story).
+///
+/// Leftover droplets are tolerated: partial programs are still auditable.
+pub fn check_program_pins(
+    chip: &ChipSpec,
+    pins: &PinAssignment,
+    program: &ChipProgram,
+) -> CheckReport {
+    let _span = dmf_obs::span!("check_program_pins");
+    let mut report = CheckReport::new();
+    match Simulator::new(chip).with_pins(pins).allow_leftovers().run(program) {
+        Ok(_) => {}
+        Err(SimError::PinConflict { moving, parked, actuated, at }) => {
+            report.report(
+                RuleCode::Pin004,
+                Location::Cell { x: actuated.x, y: actuated.y },
+                format!(
+                    "actuating {actuated} for droplet {moving} ghost-fires next to droplet \
+                     {parked} at {at}"
+                ),
+            );
+        }
+        Err(err) => {
+            report.report(
+                RuleCode::Pin004,
+                Location::Artifact,
+                format!("program does not replay under the backend: {err}"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_pins::{BackendKind, Broadcast, ChipBackend, RowColumn};
+    use dmf_route::{route_concurrent, route_concurrent_pinned};
+
+    #[test]
+    fn backend_assignments_pass_their_own_audit() {
+        let chip = dmf_chip::presets::pcr_chip();
+        for kind in BackendKind::ALL {
+            let pins = kind.assign(&chip).expect("assignable");
+            let report = check_pins(&chip, &pins);
+            assert!(report.is_empty(), "{kind}: {report}");
+        }
+    }
+
+    #[test]
+    fn wrong_dims_and_tight_groups_are_flagged() {
+        let chip = dmf_chip::presets::pcr_chip();
+        let small = RowColumn::default().assign(5, 5).expect("assignable");
+        assert!(check_pins(&chip, &small).has(RuleCode::Pin001));
+        // A hand-built assignment with two adjacent cells on one pin.
+        let mut raw: Vec<u32> = (0..(chip.width() * chip.height()) as u32).collect();
+        raw[1] = 0; // (1,0) joins (0,0)'s pin at distance 1
+        let tight =
+            PinAssignment::from_pins(chip.width(), chip.height(), raw).expect("well-formed");
+        let report = check_pins(&chip, &tight);
+        assert!(report.has(RuleCode::Pin002), "{report}");
+    }
+
+    #[test]
+    fn pinned_router_output_passes_pin003() {
+        let grid = Grid::new(16, 12);
+        let requests = [
+            RouteRequest { from: Coord::new(2, 5), to: Coord::new(2, 5) },
+            RouteRequest { from: Coord::new(8, 2), to: Coord::new(8, 10) },
+        ];
+        let pins = RowColumn::new(5).unwrap().assign(16, 12).unwrap();
+        let paths = route_concurrent_pinned(&grid, &requests, &pins).expect("routable");
+        let report = check_routes_pinned(&grid, &requests, &paths, &pins);
+        assert!(report.is_empty(), "{report}");
+        // The pin-blind router's solution for the same scenario is caught.
+        let blind = route_concurrent(&grid, &requests).expect("routable");
+        let report = check_routes_pinned(&grid, &requests, &blind, &pins);
+        assert!(report.has(RuleCode::Pin003), "{report}");
+    }
+
+    #[test]
+    fn broadcast_routes_audit_clean() {
+        let grid = Grid::new(16, 16);
+        let requests = [
+            RouteRequest { from: Coord::new(1, 5), to: Coord::new(1, 5) },
+            RouteRequest { from: Coord::new(7, 0), to: Coord::new(7, 13) },
+        ];
+        let pins = Broadcast::default().assign(16, 16).unwrap();
+        let paths = route_concurrent_pinned(&grid, &requests, &pins).expect("routable");
+        let report = check_routes_pinned(&grid, &requests, &paths, &pins);
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn program_replay_reports_pin004() {
+        use dmf_chip::{ModuleKind, Rect};
+        use dmf_sim::{DropletId, Instruction};
+        let mut chip = ChipSpec::new(13, 3).unwrap();
+        let ra = chip
+            .add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 1, 1, 1))
+            .unwrap();
+        let rb = chip
+            .add_module("R2", ModuleKind::Reservoir { fluid: 1 }, Rect::new(12, 1, 1, 1))
+            .unwrap();
+        let pins = RowColumn::new(5).unwrap().assign_chip(&chip).unwrap();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: rb, droplet: DropletId(1) });
+        p.push(Instruction::Transport {
+            droplet: DropletId(1),
+            path: vec![Coord::new(12, 1), Coord::new(12, 2)],
+        });
+        p.push(Instruction::Dispense { reservoir: ra, droplet: DropletId(0) });
+        p.push(Instruction::Transport {
+            droplet: DropletId(0),
+            path: (0..=6).map(|x| Coord::new(x, 1)).collect(),
+        });
+        let report = check_program_pins(&chip, &pins, &p);
+        assert!(report.has(RuleCode::Pin004), "{report}");
+        // The same program is clean under direct addressing.
+        let direct = BackendKind::DirectAddress.assign(&chip).unwrap();
+        assert!(check_program_pins(&chip, &direct, &p).is_empty());
+    }
+}

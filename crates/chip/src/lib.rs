@@ -33,11 +33,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// TODO(lint-wall): crate-wide exemption from the workspace
-// `unwrap_used`/`expect_used`/`panic` deny wall. Offenders here predate the
-// wall (documented-panic convenience constructors and provably-safe
-// `expect`s); burn them down and drop this allow.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 mod cost;
 mod error;
@@ -52,5 +47,5 @@ pub use cost::CostMatrix;
 pub use error::ChipError;
 pub use geom::{Coord, Rect};
 pub use module::{Module, ModuleId, ModuleKind};
-pub use place::{FlowMatrix, PlacementConfig, PlacementRequest, Placer};
+pub use place::{FlowMatrix, PlacementConfig, PlacementContext, PlacementRequest, Placer, WearMap};
 pub use spec::ChipSpec;

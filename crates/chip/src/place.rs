@@ -1,6 +1,6 @@
-use crate::{ChipError, ChipSpec, ModuleKind, Rect};
+use crate::{ChipError, ChipSpec, Coord, ModuleKind, Rect};
 use dmf_rng::{Rng, SeedableRng, StdRng};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Expected droplet traffic between pairs of modules, used as the objective
 /// weights of placement: the optimiser minimises
@@ -36,6 +36,119 @@ impl FlowMatrix {
     /// Iterates over all non-zero flows.
     pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
         self.flows.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Per-electrode accumulated wear (actuation counts beyond comfort, in
+/// arbitrary units). Built from actuation history — e.g. the fault
+/// campaign's `WearTracker` — and fed to [`Placer::place_with`] so hot
+/// electrodes repel fresh module footprints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WearMap {
+    wear: HashMap<Coord, f64>,
+}
+
+impl WearMap {
+    /// An empty map (no electrode has recorded wear).
+    pub fn new() -> Self {
+        WearMap::default()
+    }
+
+    /// Adds `amount` wear units to `cell`.
+    pub fn add(&mut self, cell: Coord, amount: f64) {
+        *self.wear.entry(cell).or_insert(0.0) += amount;
+    }
+
+    /// Accumulated wear at `cell` (0 if never touched).
+    pub fn wear(&self, cell: Coord) -> f64 {
+        self.wear.get(&cell).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of wear inside a rectangle — the cost a module footprint pays
+    /// for sitting on worn electrodes.
+    pub fn rect_wear(&self, rect: &Rect) -> f64 {
+        if self.wear.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for y in rect.y..rect.y + rect.h {
+            for x in rect.x..rect.x + rect.w {
+                total += self.wear(Coord::new(x, y));
+            }
+        }
+        total
+    }
+
+    /// Whether no electrode has recorded any wear.
+    pub fn is_empty(&self) -> bool {
+        self.wear.is_empty()
+    }
+
+    /// Total wear across all electrodes.
+    pub fn total(&self) -> f64 {
+        self.wear.values().sum()
+    }
+
+    /// Iterates over all (cell, wear) entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, f64)> + '_ {
+        self.wear.iter().map(|(&c, &w)| (c, w))
+    }
+}
+
+impl FromIterator<(Coord, f64)> for WearMap {
+    fn from_iter<I: IntoIterator<Item = (Coord, f64)>>(iter: I) -> Self {
+        let mut map = WearMap::new();
+        for (cell, amount) in iter {
+            map.add(cell, amount);
+        }
+        map
+    }
+}
+
+/// Chip-state context for placement: electrodes placement must avoid and
+/// wear history it should steer around.
+///
+/// The default context (no dead cells, empty wear map) makes
+/// [`Placer::place_with`] behave exactly like [`Placer::place`] — same
+/// RNG draws, same cost, same output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementContext {
+    /// Diagnosed-dead electrodes: no module footprint may contain one,
+    /// and they are marked dead on the produced [`ChipSpec`].
+    pub dead: BTreeSet<Coord>,
+    /// Accumulated per-electrode wear, added to the annealing objective as
+    /// `wear_weight · Σ footprint wear` so hot electrodes are avoided.
+    pub wear: WearMap,
+    /// Relative weight of the wear term against the flow-distance term.
+    pub wear_weight: f64,
+}
+
+impl Default for PlacementContext {
+    fn default() -> Self {
+        PlacementContext { dead: BTreeSet::new(), wear: WearMap::new(), wear_weight: 1.0 }
+    }
+}
+
+impl PlacementContext {
+    /// A context that only avoids the given dead electrodes.
+    pub fn with_dead(dead: impl IntoIterator<Item = Coord>) -> Self {
+        PlacementContext { dead: dead.into_iter().collect(), ..Default::default() }
+    }
+
+    /// A context that only steers around the given wear history.
+    pub fn with_wear(wear: WearMap, wear_weight: f64) -> Self {
+        PlacementContext { dead: BTreeSet::new(), wear, wear_weight }
+    }
+
+    fn blocks(&self, rect: &Rect) -> bool {
+        self.dead.iter().any(|&c| rect.contains(c))
+    }
+
+    fn wear_cost(&self, rects: &[Rect]) -> f64 {
+        if self.wear.is_empty() || self.wear_weight == 0.0 {
+            return 0.0;
+        }
+        self.wear_weight * rects.iter().map(|r| self.wear.rect_wear(r)).sum::<f64>()
     }
 }
 
@@ -147,21 +260,46 @@ impl Placer {
         requests: &[PlacementRequest],
         flows: &FlowMatrix,
     ) -> Result<ChipSpec, ChipError> {
+        self.place_with(requests, flows, &PlacementContext::default())
+    }
+
+    /// Like [`Placer::place`], but placement avoids the context's dead
+    /// electrodes entirely (no footprint ever contains one) and pays
+    /// `ctx.wear_weight · Σ footprint wear` for sitting on worn
+    /// electrodes, steering modules away from actuation hot spots. Dead
+    /// cells are marked on the produced chip.
+    ///
+    /// With the default context this is exactly [`Placer::place`]: the
+    /// rejection and cost extensions are no-ops and consume no extra RNG
+    /// draws, so outputs are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::PlacementFailed`] when a legal initial placement
+    /// cannot be found (grid too small or too dead) and propagates
+    /// grid-construction errors.
+    pub fn place_with(
+        &self,
+        requests: &[PlacementRequest],
+        flows: &FlowMatrix,
+        ctx: &PlacementContext,
+    ) -> Result<ChipSpec, ChipError> {
         let _span = dmf_obs::span!("chip_place");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut rects = self.initial_placement(requests, &mut rng)?;
-        let mut cost = placement_cost(&rects, flows);
+        let mut rects = self.initial_placement(requests, ctx, &mut rng)?;
+        let mut cost = placement_cost(&rects, flows) + ctx.wear_cost(&rects);
         let mut temperature = self.config.initial_temperature;
         for _ in 0..self.config.iterations {
             let victim = rng.gen_range(0..requests.len());
-            let Some(candidate) = self.random_site(&requests[victim], &rects, victim, &mut rng)
+            let Some(candidate) =
+                self.random_site(&requests[victim], &rects, victim, ctx, &mut rng)
             else {
                 temperature *= self.config.cooling;
                 continue;
             };
             let old = rects[victim];
             rects[victim] = candidate;
-            let new_cost = placement_cost(&rects, flows);
+            let new_cost = placement_cost(&rects, flows) + ctx.wear_cost(&rects);
             let delta = new_cost - cost;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
             if accept {
@@ -175,12 +313,16 @@ impl Placer {
         for (req, rect) in requests.iter().zip(&rects) {
             spec.add_module(req.name.clone(), req.kind, *rect)?;
         }
+        for &cell in &ctx.dead {
+            spec.mark_dead(cell);
+        }
         Ok(spec)
     }
 
     fn initial_placement(
         &self,
         requests: &[PlacementRequest],
+        ctx: &PlacementContext,
         rng: &mut StdRng,
     ) -> Result<Vec<Rect>, ChipError> {
         let mut rects: Vec<Rect> = Vec::with_capacity(requests.len());
@@ -188,7 +330,7 @@ impl Placer {
             let mut placed = false;
             for _ in 0..4000 {
                 if let Some(r) = self.sample_site(req, rng) {
-                    if rects.iter().all(|other| !other.touches(&r)) {
+                    if !ctx.blocks(&r) && rects.iter().all(|other| !other.touches(&r)) {
                         rects.push(r);
                         placed = true;
                         break;
@@ -209,12 +351,13 @@ impl Placer {
         req: &PlacementRequest,
         rects: &[Rect],
         skip: usize,
+        ctx: &PlacementContext,
         rng: &mut StdRng,
     ) -> Option<Rect> {
         for _ in 0..64 {
             if let Some(r) = self.sample_site(req, rng) {
-                let clear =
-                    rects.iter().enumerate().all(|(j, other)| j == skip || !other.touches(&r));
+                let clear = !ctx.blocks(&r)
+                    && rects.iter().enumerate().all(|(j, other)| j == skip || !other.touches(&r));
                 if clear {
                     return Some(r);
                 }
@@ -335,6 +478,77 @@ mod tests {
         let config = PlacementConfig { width: 4, height: 4, ..Default::default() };
         let err = Placer::new(config).place(&pcr_requests(), &FlowMatrix::new()).unwrap_err();
         assert!(matches!(err, ChipError::PlacementFailed { .. }));
+    }
+
+    #[test]
+    fn default_context_is_byte_identical_to_place() {
+        let reqs = pcr_requests();
+        let config = PlacementConfig { width: 20, height: 14, ..Default::default() };
+        let plain = Placer::new(config.clone()).place(&reqs, &FlowMatrix::new()).unwrap();
+        let ctx = Placer::new(config)
+            .place_with(&reqs, &FlowMatrix::new(), &PlacementContext::default())
+            .unwrap();
+        assert_eq!(plain, ctx);
+    }
+
+    #[test]
+    fn placement_never_overlaps_dead_cells() {
+        // Kill a band through the middle of the grid; every module must
+        // land clear of it and the chip must remember the diagnosis.
+        let dead: Vec<Coord> = (0..20).map(|x| Coord::new(x, 7)).collect();
+        let ctx = PlacementContext::with_dead(dead.iter().copied());
+        let config = PlacementConfig { width: 20, height: 14, ..Default::default() };
+        let chip =
+            Placer::new(config).place_with(&pcr_requests(), &FlowMatrix::new(), &ctx).unwrap();
+        chip.validate().unwrap();
+        for m in chip.modules() {
+            for &cell in &dead {
+                assert!(!m.rect().contains(cell), "{} sits on dead electrode {cell}", m.name());
+            }
+        }
+        assert_eq!(chip.dead_cells().count(), dead.len());
+    }
+
+    #[test]
+    fn wear_map_steers_modules_off_hot_electrodes() {
+        // Scorch the left half of the grid. With a heavy wear weight the
+        // annealer should shift footprints toward the cool right half.
+        let mut wear = WearMap::new();
+        for y in 0..14 {
+            for x in 0..10 {
+                wear.add(Coord::new(x, y), 50.0);
+            }
+        }
+        let reqs = pcr_requests();
+        let config = PlacementConfig { width: 20, height: 14, ..Default::default() };
+        let blind = Placer::new(config.clone()).place(&reqs, &FlowMatrix::new()).unwrap();
+        let aware = Placer::new(config)
+            .place_with(&reqs, &FlowMatrix::new(), &PlacementContext::with_wear(wear.clone(), 5.0))
+            .unwrap();
+        let footprint_wear =
+            |spec: &ChipSpec| spec.modules().iter().map(|m| wear.rect_wear(&m.rect())).sum::<f64>();
+        assert!(
+            footprint_wear(&aware) < footprint_wear(&blind),
+            "wear-aware placement must reduce footprint wear ({} vs {})",
+            footprint_wear(&aware),
+            footprint_wear(&blind)
+        );
+    }
+
+    #[test]
+    fn wear_map_accumulates_and_sums() {
+        let mut wear = WearMap::new();
+        assert!(wear.is_empty());
+        wear.add(Coord::new(1, 1), 2.0);
+        wear.add(Coord::new(1, 1), 3.0);
+        wear.add(Coord::new(4, 2), 1.0);
+        assert_eq!(wear.wear(Coord::new(1, 1)), 5.0);
+        assert_eq!(wear.wear(Coord::new(0, 0)), 0.0);
+        assert_eq!(wear.total(), 6.0);
+        assert_eq!(wear.rect_wear(&Rect::new(0, 0, 3, 3)), 5.0);
+        assert_eq!(wear.iter().count(), 2);
+        let rebuilt: WearMap = wear.iter().collect();
+        assert_eq!(rebuilt, wear);
     }
 
     #[test]

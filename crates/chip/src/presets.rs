@@ -45,11 +45,10 @@ pub fn streaming_chip(fluids: usize, mixers: usize, storage: usize) -> Result<Ch
         1 + 3 * fluids as i32,  // reservoirs, pitch 3
         3 + 4 * mixers as i32,  // 2x2 mixers, pitch 4
         2 + 3 * storage as i32, // storage cells, pitch 3
-        9,                      // room for waste corners + centre output
     ]
     .into_iter()
-    .max()
-    .expect("non-empty")
+    // 9: room for waste corners + centre output.
+    .fold(9, i32::max)
         + 1;
     let height = 11;
     let mut spec = ChipSpec::new(width, height)?;
@@ -88,7 +87,11 @@ pub fn streaming_chip(fluids: usize, mixers: usize, storage: usize) -> Result<Ch
 ///
 /// Never panics; the fixed inventory always fits its grid.
 pub fn pcr_chip() -> ChipSpec {
-    streaming_chip(7, 3, 5).expect("the Fig. 5 inventory always fits")
+    match streaming_chip(7, 3, 5) {
+        Ok(chip) => chip,
+        // streaming_chip only fails on a zero resource count.
+        Err(_) => unreachable!("the Fig. 5 inventory always fits"),
+    }
 }
 
 #[cfg(test)]

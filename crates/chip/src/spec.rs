@@ -107,6 +107,16 @@ impl ChipSpec {
         &self.modules[id.0]
     }
 
+    /// Accesses a module, rejecting ids from another chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::UnknownModule`] if `id` does not belong to
+    /// this chip.
+    pub fn try_module(&self, id: ModuleId) -> Result<&Module, ChipError> {
+        self.modules.get(id.0).ok_or(ChipError::UnknownModule { module: id })
+    }
+
     /// Looks up a module by name.
     pub fn module_by_name(&self, name: &str) -> Option<&Module> {
         self.modules.iter().find(|m| m.name() == name)
@@ -304,6 +314,11 @@ mod tests {
         assert_eq!(chip.reservoir_for(1).unwrap().name(), "R2");
         assert!(chip.reservoir_for(2).is_none());
         assert_eq!(chip.module_by_name("M1").unwrap().kind(), ModuleKind::Mixer);
+        assert_eq!(chip.try_module(ModuleId(2)).unwrap().name(), "M1");
+        assert!(matches!(
+            chip.try_module(ModuleId(9)),
+            Err(ChipError::UnknownModule { module: ModuleId(9) })
+        ));
     }
 
     #[test]

@@ -60,5 +60,7 @@ mod wear;
 
 pub use config::FaultConfig;
 pub use model::FaultModel;
-pub use runner::{run_resilient, run_resilient_cached, FaultError, ResilientOutcome};
+pub use runner::{
+    run_campaign, run_resilient, run_resilient_cached, Campaign, FaultError, ResilientOutcome,
+};
 pub use wear::WearTracker;

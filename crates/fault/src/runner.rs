@@ -4,10 +4,11 @@
 use crate::lineage::droplet_mixtures;
 use crate::{FaultConfig, FaultModel, WearTracker};
 use dmf_chip::presets::streaming_chip;
-use dmf_chip::{ChipError, Coord};
+use dmf_chip::{ChipError, ChipSpec, Coord};
 use dmf_engine::{
     realize_pass, EngineConfig, EngineError, PlanCache, RecoveryPolicy, StreamingEngine,
 };
+use dmf_pins::{BackendKind, PinError};
 use dmf_ratio::TargetRatio;
 use dmf_sim::{FaultKind, SimError, Simulator, Trace};
 use std::collections::VecDeque;
@@ -25,6 +26,8 @@ pub enum FaultError {
     Sim(SimError),
     /// Chip construction failed.
     Chip(ChipError),
+    /// The campaign's pin backend could not assign the chip.
+    Pins(PinError),
     /// The recovery budget ran out (including the restart fallback, when
     /// enabled) with the demand still unmet.
     RecoveryExhausted {
@@ -43,6 +46,7 @@ impl fmt::Display for FaultError {
             FaultError::Engine(e) => write!(f, "engine error: {e}"),
             FaultError::Sim(e) => write!(f, "simulation error: {e}"),
             FaultError::Chip(e) => write!(f, "chip error: {e}"),
+            FaultError::Pins(e) => write!(f, "pin backend error: {e}"),
             FaultError::RecoveryExhausted { replans, delivered, demand } => write!(
                 f,
                 "recovery exhausted after {replans} replans: delivered {delivered}/{demand}"
@@ -69,6 +73,37 @@ impl From<ChipError> for FaultError {
     fn from(e: ChipError) -> Self {
         FaultError::Chip(e)
     }
+}
+
+impl From<PinError> for FaultError {
+    fn from(e: PinError) -> Self {
+        FaultError::Pins(e)
+    }
+}
+
+/// Everything a fault campaign needs beyond the target and demand: the
+/// planning configuration, fault model knobs, recovery policy, the pin
+/// backend the chip is wired with, and (optionally) a pre-built chip.
+///
+/// [`Campaign::default`] reproduces [`run_resilient`]'s behavior exactly:
+/// default engine/fault/policy, direct addressing, auto-built chip.
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    /// Streaming-engine planning configuration.
+    pub engine: EngineConfig,
+    /// Fault model knobs (rate, weights, seed, wear degradation).
+    pub faults: FaultConfig,
+    /// Recovery budget and restart policy.
+    pub policy: RecoveryPolicy,
+    /// Pin backend the chip is wired with. A stuck electrode takes its
+    /// whole pin group out of service (the shared pin can no longer be
+    /// driven safely), and execution runs under the pinned simulator.
+    pub backend: BackendKind,
+    /// Run on this chip instead of the auto-built streaming preset —
+    /// e.g. a wear-aware placement from [`dmf_chip::Placer::place_with`].
+    /// The chip must satisfy `validate_for_engine` for the target's
+    /// fluid count.
+    pub chip: Option<ChipSpec>,
 }
 
 /// The result of a resilient streaming campaign.
@@ -193,11 +228,50 @@ pub fn run_resilient_cached(
     policy: RecoveryPolicy,
     cache: Arc<PlanCache>,
 ) -> Result<ResilientOutcome, FaultError> {
+    let campaign =
+        Campaign { engine: engine_config, faults: *fault_config, policy, ..Campaign::default() };
+    run_campaign(target, demand, &campaign, cache, &mut WearTracker::new())
+}
+
+/// The full campaign runner: [`run_resilient_cached`] generalised with a
+/// [`Campaign`] (pin backend, optional pre-built chip) and a
+/// caller-threaded [`WearTracker`].
+///
+/// `wear` is read by the fault model's degradation term and updated with
+/// every run's actuations — *including ghost actuations under a shared-pin
+/// backend* — so a sweep that threads one tracker through consecutive
+/// trials ages the chip realistically across the whole sweep instead of
+/// starting each trial on pristine electrodes.
+///
+/// Under a pin-constrained backend a diagnosed stuck electrode retires
+/// its entire pin group: a pin wired to a dead electrode can never be
+/// driven safely again, so every group mate is marked dead and routed
+/// around. Under direct addressing groups are singletons and this
+/// reduces to the classic per-cell diagnosis.
+///
+/// # Errors
+///
+/// As [`run_resilient`], plus [`FaultError::Pins`] when the backend
+/// cannot assign the chip.
+pub fn run_campaign(
+    target: &TargetRatio,
+    demand: u64,
+    campaign: &Campaign,
+    cache: Arc<PlanCache>,
+    wear: &mut WearTracker,
+) -> Result<ResilientOutcome, FaultError> {
     let _span = dmf_obs::span!("run_resilient");
+    let engine_config = campaign.engine;
+    let fault_config = &campaign.faults;
+    let policy = campaign.policy;
     let engine = StreamingEngine::new(engine_config).with_cache(Arc::clone(&cache));
     let plan = engine.plan(target, demand)?;
     let baseline_cycles = plan.total_cycles;
-    let mut chip = streaming_chip(target.fluid_count(), plan.mixers, plan.storage_peak.max(1))?;
+    let mut chip = match &campaign.chip {
+        Some(prebuilt) => prebuilt.clone(),
+        None => streaming_chip(target.fluid_count(), plan.mixers, plan.storage_peak.max(1))?,
+    };
+    let pins = campaign.backend.assign(&chip)?;
     // Recovery passes must fit the already-built chip, whatever storage
     // budget the baseline plan enjoyed.
     let chip_storage = chip.storage_cells().count();
@@ -206,7 +280,6 @@ pub fn run_resilient_cached(
         StreamingEngine::new(engine_config.with_storage_limit(recovery_limit)).with_cache(cache);
 
     let mut model = FaultModel::new(*fault_config);
-    let mut wear = WearTracker::new();
     let target_mixture = target.to_mixture();
     let mut queue: VecDeque<_> = plan.passes.into_iter().collect();
 
@@ -245,12 +318,20 @@ pub fn run_resilient_cached(
         let margin = pass.forest.split_error_margin(fault_config.split_tolerance);
         let (pass_emitted, salvage_pool) = match realize_pass(&pass, &chip) {
             Ok(program) => {
-                let faults = model.sample(&chip, &program, &wear, margin);
-                let outcome = Simulator::new(&chip).run_faulty(&program, &faults)?;
+                let faults = model.sample(&chip, &program, wear, margin);
+                let outcome =
+                    Simulator::new(&chip).with_pins(&pins).run_faulty(&program, &faults)?;
                 wear.absorb(&outcome.report);
                 for rec in &outcome.faults {
                     if let FaultKind::StuckElectrode { cell } = rec.kind {
-                        chip.mark_dead(cell);
+                        // A stuck electrode poisons its whole pin group:
+                        // driving the shared pin would actuate the dead
+                        // cell too, so every group mate goes out of
+                        // service. Singleton groups under direct
+                        // addressing reduce to the classic diagnosis.
+                        for &g in pins.group_of(cell) {
+                            chip.mark_dead(g);
+                        }
                     }
                 }
                 injected += outcome.report.faults_injected;
@@ -338,6 +419,63 @@ mod tests {
         assert_eq!(out.total_cycles, out.baseline_cycles);
         assert_eq!(out.extra_cycles(), 0);
         assert!(out.dead_cells.is_empty());
+    }
+
+    #[test]
+    fn default_campaign_matches_run_resilient() {
+        let cfg = FaultConfig::default().with_seed(42).with_fault_rate(0.05);
+        let policy = RecoveryPolicy::default().with_max_replans(32);
+        let baseline = run_resilient(&pcr_d4(), 20, EngineConfig::default(), &cfg, policy).unwrap();
+        let campaign = Campaign { faults: cfg, policy, ..Campaign::default() };
+        let mut wear = WearTracker::new();
+        let out = run_campaign(&pcr_d4(), 20, &campaign, PlanCache::shared(), &mut wear).unwrap();
+        assert_eq!(out.emitted, baseline.emitted);
+        assert_eq!(out.injected, baseline.injected);
+        assert_eq!(out.runs, baseline.runs);
+        assert_eq!(out.total_cycles, baseline.total_cycles);
+        assert_eq!(out.dead_cells, baseline.dead_cells);
+        assert!(wear.total() > 0, "the caller's tracker absorbs the campaign's wear");
+    }
+
+    #[test]
+    fn pinned_campaign_meets_demand_and_retires_pin_groups() {
+        let cfg = FaultConfig::default().with_seed(42).with_fault_rate(0.05);
+        let campaign = Campaign {
+            faults: cfg,
+            policy: RecoveryPolicy::default().with_max_replans(32),
+            backend: BackendKind::RowColumn,
+            chip: Some(streaming_chip(7, 3, 5).unwrap()),
+            ..Campaign::default()
+        };
+        let mut wear = WearTracker::new();
+        let out = run_campaign(&pcr_d4(), 20, &campaign, PlanCache::shared(), &mut wear).unwrap();
+        assert!(out.demand_met(), "pinned recovery must meet the demand: {out}");
+        // Shared pins ghost-fire group mates; that wear is real and
+        // lands in the caller's tracker.
+        assert!(out.traces.len() as u32 == out.runs);
+        if !out.dead_cells.is_empty() {
+            // Diagnosed electrodes retire whole groups, so dead cells
+            // come in group-sized batches.
+            let chip = streaming_chip(7, 3, 5).unwrap();
+            let pins = BackendKind::RowColumn.assign(&chip).unwrap();
+            for &cell in &out.dead_cells {
+                for &g in pins.group_of(cell) {
+                    assert!(out.dead_cells.contains(&g), "{cell} dead but group mate {g} alive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wear_threads_across_campaign_trials() {
+        let campaign = Campaign::default();
+        let cache = PlanCache::shared();
+        let mut wear = WearTracker::new();
+        run_campaign(&pcr_d4(), 20, &campaign, Arc::clone(&cache), &mut wear).unwrap();
+        let after_one = wear.total();
+        run_campaign(&pcr_d4(), 20, &campaign, cache, &mut wear).unwrap();
+        assert!(after_one > 0);
+        assert_eq!(wear.total(), 2 * after_one, "identical trials double the wear");
     }
 
     #[test]

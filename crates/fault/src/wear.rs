@@ -48,6 +48,13 @@ impl WearTracker {
     pub fn touched(&self) -> usize {
         self.counts.len()
     }
+
+    /// Iterates over `(electrode, lifetime actuations)` pairs in
+    /// arbitrary order — e.g. to seed a [`dmf_chip::WearMap`] for
+    /// wear-aware placement.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, u64)> + '_ {
+        self.counts.iter().map(|(&c, &n)| (c, n))
+    }
 }
 
 #[cfg(test)]

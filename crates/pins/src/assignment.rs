@@ -1,0 +1,282 @@
+use crate::PinError;
+use dmf_chip::Coord;
+use std::fmt;
+
+/// Identifier of one control pin within a [`PinAssignment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PinId(pub u32);
+
+impl fmt::Display for PinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A complete electrode→control-pin map for one `width × height` grid.
+///
+/// Driving a pin actuates **every** electrode in its group (wired-OR
+/// addressing). Actuating electrode `a` therefore also actuates its
+/// *ghosts* — the other members of `a`'s group — and a ghost that fires
+/// inside another droplet's fluidic exclusion zone (the droplet's cell
+/// plus its 8-neighborhood) is a co-activation hazard.
+///
+/// The assignment is pure data: which pin drives which electrodes. The
+/// safety predicate [`PinAssignment::co_activation_conflict`] is derived
+/// from it and consulted by the pinned concurrent router, the simulator's
+/// actuation step and the `PIN/*` checker rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinAssignment {
+    width: i32,
+    height: i32,
+    /// Row-major cell → pin id.
+    pins: Vec<u32>,
+    /// Pin id → member electrodes, in row-major order.
+    groups: Vec<Vec<Coord>>,
+    /// True when every group is a singleton (direct addressing): every
+    /// pin-safety check short-circuits to the unconstrained behavior.
+    direct: bool,
+}
+
+impl PinAssignment {
+    /// Builds an assignment from a row-major cell→pin vector.
+    ///
+    /// Pin ids need not be dense; they are compacted in first-seen order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError::EmptyGrid`] for a grid without electrodes and
+    /// [`PinError::Malformed`] when `pins` does not hold exactly
+    /// `width × height` entries.
+    pub fn from_pins(width: i32, height: i32, pins: Vec<u32>) -> Result<Self, PinError> {
+        if width <= 0 || height <= 0 {
+            return Err(PinError::EmptyGrid { width, height });
+        }
+        let cells = (width as usize) * (height as usize);
+        if pins.len() != cells {
+            return Err(PinError::Malformed {
+                what: format!("{} pin entries for {} electrodes", pins.len(), cells),
+            });
+        }
+        // Compact pin ids in first-seen order so groups are dense.
+        let mut remap: Vec<Option<u32>> = Vec::new();
+        let mut dense: Vec<u32> = Vec::with_capacity(cells);
+        let mut groups: Vec<Vec<Coord>> = Vec::new();
+        for (i, &raw) in pins.iter().enumerate() {
+            let raw = raw as usize;
+            if raw >= remap.len() {
+                remap.resize(raw + 1, None);
+            }
+            let id = match remap[raw] {
+                Some(id) => id,
+                None => {
+                    let id = groups.len() as u32;
+                    remap[raw] = Some(id);
+                    groups.push(Vec::new());
+                    id
+                }
+            };
+            dense.push(id);
+            let (x, y) = ((i as i32) % width, (i as i32) / width);
+            groups[id as usize].push(Coord::new(x, y));
+        }
+        let direct = groups.iter().all(|g| g.len() == 1);
+        Ok(PinAssignment { width, height, pins: dense, groups, direct })
+    }
+
+    /// Grid width the assignment covers.
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Grid height the assignment covers.
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Whether `cell` lies on the assigned grid.
+    pub fn in_bounds(&self, cell: Coord) -> bool {
+        cell.x >= 0 && cell.x < self.width && cell.y >= 0 && cell.y < self.height
+    }
+
+    /// The control pin driving `cell` (`None` off-grid).
+    pub fn pin_of(&self, cell: Coord) -> Option<PinId> {
+        if !self.in_bounds(cell) {
+            return None;
+        }
+        let idx = (cell.y as usize) * (self.width as usize) + cell.x as usize;
+        self.pins.get(idx).map(|&p| PinId(p))
+    }
+
+    /// The electrodes driven by `pin`, in row-major order (empty for an
+    /// unknown pin).
+    pub fn group(&self, pin: PinId) -> &[Coord] {
+        self.groups.get(pin.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The electrodes sharing `cell`'s pin, including `cell` itself
+    /// (empty off-grid).
+    pub fn group_of(&self, cell: Coord) -> &[Coord] {
+        match self.pin_of(cell) {
+            Some(pin) => self.group(pin),
+            None => &[],
+        }
+    }
+
+    /// The electrodes side-actuated when `cell` is driven: its group
+    /// minus `cell` itself.
+    pub fn ghosts(&self, cell: Coord) -> impl Iterator<Item = Coord> + '_ {
+        self.group_of(cell).iter().copied().filter(move |&g| g != cell)
+    }
+
+    /// Number of distinct control pins.
+    pub fn pin_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of electrodes covered.
+    pub fn electrode_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// True when every electrode has its own pin — the fully-addressable
+    /// baseline. All pin-safety checks are vacuous then, and consumers
+    /// short-circuit to their unconstrained code paths.
+    pub fn is_direct(&self) -> bool {
+        self.direct
+    }
+
+    /// The co-activation safety predicate: is actuating electrode `a`
+    /// hazardous for a droplet parked on electrode `b`?
+    ///
+    /// True iff driving `a`'s pin side-actuates some *other* electrode
+    /// (a ghost, `g ≠ a`) strictly adjacent to `b` — inside its fluidic
+    /// exclusion zone but not on `b` itself. An adjacent ghost can drag
+    /// or split the droplet; a ghost exactly *on* `b` merely holds a
+    /// parked droplet in place, which is harmless (and under shared-pin
+    /// addressing is precisely the compatible co-activation the backend
+    /// exploits). The intended actuation `a` itself is not a pin
+    /// conflict either — droplet-to-droplet spacing is the fluidic
+    /// constraint's job, not this predicate's.
+    ///
+    /// For a droplet in motion use [`PinAssignment::motion_conflict`],
+    /// which also guards the cell it is leaving.
+    ///
+    /// Always false under direct addressing: there are no ghosts.
+    pub fn co_activation_conflict(&self, a: Coord, b: Coord) -> bool {
+        self.motion_conflict(a, b, b)
+    }
+
+    /// [`PinAssignment::co_activation_conflict`] for a droplet moving
+    /// `prev → now` (equal when parked): is actuating electrode `a`
+    /// hazardous for it?
+    ///
+    /// A ghost of `a` is harmful when it fires inside the droplet's
+    /// exclusion zone at either endpoint of the move — except exactly on
+    /// `now`, the electrode being actuated to effect (or hold) the
+    /// droplet anyway; a ghost coinciding with it reinforces the
+    /// intended actuation instead of fighting it. A ghost on `prev`
+    /// while the droplet moves away *is* harmful (a tug-of-war splits
+    /// the droplet).
+    pub fn motion_conflict(&self, a: Coord, prev: Coord, now: Coord) -> bool {
+        if self.direct {
+            return false;
+        }
+        self.ghosts(a).any(|g| g != now && (g.touches(now) || g.touches(prev)))
+    }
+}
+
+impl fmt::Display for PinAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pins over {}x{} electrodes{}",
+            self.pin_count(),
+            self.width,
+            self.height,
+            if self.direct { " (direct)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_two_shared() -> PinAssignment {
+        // Both diagonal pairs share a pin: 2 pins over 4 electrodes.
+        PinAssignment::from_pins(2, 2, vec![0, 1, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn from_pins_compacts_and_groups() {
+        let asg = PinAssignment::from_pins(2, 2, vec![7, 3, 3, 7]).unwrap();
+        assert_eq!(asg.pin_count(), 2);
+        assert_eq!(asg.electrode_count(), 4);
+        assert_eq!(asg.group_of(Coord::new(0, 0)), &[Coord::new(0, 0), Coord::new(1, 1)]);
+        assert_eq!(asg.pin_of(Coord::new(1, 0)), asg.pin_of(Coord::new(0, 1)));
+        assert!(!asg.is_direct());
+    }
+
+    #[test]
+    fn wrong_length_and_empty_grid_rejected() {
+        assert!(matches!(
+            PinAssignment::from_pins(2, 2, vec![0, 1]),
+            Err(PinError::Malformed { .. })
+        ));
+        assert!(matches!(PinAssignment::from_pins(0, 4, vec![]), Err(PinError::EmptyGrid { .. })));
+    }
+
+    #[test]
+    fn ghosts_exclude_the_cell_itself() {
+        let asg = two_by_two_shared();
+        let ghosts: Vec<Coord> = asg.ghosts(Coord::new(0, 0)).collect();
+        assert_eq!(ghosts, vec![Coord::new(1, 1)]);
+    }
+
+    #[test]
+    fn conflict_predicate_matches_ghost_adjacency() {
+        let asg = two_by_two_shared();
+        // Actuating (0,0) ghost-actuates (1,1), which is adjacent to the
+        // droplet parked at (1,0): hazardous.
+        assert!(asg.co_activation_conflict(Coord::new(0, 0), Coord::new(1, 0)));
+        // A ghost exactly on the parked droplet is a harmless hold.
+        assert!(!asg.co_activation_conflict(Coord::new(0, 0), Coord::new(1, 1)));
+        // Far away is safe.
+        assert!(!asg.co_activation_conflict(Coord::new(0, 0), Coord::new(5, 5)));
+        // Off-grid actuations have no ghosts.
+        assert!(!asg.co_activation_conflict(Coord::new(9, 9), Coord::new(1, 1)));
+    }
+
+    #[test]
+    fn motion_conflict_guards_both_endpoints() {
+        // A 1x7 strip where cells 0 and 6 share a pin.
+        let asg = PinAssignment::from_pins(7, 1, vec![0, 1, 2, 3, 4, 5, 0]).unwrap();
+        let cell = |x| Coord::new(x, 0);
+        // Actuating (6,0) ghosts (0,0): harmful for a droplet moving
+        // (0,0) -> (1,0) (tug-of-war on the vacated cell) and for one
+        // moving (1,0) -> (2,0)?  No: ghost (0,0) touches prev (1,0).
+        assert!(asg.motion_conflict(cell(6), cell(0), cell(1)));
+        assert!(asg.motion_conflict(cell(6), cell(1), cell(2)));
+        assert!(!asg.motion_conflict(cell(6), cell(2), cell(3)));
+        // A ghost exactly on the destination reinforces the move: the
+        // shared pin is driving that droplet's own hop.
+        assert!(!asg.motion_conflict(cell(6), cell(1), cell(0)));
+        // Parked semantics coincide with co_activation_conflict.
+        assert!(asg.motion_conflict(cell(6), cell(1), cell(1)));
+        assert!(!asg.motion_conflict(cell(6), cell(0), cell(0)));
+    }
+
+    #[test]
+    fn direct_assignment_has_no_conflicts() {
+        let asg = PinAssignment::from_pins(3, 2, (0..6).collect()).unwrap();
+        assert!(asg.is_direct());
+        assert_eq!(asg.pin_count(), 6);
+        for y in 0..2 {
+            for x in 0..3 {
+                let c = Coord::new(x, y);
+                assert_eq!(asg.ghosts(c).count(), 0);
+                assert!(!asg.co_activation_conflict(c, Coord::new(x, y)));
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+use crate::{PinAssignment, PinError};
+use dmf_chip::{ChipSpec, Coord};
+use std::fmt;
+use std::str::FromStr;
+
+/// Minimum group-mate spacing (Chebyshev) for a droplet never to
+/// ghost-interfere with itself: the ghost of the electrode it moves onto
+/// must clear both its previous and its next cell's exclusion zone.
+const MIN_SELF_SAFE_SPACING: i32 = 3;
+
+/// An electrode→pin assignment strategy.
+///
+/// Backends are purely geometric: they see the electrode grid, not the
+/// plan, so one assignment serves every program on the chip.
+pub trait ChipBackend {
+    /// The backend's canonical name (as accepted by `--backend`).
+    fn name(&self) -> &'static str;
+
+    /// Assigns control pins over a `width × height` electrode grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError::EmptyGrid`] for a degenerate grid; individual
+    /// backends add their own parameter-validity errors.
+    fn assign(&self, width: i32, height: i32) -> Result<PinAssignment, PinError>;
+
+    /// Assigns control pins over a chip's electrode array.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChipBackend::assign`].
+    fn assign_chip(&self, chip: &ChipSpec) -> Result<PinAssignment, PinError> {
+        self.assign(chip.width(), chip.height())
+    }
+}
+
+/// The fully-addressable baseline: one dedicated control pin per
+/// electrode. Pin-safety checks are vacuous, so every consumer behaves
+/// exactly as before pin constraints existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectAddress;
+
+impl ChipBackend for DirectAddress {
+    fn name(&self) -> &'static str {
+        "direct-address"
+    }
+
+    fn assign(&self, width: i32, height: i32) -> Result<PinAssignment, PinError> {
+        if width <= 0 || height <= 0 {
+            return Err(PinError::EmptyGrid { width, height });
+        }
+        let cells = (width as u32) * (height as u32);
+        PinAssignment::from_pins(width, height, (0..cells).collect())
+    }
+}
+
+/// Row-wise cyclic column sharing: electrode `(x, y)` is driven by pin
+/// `(y, x mod pitch)`, so within each row every `pitch`-th electrode
+/// shares a pin. Pin count is `height × min(width, pitch)` instead of
+/// `width × height`.
+///
+/// Group mates sit exactly `pitch` columns apart in the same row, so a
+/// pitch of at least 3 keeps every droplet clear of its own ghosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowColumn {
+    pitch: i32,
+}
+
+impl RowColumn {
+    /// A row-column backend with the given column pitch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError::UnsafePitch`] for a pitch below 3 (a droplet
+    /// could then ghost-interfere with itself).
+    pub fn new(pitch: i32) -> Result<Self, PinError> {
+        if pitch < MIN_SELF_SAFE_SPACING {
+            return Err(PinError::UnsafePitch { pitch });
+        }
+        Ok(RowColumn { pitch })
+    }
+
+    /// The configured column pitch.
+    pub fn pitch(&self) -> i32 {
+        self.pitch
+    }
+}
+
+impl Default for RowColumn {
+    /// Pitch 6: group mates are 6 columns apart — safely beyond the
+    /// 8-neighborhood — and, being a multiple of the streaming chip's
+    /// 3-column module lattice, ghosts over the module rows either land
+    /// exactly on a sibling port (a harmless hold / compatible
+    /// co-activation) or clear its exclusion zone entirely. A 24-column
+    /// chip needs a quarter of the direct pin count.
+    fn default() -> Self {
+        RowColumn { pitch: 6 }
+    }
+}
+
+impl ChipBackend for RowColumn {
+    fn name(&self) -> &'static str {
+        "row-column"
+    }
+
+    fn assign(&self, width: i32, height: i32) -> Result<PinAssignment, PinError> {
+        if width <= 0 || height <= 0 {
+            return Err(PinError::EmptyGrid { width, height });
+        }
+        let per_row = width.min(self.pitch) as u32;
+        let mut pins = Vec::with_capacity((width as usize) * (height as usize));
+        for y in 0..height {
+            for x in 0..width {
+                pins.push((y as u32) * per_row + (x % self.pitch) as u32);
+            }
+        }
+        PinAssignment::from_pins(width, height, pins)
+    }
+}
+
+/// Broadcast addressing via greedy compatibility-graph coloring.
+///
+/// Two electrodes are *compatible* (may share a pin) iff their Chebyshev
+/// distance is at least `radius`; electrodes are colored greedily in
+/// row-major order with the smallest color compatible with every member
+/// already holding it. On an open grid this converges to a
+/// `radius × radius` tiling, so the whole array is driven by roughly
+/// `radius²` pins regardless of its size — the densest sharing (and the
+/// most ghost actuations) of the built-in backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Broadcast {
+    radius: i32,
+}
+
+impl Broadcast {
+    /// A broadcast backend with the given compatibility radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError::UnsafeRadius`] for a radius below 3 (a droplet
+    /// could then ghost-interfere with itself).
+    pub fn new(radius: i32) -> Result<Self, PinError> {
+        if radius < MIN_SELF_SAFE_SPACING {
+            return Err(PinError::UnsafeRadius { radius });
+        }
+        Ok(Broadcast { radius })
+    }
+
+    /// The configured compatibility radius.
+    pub fn radius(&self) -> i32 {
+        self.radius
+    }
+}
+
+impl Default for Broadcast {
+    /// Radius 5: matches the default [`RowColumn`] pitch, with sharing in
+    /// both axes (≈25 pins for any chip size).
+    fn default() -> Self {
+        Broadcast { radius: 5 }
+    }
+}
+
+impl ChipBackend for Broadcast {
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+
+    fn assign(&self, width: i32, height: i32) -> Result<PinAssignment, PinError> {
+        if width <= 0 || height <= 0 {
+            return Err(PinError::EmptyGrid { width, height });
+        }
+        let cheb = |a: Coord, b: Coord| (a.x - b.x).abs().max((a.y - b.y).abs());
+        let mut groups: Vec<Vec<Coord>> = Vec::new();
+        let mut pins = Vec::with_capacity((width as usize) * (height as usize));
+        for y in 0..height {
+            for x in 0..width {
+                let cell = Coord::new(x, y);
+                let color = groups
+                    .iter()
+                    .position(|members| members.iter().all(|&m| cheb(m, cell) >= self.radius));
+                let color = match color {
+                    Some(c) => c,
+                    None => {
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    }
+                };
+                groups[color].push(cell);
+                pins.push(color as u32);
+            }
+        }
+        PinAssignment::from_pins(width, height, pins)
+    }
+}
+
+/// The built-in backends by name, as selected with `--backend <name>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// One pin per electrode (the baseline; see [`DirectAddress`]).
+    #[default]
+    DirectAddress,
+    /// Row-wise cyclic column sharing at the default pitch
+    /// (see [`RowColumn`]).
+    RowColumn,
+    /// Greedy compatibility-graph coloring at the default radius
+    /// (see [`Broadcast`]).
+    Broadcast,
+}
+
+impl BackendKind {
+    /// Every built-in backend, baseline first.
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::DirectAddress, BackendKind::RowColumn, BackendKind::Broadcast];
+
+    /// The canonical `--backend` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::DirectAddress => "direct-address",
+            BackendKind::RowColumn => "row-column",
+            BackendKind::Broadcast => "broadcast",
+        }
+    }
+
+    /// Parses a backend name (canonical names plus the short aliases
+    /// `direct` and `rowcol`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError::UnknownBackend`] for anything else.
+    pub fn parse(name: &str) -> Result<Self, PinError> {
+        match name {
+            "direct-address" | "direct" => Ok(BackendKind::DirectAddress),
+            "row-column" | "rowcol" => Ok(BackendKind::RowColumn),
+            "broadcast" => Ok(BackendKind::Broadcast),
+            other => Err(PinError::UnknownBackend { name: other.into() }),
+        }
+    }
+
+    /// The backend strategy with its default parameters.
+    pub fn backend(self) -> Box<dyn ChipBackend> {
+        match self {
+            BackendKind::DirectAddress => Box::new(DirectAddress),
+            BackendKind::RowColumn => Box::new(RowColumn::default()),
+            BackendKind::Broadcast => Box::new(Broadcast::default()),
+        }
+    }
+
+    /// Assigns this backend's pins over a chip's electrode array.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChipBackend::assign`].
+    pub fn assign(self, chip: &ChipSpec) -> Result<PinAssignment, PinError> {
+        self.backend().assign_chip(chip)
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = PinError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheb(a: Coord, b: Coord) -> i32 {
+        (a.x - b.x).abs().max((a.y - b.y).abs())
+    }
+
+    /// Every pair of group mates must be at least `spacing` apart.
+    fn assert_group_spacing(asg: &PinAssignment, spacing: i32) {
+        for p in 0..asg.pin_count() as u32 {
+            let members = asg.group(crate::PinId(p));
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    assert!(
+                        cheb(a, b) >= spacing,
+                        "group {p}: {a} and {b} are only {} apart",
+                        cheb(a, b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_address_is_one_pin_per_electrode() {
+        let asg = DirectAddress.assign(23, 11).unwrap();
+        assert!(asg.is_direct());
+        assert_eq!(asg.pin_count(), 23 * 11);
+        assert_eq!(asg.electrode_count(), 23 * 11);
+    }
+
+    #[test]
+    fn row_column_shares_within_rows_only() {
+        let asg = RowColumn::default().assign(23, 11).unwrap();
+        assert!(!asg.is_direct());
+        assert_eq!(asg.pin_count(), 11 * 6);
+        assert_group_spacing(&asg, 6);
+        // Mates of (1, 4): every column ≡ 1 (mod 6) in row 4.
+        let mates = asg.group_of(Coord::new(1, 4));
+        assert!(mates.iter().all(|m| m.y == 4 && m.x % 6 == 1));
+        assert_eq!(mates.len(), 4); // columns 1, 7, 13, 19
+                                    // Narrow grids never exceed one pin per column per row.
+        let narrow = RowColumn::default().assign(3, 4).unwrap();
+        assert_eq!(narrow.pin_count(), 12);
+        assert!(narrow.is_direct());
+    }
+
+    #[test]
+    fn broadcast_coloring_respects_the_radius() {
+        for radius in [3, 4, 5] {
+            let asg = Broadcast::new(radius).unwrap().assign(23, 11).unwrap();
+            assert_group_spacing(&asg, radius);
+            // Greedy row-major coloring of an open grid tiles at
+            // radius², independent of chip size.
+            assert_eq!(asg.pin_count(), (radius * radius) as usize, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn unsafe_parameters_rejected() {
+        assert!(matches!(RowColumn::new(2), Err(PinError::UnsafePitch { pitch: 2 })));
+        assert!(matches!(Broadcast::new(1), Err(PinError::UnsafeRadius { radius: 1 })));
+        assert!(RowColumn::new(3).is_ok());
+        assert!(Broadcast::new(3).is_ok());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()).unwrap(), kind);
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert_eq!(BackendKind::parse("direct").unwrap(), BackendKind::DirectAddress);
+        assert_eq!(BackendKind::parse("rowcol").unwrap(), BackendKind::RowColumn);
+        assert!(matches!(BackendKind::parse("fancy"), Err(PinError::UnknownBackend { .. })));
+    }
+
+    #[test]
+    fn assignments_are_deterministic() {
+        for kind in BackendKind::ALL {
+            let a = kind.backend().assign(20, 14).unwrap();
+            let b = kind.backend().assign(20, 14).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_rejected_by_every_backend() {
+        for kind in BackendKind::ALL {
+            assert!(matches!(kind.backend().assign(0, 8), Err(PinError::EmptyGrid { .. })));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors of pin-assignment construction and backend selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PinError {
+    /// The grid has no electrodes to assign pins to.
+    EmptyGrid {
+        /// Requested grid width.
+        width: i32,
+        /// Requested grid height.
+        height: i32,
+    },
+    /// A row-column pitch below 3 would let a droplet ghost-interfere
+    /// with itself (the ghost lands inside its own exclusion zone).
+    UnsafePitch {
+        /// The rejected pitch.
+        pitch: i32,
+    },
+    /// A broadcast compatibility radius below 3 would let a droplet
+    /// ghost-interfere with itself.
+    UnsafeRadius {
+        /// The rejected radius.
+        radius: i32,
+    },
+    /// A hand-built assignment is inconsistent (wrong cell count, empty
+    /// pin group, or a dangling pin id).
+    Malformed {
+        /// What was wrong.
+        what: String,
+    },
+    /// An unrecognised backend name (see [`crate::BackendKind::parse`]).
+    UnknownBackend {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinError::EmptyGrid { width, height } => {
+                write!(f, "cannot assign pins on an empty {width}x{height} grid")
+            }
+            PinError::UnsafePitch { pitch } => {
+                write!(f, "row-column pitch {pitch} is unsafe: group mates must be >= 3 apart")
+            }
+            PinError::UnsafeRadius { radius } => {
+                write!(f, "broadcast radius {radius} is unsafe: group mates must be >= 3 apart")
+            }
+            PinError::Malformed { what } => write!(f, "malformed pin assignment: {what}"),
+            PinError::UnknownBackend { name } => write!(
+                f,
+                "unknown backend '{name}' (expected direct-address, row-column or broadcast)"
+            ),
+        }
+    }
+}
+
+impl Error for PinError {}

@@ -1,0 +1,49 @@
+//! Pin-constrained chip backends for DMF biochips.
+//!
+//! The streaming engine's planning model assumes a *directly addressed*
+//! electrode array: every electrode has its own control pin, so any set of
+//! electrodes can be actuated independently. Real chips rarely afford
+//! that — control pins are expensive, and field-programmable
+//! pin-constrained designs (Wang et al., arXiv:2008.13436) share one pin
+//! across a *group* of electrodes. Driving a pin actuates **every**
+//! electrode in its group, so moving one droplet can side-actuate
+//! electrodes elsewhere on the chip ("ghost" actuations). A ghost that
+//! fires inside another droplet's fluidic exclusion zone (the cell plus
+//! its 8-neighborhood) can drag, pin down or split that droplet.
+//!
+//! This crate defines the backend abstraction the rest of the workspace
+//! consults:
+//!
+//! * [`PinAssignment`] — the electrode→pin map, with
+//!   [`PinAssignment::co_activation_conflict`] as the safety predicate:
+//!   may electrode `a` be actuated while a droplet sits on (or moves
+//!   through) electrode `b`?
+//! * [`ChipBackend`] — an assignment strategy over a grid, with three
+//!   implementations:
+//!   [`DirectAddress`] (one pin per electrode — today's behavior and the
+//!   baseline), [`RowColumn`] (row-wise cyclic column sharing with a
+//!   configurable pitch) and [`Broadcast`] (greedy compatibility-graph
+//!   coloring: two electrodes may share a pin iff they are at least a
+//!   Chebyshev `radius` apart).
+//! * [`BackendKind`] — the CLI-facing name registry
+//!   (`--backend direct-address|row-column|broadcast`).
+//!
+//! Both pin-constrained backends enforce a group-mate spacing of at least
+//! Chebyshev 3 by construction, so a droplet can never ghost-interfere
+//! with *itself*: the ghost of the electrode it moves onto is always too
+//! far away to touch its previous or next cell. Cross-droplet ghosts
+//! remain, and are exactly what `dmf-route`'s pinned concurrent router
+//! (route constraints), `dmf-sim`'s actuation step (typed
+//! `PinConflict` errors plus pin-aware routing) and `dmf-check`'s `PIN/*`
+//! rules (static verification) guard against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod backend;
+mod error;
+
+pub use assignment::{PinAssignment, PinId};
+pub use backend::{BackendKind, Broadcast, ChipBackend, DirectAddress, RowColumn};
+pub use error::PinError;

@@ -1,5 +1,6 @@
 use crate::{Grid, RouteError};
 use dmf_chip::Coord;
+use dmf_pins::PinAssignment;
 use std::collections::{BinaryHeap, HashMap};
 
 /// One droplet transport request for [`route_concurrent`].
@@ -96,10 +97,41 @@ pub fn route_concurrent(
     grid: &Grid,
     requests: &[RouteRequest],
 ) -> Result<Vec<TimedPath>, RouteError> {
+    route_with(grid, requests, None)
+}
+
+/// [`route_concurrent`] under a pin-constrained backend: in addition to
+/// the fluidic constraints, no step may require conflicting pin states —
+/// actuating the electrode a droplet moves onto must not ghost-actuate
+/// (via a shared control pin) any electrode inside another droplet's
+/// exclusion zone at that step or the one before. Pin conflicts are route
+/// constraints here, exactly like fluidic ones: the search detours or
+/// waits around them, and an exhausted horizon surfaces as
+/// [`RouteError::Unroutable`] rather than a silently hazardous path.
+///
+/// With a direct (one pin per electrode) assignment this is byte-identical
+/// to [`route_concurrent`]: there are no ghosts to conflict.
+///
+/// # Errors
+///
+/// As [`route_concurrent`].
+pub fn route_concurrent_pinned(
+    grid: &Grid,
+    requests: &[RouteRequest],
+    pins: &PinAssignment,
+) -> Result<Vec<TimedPath>, RouteError> {
+    route_with(grid, requests, Some(pins).filter(|p| !p.is_direct()))
+}
+
+fn route_with(
+    grid: &Grid,
+    requests: &[RouteRequest],
+    pins: Option<&PinAssignment>,
+) -> Result<Vec<TimedPath>, RouteError> {
     let mut planned: Vec<TimedPath> = Vec::with_capacity(requests.len());
     let horizon = search_horizon(grid, requests.len());
     for (index, request) in requests.iter().enumerate() {
-        let path = space_time_astar(grid, *request, &planned, horizon)
+        let path = space_time_astar(grid, *request, &planned, horizon, pins)
             .ok_or(RouteError::Unroutable { index, from: request.from, to: request.to })?;
         planned.push(path);
     }
@@ -120,7 +152,13 @@ pub fn search_horizon(grid: &Grid, request_count: usize) -> usize {
     perimeter.saturating_mul(4).saturating_add(request_count.saturating_mul(8))
 }
 
-fn conflicts(planned: &[TimedPath], pos: Coord, prev: Coord, t: usize) -> bool {
+fn conflicts(
+    planned: &[TimedPath],
+    pos: Coord,
+    prev: Coord,
+    t: usize,
+    pins: Option<&PinAssignment>,
+) -> bool {
     for other in planned {
         let other_now = other.at(t);
         let other_prev = other.at(t.saturating_sub(1));
@@ -133,6 +171,18 @@ fn conflicts(planned: &[TimedPath], pos: Coord, prev: Coord, t: usize) -> bool {
         if pos.touches(other_prev) || prev.touches(other_now) {
             return true;
         }
+        // Pin co-activation constraints: a hop actuates the destination
+        // electrode, which under a shared-pin backend also fires that
+        // electrode's ghosts. Neither droplet's actuation may ghost into
+        // the other's motion zone (see `PinAssignment::motion_conflict`).
+        if let Some(p) = pins {
+            if pos != prev && p.motion_conflict(pos, other_prev, other_now) {
+                return true;
+            }
+            if other_now != other_prev && p.motion_conflict(other_now, prev, pos) {
+                return true;
+            }
+        }
     }
     false
 }
@@ -142,6 +192,7 @@ fn space_time_astar(
     request: RouteRequest,
     planned: &[TimedPath],
     horizon: usize,
+    pins: Option<&PinAssignment>,
 ) -> Option<TimedPath> {
     if !grid.passable(request.from) || !grid.passable(request.to) {
         return None;
@@ -161,7 +212,7 @@ fn space_time_astar(
     let mut open: BinaryHeap<Item> = BinaryHeap::new();
     let mut best: HashMap<(Coord, usize), u32> = HashMap::new();
     let mut came: HashMap<(Coord, usize), (Coord, usize)> = HashMap::new();
-    if conflicts(planned, request.from, request.from, 0) {
+    if conflicts(planned, request.from, request.from, 0, pins) {
         return None;
     }
     best.insert((request.from, 0), 0);
@@ -171,7 +222,7 @@ fn space_time_astar(
             // The droplet parks here: verify no later conflicts while the
             // remaining planned droplets finish moving.
             let tail_clear =
-                (t + 1..=max_duration(planned)).all(|tt| !conflicts(planned, pos, pos, tt));
+                (t + 1..=max_duration(planned)).all(|tt| !conflicts(planned, pos, pos, tt, pins));
             if tail_clear {
                 let mut cells = vec![pos];
                 let mut key = (pos, t);
@@ -193,7 +244,7 @@ fn space_time_astar(
             if !grid.passable(next) {
                 continue;
             }
-            if conflicts(planned, next, pos, t + 1) {
+            if conflicts(planned, next, pos, t + 1, pins) {
                 continue;
             }
             let cost = g + u32::from(next != pos);
@@ -301,6 +352,104 @@ mod tests {
         let paths = route_concurrent(&grid, &requests).unwrap();
         check_fluidic_constraints(&paths);
         assert_eq!(paths.len(), 5);
+    }
+
+    /// Independent re-derivation of the pin-safety property: at every
+    /// step, the ghosts of each actuated electrode stay out of every
+    /// other droplet's motion zone — strictly adjacent to neither its
+    /// current nor its previous cell, and never on a cell it is leaving.
+    fn check_pin_constraints(paths: &[TimedPath], pins: &PinAssignment) {
+        let steps = paths.iter().map(TimedPath::duration).max().unwrap_or(0);
+        for t in 1..=steps {
+            for (i, path) in paths.iter().enumerate() {
+                let (pos, prev) = (path.at(t), path.at(t - 1));
+                if pos == prev {
+                    continue; // waiting actuates nothing new
+                }
+                for (j, other) in paths.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let (o_now, o_prev) = (other.at(t), other.at(t - 1));
+                    for g in pins.ghosts(pos) {
+                        let harmful = g != o_now && (g.touches(o_now) || g.touches(o_prev));
+                        assert!(!harmful, "ghost {g} of {pos} intrudes on droplet {j} at t={t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_routing_with_direct_backend_is_byte_identical() {
+        use dmf_pins::BackendKind;
+        let grid = Grid::new(16, 16);
+        let requests: Vec<RouteRequest> = (0..5)
+            .map(|i| RouteRequest { from: Coord::new(0, 3 * i), to: Coord::new(15, 3 * (4 - i)) })
+            .collect();
+        let direct = BackendKind::DirectAddress.backend().assign(16, 16).unwrap();
+        let plain = route_concurrent(&grid, &requests).unwrap();
+        let pinned = route_concurrent_pinned(&grid, &requests, &direct).unwrap();
+        assert_eq!(plain, pinned);
+    }
+
+    #[test]
+    fn row_column_ghosts_become_route_constraints() {
+        use dmf_pins::{ChipBackend, RowColumn};
+        let grid = Grid::new(16, 12);
+        // A droplet parked at (2,5) turns every actuation of column 7
+        // (whose pitch-5 ghosts land in column 2) near its row into a
+        // route constraint: the second droplet's straight descent down
+        // column 8 would ghost cells (3,4)..(3,6) into the parked
+        // droplet's exclusion zone, so the pinned router must detour.
+        let requests = [
+            RouteRequest { from: Coord::new(2, 5), to: Coord::new(2, 5) },
+            RouteRequest { from: Coord::new(8, 2), to: Coord::new(8, 10) },
+        ];
+        let pins = RowColumn::new(5).unwrap().assign(16, 12).unwrap();
+        let paths = route_concurrent_pinned(&grid, &requests, &pins).unwrap();
+        check_fluidic_constraints(&paths);
+        check_pin_constraints(&paths, &pins);
+        let plain = route_concurrent(&grid, &requests).unwrap();
+        assert_ne!(plain, paths, "pin constraints had no effect on a hazardous scenario");
+    }
+
+    #[test]
+    fn compatible_lanes_share_a_pin_without_penalty() {
+        use dmf_pins::{ChipBackend, RowColumn};
+        let grid = Grid::new(16, 8);
+        // Exactly one pitch apart: the two droplets' hops are driven by
+        // the same pins simultaneously — the compatible co-activation pin
+        // sharing exists for. Both straight-line paths survive.
+        let requests = [
+            RouteRequest { from: Coord::new(2, 0), to: Coord::new(2, 7) },
+            RouteRequest { from: Coord::new(8, 0), to: Coord::new(8, 7) },
+        ];
+        let pins = RowColumn::default().assign(16, 8).unwrap();
+        let paths = route_concurrent_pinned(&grid, &requests, &pins).unwrap();
+        assert_eq!(paths, route_concurrent(&grid, &requests).unwrap());
+        check_pin_constraints(&paths, &pins);
+    }
+
+    #[test]
+    fn broadcast_routes_stay_pin_safe() {
+        use dmf_pins::{Broadcast, ChipBackend};
+        let grid = Grid::new(16, 16);
+        // Broadcast tiles pins at radius 5 in both axes, so a droplet
+        // parked at (1,5) shadows every actuation whose group hits its
+        // zone (columns ≡ 0..2, rows ≡ 4..6 mod 5). The mover descends
+        // column 7 (≡ 2), which ghosts into column 2 — it must shift to
+        // a compatible column and land on a ghost-clear row.
+        let requests = [
+            RouteRequest { from: Coord::new(1, 5), to: Coord::new(1, 5) },
+            RouteRequest { from: Coord::new(7, 0), to: Coord::new(7, 13) },
+        ];
+        let pins = Broadcast::default().assign(16, 16).unwrap();
+        let paths = route_concurrent_pinned(&grid, &requests, &pins).unwrap();
+        check_fluidic_constraints(&paths);
+        check_pin_constraints(&paths, &pins);
+        let plain = route_concurrent(&grid, &requests).unwrap();
+        assert_ne!(plain, paths, "broadcast ghosts had no effect on a hazardous scenario");
     }
 
     #[test]

@@ -39,6 +39,8 @@ mod error;
 mod grid;
 
 pub use astar::{actuations, shortest_path, try_shortest_path};
-pub use concurrent::{route_concurrent, search_horizon, RouteRequest, TimedPath};
+pub use concurrent::{
+    route_concurrent, route_concurrent_pinned, search_horizon, RouteRequest, TimedPath,
+};
 pub use error::RouteError;
 pub use grid::Grid;

@@ -65,6 +65,20 @@ pub enum SimError {
         /// Destination module.
         module: ModuleId,
     },
+    /// Under a pin-constrained backend, an actuation's ghost electrode
+    /// (another member of the driven pin's group) fired inside a parked
+    /// droplet's fluidic exclusion zone — a co-activation hazard that
+    /// could drag or split it.
+    PinConflict {
+        /// The droplet whose dispense or hop drove the shared pin.
+        moving: DropletId,
+        /// The parked droplet endangered by the ghost actuation.
+        parked: DropletId,
+        /// The electrode intentionally actuated.
+        actuated: Coord,
+        /// Where the endangered droplet sits.
+        at: Coord,
+    },
     /// Droplets remained on-chip when the program ended.
     LeftoverDroplets {
         /// How many droplets were left behind.
@@ -101,6 +115,13 @@ impl fmt::Display for SimError {
             SimError::StorageBusy { cell } => write!(f, "storage cell {cell} occupancy conflict"),
             SimError::NoRoute { droplet, module } => {
                 write!(f, "no route for droplet {droplet} to module {module}")
+            }
+            SimError::PinConflict { moving, parked, actuated, at } => {
+                write!(
+                    f,
+                    "actuating {actuated} for droplet {moving} ghost-fires next to \
+                     parked droplet {parked} at {at} (shared-pin co-activation hazard)"
+                )
             }
             SimError::LeftoverDroplets { count } => {
                 write!(f, "{count} droplet(s) left on chip at program end")

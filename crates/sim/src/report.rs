@@ -27,6 +27,13 @@ pub struct SimReport {
     /// concern the paper's electrode-actuation comparison addresses);
     /// [`SimReport::max_electrode_actuations`] is the wear hot-spot.
     pub electrode_actuations: HashMap<Coord, u32>,
+    /// Ghost actuations under a pin-constrained backend: electrodes fired
+    /// only because they share a control pin with an intentionally
+    /// actuated one. Counted into [`SimReport::electrode_actuations`] as
+    /// well — shared-pin addressing trades pin count for extra wear, and
+    /// this field is the size of that trade. Always 0 under direct
+    /// addressing.
+    pub ghost_actuations: u64,
     /// Faults injected by the active fault plan (0 outside
     /// [`crate::Simulator::run_faulty`]).
     pub faults_injected: u64,

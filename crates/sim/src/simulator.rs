@@ -3,6 +3,7 @@ use crate::{
     SimError, SimReport, Trace,
 };
 use dmf_chip::{ChipSpec, Coord, ModuleId, ModuleKind};
+use dmf_pins::PinAssignment;
 use dmf_route::{shortest_path, Grid};
 use std::collections::{HashMap, HashSet};
 
@@ -17,18 +18,36 @@ pub struct Simulator<'a> {
     chip: &'a ChipSpec,
     /// Whether a program may finish with droplets still on chip.
     allow_leftovers: bool,
+    /// Pin-constrained backend to execute under, if any. `None` (or a
+    /// direct assignment) means every electrode is individually
+    /// addressable and no ghost actuations occur.
+    pins: Option<&'a PinAssignment>,
 }
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator for `chip`.
     pub fn new(chip: &'a ChipSpec) -> Self {
-        Simulator { chip, allow_leftovers: false }
+        Simulator { chip, allow_leftovers: false, pins: None }
     }
 
     /// Permits programs that leave droplets on the chip (useful for
     /// inspecting partial runs).
     pub fn allow_leftovers(mut self) -> Self {
         self.allow_leftovers = true;
+        self
+    }
+
+    /// Executes under a pin-constrained backend: every intentional
+    /// actuation also fires its ghost electrodes (counted into the wear
+    /// heatmap and [`SimReport::ghost_actuations`]), a ghost firing
+    /// inside a parked droplet's exclusion zone aborts with
+    /// [`SimError::PinConflict`], and ad-hoc `TransportTo` routing steers
+    /// around cells whose ghosts would endanger parked droplets.
+    ///
+    /// A direct (one pin per electrode) assignment is dropped here so
+    /// runs stay byte-identical to the unconstrained simulator.
+    pub fn with_pins(mut self, pins: &'a PinAssignment) -> Self {
+        self.pins = Some(pins).filter(|p| !p.is_direct());
         self
     }
 
@@ -77,6 +96,7 @@ impl<'a> Simulator<'a> {
     ) -> Result<FaultyOutcome, SimError> {
         let _span = dmf_obs::span!("sim_execute");
         let mut state = SimState::new(self.chip);
+        state.pins = self.pins;
         state.trace = Some(Trace::default());
         state.fault = Some(FaultCtx::new(faults.clone()));
         for (step, instruction) in program.instructions().iter().enumerate() {
@@ -106,6 +126,7 @@ impl<'a> Simulator<'a> {
     ) -> Result<(SimReport, Option<Trace>), SimError> {
         let _span = dmf_obs::span!("sim_execute");
         let mut state = SimState::new(self.chip);
+        state.pins = self.pins;
         if traced {
             state.trace = Some(Trace::default());
         }
@@ -161,6 +182,7 @@ struct SimState<'a> {
     trace: Option<Trace>,
     step: usize,
     fault: Option<FaultCtx>,
+    pins: Option<&'a PinAssignment>,
 }
 
 impl<'a> SimState<'a> {
@@ -173,6 +195,7 @@ impl<'a> SimState<'a> {
             trace: None,
             step: 0,
             fault: None,
+            pins: None,
         }
     }
 
@@ -213,9 +236,11 @@ impl<'a> SimState<'a> {
                         at: *at,
                     });
                 }
+                self.check_pin_hazard(*droplet, port)?;
                 self.droplets.insert(*droplet, port);
                 self.report.dispensed += 1;
                 *self.report.electrode_actuations.entry(port).or_insert(0) += 1;
+                self.ghost_actuate(port);
                 self.record(crate::TraceEvent::Dispensed {
                     droplet: *droplet,
                     reservoir: *reservoir,
@@ -343,6 +368,39 @@ impl<'a> SimState<'a> {
         self.droplets.iter().filter(|(id, _)| **id != moving).map(|(id, pos)| (*id, *pos)).collect()
     }
 
+    /// Pin-safety gate for an intentional actuation of `actuated` by
+    /// `moving`: under a shared-pin backend a ghost firing inside a
+    /// parked droplet's exclusion zone could drag or split it. Droplets
+    /// inside module footprints are shielded by the module geometry,
+    /// mirroring the fluidic rule.
+    fn check_pin_hazard(&self, moving: DropletId, actuated: Coord) -> Result<(), SimError> {
+        let Some(pins) = self.pins else {
+            return Ok(());
+        };
+        let in_module = |c: Coord| self.chip.modules().iter().any(|m| m.rect().contains(c));
+        for (other, at) in self.parked_guard(moving) {
+            if in_module(at) {
+                continue;
+            }
+            if pins.co_activation_conflict(actuated, at) {
+                return Err(SimError::PinConflict { moving, parked: other, actuated, at });
+            }
+        }
+        Ok(())
+    }
+
+    /// Accounts the ghost side of an intentional actuation: every other
+    /// member of the driven pin's group fires too and wears its electrode.
+    fn ghost_actuate(&mut self, actuated: Coord) {
+        let Some(pins) = self.pins else {
+            return;
+        };
+        for g in pins.ghosts(actuated) {
+            self.report.ghost_actuations += 1;
+            *self.report.electrode_actuations.entry(g).or_insert(0) += 1;
+        }
+    }
+
     fn transport(&mut self, droplet: DropletId, path: Vec<Coord>) -> Result<(), SimError> {
         let from = self.position(droplet)?;
         let Some((&first, rest)) = path.split_first() else {
@@ -389,8 +447,10 @@ impl<'a> SimState<'a> {
                 }
             }
             if pos != next {
+                self.check_pin_hazard(droplet, next)?;
                 self.report.transport_actuations += 1;
                 *self.report.electrode_actuations.entry(next).or_insert(0) += 1;
+                self.ghost_actuate(next);
             }
             pos = next;
         }
@@ -683,6 +743,28 @@ impl<'a> SimState<'a> {
                 }
             }
         }
+        if let Some(pins) = self.pins {
+            // Under a shared-pin backend a cell whose ghosts would fire
+            // inside an unshielded parked droplet's exclusion zone is as
+            // good as blocked: steer ad-hoc routes around it so the
+            // transport's pin-hazard gate never trips on our own paths.
+            let guarded: Vec<Coord> = self
+                .parked_guard(moving)
+                .into_iter()
+                .map(|(_, at)| at)
+                .filter(|&at| !in_module(at))
+                .collect();
+            if !guarded.is_empty() {
+                for y in 0..self.chip.height() {
+                    for x in 0..self.chip.width() {
+                        let c = Coord::new(x, y);
+                        if guarded.iter().any(|&at| pins.co_activation_conflict(c, at)) {
+                            avoid.insert(c);
+                        }
+                    }
+                }
+            }
+        }
         shortest_path(&grid, from, to, &avoid)
     }
 }
@@ -825,6 +907,91 @@ mod tests {
         });
         let err = Simulator::new(&chip).allow_leftovers().run(&p).unwrap_err();
         assert!(matches!(err, SimError::BadPath { .. }));
+    }
+
+    #[test]
+    fn pinned_run_counts_ghost_wear() {
+        use dmf_pins::{ChipBackend, RowColumn};
+        let chip = pcr_chip();
+        let (r1, _, _, w1, _) = ids(&chip);
+        let pins = RowColumn::default().assign_chip(&chip).unwrap();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::TransportTo { droplet: DropletId(0), module: w1 });
+        p.push(Instruction::Discard { droplet: DropletId(0), waste: w1 });
+        let plain = Simulator::new(&chip).run(&p).unwrap();
+        assert_eq!(plain.ghost_actuations, 0);
+        let pinned = Simulator::new(&chip).with_pins(&pins).run(&p).unwrap();
+        // A lone droplet can never pin-conflict, but every actuation now
+        // drags its group mates: the heatmap grows by exactly the ghosts.
+        assert!(pinned.ghost_actuations > 0);
+        let plain_total: u64 = plain.electrode_actuations.values().map(|&n| u64::from(n)).sum();
+        let pinned_total: u64 = pinned.electrode_actuations.values().map(|&n| u64::from(n)).sum();
+        assert_eq!(pinned_total, plain_total + pinned.ghost_actuations);
+        assert_eq!(pinned.transport_actuations, plain.transport_actuations);
+    }
+
+    #[test]
+    fn direct_backend_is_byte_identical() {
+        use dmf_pins::BackendKind;
+        let chip = pcr_chip();
+        let (r1, r7, m1, w1, o1) = ids(&chip);
+        let direct = BackendKind::DirectAddress.backend().assign_chip(&chip).unwrap();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: r1, droplet: DropletId(0) });
+        p.push(Instruction::TransportTo { droplet: DropletId(0), module: m1 });
+        p.push(Instruction::Dispense { reservoir: r7, droplet: DropletId(1) });
+        p.push(Instruction::TransportTo { droplet: DropletId(1), module: m1 });
+        p.push(Instruction::MixSplit {
+            mixer: m1,
+            a: DropletId(0),
+            b: DropletId(1),
+            out_a: DropletId(2),
+            out_b: DropletId(3),
+        });
+        p.push(Instruction::TransportTo { droplet: DropletId(2), module: o1 });
+        p.push(Instruction::Emit { droplet: DropletId(2), output: o1 });
+        p.push(Instruction::TransportTo { droplet: DropletId(3), module: w1 });
+        p.push(Instruction::Discard { droplet: DropletId(3), waste: w1 });
+        let plain = Simulator::new(&chip).run(&p).unwrap();
+        let pinned = Simulator::new(&chip).with_pins(&direct).run(&p).unwrap();
+        assert_eq!(plain, pinned);
+        assert_eq!(pinned.ghost_actuations, 0);
+    }
+
+    #[test]
+    fn ghost_into_parked_droplet_is_a_pin_conflict() {
+        // A bare 13x3 chip, pitch-5 row sharing: columns {1,6,11} share a
+        // pin per row, so marching a droplet rightward from x=0 ghost-
+        // fires (11,1) on its first hop — adjacent to the droplet parked
+        // at (12,2). Co-activation hazard despite full fluidic legality.
+        use dmf_pins::{ChipBackend, RowColumn};
+        let mut chip = ChipSpec::new(13, 3).unwrap();
+        let ra = chip
+            .add_module("R1", ModuleKind::Reservoir { fluid: 0 }, Rect::new(0, 1, 1, 1))
+            .unwrap();
+        let rb = chip
+            .add_module("R2", ModuleKind::Reservoir { fluid: 1 }, Rect::new(12, 1, 1, 1))
+            .unwrap();
+        let pins = RowColumn::new(5).unwrap().assign_chip(&chip).unwrap();
+        let mut p = ChipProgram::new();
+        p.push(Instruction::Dispense { reservoir: rb, droplet: DropletId(1) });
+        p.push(Instruction::Transport {
+            droplet: DropletId(1),
+            path: vec![Coord::new(12, 1), Coord::new(12, 2)],
+        });
+        p.push(Instruction::Dispense { reservoir: ra, droplet: DropletId(0) });
+        p.push(Instruction::Transport {
+            droplet: DropletId(0),
+            path: (0..=6).map(|x| Coord::new(x, 1)).collect(),
+        });
+        // Fluidically legal: the droplets stay 6 columns apart. The
+        // unconstrained simulator accepts the program...
+        assert!(Simulator::new(&chip).allow_leftovers().run(&p).is_ok());
+        // ...but under shared pins the hop onto (6,1) ghost-fires (11,1)
+        // next to the droplet parked at (12,2).
+        let err = Simulator::new(&chip).with_pins(&pins).allow_leftovers().run(&p).unwrap_err();
+        assert!(matches!(err, SimError::PinConflict { .. }), "got {err:?}");
     }
 
     #[test]

@@ -25,6 +25,13 @@ cargo run --release -q -p dmf-bench --bin fault_sweep -- --seed 42 --fault-rate 
 echo "==> dmfstream check --all-protocols (static verifier, exit 1 on any error)"
 cargo run --release -q --bin dmfstream -- check --all-protocols
 
+echo "==> dmfstream check --all-protocols --backend row-column (PIN/* rules on the paper oracles)"
+cargo run --release -q --bin dmfstream -- check --all-protocols --backend row-column
+
+echo "==> bench_backends smoke (demand met under every backend; direct yield bounds pinned yields; wear-aware peak < wear-blind)"
+cargo run --release -q -p dmf-bench --bin bench_backends -- /tmp/dmf_bench_backends.json >/dev/null
+[ -s /tmp/dmf_bench_backends.json ] || { echo "bench_backends: no JSON written"; exit 1; }
+
 echo "==> batch determinism smoke (check --jobs 4 output must match --jobs 1)"
 cargo run --release -q --bin dmfstream -- check --all-protocols --jobs 1 > /tmp/dmf_check_j1.txt
 cargo run --release -q --bin dmfstream -- check --all-protocols --jobs 4 > /tmp/dmf_check_j4.txt
@@ -64,7 +71,9 @@ for _ in $(seq 1 100); do
 done
 serve_addr=$(sed -n 's/^listening on //p' "$serve_log" | head -1)
 [ -n "$serve_addr" ] || { echo "serve smoke: server never announced its address"; exit 1; }
-plan_summary=$(target/release/dmfstream plan 2:1:1:1:1:1:9 --demand 20 | head -1)
+# No pipe to head here: head closing early races the writer into an EPIPE panic.
+plan_full=$(target/release/dmfstream plan 2:1:1:1:1:1:9 --demand 20)
+plan_summary=${plan_full%%$'\n'*}
 served=$(target/release/dmfstream request 2:1:1:1:1:1:9 --demand 20 --connect "$serve_addr")
 served_summary=$(printf '%s' "$served" | sed -n 's/.*"summary":"\([^"]*\)".*/\1/p')
 [ "$served_summary" = "$plan_summary" ] || {

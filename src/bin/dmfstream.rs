@@ -46,9 +46,10 @@ use dmfstream::engine::{
     plan_batch, realize_pass, BatchOptions, EngineConfig, PlanCache, PlanRequest, RecoveryPolicy,
     StreamingEngine,
 };
-use dmfstream::fault::{run_resilient, FaultConfig};
+use dmfstream::fault::{run_campaign, Campaign, FaultConfig, WearTracker};
 use dmfstream::mixalgo::BaseAlgorithm;
 use dmfstream::obs;
+use dmfstream::pins::BackendKind;
 use dmfstream::ratio::TargetRatio;
 use dmfstream::sched::SchedulerKind;
 use dmfstream::serve::{Client, ServeConfig, Server};
@@ -65,6 +66,7 @@ struct Args {
     config: EngineConfig,
     fault: FaultConfig,
     policy: RecoveryPolicy,
+    backend: Option<BackendKind>,
     trace: bool,
     metrics: Option<PathBuf>,
     report: Option<PathBuf>,
@@ -92,6 +94,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--all-protocols",
             "--jobs",
             "--no-cache",
+            "--backend",
         ]),
         "gantt" => {
             Some(&["--demand", "--mixers", "--storage", "--algorithm", "--scheduler", "--metrics"])
@@ -117,6 +120,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--fault-rate",
             "--sensor-period",
             "--max-replans",
+            "--backend",
         ]),
         "check" => Some(&[
             "--demand",
@@ -129,6 +133,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--jobs",
             "--no-cache",
             "--report",
+            "--backend",
         ]),
         "profile" => Some(&[
             "--demand",
@@ -171,6 +176,10 @@ fn usage() -> ExitCode {
          [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)\n\
          fault-only flags: [--seed S] [--fault-rate R] [--sensor-period C] \
          [--max-replans N]\n\
+         pin backends (plan/check/fault): [--backend \
+         direct-address|row-column|broadcast] wires the chip with a shared-pin \
+         backend — plan reports the pin count, check audits the PIN/* rules, \
+         fault runs the campaign under the pinned simulator\n\
          batch flags (plan/check with --all-protocols): [--jobs N] [--no-cache]\n\
          check-only flags: dmfstream check <ratio|--all-protocols> \
          [--report PATH] writes diagnostics as JSONL; exit 1 on any \
@@ -206,6 +215,7 @@ fn parse_args() -> Result<Args, String> {
     let mut config = EngineConfig::default();
     let mut fault = FaultConfig::default();
     let mut policy = RecoveryPolicy::default();
+    let mut backend: Option<BackendKind> = None;
     let mut trace = false;
     let mut metrics: Option<PathBuf> = None;
     let mut jobs: Option<NonZeroUsize> = None;
@@ -244,6 +254,9 @@ fn parse_args() -> Result<Args, String> {
                 policy = policy.with_max_replans(
                     value()?.parse().map_err(|e| format!("bad replan budget: {e}"))?,
                 )
+            }
+            "--backend" => {
+                backend = Some(value()?.parse().map_err(|e| format!("bad backend: {e}"))?)
             }
             "--metrics" => metrics = Some(PathBuf::from(value()?)),
             "--jobs" => {
@@ -320,6 +333,7 @@ fn parse_args() -> Result<Args, String> {
         config,
         fault,
         policy,
+        backend,
         trace,
         metrics,
         report,
@@ -414,6 +428,15 @@ fn run(args: &Args) -> ExitCode {
                     pass.forest.node_count()
                 );
             }
+            if let Some(backend) = args.backend {
+                match backend_pins(backend, ratio, plan.mixers, plan.storage_peak.max(1)) {
+                    Ok(line) => println!("{line}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         "gantt" => {
@@ -470,6 +493,20 @@ fn run(args: &Args) -> ExitCode {
     }
 }
 
+/// Sizes the plan's chip, wires it with `backend` and formats the
+/// `backend:` summary line `plan` prints when `--backend` is given.
+fn backend_pins(
+    backend: BackendKind,
+    ratio: &TargetRatio,
+    mixers: usize,
+    storage: usize,
+) -> Result<String, String> {
+    let chip = streaming_chip(ratio.fluid_count(), mixers, storage)
+        .map_err(|e| format!("cannot size a chip: {e}"))?;
+    let pins = backend.assign(&chip).map_err(|e| format!("backend {backend}: {e}"))?;
+    Ok(format!("backend: {backend} pins={} (direct {})", pins.pin_count(), pins.electrode_count()))
+}
+
 /// `dmfstream plan --all-protocols`: plans every Table 2 protocol in one
 /// [`plan_batch`] call (parallel workers, shared plan cache) and prints each
 /// plan in protocol order — output is identical for every `--jobs` value.
@@ -487,6 +524,20 @@ fn run_plan_all(args: &Args) -> ExitCode {
             Ok(plan) => {
                 println!("{plan}");
                 println!("I[] = {:?}", plan.inputs);
+                if let Some(backend) = args.backend {
+                    match backend_pins(
+                        backend,
+                        &protocol.ratio,
+                        plan.mixers,
+                        plan.storage_peak.max(1),
+                    ) {
+                        Ok(line) => println!("{line}"),
+                        Err(e) => {
+                            eprintln!("error: {}: {e}", protocol.id);
+                            failed = true;
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("error: {}: planning failed: {e}", protocol.id);
@@ -508,8 +559,11 @@ fn run_plan_all(args: &Args) -> ExitCode {
 /// run on, and a concurrently routed dispense wave across that chip.
 /// Exits non-zero when any error-severity diagnostic is found.
 fn run_check(args: &Args) -> ExitCode {
-    use dmfstream::check::{check_placement, check_routes, CheckReport};
-    use dmfstream::route::{route_concurrent, Grid, RouteRequest};
+    use dmfstream::check::{
+        check_pins, check_placement, check_program_pins, check_routes, check_routes_pinned,
+        CheckReport,
+    };
+    use dmfstream::route::{route_concurrent, route_concurrent_pinned, Grid, RouteRequest};
 
     let targets: Vec<(String, TargetRatio)> = if args.all_protocols {
         dmfstream::workloads::protocols::table2_examples()
@@ -544,6 +598,24 @@ fn run_check(args: &Args) -> ExitCode {
                     Ok(chip) => {
                         artifacts += 1;
                         report.merge(check_placement(&chip));
+                        // With --backend, wire the chip and audit the
+                        // assignment itself (PIN001/PIN002), the routes
+                        // below (PIN003) and every realized pass (PIN004).
+                        let pins = match args.backend {
+                            Some(backend) => match backend.assign(&chip) {
+                                Ok(pins) => {
+                                    artifacts += 1;
+                                    report.merge(check_pins(&chip, &pins));
+                                    Some(pins)
+                                }
+                                Err(e) => {
+                                    eprintln!("error: {label}: backend cannot wire the chip: {e}");
+                                    failed = true;
+                                    None
+                                }
+                            },
+                            None => None,
+                        };
                         // Route a dispense wave: one droplet per reservoir /
                         // storage-cell pair, across the mixer band.
                         let open: Vec<_> =
@@ -556,11 +628,55 @@ fn run_check(args: &Args) -> ExitCode {
                             .collect();
                         if !requests.is_empty() {
                             artifacts += 1;
-                            match route_concurrent(&grid, &requests) {
-                                Ok(paths) => report.merge(check_routes(&grid, &requests, &paths)),
-                                Err(e) => {
-                                    eprintln!("error: {label}: dispense wave unroutable: {e}");
-                                    failed = true;
+                            match &pins {
+                                // A shared-pin chip transports serially (the
+                                // port lattice aliases with any useful pin
+                                // pitch, so concurrent lanes ghost each
+                                // other's targets) — route the wave one
+                                // droplet at a time, mirroring the
+                                // simulator's serialized transport.
+                                Some(pins) => {
+                                    for req in &requests {
+                                        let one = std::slice::from_ref(req);
+                                        match route_concurrent_pinned(&grid, one, pins) {
+                                            Ok(paths) => report.merge(check_routes_pinned(
+                                                &grid, one, &paths, pins,
+                                            )),
+                                            Err(e) => {
+                                                eprintln!(
+                                                    "error: {label}: pinned dispense hop \
+                                                     unroutable: {e}"
+                                                );
+                                                failed = true;
+                                            }
+                                        }
+                                    }
+                                }
+                                None => match route_concurrent(&grid, &requests) {
+                                    Ok(paths) => {
+                                        report.merge(check_routes(&grid, &requests, &paths))
+                                    }
+                                    Err(e) => {
+                                        eprintln!("error: {label}: dispense wave unroutable: {e}");
+                                        failed = true;
+                                    }
+                                },
+                            }
+                        }
+                        if let Some(pins) = &pins {
+                            for (i, pass) in plan.passes.iter().enumerate() {
+                                match realize_pass(pass, &chip) {
+                                    Ok(program) => {
+                                        artifacts += 1;
+                                        report.merge(check_program_pins(&chip, pins, &program));
+                                    }
+                                    Err(e) => {
+                                        eprintln!(
+                                            "error: {label}: pass {} does not fit the chip: {e}",
+                                            i + 1
+                                        );
+                                        failed = true;
+                                    }
                                 }
                             }
                         }
@@ -798,8 +914,19 @@ fn run_request(args: &Args) -> ExitCode {
 }
 
 fn run_fault(args: &Args, ratio: &TargetRatio) -> ExitCode {
-    match run_resilient(ratio, args.demand, args.config, &args.fault, args.policy) {
+    let campaign = Campaign {
+        engine: args.config,
+        faults: args.fault,
+        policy: args.policy,
+        backend: args.backend.unwrap_or_default(),
+        chip: None,
+    };
+    let mut wear = WearTracker::new();
+    match run_campaign(ratio, args.demand, &campaign, PlanCache::shared(), &mut wear) {
         Ok(outcome) => {
+            if let Some(backend) = args.backend {
+                println!("backend: {backend}");
+            }
             println!("{outcome}");
             if args.trace {
                 for (i, trace) in outcome.traces.iter().enumerate() {

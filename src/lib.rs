@@ -19,6 +19,7 @@
 //! | the contribution | [`forest`] | mixing-forest construction (paper §4.1) |
 //! | scheduling | [`sched`] | OMS/Hu, MMS (Alg. 1), SRS (Alg. 2), storage counting (Alg. 3), Gantt charts |
 //! | chip model | [`chip`] | electrode grids, modules, placement optimiser, Fig. 5 cost matrix |
+//! | pin backends | [`pins`] | direct / row-column / broadcast pin assignment, co-activation constraints |
 //! | routing | [`route`] | A* + space-time multi-droplet routing with fluidic constraints |
 //! | simulation | [`sim`] | strict cycle-level executor, electrode-actuation accounting |
 //! | the engine | [`engine`] | demand-driven multi-pass streaming under storage budgets |
@@ -85,6 +86,12 @@ pub mod sched {
 /// Biochip model, layout and placement ([`dmf_chip`]).
 pub mod chip {
     pub use dmf_chip::*;
+}
+
+/// Pin-constrained chip backends and co-activation constraints
+/// ([`dmf_pins`]).
+pub mod pins {
+    pub use dmf_pins::*;
 }
 
 /// Droplet routing ([`dmf_route`]).

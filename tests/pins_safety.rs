@@ -1,0 +1,172 @@
+//! Pin-backend safety properties, fixed inputs, every Table 2 protocol:
+//! no simulated cycle ever actuates two conflicting electrodes under the
+//! `RowColumn` or `Broadcast` backend.
+//!
+//! The verification is layered so no single implementation is trusted:
+//!
+//! * routed waves are re-checked here from [`PinAssignment::group_of`]'s
+//!   raw group data — not through `motion_conflict`, the predicate the
+//!   router itself consults;
+//! * realized programs run under the pinned simulator, which aborts with
+//!   `SimError::PinConflict` on any harmful co-activation — completing is
+//!   the property — and the ghost-wear arithmetic must reconcile exactly
+//!   with an unpinned run of the same program;
+//! * the same programs are replayed through `dmf-check`'s `PIN/*` rules.
+
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use dmfstream::check::check_program_pins;
+use dmfstream::chip::presets::streaming_chip;
+use dmfstream::chip::{ChipSpec, Coord};
+use dmfstream::engine::{realize_pass, EngineConfig, StreamingEngine};
+use dmfstream::pins::{BackendKind, PinAssignment};
+use dmfstream::route::{route_concurrent_pinned, Grid, RouteRequest, TimedPath};
+use dmfstream::sim::Simulator;
+use dmfstream::workloads::protocols;
+
+const DEMAND: u64 = 12;
+const PINNED: [BackendKind; 2] = [BackendKind::RowColumn, BackendKind::Broadcast];
+
+fn chebyshev(a: Coord, b: Coord) -> i32 {
+    (a.x - b.x).abs().max((a.y - b.y).abs())
+}
+
+/// Independent co-activation audit of a routed wave: every electrode a
+/// moving droplet actuates ghost-fires its whole pin group (wired-OR), and
+/// no ghost may land next to — or on the vacated cell of — any other
+/// droplet. A ghost exactly on another droplet's current cell merely
+/// reinforces it and is compatible.
+fn assert_wave_pin_safe(paths: &[TimedPath], pins: &PinAssignment, what: &str) {
+    let horizon = paths.iter().map(|p| p.duration()).max().unwrap_or(0);
+    for t in 1..=horizon {
+        for (i, path) in paths.iter().enumerate() {
+            let (prev, now) = (path.at(t - 1), path.at(t));
+            if prev == now {
+                continue; // held, not actuated
+            }
+            for &ghost in pins.group_of(now) {
+                if ghost == now {
+                    continue;
+                }
+                for (j, other) in paths.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let (o_prev, o_now) = (other.at(t - 1), other.at(t));
+                    let harmful = ghost != o_now
+                        && (chebyshev(ghost, o_now) <= 1 || chebyshev(ghost, o_prev) <= 1);
+                    assert!(
+                        !harmful,
+                        "{what}: droplet {i} actuating {now} at t={t} ghost-fires {ghost} \
+                         next to droplet {j} ({o_prev} -> {o_now})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The dispense wave `dmfstream check` exercises: one droplet per
+/// reservoir / storage-cell pair.
+fn dispense_wave(chip: &ChipSpec) -> (Grid, Vec<RouteRequest>) {
+    let open: Vec<_> = chip.reservoirs().chain(chip.storage_cells()).map(|m| m.id()).collect();
+    let grid = Grid::from_spec(chip, &open);
+    let requests: Vec<RouteRequest> = chip
+        .reservoirs()
+        .zip(chip.storage_cells())
+        .map(|(r, s)| RouteRequest { from: r.port(), to: s.port() })
+        .collect();
+    (grid, requests)
+}
+
+fn protocol_chip(
+    ratio: &dmfstream::ratio::TargetRatio,
+) -> (ChipSpec, Vec<dmfstream::engine::PassPlan>) {
+    let plan = StreamingEngine::new(EngineConfig::default()).plan(ratio, DEMAND).unwrap();
+    let chip = streaming_chip(ratio.fluid_count(), plan.mixers, plan.storage_peak.max(1)).unwrap();
+    (chip, plan.passes)
+}
+
+#[test]
+fn pinned_dispense_routes_verify_against_raw_groups() {
+    for backend in PINNED {
+        for protocol in protocols::table2_examples() {
+            let (chip, _) = protocol_chip(&protocol.ratio);
+            let pins = backend.assign(&chip).unwrap();
+            let (grid, requests) = dispense_wave(&chip);
+            // Serialized transport — what a shared-pin chip actually does —
+            // must always route, and each lone path must be self-safe.
+            for req in &requests {
+                let one = std::slice::from_ref(req);
+                let paths = route_concurrent_pinned(&grid, one, &pins)
+                    .unwrap_or_else(|e| panic!("{} {backend}: lone droplet: {e}", protocol.id));
+                assert_wave_pin_safe(&paths, &pins, &format!("{} {backend} solo", protocol.id));
+            }
+            // Where the backend admits the full concurrent wave, the
+            // router's solution must survive the independent audit too.
+            if let Ok(paths) = route_concurrent_pinned(&grid, &requests, &pins) {
+                assert_wave_pin_safe(&paths, &pins, &format!("{} {backend} wave", protocol.id));
+            }
+        }
+    }
+}
+
+#[test]
+fn pinned_protocol_sims_never_co_activate_and_wear_reconciles() {
+    for backend in PINNED {
+        for protocol in protocols::table2_examples() {
+            let (chip, passes) = protocol_chip(&protocol.ratio);
+            let pins = backend.assign(&chip).unwrap();
+            let mut emitted = 0;
+            for pass in &passes {
+                let program = realize_pass(pass, &chip).unwrap();
+                // Completing without SimError::PinConflict is the property:
+                // the pinned simulator vetoes any cycle whose actuation
+                // ghost-fires next to another droplet.
+                let pinned = Simulator::new(&chip)
+                    .with_pins(&pins)
+                    .run(&program)
+                    .unwrap_or_else(|e| panic!("{} {backend}: {e}", protocol.id));
+                let plain = Simulator::new(&chip).run(&program).unwrap();
+                let total = |r: &dmfstream::sim::SimReport| {
+                    r.electrode_actuations.values().map(|&n| u64::from(n)).sum::<u64>()
+                };
+                assert!(
+                    pinned.ghost_actuations > 0,
+                    "{} {backend}: sharing must ghost",
+                    protocol.id
+                );
+                assert_eq!(
+                    total(&pinned),
+                    total(&plain) + pinned.ghost_actuations,
+                    "{} {backend}: ghost wear must reconcile exactly",
+                    protocol.id
+                );
+                assert_eq!(pinned.emitted, plain.emitted);
+                emitted += pinned.emitted;
+                // And the independent checker agrees the program is clean
+                // under this backend.
+                let report = check_program_pins(&chip, &pins, &program);
+                assert!(report.is_clean(), "{} {backend}: {report:?}", protocol.id);
+            }
+            assert!(emitted >= DEMAND, "{} {backend}: demand unmet", protocol.id);
+        }
+    }
+}
+
+#[test]
+fn direct_backend_is_inert_everywhere() {
+    let protocol = &protocols::table2_examples()[0];
+    let (chip, passes) = protocol_chip(&protocol.ratio);
+    let pins = BackendKind::DirectAddress.assign(&chip).unwrap();
+    assert!(pins.is_direct());
+    for pass in &passes {
+        let program = realize_pass(pass, &chip).unwrap();
+        let pinned = Simulator::new(&chip).with_pins(&pins).run(&program).unwrap();
+        let plain = Simulator::new(&chip).run(&program).unwrap();
+        assert_eq!(pinned, plain, "direct addressing must be byte-identical");
+        assert_eq!(pinned.ghost_actuations, 0);
+    }
+}
