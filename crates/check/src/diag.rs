@@ -94,11 +94,29 @@ pub enum RuleCode {
     /// Plan aggregates (`Tc`, `Tms`, `W`, `I`, `q`) disagree with an
     /// independent recount over the passes.
     Pln002,
+    /// Cross-contamination: two reagent-disjoint droplet lineages occupy
+    /// the same module cell with overlapping residency (no wash window).
+    Flow001,
+    /// Dataflow malformed: the program's droplet lineage graph cannot be
+    /// constructed soundly (use-before-dispense, double-consume, misplaced
+    /// operand, wrong module kind, or a same-lineage collision).
+    Flow002,
+    /// Volume conservation broken: the per-pass droplet ledger does not
+    /// prove dispensed = emitted + discarded (a droplet leaked on-array or
+    /// the program disagrees with the pass's declared aggregates).
+    Flow003,
+    /// Mixability: the CF vector is unreachable under the (1:1)-mix
+    /// algebra (component sum is not a power of two).
+    Feas001,
+    /// Unpreparable request: degenerate target or demand (empty/all-zero
+    /// parts, accuracy beyond `2^62`, fewer than two active fluids, or a
+    /// zero demand).
+    Feas002,
 }
 
 impl RuleCode {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleCode; 25] = [
+    pub const ALL: [RuleCode; 30] = [
         RuleCode::Cf001,
         RuleCode::Cf002,
         RuleCode::Cf003,
@@ -124,7 +142,19 @@ impl RuleCode {
         RuleCode::Pin004,
         RuleCode::Pln001,
         RuleCode::Pln002,
+        RuleCode::Flow001,
+        RuleCode::Flow002,
+        RuleCode::Flow003,
+        RuleCode::Feas001,
+        RuleCode::Feas002,
     ];
+
+    /// Parses a stable textual code (`"FLOW001"`, case-insensitive) back
+    /// into its rule; `None` for unknown codes.
+    pub fn parse(text: &str) -> Option<RuleCode> {
+        let upper = text.to_ascii_uppercase();
+        RuleCode::ALL.into_iter().find(|rule| rule.code() == upper)
+    }
 
     /// The stable textual code (`"CF001"`, `"SCH003"`, …).
     pub fn code(self) -> &'static str {
@@ -154,6 +184,11 @@ impl RuleCode {
             RuleCode::Pin004 => "PIN004",
             RuleCode::Pln001 => "PLN001",
             RuleCode::Pln002 => "PLN002",
+            RuleCode::Flow001 => "FLOW001",
+            RuleCode::Flow002 => "FLOW002",
+            RuleCode::Flow003 => "FLOW003",
+            RuleCode::Feas001 => "FEAS001",
+            RuleCode::Feas002 => "FEAS002",
         }
     }
 
@@ -185,6 +220,11 @@ impl RuleCode {
             RuleCode::Pin004 => "programs replay cleanly under the pin backend",
             RuleCode::Pln001 => "pass demands cover the plan demand exactly",
             RuleCode::Pln002 => "plan aggregates match an independent recount",
+            RuleCode::Flow001 => "reagent-disjoint lineages never share a cell without a wash",
+            RuleCode::Flow002 => "programs replay as a sound droplet dataflow graph",
+            RuleCode::Flow003 => "dispensed volume equals emitted + discarded (no leaks)",
+            RuleCode::Feas001 => "CF vectors are reachable under the (1:1)-mix algebra",
+            RuleCode::Feas002 => "requests name a preparable target and a positive demand",
         }
     }
 
@@ -193,6 +233,201 @@ impl RuleCode {
         match self {
             RuleCode::Plc004 => Severity::Warning,
             _ => Severity::Error,
+        }
+    }
+
+    /// Long-form documentation of the rule: what it enforces, why the
+    /// invariant matters for the paper's synthesis flow, and what a
+    /// violation usually indicates. Rendered by `dmfstream check
+    /// --explain CODE`; every rule has non-empty text (a meta-test
+    /// enforces this).
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleCode::Cf001 => {
+                "Every internal vertex of a mixing graph is one (1:1) mix-split: its stored \
+                 mixture must be exactly (a + b) / 2 of its two operand mixtures, computed in \
+                 the dyadic CF arithmetic the checker re-implements from scratch. A mismatch \
+                 means the forest does not compute the chemistry it claims — the resulting \
+                 droplets would carry a different concentration vector than the plan reports."
+            }
+            RuleCode::Cf002 => {
+                "All concentration factors in a depth-d synthesis are dyadic rationals with \
+                 denominator dividing 2^d: each (1:1) mix halves volumes, so no other \
+                 denominators can arise. A CF whose reduced denominator does not divide 2^d \
+                 cannot be produced by any sequence of balanced mix-splits and indicates a \
+                 corrupted or hand-edited node mixture."
+            }
+            RuleCode::Cf003 => {
+                "The root of every component tree must store exactly the target ratio. Roots \
+                 are what the plan emits as target droplets; a root holding any other mixture \
+                 means the assay receives the wrong fluid even if every intermediate step is \
+                 internally consistent."
+            }
+            RuleCode::Cf004 => {
+                "Droplet conservation inside the forest: every non-root vertex produces two \
+                 droplets consumed by one or two later mix vertices (the unconsumed one, if \
+                 any, is waste), roots feed no one, and every operand reference points inside \
+                 the graph. Violations (over-consumed, dangling or root-consumed droplets) \
+                 mean the forest's droplet bookkeeping is inconsistent and its W/I statistics \
+                 are meaningless."
+            }
+            RuleCode::Cf005 => {
+                "The paper's zero-waste theorem (§4.1): when the demand D is p·2^d for the \
+                 target's accuracy d, the mixing forest can and must consume every \
+                 intermediate droplet — W = 0. Positive waste under such a demand means the \
+                 forest constructor failed to chain its trees through the waste pool."
+            }
+            RuleCode::Cf006 => {
+                "A demand-D mixing forest streams two target droplets per component tree, so \
+                 it must contain exactly ceil(D/2) trees. Any other count means the forest \
+                 either under-produces the demand or silently over-produces (wasting \
+                 reactant)."
+            }
+            RuleCode::Sch001 => {
+                "The schedule must cover the forest exactly: every mix vertex appears in \
+                 exactly one (cycle, mixer) slot and the schedule contains no vertices \
+                 outside the graph. An unscheduled vertex would never execute; a duplicated \
+                 one would execute twice."
+            }
+            RuleCode::Sch002 => {
+                "Dataflow precedence: a mix vertex consumes its operands' droplets, so it \
+                 must be scheduled strictly after both operand vertices. An inversion means \
+                 the schedule asks a mixer to mix droplets that do not exist yet."
+            }
+            RuleCode::Sch003 => {
+                "In any cycle, the number of concurrently executing mix vertices must stay \
+                 within the mixer budget Mc the plan claims. Exceeding it means the schedule \
+                 cannot run on the chip the plan was costed for."
+            }
+            RuleCode::Sch004 => {
+                "Mixer slots are exclusive: one vertex per mixer per cycle, and every mixer \
+                 index must lie within the budget. Double-booking a mixer or addressing a \
+                 mixer outside the chip means the schedule is physically unexecutable."
+            }
+            RuleCode::Sch005 => {
+                "Storage accounting: the checker re-counts storage units with an independent \
+                 event sweep (a second implementation of the paper's Algorithm 3) and the \
+                 result must equal the claimed q'. A mismatch means the plan under- or \
+                 over-reports its storage footprint — the quantity multi-pass splitting is \
+                 budgeted against."
+            }
+            RuleCode::Plc001 => {
+                "Every module footprint must lie fully on the electrode array. A module \
+                 hanging off the edge has electrodes that do not exist; droplets routed into \
+                 it would leave the chip."
+            }
+            RuleCode::Plc002 => {
+                "Module footprints must not overlap and must keep a one-cell guard band so \
+                 a droplet inside one module cannot accidentally merge with a droplet in an \
+                 adjacent module. Guard-band violations are latent cross-contamination sites."
+            }
+            RuleCode::Plc003 => {
+                "No module may sit on an electrode diagnosed dead: a dead electrode cannot \
+                 actuate, so droplets entering the footprint would strand. Placements must \
+                 route around the chip's current fault map."
+            }
+            RuleCode::Plc004 => {
+                "Convention (warning): world-facing modules — reservoirs, waste ports, \
+                 output ports — belong on the chip boundary where tubing can reach them. An \
+                 interior reservoir still simulates correctly but cannot be built."
+            }
+            RuleCode::Rt001 => {
+                "A timed route must start at its request's source, end at its sink, stay on \
+                 the grid and avoid blocked cells (module interiors, dead electrodes). Any \
+                 excursion means the route does not implement its transport request."
+            }
+            RuleCode::Rt002 => {
+                "Electrode actuation moves a droplet to an orthogonally adjacent cell (or \
+                 holds it). A route step that jumps farther is a teleport the hardware \
+                 cannot perform."
+            }
+            RuleCode::Rt003 => {
+                "Static fluidic constraint: two concurrently routed droplets must never be \
+                 within one cell of each other at the same timestep, or they would merge on \
+                 contact."
+            }
+            RuleCode::Rt004 => {
+                "Dynamic fluidic constraint: a droplet must also keep one cell of clearance \
+                 against every other droplet's position one step earlier and later, or \
+                 trailing charge can drag the pair together between steps."
+            }
+            RuleCode::Pin001 => {
+                "A pin assignment must cover the chip exactly: the pin grid has the chip's \
+                 dimensions and the pin groups partition the electrode set. Anything else \
+                 means some electrode is unaddressable or doubly driven."
+            }
+            RuleCode::Pin002 => {
+                "Electrodes sharing one pin must keep the minimum self-safe spacing (3 \
+                 cells): actuating a droplet on one electrode ghost-actuates every \
+                 group-mate, and a ghost within two cells of the droplet itself would drag \
+                 it off its route."
+            }
+            RuleCode::Pin003 => {
+                "Under shared pins, each actuation of one route fires ghost electrodes \
+                 elsewhere; none may land inside another concurrently moving droplet's \
+                 fluidic exclusion zone. The checker re-derives ghost sets from raw group \
+                 data, independent of the backend that produced them."
+            }
+            RuleCode::Pin004 => {
+                "Whole-program replay under the pin backend: executing the realized \
+                 instruction stream with ghost semantics must never put a harmful \
+                 co-activation next to a parked or moving droplet, and must replay at all. \
+                 This is the end-to-end pin-safety gate over a full pass."
+            }
+            RuleCode::Pln001 => {
+                "The per-pass demands of a streaming plan must sum to exactly the requested \
+                 demand D. A shortfall under-delivers the assay; an overshoot silently burns \
+                 reactant."
+            }
+            RuleCode::Pln002 => {
+                "The plan's headline aggregates (Tc, Tms, W, I, I[], q) must equal an \
+                 independent recount over its passes' forests and schedules. These numbers \
+                 are what tables, benchmarks and the serve API report — they must not drift \
+                 from the artifacts."
+            }
+            RuleCode::Flow001 => {
+                "Cross-contamination: the dataflow analysis tracks every droplet's reagent \
+                 set (its lineage) and its residency on module cells. Two droplets whose \
+                 reagent sets are disjoint must never occupy one module cell with \
+                 overlapping residency — between a departure and the next arrival the \
+                 executor gets a wash window, but simultaneous residency of foreign \
+                 lineages means residue of one assay chemical is carried into another. The \
+                 diagnostic names both droplets with their full module trails and reagent \
+                 sets."
+            }
+            RuleCode::Flow002 => {
+                "Sound dataflow: replaying the instruction stream must define every droplet \
+                 before use (dispense or mix-split output), consume it at most once, find \
+                 mix operands at the executing mixer, match store/fetch cells, address the \
+                 right module kinds (dispense at reservoirs, discard at waste, emit at \
+                 outputs), and never collide two droplets of a shared lineage on one cell. \
+                 Any violation makes the lineage graph — and therefore every other flow \
+                 guarantee — unsound."
+            }
+            RuleCode::Flow003 => {
+                "Volume conservation: a (1:1) mix-split consumes two unit droplets and \
+                 produces two, so over a whole pass every dispensed droplet must end \
+                 emitted, discarded to waste, or consumed into another droplet — the ledger \
+                 proves dispensed = emitted + discarded, with nothing left on-array. A \
+                 leftover droplet is a leak (an off-by-one in the pass compiler); a ledger \
+                 that disagrees with the pass's declared I/W/D' means the program and the \
+                 plan tell different stories."
+            }
+            RuleCode::Feas001 => {
+                "Mixability pre-pass: every droplet produced by (1:1) mix-splits of pure \
+                 reagents has CF vector a/2^d — dyadic coordinates over a power-of-two \
+                 denominator. A ratio whose component sum is not a power of two therefore \
+                 names a mixture no mixing tree can reach, at any depth; the request is \
+                 rejected before planning instead of failing deep inside tree construction."
+            }
+            RuleCode::Feas002 => {
+                "Preparable-request pre-pass: a target must have at least one component, a \
+                 non-zero component vector, an accuracy within the dyadic range (sum ≤ \
+                 2^62), at least two active fluids (a pure reagent needs dispensing, not \
+                 mixing), and a demand of at least one droplet. Degenerate requests are \
+                 rejected up front with this code rather than surfacing as internal \
+                 planner errors."
+            }
         }
     }
 }
@@ -230,6 +465,9 @@ pub enum Location {
     },
     /// A pass of a streaming plan (0-based).
     Pass(usize),
+    /// An instruction of a realized chip program, by stream index
+    /// (renders as `i42`).
+    Instr(usize),
 }
 
 impl fmt::Display for Location {
@@ -242,6 +480,7 @@ impl fmt::Display for Location {
             Location::Cell { x, y } => write!(f, "({x},{y})"),
             Location::Droplet { index, step } => write!(f, "d{index}@t{step}"),
             Location::Pass(i) => write!(f, "pass {}", i + 1),
+            Location::Instr(i) => write!(f, "i{i}"),
         }
     }
 }
@@ -394,8 +633,21 @@ mod tests {
         }
         assert_eq!(RuleCode::Cf001.code(), "CF001");
         assert_eq!(RuleCode::Sch005.code(), "SCH005");
+        assert_eq!(RuleCode::Flow001.code(), "FLOW001");
+        assert_eq!(RuleCode::Feas002.code(), "FEAS002");
         assert_eq!(RuleCode::Plc004.severity(), Severity::Warning);
         assert_eq!(RuleCode::Rt002.severity(), Severity::Error);
+        assert_eq!(RuleCode::Feas001.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn codes_parse_back() {
+        for rule in RuleCode::ALL {
+            assert_eq!(RuleCode::parse(rule.code()), Some(rule));
+            assert_eq!(RuleCode::parse(&rule.code().to_lowercase()), Some(rule));
+        }
+        assert_eq!(RuleCode::parse("FLOW999"), None);
+        assert_eq!(RuleCode::parse(""), None);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Mixability feasibility pre-pass (`FEAS001` / `FEAS002`).
+//!
+//! Every droplet a DMF biochip can produce by (1:1) mix-splits of pure
+//! reagents has a *dyadic* CF vector: each concentration factor is
+//! `a / 2^d` for the mixing depth `d`, because every mix halves both
+//! operand volumes. A requested ratio is therefore reachable iff its
+//! component sum is a power of two — the perfect-mixability
+//! characterization the ROADMAP cites (arXiv:1806.08875) specialized to
+//! the paper's single-target (1:1) algebra. This module re-derives that
+//! predicate from the **raw integer parts** of a request — deliberately
+//! not from a constructed [`dmf_ratio::TargetRatio`], which already
+//! rejects some of these shapes — so the CLI, the batch planner and the
+//! serve front end can all reject unsatisfiable requests *before* any
+//! planning work starts.
+
+use crate::diag::{CheckReport, Location, RuleCode};
+use std::fmt;
+
+/// The first feasibility violation of a request, as a typed error the
+/// engine and server can carry (`EngineError::Infeasible`, the serve
+/// `infeasible` response code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Infeasibility {
+    /// The violated rule (`Feas001` or `Feas002`).
+    pub rule: RuleCode,
+    /// Human-readable detail, matching the diagnostic's message.
+    pub message: String,
+}
+
+impl fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for Infeasibility {}
+
+/// Runs the feasibility pre-pass over the raw parts of a requested ratio
+/// and the demanded droplet count, reporting every violation.
+///
+/// `FEAS001` fires when the component sum is not a power of two (the CF
+/// vector is unreachable under the (1:1)-mix algebra at any depth);
+/// `FEAS002` fires for degenerate requests: no components, an all-zero
+/// vector, a sum beyond `2^62` (accuracy out of the dyadic range), fewer
+/// than two active fluids (nothing to mix), or a zero demand.
+pub fn check_feasibility(parts: &[u64], demand: u64) -> CheckReport {
+    let mut report = CheckReport::new();
+    let at = Location::Artifact;
+    if demand == 0 {
+        report.report(RuleCode::Feas002, at.clone(), "demand is zero: nothing to prepare");
+    }
+    if parts.is_empty() {
+        report.report(RuleCode::Feas002, at, "ratio has no components");
+        return report;
+    }
+    let active = parts.iter().filter(|&&p| p > 0).count();
+    if active == 0 {
+        report.report(RuleCode::Feas002, at, "all ratio components are zero");
+        return report;
+    }
+    let Some(sum) = parts.iter().try_fold(0u64, |acc, &p| acc.checked_add(p)) else {
+        report.report(RuleCode::Feas002, at, "component sum overflows u64");
+        return report;
+    };
+    // Accuracy d satisfies sum == 2^d; d >= 63 leaves no headroom for the
+    // dyadic arithmetic (see dmf-ratio's AccuracyTooLarge).
+    if sum > 1 << 62 {
+        report.report(
+            RuleCode::Feas002,
+            at.clone(),
+            format!("component sum {sum} exceeds 2^62: accuracy out of the dyadic range"),
+        );
+    }
+    if !sum.is_power_of_two() {
+        report.report(
+            RuleCode::Feas001,
+            at.clone(),
+            format!(
+                "component sum {sum} is not a power of two: the CF vector is unreachable \
+                 under (1:1) mix-splits at any depth"
+            ),
+        );
+    }
+    if active < 2 {
+        report.report(
+            RuleCode::Feas002,
+            at,
+            "target is a single pure fluid: dispense it, nothing to mix",
+        );
+    }
+    report
+}
+
+/// Like [`check_feasibility`], but returns the first violation as a typed
+/// [`Infeasibility`] error — the shape the planning layers consume.
+///
+/// # Errors
+///
+/// The first `FEAS001`/`FEAS002` finding, if any.
+pub fn assert_feasible(parts: &[u64], demand: u64) -> Result<(), Infeasibility> {
+    let report = check_feasibility(parts, demand);
+    match report.diagnostics().first() {
+        None => Ok(()),
+        Some(d) => Err(Infeasibility { rule: d.rule, message: d.message.clone() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_requests_pass() {
+        assert!(check_feasibility(&[2, 1, 1, 1, 1, 1, 9], 20).is_empty());
+        assert!(check_feasibility(&[1, 3], 4).is_empty());
+        assert!(check_feasibility(&[0, 1, 1, 0], 2).is_empty(), "inactive fluids are fine");
+        assert!(assert_feasible(&[1, 1], 1).is_ok());
+    }
+
+    #[test]
+    fn non_power_of_two_sum_is_feas001() {
+        let report = check_feasibility(&[1, 2], 4);
+        assert!(report.has(RuleCode::Feas001));
+        assert!(!report.has(RuleCode::Feas002));
+        let err = assert_feasible(&[1, 2], 4).unwrap_err();
+        assert_eq!(err.rule, RuleCode::Feas001);
+        assert!(err.to_string().contains("FEAS001"));
+    }
+
+    #[test]
+    fn degenerate_requests_are_feas002() {
+        for (parts, demand) in
+            [(&[][..], 4), (&[0, 0][..], 4), (&[16][..], 4), (&[0, 16, 0][..], 4), (&[1, 3][..], 0)]
+        {
+            let report = check_feasibility(parts, demand);
+            assert!(report.has(RuleCode::Feas002), "parts {parts:?} demand {demand}");
+            assert!(!report.has(RuleCode::Feas001), "parts {parts:?} demand {demand}");
+        }
+        let report = check_feasibility(&[u64::MAX, 2], 4);
+        assert!(report.has(RuleCode::Feas002), "overflowing sum");
+    }
+
+    #[test]
+    fn accuracy_beyond_dyadic_range_is_feas002() {
+        let report = check_feasibility(&[1 << 62, 1 << 62], 4);
+        assert!(report.has(RuleCode::Feas002));
+    }
+
+    #[test]
+    fn combined_violations_all_reported() {
+        let report = check_feasibility(&[3], 0);
+        assert!(report.has(RuleCode::Feas001), "sum 3 is not a power of two");
+        assert!(report.has(RuleCode::Feas002), "zero demand and single fluid");
+        assert!(report.len() >= 3);
+    }
+}

@@ -1,0 +1,740 @@
+//! Whole-program droplet dataflow analysis (`FLOW001`–`FLOW003`).
+//!
+//! A realized [`ChipProgram`] is a straight-line instruction stream; this
+//! module replays it symbolically, building a **lineage graph**: every
+//! droplet carries the set of reagents that ever entered its ancestry and
+//! the trail of module cells it visited. Three analyses run over that
+//! graph, re-deriving every fact from the raw instruction stream and the
+//! chip geometry alone (never from the engine that produced the program —
+//! the translation-validation stance of DESIGN.md §11):
+//!
+//! * **Contamination** (`FLOW001`): two droplets whose reagent sets are
+//!   disjoint must never occupy one module cell with *overlapping*
+//!   residency. The wash model is *wash-after-departure*: transports are
+//!   serialized, so after a droplet leaves a cell the executor has a wash
+//!   window before the next arrival; only simultaneous residency carries
+//!   residue across lineages. Mixer cells host only the outputs of the
+//!   mix that produced them (incoming operands wait on guard-band staging
+//!   cells, whose spacing the route rules `RT003`/`RT004` already check);
+//!   single-cell modules (reservoirs, storage, waste, output ports) host
+//!   a droplet from arrival to departure.
+//! * **Soundness** (`FLOW002`): the replay itself must be well-formed —
+//!   droplets defined before use, consumed at most once, mix operands
+//!   located at the executing mixer, store/fetch cells matching, module
+//!   kinds respected. Same-lineage cell collisions also land here (a
+//!   collision, not a contamination).
+//! * **Conservation** (`FLOW003`): a (1:1) mix-split consumes two unit
+//!   droplets and produces two, so over a pass the volume ledger must
+//!   prove `dispensed = emitted + discarded` with nothing left on-array;
+//!   a caller-supplied [`FlowExpectation`] additionally pins the ledger
+//!   to the pass's declared `I`/`W`/tree counts.
+
+use crate::diag::{CheckReport, Location, RuleCode};
+use dmf_chip::{ChipSpec, Coord, ModuleId, ModuleKind};
+use dmf_sim::{ChipProgram, DropletId, Instruction};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Pass-level droplet counts the program is expected to realize,
+/// re-derived by the caller from the pass's forest (e.g. via
+/// [`crate::recount_forest`]: `dispensed = I`, `discarded = W`,
+/// `emitted = 2·|F|`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowExpectation {
+    /// Droplets the pass dispenses (`I`).
+    pub dispensed: u64,
+    /// Target droplets the pass emits off-chip (two per component tree).
+    pub emitted: u64,
+    /// Waste droplets the pass discards (`W`).
+    pub discarded: u64,
+}
+
+/// The abstract volume ledger the conservation analysis re-derives from
+/// the instruction stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowLedger {
+    /// Droplets dispensed from reservoirs.
+    pub dispensed: u64,
+    /// Droplets emitted off-chip at output ports.
+    pub emitted: u64,
+    /// Droplets discarded to waste reservoirs.
+    pub discarded: u64,
+    /// Mix-split operations executed.
+    pub mix_splits: u64,
+    /// Droplets still on-array when the program ends (leaks).
+    pub leaked: u64,
+}
+
+impl fmt::Display for FlowLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dispensed={} emitted={} discarded={} mix_splits={} leaked={}",
+            self.dispensed, self.emitted, self.discarded, self.mix_splits, self.leaked
+        )
+    }
+}
+
+/// What happened to a droplet, in replay order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// On the array (possibly parked in storage).
+    Active,
+    /// Consumed as a mix-split operand.
+    Consumed,
+    /// Emitted off-chip.
+    Emitted,
+    /// Discarded to waste.
+    Discarded,
+}
+
+#[derive(Debug, Clone)]
+struct Droplet {
+    /// Fluid indices anywhere in this droplet's ancestry.
+    reagents: BTreeSet<usize>,
+    /// Module names visited, oldest first.
+    trail: Vec<String>,
+    /// Current module, when on the array.
+    at: Option<ModuleId>,
+    /// Whether the droplet occupies its module's cell proper (counts for
+    /// contamination) as opposed to a mixer's staging area.
+    resident: bool,
+    /// Parked in a storage cell (must be fetched before moving).
+    stored: bool,
+    phase: Phase,
+}
+
+impl Droplet {
+    fn lineage(&self, id: DropletId) -> String {
+        let reagents: Vec<String> = self.reagents.iter().map(|f| format!("f{f}")).collect();
+        format!("{id}{{{}}} via {}", reagents.join(","), self.trail.join("→"))
+    }
+}
+
+struct FlowAnalyzer<'c> {
+    chip: &'c ChipSpec,
+    port_of: HashMap<Coord, ModuleId>,
+    droplets: BTreeMap<DropletId, Droplet>,
+    /// Droplets currently resident on each module's cell.
+    residents: HashMap<ModuleId, Vec<DropletId>>,
+    ledger: FlowLedger,
+    report: CheckReport,
+}
+
+impl<'c> FlowAnalyzer<'c> {
+    fn new(chip: &'c ChipSpec) -> Self {
+        let port_of = chip.modules().iter().map(|m| (m.port(), m.id())).collect();
+        FlowAnalyzer {
+            chip,
+            port_of,
+            droplets: BTreeMap::new(),
+            residents: HashMap::new(),
+            ledger: FlowLedger::default(),
+            report: CheckReport::new(),
+        }
+    }
+
+    fn module_name(&self, id: ModuleId) -> String {
+        self.chip.try_module(id).map_or_else(|_| format!("{id}"), |module| module.name().to_owned())
+    }
+
+    fn kind(&self, id: ModuleId) -> Option<ModuleKind> {
+        self.chip.try_module(id).map(|m| m.kind()).ok()
+    }
+
+    fn flow2(&mut self, i: usize, message: impl Into<String>) {
+        self.report.report(RuleCode::Flow002, Location::Instr(i), message);
+    }
+
+    /// Registers `droplet` as resident on `module`'s cell, reporting the
+    /// contamination (`FLOW001`) or collision (`FLOW002`) that any
+    /// already-resident droplet implies.
+    fn become_resident(&mut self, i: usize, module: ModuleId, droplet: DropletId) {
+        let lingering: Vec<DropletId> = self.residents.entry(module).or_default().clone();
+        self.become_resident_among(i, module, droplet, &lingering);
+    }
+
+    /// [`Self::become_resident`] with an explicit overlap set: the two
+    /// outputs of one mix-split land on the split pad pair together and
+    /// must only be checked against droplets that predate the split.
+    fn become_resident_among(
+        &mut self,
+        i: usize,
+        module: ModuleId,
+        droplet: DropletId,
+        lingering: &[DropletId],
+    ) {
+        let name = self.module_name(module);
+        for &other in lingering {
+            if other == droplet {
+                continue;
+            }
+            let (Some(new), Some(old)) = (self.droplets.get(&droplet), self.droplets.get(&other))
+            else {
+                continue;
+            };
+            if new.reagents.is_disjoint(&old.reagents) {
+                self.report.report(
+                    RuleCode::Flow001,
+                    Location::Module(name.clone()),
+                    format!(
+                        "reagent-disjoint lineages share {name} with no wash window: \
+                         {} overlaps {}",
+                        new.lineage(droplet),
+                        old.lineage(other)
+                    ),
+                );
+            } else {
+                self.flow2(
+                    i,
+                    format!(
+                        "droplet collision on {name}: {} overlaps {}",
+                        new.lineage(droplet),
+                        old.lineage(other)
+                    ),
+                );
+            }
+        }
+        let cell = self.residents.entry(module).or_default();
+        if !cell.contains(&droplet) {
+            cell.push(droplet);
+        }
+        if let Some(d) = self.droplets.get_mut(&droplet) {
+            d.resident = true;
+        }
+    }
+
+    /// Removes a droplet from its module's cell (its departure opens the
+    /// wash window for the next arrival).
+    fn depart(&mut self, droplet: DropletId) {
+        let Some(d) = self.droplets.get_mut(&droplet) else { return };
+        d.resident = false;
+        if let Some(module) = d.at {
+            if let Some(cell) = self.residents.get_mut(&module) {
+                cell.retain(|&r| r != droplet);
+            }
+        }
+    }
+
+    /// Defines a fresh droplet, flagging id reuse.
+    fn define(&mut self, i: usize, id: DropletId, droplet: Droplet) {
+        if self.droplets.contains_key(&id) {
+            self.flow2(i, format!("droplet id {id} redefined while already known"));
+        }
+        self.droplets.insert(id, droplet);
+    }
+
+    /// Fetches an *active* droplet for a move/consume, reporting
+    /// use-before-definition and use-after-consumption.
+    fn active(&mut self, i: usize, id: DropletId, what: &str) -> bool {
+        match self.droplets.get(&id) {
+            None => {
+                self.flow2(i, format!("{what} uses {id}, which was never dispensed or produced"));
+                false
+            }
+            Some(d) if d.phase != Phase::Active => {
+                let fate = match d.phase {
+                    Phase::Consumed => "already consumed by a mix-split",
+                    Phase::Emitted => "already emitted off-chip",
+                    Phase::Discarded => "already discarded to waste",
+                    Phase::Active => unreachable!("guarded above"),
+                };
+                self.flow2(i, format!("{what} uses {id}, {fate}"));
+                false
+            }
+            Some(_) => true,
+        }
+    }
+
+    fn arrive(&mut self, i: usize, droplet: DropletId, module: ModuleId) {
+        let name = self.module_name(module);
+        let is_mixer = self.kind(module) == Some(ModuleKind::Mixer);
+        if let Some(d) = self.droplets.get_mut(&droplet) {
+            d.at = Some(module);
+            d.trail.push(name);
+        }
+        if is_mixer {
+            // Operands wait on staging cells; the mixer cell itself stays
+            // clear until the mix-split claims it.
+            if let Some(d) = self.droplets.get_mut(&droplet) {
+                d.resident = false;
+            }
+        } else {
+            self.become_resident(i, module, droplet);
+        }
+    }
+
+    fn step(&mut self, i: usize, instruction: &Instruction) {
+        match instruction {
+            Instruction::CycleMarker { .. } => {}
+            Instruction::Dispense { reservoir, droplet } => {
+                let reagents = match self.kind(*reservoir) {
+                    Some(ModuleKind::Reservoir { fluid }) => BTreeSet::from([fluid]),
+                    other => {
+                        self.flow2(
+                            i,
+                            format!(
+                                "dispense of {droplet} targets {} ({other:?}), not a reservoir",
+                                self.module_name(*reservoir)
+                            ),
+                        );
+                        BTreeSet::new()
+                    }
+                };
+                self.ledger.dispensed += 1;
+                self.define(
+                    i,
+                    *droplet,
+                    Droplet {
+                        reagents,
+                        trail: Vec::new(),
+                        at: None,
+                        resident: false,
+                        stored: false,
+                        phase: Phase::Active,
+                    },
+                );
+                self.arrive(i, *droplet, *reservoir);
+            }
+            Instruction::TransportTo { droplet, module } => {
+                if !self.active(i, *droplet, "transport") {
+                    return;
+                }
+                if self.droplets.get(droplet).is_some_and(|d| d.stored) {
+                    self.flow2(i, format!("{droplet} transported while still parked in storage"));
+                }
+                self.depart(*droplet);
+                if self.chip.try_module(*module).is_err() {
+                    self.flow2(
+                        i,
+                        format!("transport of {droplet} targets unknown module {module}"),
+                    );
+                    if let Some(d) = self.droplets.get_mut(droplet) {
+                        d.at = None;
+                    }
+                    return;
+                }
+                self.arrive(i, *droplet, *module);
+            }
+            Instruction::Transport { droplet, path } => {
+                if !self.active(i, *droplet, "transport") {
+                    return;
+                }
+                if self.droplets.get(droplet).is_some_and(|d| d.stored) {
+                    self.flow2(i, format!("{droplet} transported while still parked in storage"));
+                }
+                self.depart(*droplet);
+                match path.last().and_then(|cell| self.port_of.get(cell).copied()) {
+                    Some(module) => self.arrive(i, *droplet, module),
+                    None => {
+                        // Parked loose on the array; only module cells carry
+                        // residency, so the droplet is simply in transit.
+                        if let Some(d) = self.droplets.get_mut(droplet) {
+                            d.at = None;
+                        }
+                    }
+                }
+            }
+            Instruction::MixSplit { mixer, a, b, out_a, out_b } => {
+                if self.kind(*mixer) != Some(ModuleKind::Mixer) {
+                    self.flow2(
+                        i,
+                        format!("mix-split addresses {}, not a mixer", self.module_name(*mixer)),
+                    );
+                }
+                if a == b {
+                    self.flow2(i, format!("mix-split consumes {a} twice"));
+                }
+                let mut merged: BTreeSet<usize> = BTreeSet::new();
+                for operand in [a, b] {
+                    if !self.active(i, *operand, "mix-split") {
+                        continue;
+                    }
+                    let d = &self.droplets[operand];
+                    if d.at != Some(*mixer) {
+                        let at = d.at.map_or_else(
+                            || "loose on the array".to_owned(),
+                            |m| format!("at {}", self.module_name(m)),
+                        );
+                        self.flow2(
+                            i,
+                            format!(
+                                "mix-split operand {operand} is {at}, not at {}",
+                                self.module_name(*mixer)
+                            ),
+                        );
+                    }
+                    merged.extend(self.droplets[operand].reagents.iter().copied());
+                    self.depart(*operand);
+                    if let Some(d) = self.droplets.get_mut(operand) {
+                        d.phase = Phase::Consumed;
+                    }
+                }
+                self.ledger.mix_splits += 1;
+                // The merge claims the mixer cell: any droplet still parked
+                // there (an undeparted output of an earlier mix) is touched
+                // by the new merged droplet.
+                let trail = vec![self.module_name(*mixer)];
+                let lingering: Vec<DropletId> = self.residents.entry(*mixer).or_default().clone();
+                for out in [out_a, out_b] {
+                    self.define(
+                        i,
+                        *out,
+                        Droplet {
+                            reagents: merged.clone(),
+                            trail: trail.clone(),
+                            at: Some(*mixer),
+                            resident: false,
+                            stored: false,
+                            phase: Phase::Active,
+                        },
+                    );
+                    self.become_resident_among(i, *mixer, *out, &lingering);
+                }
+            }
+            Instruction::Store { droplet, cell } => {
+                if !matches!(self.kind(*cell), Some(ModuleKind::Storage)) {
+                    self.flow2(
+                        i,
+                        format!("store addresses {}, not a storage cell", self.module_name(*cell)),
+                    );
+                }
+                if !self.active(i, *droplet, "store") {
+                    return;
+                }
+                let (stored, at) = {
+                    let d = &self.droplets[droplet];
+                    (d.stored, d.at)
+                };
+                if stored {
+                    self.flow2(i, format!("{droplet} stored twice"));
+                }
+                if at != Some(*cell) {
+                    self.flow2(
+                        i,
+                        format!(
+                            "store parks {droplet} at {}, but it is not at that cell",
+                            self.module_name(*cell)
+                        ),
+                    );
+                }
+                if let Some(d) = self.droplets.get_mut(droplet) {
+                    d.stored = true;
+                }
+            }
+            Instruction::Fetch { droplet, cell } => {
+                if !self.active(i, *droplet, "fetch") {
+                    return;
+                }
+                let (stored, at) = {
+                    let d = &self.droplets[droplet];
+                    (d.stored, d.at)
+                };
+                if !stored {
+                    self.flow2(i, format!("fetch releases {droplet}, which is not stored"));
+                } else if at != Some(*cell) {
+                    self.flow2(
+                        i,
+                        format!(
+                            "fetch releases {droplet} from {}, but it is parked elsewhere",
+                            self.module_name(*cell)
+                        ),
+                    );
+                }
+                if let Some(d) = self.droplets.get_mut(droplet) {
+                    d.stored = false;
+                }
+            }
+            Instruction::Discard { droplet, waste } => {
+                if !matches!(self.kind(*waste), Some(ModuleKind::Waste)) {
+                    self.flow2(
+                        i,
+                        format!(
+                            "discard addresses {}, not a waste reservoir",
+                            self.module_name(*waste)
+                        ),
+                    );
+                }
+                if !self.active(i, *droplet, "discard") {
+                    return;
+                }
+                if self.droplets[droplet].at != Some(*waste) {
+                    self.flow2(i, format!("discard of {droplet} away from its waste port"));
+                }
+                self.depart(*droplet);
+                if let Some(d) = self.droplets.get_mut(droplet) {
+                    d.phase = Phase::Discarded;
+                }
+                self.ledger.discarded += 1;
+            }
+            Instruction::Emit { droplet, output } => {
+                if !matches!(self.kind(*output), Some(ModuleKind::Output)) {
+                    self.flow2(
+                        i,
+                        format!("emit addresses {}, not an output port", self.module_name(*output)),
+                    );
+                }
+                if !self.active(i, *droplet, "emit") {
+                    return;
+                }
+                if self.droplets[droplet].at != Some(*output) {
+                    self.flow2(i, format!("emit of {droplet} away from its output port"));
+                }
+                self.depart(*droplet);
+                if let Some(d) = self.droplets.get_mut(droplet) {
+                    d.phase = Phase::Emitted;
+                }
+                self.ledger.emitted += 1;
+            }
+        }
+    }
+
+    fn finish(mut self, expected: Option<&FlowExpectation>) -> (CheckReport, FlowLedger) {
+        for (id, droplet) in &self.droplets {
+            if droplet.phase == Phase::Active {
+                self.ledger.leaked += 1;
+                self.report.report(
+                    RuleCode::Flow003,
+                    Location::Artifact,
+                    format!(
+                        "droplet leak: {} is still on-array when the program ends \
+                         (not emitted, discarded or consumed)",
+                        droplet.lineage(*id)
+                    ),
+                );
+            }
+        }
+        let ledger = self.ledger;
+        let balanced = ledger.emitted + ledger.discarded + ledger.leaked;
+        if ledger.dispensed != balanced {
+            self.report.report(
+                RuleCode::Flow003,
+                Location::Artifact,
+                format!(
+                    "volume ledger broken: {} dispensed droplets but \
+                     emitted + discarded + leaked = {balanced} ({ledger})",
+                    ledger.dispensed
+                ),
+            );
+        }
+        if let Some(want) = expected {
+            for (what, got, want) in [
+                ("dispenses", ledger.dispensed, want.dispensed),
+                ("emits", ledger.emitted, want.emitted),
+                ("discards", ledger.discarded, want.discarded),
+            ] {
+                if got != want {
+                    self.report.report(
+                        RuleCode::Flow003,
+                        Location::Artifact,
+                        format!("program {what} {got} droplets but the pass declares {want}"),
+                    );
+                }
+            }
+        }
+        (self.report, ledger)
+    }
+}
+
+/// Replays `program` on `chip`, building the droplet-lineage graph and
+/// running the contamination (`FLOW001`), soundness (`FLOW002`) and
+/// conservation (`FLOW003`) analyses; returns the findings together with
+/// the re-derived [`FlowLedger`].
+///
+/// `expected`, when given, additionally pins the ledger to the pass's
+/// declared droplet counts (see [`FlowExpectation`]).
+pub fn analyze_program_flow(
+    chip: &ChipSpec,
+    program: &ChipProgram,
+    expected: Option<&FlowExpectation>,
+) -> (CheckReport, FlowLedger) {
+    let _span = dmf_obs::span!("check_flow");
+    let mut analyzer = FlowAnalyzer::new(chip);
+    for (i, instruction) in program.instructions().iter().enumerate() {
+        analyzer.step(i, instruction);
+    }
+    analyzer.finish(expected)
+}
+
+/// [`analyze_program_flow`], reporting findings only.
+pub fn check_program_flow(
+    chip: &ChipSpec,
+    program: &ChipProgram,
+    expected: Option<&FlowExpectation>,
+) -> CheckReport {
+    analyze_program_flow(chip, program, expected).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_chip::presets::streaming_chip;
+
+    fn two_fluid_chip() -> ChipSpec {
+        streaming_chip(2, 1, 2).expect("chip")
+    }
+
+    fn ids(chip: &ChipSpec) -> (ModuleId, ModuleId, ModuleId, ModuleId, ModuleId, ModuleId) {
+        let reservoir = |fluid| {
+            chip.reservoir_for(fluid).unwrap_or_else(|| panic!("reservoir for fluid {fluid}")).id()
+        };
+        let mixer = chip.mixers().next().expect("mixer").id();
+        let storage = chip.storage_cells().next().expect("storage").id();
+        let waste = chip.waste_reservoirs().next().expect("waste").id();
+        let output = chip.outputs().next().expect("output").id();
+        (reservoir(0), reservoir(1), mixer, storage, waste, output)
+    }
+
+    fn d(n: u64) -> DropletId {
+        DropletId(n)
+    }
+
+    #[test]
+    fn clean_mix_program_is_clean() {
+        let chip = two_fluid_chip();
+        let (r0, r1, mixer, _, waste, output) = ids(&chip);
+        let program: ChipProgram = vec![
+            Instruction::Dispense { reservoir: r0, droplet: d(0) },
+            Instruction::TransportTo { droplet: d(0), module: mixer },
+            Instruction::Dispense { reservoir: r1, droplet: d(1) },
+            Instruction::TransportTo { droplet: d(1), module: mixer },
+            Instruction::MixSplit { mixer, a: d(0), b: d(1), out_a: d(2), out_b: d(3) },
+            Instruction::TransportTo { droplet: d(2), module: output },
+            Instruction::Emit { droplet: d(2), output },
+            Instruction::TransportTo { droplet: d(3), module: waste },
+            Instruction::Discard { droplet: d(3), waste },
+        ]
+        .into_iter()
+        .collect();
+        let (report, ledger) = analyze_program_flow(&chip, &program, None);
+        assert!(report.is_empty(), "{report}");
+        assert_eq!(
+            ledger,
+            FlowLedger { dispensed: 2, emitted: 1, discarded: 1, mix_splits: 1, leaked: 0 }
+        );
+        let expectation = FlowExpectation { dispensed: 2, emitted: 1, discarded: 1 };
+        assert!(check_program_flow(&chip, &program, Some(&expectation)).is_empty());
+    }
+
+    #[test]
+    fn disjoint_lineages_on_one_cell_is_flow001() {
+        let chip = two_fluid_chip();
+        let (r0, r1, _, storage, waste, _) = ids(&chip);
+        let program: ChipProgram = vec![
+            Instruction::Dispense { reservoir: r0, droplet: d(0) },
+            Instruction::TransportTo { droplet: d(0), module: storage },
+            Instruction::Dispense { reservoir: r1, droplet: d(1) },
+            // Arrives while d0 is still resident: no wash window.
+            Instruction::TransportTo { droplet: d(1), module: storage },
+            Instruction::TransportTo { droplet: d(0), module: waste },
+            Instruction::Discard { droplet: d(0), waste },
+            Instruction::TransportTo { droplet: d(1), module: waste },
+            Instruction::Discard { droplet: d(1), waste },
+        ]
+        .into_iter()
+        .collect();
+        let report = check_program_flow(&chip, &program, None);
+        assert!(report.has(RuleCode::Flow001), "{report}");
+        assert!(!report.has(RuleCode::Flow002));
+        assert!(!report.has(RuleCode::Flow003));
+        let message = &report.diagnostics()[0].message;
+        assert!(message.contains("via"), "trails in the diagnostic: {message}");
+    }
+
+    #[test]
+    fn wash_window_between_visits_is_clean() {
+        let chip = two_fluid_chip();
+        let (r0, r1, _, storage, waste, _) = ids(&chip);
+        let program: ChipProgram = vec![
+            Instruction::Dispense { reservoir: r0, droplet: d(0) },
+            Instruction::TransportTo { droplet: d(0), module: storage },
+            // d0 departs before d1 arrives: the executor washes the cell.
+            Instruction::TransportTo { droplet: d(0), module: waste },
+            Instruction::Discard { droplet: d(0), waste },
+            Instruction::Dispense { reservoir: r1, droplet: d(1) },
+            Instruction::TransportTo { droplet: d(1), module: storage },
+            Instruction::TransportTo { droplet: d(1), module: waste },
+            Instruction::Discard { droplet: d(1), waste },
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_program_flow(&chip, &program, None).is_empty());
+    }
+
+    #[test]
+    fn misplaced_operand_is_flow002() {
+        let chip = two_fluid_chip();
+        let (r0, r1, mixer, _, waste, _) = ids(&chip);
+        let program: ChipProgram = vec![
+            Instruction::Dispense { reservoir: r0, droplet: d(0) },
+            Instruction::TransportTo { droplet: d(0), module: mixer },
+            Instruction::Dispense { reservoir: r1, droplet: d(1) },
+            // d1 never transported to the mixer.
+            Instruction::MixSplit { mixer, a: d(0), b: d(1), out_a: d(2), out_b: d(3) },
+            Instruction::TransportTo { droplet: d(2), module: waste },
+            Instruction::Discard { droplet: d(2), waste },
+            Instruction::TransportTo { droplet: d(3), module: waste },
+            Instruction::Discard { droplet: d(3), waste },
+        ]
+        .into_iter()
+        .collect();
+        let report = check_program_flow(&chip, &program, None);
+        assert!(report.has(RuleCode::Flow002), "{report}");
+        assert!(!report.has(RuleCode::Flow001));
+        assert!(!report.has(RuleCode::Flow003), "best-effort replay keeps the ledger sound");
+    }
+
+    #[test]
+    fn use_after_consumption_is_flow002() {
+        let chip = two_fluid_chip();
+        let (r0, r1, mixer, _, waste, _) = ids(&chip);
+        let program: ChipProgram = vec![
+            Instruction::Dispense { reservoir: r0, droplet: d(0) },
+            Instruction::TransportTo { droplet: d(0), module: mixer },
+            Instruction::Dispense { reservoir: r1, droplet: d(1) },
+            Instruction::TransportTo { droplet: d(1), module: mixer },
+            Instruction::MixSplit { mixer, a: d(0), b: d(1), out_a: d(2), out_b: d(3) },
+            // d0 was consumed by the mix above.
+            Instruction::TransportTo { droplet: d(0), module: waste },
+        ]
+        .into_iter()
+        .collect();
+        let report = check_program_flow(&chip, &program, None);
+        assert!(report.has(RuleCode::Flow002));
+    }
+
+    #[test]
+    fn leaked_droplet_is_flow003() {
+        let chip = two_fluid_chip();
+        let (r0, _, _, storage, _, _) = ids(&chip);
+        let program: ChipProgram = vec![
+            Instruction::Dispense { reservoir: r0, droplet: d(0) },
+            Instruction::TransportTo { droplet: d(0), module: storage },
+            Instruction::Store { droplet: d(0), cell: storage },
+        ]
+        .into_iter()
+        .collect();
+        let (report, ledger) = analyze_program_flow(&chip, &program, None);
+        assert!(report.has(RuleCode::Flow003), "{report}");
+        assert!(!report.has(RuleCode::Flow001));
+        assert!(!report.has(RuleCode::Flow002));
+        assert_eq!(ledger.leaked, 1);
+    }
+
+    #[test]
+    fn expectation_mismatch_is_flow003() {
+        let chip = two_fluid_chip();
+        let (r0, _, _, _, waste, _) = ids(&chip);
+        let program: ChipProgram = vec![
+            Instruction::Dispense { reservoir: r0, droplet: d(0) },
+            Instruction::TransportTo { droplet: d(0), module: waste },
+            Instruction::Discard { droplet: d(0), waste },
+        ]
+        .into_iter()
+        .collect();
+        let expectation = FlowExpectation { dispensed: 2, emitted: 1, discarded: 0 };
+        let report = check_program_flow(&chip, &program, Some(&expectation));
+        assert!(report.has(RuleCode::Flow003));
+        assert_eq!(report.len(), 3, "each ledger line mismatches: {report}");
+    }
+}

@@ -23,6 +23,15 @@
 //!   [`check_program_pins`]) audit shared-pin assignments and re-derive
 //!   the ghost co-activation hazard from raw group data (`PIN001`–
 //!   `PIN004`).
+//! * **Program dataflow** ([`check_program_flow`]) replays a realized
+//!   instruction stream into a droplet-lineage graph and runs the
+//!   contamination, soundness and conservation analyses (`FLOW001`–
+//!   `FLOW003`) over it — whole-program properties no per-artifact rule
+//!   can see.
+//! * **Feasibility** ([`check_feasibility`] / [`assert_feasible`]) is a
+//!   mixability pre-pass over the *raw* parts of a requested ratio
+//!   (`FEAS001`/`FEAS002`), run by the CLI, `StreamingEngine::plan`,
+//!   `plan_batch` and dmf-serve before any planning work starts.
 //!
 //! Every violation is a typed [`Diagnostic`] with a [`Severity`], a stable
 //! [`RuleCode`] (`CF001`, `SCH003`, `RT002`, …) and a span-like
@@ -39,6 +48,8 @@
 #![warn(missing_docs)]
 
 mod diag;
+mod feas;
+mod flow;
 mod forest;
 mod pins;
 mod place;
@@ -46,6 +57,8 @@ mod route;
 mod sched;
 
 pub use diag::{CheckReport, Diagnostic, Location, RuleCode, Severity};
+pub use feas::{assert_feasible, check_feasibility, Infeasibility};
+pub use flow::{analyze_program_flow, check_program_flow, FlowExpectation, FlowLedger};
 pub use forest::{check_forest, recount_forest, ForestCounts};
 pub use pins::{check_pins, check_program_pins, check_routes_pinned};
 pub use place::check_placement;

@@ -110,8 +110,11 @@ fn plan_one(
 /// per-request `engine_plan` spans parent under the `plan_batch` span
 /// instead of becoming anonymous per-thread roots.
 ///
-/// Errors are per-request: one infeasible request yields an `Err` in its
-/// slot without disturbing its neighbors.
+/// Errors are per-request: one failing request yields an `Err` in its
+/// slot without disturbing its neighbors. Requests rejected by the
+/// mixability pre-pass ([`StreamingEngine::preflight`]) are answered
+/// inline before the pool spins up — an unsatisfiable CF request never
+/// occupies a worker.
 pub fn plan_batch(
     requests: &[PlanRequest],
     options: &BatchOptions,
@@ -129,21 +132,35 @@ pub fn plan_batch(
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<Arc<StreamPlan>, EngineError>>> = Vec::new();
     slots.resize_with(requests.len(), || None);
+    // Feasibility triage: requests the mixability pre-pass rejects are
+    // answered inline, so only satisfiable work reaches the pool and no
+    // worker is ever burned on an unplannable request.
+    let pending: Vec<usize> = requests
+        .iter()
+        .enumerate()
+        .filter_map(|(i, req)| match StreamingEngine::preflight(&req.target, req.demand) {
+            Ok(()) => Some(i),
+            Err(e) => {
+                slots[i] = Some(Err(e));
+                None
+            }
+        })
+        .collect();
     // Capture the batch span's position so each worker thread can adopt
     // it: per-request `engine_plan` spans then parent under `plan_batch`
     // instead of floating as anonymous roots.
     let ctx = dmf_obs::TraceContext::current();
     let ctx_ref = &ctx;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
+        let handles: Vec<_> = (0..jobs.min(pending.len()))
             .map(|_| {
                 scope.spawn(|| {
                     let _adopted = ctx_ref.enter();
                     let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(req) = requests.get(i) else { break };
-                        local.push((i, plan_one(req, options.cache())));
+                    while let Some(&i) = pending.get(cursor.fetch_add(1, Ordering::Relaxed)) {
+                        if let Some(req) = requests.get(i) {
+                            local.push((i, plan_one(req, options.cache())));
+                        }
                     }
                     local
                 })
@@ -229,6 +246,27 @@ mod tests {
         let results = plan_batch(&requests, &BatchOptions::new());
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(EngineError::ZeroDemand)));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn infeasible_requests_are_triaged_before_the_pool() {
+        // A single pure fluid is unmixable: the pre-pass answers the slot
+        // without planning, and neighbors are untouched.
+        let pure = TargetRatio::new(vec![16]).unwrap();
+        let requests = vec![
+            PlanRequest::new(pcr_d4(), 4),
+            PlanRequest::new(pure, 4),
+            PlanRequest::new(pcr_d4(), 8),
+        ];
+        let jobs = NonZeroUsize::new(2)
+            .map_or_else(BatchOptions::new, |j| BatchOptions::new().with_jobs(j));
+        let results = plan_batch(&requests, &jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(EngineError::Infeasible { rule: dmf_check::RuleCode::Feas002, .. })
+        ));
         assert!(results[2].is_ok());
     }
 

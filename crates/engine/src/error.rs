@@ -12,6 +12,15 @@ use std::fmt;
 pub enum EngineError {
     /// A demand of zero droplets was requested.
     ZeroDemand,
+    /// The request failed the mixability pre-pass
+    /// ([`dmf_check::check_feasibility`]): no planning was attempted
+    /// because no plan can exist.
+    Infeasible {
+        /// The violated feasibility rule (`FEAS001`/`FEAS002`).
+        rule: dmf_check::RuleCode,
+        /// Human-readable detail from the pre-pass diagnostic.
+        what: String,
+    },
     /// Even the smallest pass (demand 2) exceeds the storage budget.
     StorageInfeasible {
         /// The budget `q'`.
@@ -53,6 +62,9 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::ZeroDemand => write!(f, "demand must be at least one droplet"),
+            EngineError::Infeasible { rule, what } => {
+                write!(f, "infeasible request ({rule}): {what}")
+            }
             EngineError::StorageInfeasible { limit, needed } => {
                 write!(f, "storage budget {limit} cannot fit even one pass (needs {needed})")
             }

@@ -148,6 +148,8 @@ impl StreamingEngine {
     /// # Errors
     ///
     /// Returns [`EngineError::ZeroDemand`] for `demand == 0`,
+    /// [`EngineError::Infeasible`] when the mixability pre-pass
+    /// ([`dmf_check::check_feasibility`]) rejects the request,
     /// [`EngineError::StorageInfeasible`] when even a demand-2 pass exceeds
     /// the storage budget, and propagates construction/scheduling failures.
     pub fn plan(&self, target: &TargetRatio, demand: u64) -> Result<StreamPlan, EngineError> {
@@ -170,6 +172,7 @@ impl StreamingEngine {
         target: &TargetRatio,
         demand: u64,
     ) -> Result<Arc<StreamPlan>, EngineError> {
+        preflight(target, demand)?;
         let Some(cache) = &self.cache else {
             return self.plan_uncached(target, demand).map(Arc::new);
         };
@@ -189,14 +192,39 @@ impl StreamingEngine {
         Ok(plan)
     }
 
+    /// Runs the mixability pre-pass for a request without planning it.
+    ///
+    /// This is the same gate every `plan*` entry point runs; exposed so
+    /// batch front ends can triage requests before spawning workers.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ZeroDemand`] or [`EngineError::Infeasible`].
+    pub fn preflight(target: &TargetRatio, demand: u64) -> Result<(), EngineError> {
+        preflight(target, demand)
+    }
+
     /// Runs the staged pipeline end to end, bypassing any cache.
     fn plan_uncached(&self, target: &TargetRatio, demand: u64) -> Result<StreamPlan, EngineError> {
+        preflight(target, demand)?;
         let _span = dmf_obs::span!("engine_plan");
         let mut ctx = PlanContext::new(self.config, target, demand)?;
         ctx.build_tree()?;
         ctx.split_passes()?;
         ctx.into_plan()
     }
+}
+
+/// The feasibility gate run before any planning work: zero demand keeps
+/// its historical typed error, then the dmf-check mixability pre-pass
+/// rejects CF vectors unreachable under the (1:1)-mix algebra. Infeasible
+/// requests never reach the pipeline — or the plan cache.
+fn preflight(target: &TargetRatio, demand: u64) -> Result<(), EngineError> {
+    if demand == 0 {
+        return Err(EngineError::ZeroDemand);
+    }
+    dmf_check::assert_feasible(target.parts(), demand)
+        .map_err(|e| EngineError::Infeasible { rule: e.rule, what: e.message })
 }
 
 #[cfg(test)]
@@ -247,6 +275,25 @@ mod tests {
     fn zero_demand_rejected() {
         let engine = StreamingEngine::new(EngineConfig::default());
         assert!(matches!(engine.plan(&pcr_d4(), 0), Err(EngineError::ZeroDemand)));
+    }
+
+    #[test]
+    fn infeasible_request_rejected_before_planning() {
+        // A single pure fluid has no mixing tree; the pre-pass converts
+        // what used to be a deep mixalgo failure into a typed rejection,
+        // and an infeasible request must never warm the cache.
+        let pure = TargetRatio::new(vec![16]).expect("pure ratio constructs");
+        let engine = StreamingEngine::new(EngineConfig::default()).with_cache(PlanCache::shared());
+        for _ in 0..2 {
+            match engine.plan(&pure, 4) {
+                Err(EngineError::Infeasible { rule, what }) => {
+                    assert_eq!(rule, dmf_check::RuleCode::Feas002);
+                    assert!(what.contains("pure fluid"), "{what}");
+                }
+                other => panic!("expected Infeasible, got {other:?}"),
+            }
+        }
+        assert_eq!(engine.cache().map(|c| c.len()), Some(0), "infeasible request never cached");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!  "tc":11,"tms":27,"waste":5,"inputs":25,"storage_peak":5,"mixers":3,
 //!  "summary":"D=20 passes=1 Tc=11 Tms=27 W=5 I=25 q=5 (Mc=3)"}
 //! {"ok":false,"error":"busy","message":"..."}
+//! {"ok":false,"error":"infeasible","message":"FEAS001: component sum 3 is not..."}
 //! ```
 //!
 //! A plain plan response is a pure function of the request's
@@ -82,14 +83,36 @@ pub struct PlanSpec {
 }
 
 /// Why a request line was rejected.
+///
+/// Carries the typed response code the connection thread answers with:
+/// `bad_request` for malformed lines, `infeasible` when the request was
+/// well-formed but the mixability pre-pass proved no plan can exist.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
+    code: &'static str,
     message: String,
 }
 
 impl ProtocolError {
     fn new(message: impl Into<String>) -> Self {
-        ProtocolError { message: message.into() }
+        ProtocolError::bad_request(message)
+    }
+
+    /// A malformed request line (bad JSON, unknown op, ill-typed member).
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ProtocolError { code: "bad_request", message: message.into() }
+    }
+
+    /// A well-formed request the feasibility pre-pass rejected: the CF
+    /// vector is unreachable, so the server fails fast instead of
+    /// burning a worker on it.
+    pub fn infeasible(message: impl Into<String>) -> Self {
+        ProtocolError { code: "infeasible", message: message.into() }
+    }
+
+    /// The response code this rejection is answered with.
+    pub fn code(&self) -> &'static str {
+        self.code
     }
 }
 
@@ -148,10 +171,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "plan" => {
             let ratio_text = member_str(&value, "ratio")?
                 .ok_or_else(|| ProtocolError::new("plan needs a \"ratio\" string"))?;
-            let ratio = ratio_text
-                .parse::<TargetRatio>()
+            let parts: Vec<u64> = ratio_text
+                .split(':')
+                .map(|p| p.trim().parse::<u64>())
+                .collect::<Result<_, _>>()
                 .map_err(|e| ProtocolError::new(format!("bad ratio {ratio_text:?}: {e}")))?;
             let demand = member_u64(&value, "demand")?.unwrap_or(DEFAULT_DEMAND);
+            // The mixability pre-pass runs on the raw parts, before
+            // TargetRatio construction: unsatisfiable requests are
+            // rejected here on the connection thread and never enqueued.
+            dmf_check::assert_feasible(&parts, demand)
+                .map_err(|e| ProtocolError::infeasible(e.to_string()))?;
+            let ratio = TargetRatio::new(parts)
+                .map_err(|e| ProtocolError::new(format!("bad ratio {ratio_text:?}: {e}")))?;
             let mut config = EngineConfig::default();
             if let Some(name) = member_str(&value, "algorithm")? {
                 config = config.with_algorithm(match name.to_lowercase().as_str() {
@@ -246,8 +278,8 @@ pub fn plan_response_traced(
     out
 }
 
-/// A typed error response; `code` is one of `bad_request`, `busy`,
-/// `deadline`, `plan_failed`, `shutting_down` or `internal`.
+/// A typed error response; `code` is one of `bad_request`, `infeasible`,
+/// `busy`, `deadline`, `plan_failed`, `shutting_down` or `internal`.
 pub fn error_response(code: &str, message: &str) -> String {
     format!(
         "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
@@ -327,6 +359,24 @@ mod tests {
         assert!(parse_request(r#"{"op":"plan","ratio":"1:2"}"#).is_err()); // sum not 2^d
         assert!(parse_request(r#"{"op":"plan","ratio":"1:1","demand":"many"}"#).is_err());
         assert!(parse_request(r#"{"op":"plan","ratio":"1:1","algorithm":"magic"}"#).is_err());
+    }
+
+    #[test]
+    fn infeasible_requests_carry_their_own_code() {
+        // Sum 3 is not a power of two: well-formed but unsatisfiable.
+        let err = parse_request(r#"{"op":"plan","ratio":"1:2"}"#).unwrap_err();
+        assert_eq!(err.code(), "infeasible");
+        assert!(err.to_string().contains("FEAS001"), "{err}");
+        // A single pure fluid has nothing to mix.
+        let err = parse_request(r#"{"op":"plan","ratio":"16"}"#).unwrap_err();
+        assert_eq!(err.code(), "infeasible");
+        assert!(err.to_string().contains("FEAS002"), "{err}");
+        // Zero demand is degenerate, caught before any worker sees it.
+        let err = parse_request(r#"{"op":"plan","ratio":"1:1","demand":0}"#).unwrap_err();
+        assert_eq!(err.code(), "infeasible");
+        // Malformed components stay bad_request: "1:x" is not even a ratio.
+        let err = parse_request(r#"{"op":"plan","ratio":"1:x"}"#).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
     }
 
     #[test]

@@ -252,8 +252,15 @@ impl Server {
         };
         match parsed {
             Err(e) => {
-                self.recorder.count("serve.bad_request", 1);
-                (protocol::error_response("bad_request", &e.to_string()), false)
+                // The rejection carries its own code: `infeasible` when
+                // the mixability pre-pass proved no plan exists (the
+                // request never reaches a worker), `bad_request` for
+                // malformed lines.
+                self.recorder.count(
+                    if e.code() == "infeasible" { "serve.infeasible" } else { "serve.bad_request" },
+                    1,
+                );
+                (protocol::error_response(e.code(), &e.to_string()), false)
             }
             Ok(Request::Ping) => {
                 self.recorder.count("serve.op.ping", 1);
@@ -405,6 +412,16 @@ impl Server {
                     protocol::plan_response(&plan, key.fingerprint())
                 }
             }
+            Err(
+                e @ (dmf_engine::EngineError::Infeasible { .. }
+                | dmf_engine::EngineError::ZeroDemand),
+            ) => {
+                // Defense in depth: parse-time feasibility should have
+                // caught this, but the engine's own preflight is
+                // authoritative.
+                self.recorder.count("serve.infeasible", 1);
+                protocol::error_response("infeasible", &e.to_string())
+            }
             Err(e) => {
                 self.recorder.count("serve.plan_failed", 1);
                 protocol::error_response("plan_failed", &e.to_string())
@@ -426,7 +443,7 @@ impl Server {
         format!(
             "{{\"ok\":true,\"type\":\"stats\",\
              \"requests\":{},\"connections\":{},\"planned\":{},\"plan_failed\":{},\
-             \"bad_request\":{},\"busy\":{},\"deadline\":{},\"slow\":{},\
+             \"bad_request\":{},\"infeasible\":{},\"busy\":{},\"deadline\":{},\"slow\":{},\
              \"op_plan\":{},\"op_stats\":{},\"op_ping\":{},\"op_shutdown\":{},\"op_stall\":{},\
              \"enqueued\":{},\"dequeued\":{},\
              \"latency_count\":{latency_count},\"latency_mean_ns\":{latency_mean_ns},\
@@ -439,6 +456,7 @@ impl Server {
             counter("serve.planned"),
             counter("serve.plan_failed"),
             counter("serve.bad_request"),
+            counter("serve.infeasible"),
             counter("serve.busy"),
             counter("serve.deadline"),
             counter("serve.slow"),

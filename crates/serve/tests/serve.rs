@@ -107,8 +107,9 @@ fn bad_requests_get_typed_errors_and_do_not_kill_the_connection() {
         for (request, expected) in [
             ("definitely not json", "bad_request"),
             (r#"{"op":"teleport"}"#, "bad_request"),
-            (r#"{"op":"plan","ratio":"1:2"}"#, "bad_request"),
-            (r#"{"op":"plan","ratio":"1:1","demand":0}"#, "plan_failed"),
+            (r#"{"op":"plan","ratio":"1:x"}"#, "bad_request"),
+            (r#"{"op":"plan","ratio":"1:2"}"#, "infeasible"),
+            (r#"{"op":"plan","ratio":"1:1","demand":0}"#, "infeasible"),
         ] {
             let line = client.request(request).unwrap();
             let v = json::parse(&line).unwrap();
@@ -117,6 +118,32 @@ fn bad_requests_get_typed_errors_and_do_not_kill_the_connection() {
         }
         // The connection is still usable afterwards.
         assert!(client.request(r#"{"op":"ping"}"#).unwrap().contains("pong"));
+    });
+}
+
+#[test]
+fn infeasible_requests_fail_fast_with_the_feasibility_rule() {
+    with_server(test_config(), |server, addr| {
+        let mut client = Client::connect(addr).unwrap();
+        // Sum 3 is not a power of two: rejected on the connection thread
+        // with the FEAS001 rule in the message, before any worker runs.
+        let line = client.request(r#"{"op":"plan","ratio":"1:2","demand":8}"#).unwrap();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("infeasible"), "{line}");
+        let message = v.get("message").and_then(Json::as_str).unwrap_or_default();
+        assert!(message.contains("FEAS001"), "{line}");
+        // A single pure fluid is degenerate (FEAS002).
+        let line = client.request(r#"{"op":"plan","ratio":"16","demand":4}"#).unwrap();
+        assert!(line.contains("FEAS002"), "{line}");
+        // The rejections are accounted under their own counter, not
+        // bad_request or plan_failed — and no planning work ever ran.
+        let stats = client.request(r#"{"op":"stats"}"#).unwrap();
+        let v = json::parse(&stats).unwrap();
+        assert_eq!(v.get("infeasible").and_then(Json::as_u64), Some(2), "{stats}");
+        assert_eq!(v.get("bad_request").and_then(Json::as_u64), Some(0), "{stats}");
+        assert_eq!(v.get("plan_failed").and_then(Json::as_u64), Some(0), "{stats}");
+        assert_eq!(v.get("planned").and_then(Json::as_u64), Some(0), "{stats}");
+        assert_eq!(server.cache().stats().len, 0, "infeasible requests never warm the cache");
     });
 }
 

@@ -28,6 +28,32 @@ cargo run --release -q --bin dmfstream -- check --all-protocols
 echo "==> dmfstream check --all-protocols --backend row-column (PIN/* rules on the paper oracles)"
 cargo run --release -q --bin dmfstream -- check --all-protocols --backend row-column
 
+echo "==> dmfstream check --all-protocols --deep (FLOW/FEAS dataflow analyses, strictest gate)"
+cargo run --release -q --bin dmfstream -- check --all-protocols --deep --deny warn \
+  --json /tmp/dmf_check_findings.json > /tmp/dmf_check_deep.txt
+grep -q '^findings json parse OK: ' /tmp/dmf_check_deep.txt || {
+  echo "deep check: --json round-trip did not report back"
+  exit 1
+}
+grep -q '"version":1' /tmp/dmf_check_findings.json || {
+  echo "deep check: findings JSON missing version header"
+  exit 1
+}
+
+echo "==> infeasible request gate (FEAS001 must reject 1:2 pre-planning, exit 1)"
+if infeasible_out=$(target/release/dmfstream check 1:2 --demand 4 2>&1); then
+  echo "infeasible gate: check 1:2 exited 0; output: $infeasible_out"
+  exit 1
+fi
+printf '%s' "$infeasible_out" | grep -q 'FEAS001' || {
+  echo "infeasible gate: diagnostics did not cite FEAS001: $infeasible_out"
+  exit 1
+}
+if target/release/dmfstream plan 1:2 --demand 4 >/dev/null 2>&1; then
+  echo "infeasible gate: plan 1:2 exited 0"
+  exit 1
+fi
+
 echo "==> bench_backends smoke (demand met under every backend; direct yield bounds pinned yields; wear-aware peak < wear-blind)"
 cargo run --release -q -p dmf-bench --bin bench_backends -- /tmp/dmf_bench_backends.json >/dev/null
 [ -s /tmp/dmf_bench_backends.json ] || { echo "bench_backends: no JSON written"; exit 1; }
@@ -83,6 +109,21 @@ served_summary=$(printf '%s' "$served" | sed -n 's/.*"summary":"\([^"]*\)".*/\1/
 stats=$(target/release/dmfstream request --op stats --connect "$serve_addr")
 printf '%s' "$stats" | grep -q '"planned":1' || {
   echo "serve smoke: stats did not report the planned request: $stats"
+  exit 1
+}
+# `request` ships raw parts so the server-side feasibility gate answers.
+rejected=$(target/release/dmfstream request 1:2 --demand 4 --connect "$serve_addr" || true)
+printf '%s' "$rejected" | grep -q '"error":"infeasible"' || {
+  echo "serve smoke: 1:2 was not rejected as infeasible: $rejected"
+  exit 1
+}
+printf '%s' "$rejected" | grep -q 'FEAS001' || {
+  echo "serve smoke: infeasible rejection did not cite FEAS001: $rejected"
+  exit 1
+}
+stats=$(target/release/dmfstream request --op stats --connect "$serve_addr")
+printf '%s' "$stats" | grep -q '"infeasible":1' || {
+  echo "serve smoke: stats did not count the infeasible request: $stats"
   exit 1
 }
 target/release/dmfstream request --op shutdown --connect "$serve_addr" >/dev/null

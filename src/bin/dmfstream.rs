@@ -11,6 +11,8 @@
 //! DMF_OBS=1 dmfstream simulate 2:1:1:1:1:1:9 --demand 20
 //! dmfstream fault 2:1:1:1:1:1:9 --demand 20 --seed 42 --fault-rate 0.05
 //! dmfstream check --all-protocols --jobs 4
+//! dmfstream check --all-protocols --deep --deny warn --json results/findings.json
+//! dmfstream check --explain FLOW001
 //! dmfstream profile 2:1:1:1:1:1:9 --demand 20 --folded plan.folded --chrome plan.trace.json
 //! dmfstream serve --port 7070 --workers 4 --cache-capacity 256 --slow-ms 250
 //! dmfstream request 2:1:1:1:1:1:9 --demand 20 --connect 127.0.0.1:7070
@@ -60,7 +62,10 @@ use std::process::ExitCode;
 
 struct Args {
     command: String,
-    ratio: Option<TargetRatio>,
+    /// Raw positional ratio components. Kept unconstructed so the
+    /// feasibility pre-pass can run on shapes `TargetRatio` rejects
+    /// (and report FEAS001/FEAS002 instead of a parse error).
+    ratio: Option<Vec<u64>>,
     all_protocols: bool,
     demand: u64,
     config: EngineConfig,
@@ -78,6 +83,10 @@ struct Args {
     op: String,
     folded: Option<PathBuf>,
     chrome: Option<PathBuf>,
+    deep: bool,
+    deny: dmfstream::check::Severity,
+    explain: Option<String>,
+    json: Option<PathBuf>,
 }
 
 /// The flags each verb accepts. Unknown-flag errors quote the relevant
@@ -134,6 +143,10 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--no-cache",
             "--report",
             "--backend",
+            "--deep",
+            "--deny",
+            "--explain",
+            "--json",
         ]),
         "profile" => Some(&[
             "--demand",
@@ -182,8 +195,13 @@ fn usage() -> ExitCode {
          fault runs the campaign under the pinned simulator\n\
          batch flags (plan/check with --all-protocols): [--jobs N] [--no-cache]\n\
          check-only flags: dmfstream check <ratio|--all-protocols> \
-         [--report PATH] writes diagnostics as JSONL; exit 1 on any \
-         error-severity diagnostic\n\
+         [--deep] [--deny warn|error] [--report PATH] [--json PATH] \
+         [--explain CODE]; --deep replays every realized pass through the \
+         droplet-lineage dataflow analysis (FLOW/FEAS rules), --deny warn \
+         also fails on warnings, --report writes JSONL, --json a single \
+         findings document, --explain prints a rule's long-form doc; \
+         exit 0 clean, 1 diagnostics at/above the deny level, \
+         2 usage/IO errors\n\
          profile flags: dmfstream profile <ratio> [--folded PATH] [--chrome PATH] \
          plans under the tracer and prints the span-tree profile; --folded \
          writes flamegraph.pl folded stacks, --chrome a Chrome/Perfetto trace\n\
@@ -205,7 +223,14 @@ fn parse_args() -> Result<Args, String> {
     let ratio = match argv.peek() {
         Some(text) if !text.starts_with("--") => {
             let text = argv.next().ok_or("missing target ratio")?;
-            Some(text.parse::<TargetRatio>().map_err(|e| format!("bad ratio {text:?}: {e}"))?)
+            // Only the *shape* is parsed here; whether the components form
+            // a reachable CF vector is the feasibility pre-pass's job, so
+            // it can answer with FEAS rule codes instead of a parse error.
+            let parts: Vec<u64> = text
+                .split(':')
+                .map(|p| p.trim().parse::<u64>().map_err(|e| format!("bad ratio {text:?}: {e}")))
+                .collect::<Result<_, _>>()?;
+            Some(parts)
         }
         _ => None,
     };
@@ -226,6 +251,10 @@ fn parse_args() -> Result<Args, String> {
     let mut op = String::from("plan");
     let mut folded: Option<PathBuf> = None;
     let mut chrome: Option<PathBuf> = None;
+    let mut deep = false;
+    let mut deny = dmfstream::check::Severity::Error;
+    let mut explain: Option<String> = None;
+    let mut json: Option<PathBuf> = None;
     while let Some(flag) = argv.next() {
         if !allowed.contains(&flag.as_str()) {
             return Err(format!(
@@ -292,6 +321,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--folded" => folded = Some(PathBuf::from(value()?)),
             "--chrome" => chrome = Some(PathBuf::from(value()?)),
+            "--deep" => deep = true,
+            "--deny" => {
+                deny = match value()?.to_lowercase().as_str() {
+                    "warn" | "warning" => dmfstream::check::Severity::Warning,
+                    "error" => dmfstream::check::Severity::Error,
+                    other => return Err(format!("--deny expects warn or error, got {other:?}")),
+                }
+            }
+            "--explain" => explain = Some(value()?),
+            "--json" => json = Some(PathBuf::from(value()?)),
             "--connect" => connect = Some(value()?),
             "--op" => op = value()?,
             "--demand" => demand = value()?.parse().map_err(|e| format!("bad demand: {e}"))?,
@@ -345,7 +384,35 @@ fn parse_args() -> Result<Args, String> {
         op,
         folded,
         chrome,
+        deep,
+        deny,
+        explain,
+        json,
     })
+}
+
+/// Resolves the positional ratio parts into a [`TargetRatio`], gated by
+/// the mixability pre-pass: an infeasible request prints its FEAS
+/// diagnostics and exits 1 before any planning starts.
+fn resolve_ratio(parts: &[u64], demand: u64) -> Result<TargetRatio, ExitCode> {
+    let feas = dmfstream::check::check_feasibility(parts, demand);
+    if !feas.is_empty() {
+        eprintln!("error: infeasible request (no plan can exist):");
+        eprintln!("{}", feas.table());
+        return Err(ExitCode::FAILURE);
+    }
+    TargetRatio::new(parts.to_vec()).map_err(|e| {
+        eprintln!("error: bad ratio: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// The ratio text sent over the wire by `dmfstream request` — the raw
+/// components, unvalidated: feasibility is deliberately left to the
+/// server so its typed `infeasible` rejection is reachable from the CLI.
+fn ratio_text(parts: &[u64]) -> String {
+    let rendered: Vec<String> = parts.iter().map(u64::to_string).collect();
+    rendered.join(":")
 }
 
 /// Batch-planner options shared by `plan --all-protocols` and `check`:
@@ -399,10 +466,15 @@ fn run(args: &Args) -> ExitCode {
     if args.command == "plan" && args.all_protocols {
         return run_plan_all(args);
     }
-    let Some(ratio) = &args.ratio else {
+    let Some(parts) = &args.ratio else {
         eprintln!("error: missing target ratio");
         return usage();
     };
+    let ratio = match resolve_ratio(parts, args.demand) {
+        Ok(ratio) => ratio,
+        Err(code) => return code,
+    };
+    let ratio = &ratio;
     if args.command == "fault" {
         return run_fault(args, ratio);
     }
@@ -553,45 +625,82 @@ fn run_plan_all(args: &Args) -> ExitCode {
     }
 }
 
-/// `dmfstream check`: plans each selected target, then runs the independent
-/// static verifier over every synthesis artifact — the plan's forests,
-/// schedules and storage claims, the streaming chip layout the plan would
-/// run on, and a concurrently routed dispense wave across that chip.
-/// Exits non-zero when any error-severity diagnostic is found.
+/// `dmfstream check`: runs the mixability pre-pass over each selected
+/// target, plans the feasible ones, then runs the independent static
+/// verifier over every synthesis artifact — the plan's forests, schedules
+/// and storage claims, the streaming chip layout the plan would run on,
+/// and a concurrently routed dispense wave across that chip. `--deep`
+/// additionally realizes every pass and replays it through the
+/// droplet-lineage dataflow analysis (FLOW001–FLOW003). Exit codes:
+/// 0 clean, 1 diagnostics at/above the `--deny` level (or planning
+/// failures), 2 usage/IO errors.
 fn run_check(args: &Args) -> ExitCode {
     use dmfstream::check::{
-        check_pins, check_placement, check_program_pins, check_routes, check_routes_pinned,
-        CheckReport,
+        check_feasibility, check_pins, check_placement, check_program_flow, check_program_pins,
+        check_routes, check_routes_pinned, recount_forest, CheckReport, FlowExpectation, RuleCode,
     };
     use dmfstream::route::{route_concurrent, route_concurrent_pinned, Grid, RouteRequest};
 
-    let targets: Vec<(String, TargetRatio)> = if args.all_protocols {
+    if let Some(text) = &args.explain {
+        return match RuleCode::parse(text) {
+            Some(code) => {
+                println!("{code} — {}\n\n{}", code.summary(), code.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: unknown rule code {text:?}");
+                usage()
+            }
+        };
+    }
+    let targets: Vec<(String, Vec<u64>)> = if args.all_protocols {
         dmfstream::workloads::protocols::table2_examples()
             .into_iter()
-            .map(|p| (format!("{} ({})", p.id, p.name), p.ratio))
+            .map(|p| (format!("{} ({})", p.id, p.name), p.ratio.parts().to_vec()))
             .collect()
-    } else if let Some(ratio) = &args.ratio {
-        vec![(format!("{ratio}"), ratio.clone())]
+    } else if let Some(parts) = &args.ratio {
+        vec![(ratio_text(parts), parts.clone())]
     } else {
         eprintln!("error: check needs a target ratio or --all-protocols");
         return usage();
     };
-    // All targets are planned up front by the batch planner — parallel
+    // Feasible targets are planned up front by the batch planner — parallel
     // workers plus a shared plan cache — while the chip/route checking below
-    // stays a serial walk so the summary prints in target order.
-    let requests: Vec<PlanRequest> = targets
+    // stays a serial walk so the summary prints in target order. Infeasible
+    // targets never reach the planner; their FEAS diagnostics fold into the
+    // per-target report instead.
+    let ratios: Vec<Option<TargetRatio>> = targets
         .iter()
-        .map(|(_, ratio)| PlanRequest::new(ratio.clone(), args.demand).with_config(args.config))
+        .map(|(_, parts)| {
+            check_feasibility(parts, args.demand)
+                .is_empty()
+                .then(|| TargetRatio::new(parts.clone()).ok())
+                .flatten()
+        })
+        .collect();
+    let requests: Vec<PlanRequest> = ratios
+        .iter()
+        .flatten()
+        .map(|ratio| PlanRequest::new(ratio.clone(), args.demand).with_config(args.config))
         .collect();
     let plans = plan_batch(&requests, &batch_options(args));
+    let mut plans = plans.iter();
     let mut summary = obs::Table::new(["target", "artifacts", "errors", "warnings", "verdict"]);
     let mut combined = CheckReport::new();
     let mut failed = false;
-    for ((label, ratio), outcome) in targets.iter().zip(&plans) {
-        let mut report = CheckReport::new();
-        let mut artifacts = 0usize;
-        match outcome {
-            Ok(plan) => {
+    let mut io_error = false;
+    for ((label, parts), ratio) in targets.iter().zip(&ratios) {
+        // The feasibility pre-pass is itself a checked artifact: its
+        // findings appear in the report like any other rule's.
+        let mut report = check_feasibility(parts, args.demand);
+        let mut artifacts = 1usize;
+        let outcome = match ratio {
+            Some(_) => plans.next(),
+            None => None,
+        };
+        match (ratio, outcome) {
+            (None, _) | (_, None) => {}
+            (Some(ratio), Some(Ok(plan))) => {
                 artifacts += plan.passes.len() + 1; // per-pass artifacts + aggregates
                 report.merge(plan.static_check());
                 match streaming_chip(ratio.fluid_count(), plan.mixers, plan.storage_peak.max(1)) {
@@ -663,20 +772,41 @@ fn run_check(args: &Args) -> ExitCode {
                                 },
                             }
                         }
-                        if let Some(pins) = &pins {
+                        // --deep and --backend both replay realized
+                        // passes; realize each pass once and feed every
+                        // interested analysis.
+                        if args.deep || pins.is_some() {
                             for (i, pass) in plan.passes.iter().enumerate() {
-                                match realize_pass(pass, &chip) {
-                                    Ok(program) => {
-                                        artifacts += 1;
-                                        report.merge(check_program_pins(&chip, pins, &program));
-                                    }
+                                let program = match realize_pass(pass, &chip) {
+                                    Ok(program) => program,
                                     Err(e) => {
                                         eprintln!(
                                             "error: {label}: pass {} does not fit the chip: {e}",
                                             i + 1
                                         );
                                         failed = true;
+                                        continue;
                                     }
+                                };
+                                artifacts += 1;
+                                if let Some(pins) = &pins {
+                                    report.merge(check_program_pins(&chip, pins, &program));
+                                }
+                                if args.deep {
+                                    // The expected ledger is re-derived
+                                    // from the pass's raw forest, not from
+                                    // engine-reported totals.
+                                    let counts = recount_forest(&pass.forest);
+                                    let expect = FlowExpectation {
+                                        dispensed: counts.input_total,
+                                        emitted: 2 * counts.trees as u64,
+                                        discarded: counts.waste,
+                                    };
+                                    report.merge(check_program_flow(
+                                        &chip,
+                                        &program,
+                                        Some(&expect),
+                                    ));
                                 }
                             }
                         }
@@ -687,12 +817,18 @@ fn run_check(args: &Args) -> ExitCode {
                     }
                 }
             }
-            Err(e) => {
+            (Some(_), Some(Err(e))) => {
                 eprintln!("error: {label}: planning failed: {e}");
                 failed = true;
             }
         }
-        let verdict = if report.is_clean() { "clean" } else { "FAIL" };
+        // Severity gating: --deny error (the default) fails on errors
+        // only; --deny warn also fails on warnings.
+        let denied = match args.deny {
+            dmfstream::check::Severity::Warning => report.len(),
+            dmfstream::check::Severity::Error => report.error_count(),
+        };
+        let verdict = if denied == 0 { "clean" } else { "FAIL" };
         summary.row([
             label.clone(),
             artifacts.to_string(),
@@ -700,7 +836,7 @@ fn run_check(args: &Args) -> ExitCode {
             report.warning_count().to_string(),
             verdict.to_string(),
         ]);
-        if !report.is_clean() {
+        if denied > 0 {
             failed = true;
         }
         combined.merge(report);
@@ -717,15 +853,63 @@ fn run_check(args: &Args) -> ExitCode {
             Ok(()) => eprintln!("diagnostics written to {}", path.display()),
             Err(e) => {
                 eprintln!("error: cannot write diagnostics to {}: {e}", path.display());
-                failed = true;
+                io_error = true;
             }
         }
     }
-    if failed {
+    if let Some(path) = &args.json {
+        if !write_findings_json(path, &combined) {
+            io_error = true;
+        }
+    }
+    if io_error {
+        // Usage and IO failures are distinguishable from findings.
+        ExitCode::from(2)
+    } else if failed {
         ExitCode::FAILURE
     } else {
         println!("check: {} target(s), {} diagnostics — all clean", targets.len(), combined.len());
         ExitCode::SUCCESS
+    }
+}
+
+/// Writes the combined findings as one machine-readable JSON document and
+/// parses it back through [`obs::json`] before reporting success — the
+/// `findings json parse OK` line means the file really is loadable.
+fn write_findings_json(path: &PathBuf, combined: &dmfstream::check::CheckReport) -> bool {
+    let mut doc = format!(
+        "{{\"version\":1,\"errors\":{},\"warnings\":{},\"findings\":[",
+        combined.error_count(),
+        combined.warning_count()
+    );
+    for (i, diagnostic) in combined.diagnostics().iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&diagnostic.to_json());
+    }
+    doc.push_str("]}");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("error: cannot write findings to {}: {e}", path.display());
+        return false;
+    }
+    match obs::json::parse(&doc) {
+        Ok(v) => {
+            let findings = match v.get("findings") {
+                Some(obs::json::Json::Arr(findings)) => findings.len(),
+                _ => 0,
+            };
+            eprintln!("findings written to {}", path.display());
+            println!("findings json parse OK: {findings} findings");
+            true
+        }
+        Err(e) => {
+            eprintln!("error: findings json does not parse back: {e}");
+            false
+        }
     }
 }
 
@@ -737,10 +921,15 @@ fn run_check(args: &Args) -> ExitCode {
 /// [`obs::json`] before the command reports success, so a non-zero exit
 /// means the trace really is loadable.
 fn run_profile(args: &Args) -> ExitCode {
-    let Some(ratio) = &args.ratio else {
+    let Some(parts) = &args.ratio else {
         eprintln!("error: profile needs a target ratio");
         return usage();
     };
+    let ratio = match resolve_ratio(parts, args.demand) {
+        Ok(ratio) => ratio,
+        Err(code) => return code,
+    };
+    let ratio = &ratio;
     let recorder = obs::global();
     recorder.reset();
     recorder.set_enabled(true);
@@ -841,11 +1030,11 @@ fn request_line(args: &Args) -> Result<String, String> {
     match args.op.as_str() {
         "stats" | "ping" | "shutdown" => Ok(format!("{{\"op\":\"{}\"}}", args.op)),
         "plan" => {
-            let ratio = args.ratio.as_ref().ok_or("request --op plan needs a target ratio")?;
+            let parts = args.ratio.as_ref().ok_or("request --op plan needs a target ratio")?;
             let defaults = EngineConfig::default();
             let mut members = vec![
                 format!("\"op\":\"plan\""),
-                format!("\"ratio\":\"{ratio}\""),
+                format!("\"ratio\":\"{}\"", ratio_text(parts)),
                 format!("\"demand\":{}", args.demand),
             ];
             if args.config.algorithm != defaults.algorithm {
