@@ -1,6 +1,11 @@
 //! Fig. 6 — average completion time `Tc` and input requirement `I` versus
-//! demand `D` over the synthetic corpus, for RMM, RMTCS, MM+MMS and
-//! MTCS+MMS.
+//! demand `D` over the synthetic corpus.
+//!
+//! The scheme set is built from the mixing-algorithm registry: every
+//! registered algorithm is swept as a repeated baseline and as an
+//! MMS-scheduled streaming scheme, so a newly registered algorithm joins
+//! the sweep without any change to this binary. (The paper's Fig. 6 plots
+//! the RMM, RMTCS, MM+MMS and MTCS+MMS subset of these curves.)
 //!
 //! Pass a corpus size as the first argument (default 600 sampled ratios;
 //! pass `full` for the entire 6066-ratio corpus). Set `DMF_OBS=1` to dump
@@ -11,9 +16,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmf_bench::{export_obs, obs_from_env, run_schemes_batch, Scheme};
 use dmf_engine::PlanCache;
-use dmf_mixalgo::BaseAlgorithm;
+use dmf_mixalgo::MixingAlgorithmRegistry;
 use dmf_obs::Table;
-use dmf_sched::SchedulerKind;
+use dmf_sched::SchedulerId;
 use dmf_workloads::synthetic;
 
 fn main() {
@@ -28,23 +33,22 @@ fn main() {
         "Fig. 6: average Tc and I vs demand over {} ratios (L = 32, N = 2..=12)\n",
         corpus.len()
     );
-    let schemes = [
-        Scheme::Repeated(BaseAlgorithm::MinMix),
-        Scheme::Repeated(BaseAlgorithm::Mtcs),
-        Scheme::Streaming(BaseAlgorithm::MinMix, SchedulerKind::Mms),
-        Scheme::Streaming(BaseAlgorithm::Mtcs, SchedulerKind::Mms),
-    ];
+    let mut schemes = Vec::new();
+    for entry in MixingAlgorithmRegistry::entries() {
+        schemes.push(Scheme::Repeated(entry.id));
+        schemes.push(Scheme::Streaming(entry.id, SchedulerId::MMS));
+    }
     let mut headers = vec!["D".to_owned()];
     headers.extend(schemes.iter().map(|s| format!("Tc {}", s.name())));
     headers.extend(schemes.iter().map(|s| format!("I {}", s.name())));
     let mut table = Table::new(headers);
     // One shared plan cache across every demand level; each demand level
-    // batches the whole corpus (4 schemes per target) through the
+    // batches the whole corpus (every scheme per target) through the
     // parallel planner in chunks.
     let cache = PlanCache::shared();
     for demand in (2..=32u64).step_by(2) {
-        let mut tc = [0.0f64; 4];
-        let mut inputs = [0.0f64; 4];
+        let mut tc = vec![0.0f64; schemes.len()];
+        let mut inputs = vec![0.0f64; schemes.len()];
         let mut n = 0usize;
         for chunk in corpus.chunks(512) {
             let work: Vec<(Scheme, _, u64)> = chunk

@@ -2,6 +2,11 @@
 //! and of SRS over MMS, across the synthetic corpus (L = 32, N = 2..=12,
 //! D = 32).
 //!
+//! The algorithm columns come from the mixing-algorithm registry
+//! ([`dmf_bench::sdst_baselines`]): every registered SDST-only algorithm
+//! gets a column, so a newly registered baseline appears here without any
+//! change to this binary.
+//!
 //! Pass a corpus size as the first argument to subsample (default: the
 //! full 6066-ratio corpus; use e.g. `500` for a quick run). Set `DMF_OBS=1`
 //! to dump the run's metrics to `results/obs/table3_improvements.jsonl`.
@@ -9,11 +14,10 @@
 // Binary/example target: the workspace `unwrap_used`/`expect_used`/`panic`
 // deny wall applies to library code only (see Cargo.toml).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
-use dmf_bench::{export_obs, obs_from_env, run_schemes_batch, Scheme};
+use dmf_bench::{export_obs, obs_from_env, run_schemes_batch, sdst_baselines, Scheme};
 use dmf_engine::PlanCache;
-use dmf_mixalgo::BaseAlgorithm;
 use dmf_obs::Table;
-use dmf_sched::SchedulerKind;
+use dmf_sched::SchedulerId;
 use dmf_workloads::synthetic;
 
 fn main() {
@@ -29,19 +33,20 @@ fn main() {
     );
 
     let demand = 32;
-    let algorithms = [BaseAlgorithm::MinMix, BaseAlgorithm::Rma, BaseAlgorithm::Mtcs];
+    let algorithms = sdst_baselines();
+    let n = algorithms.len();
 
     // Accumulators per algorithm: sums of ratios for each comparison.
-    let mut tc_mms = [0.0f64; 3];
-    let mut tc_srs = [0.0f64; 3];
-    let mut i_stream = [0.0f64; 3];
-    let mut q_srs_vs_mms = [0.0f64; 3];
-    let mut tc_srs_vs_mms = [0.0f64; 3];
-    let mut counted = [0usize; 3];
+    let mut tc_mms = vec![0.0f64; n];
+    let mut tc_srs = vec![0.0f64; n];
+    let mut i_stream = vec![0.0f64; n];
+    let mut q_srs_vs_mms = vec![0.0f64; n];
+    let mut tc_srs_vs_mms = vec![0.0f64; n];
+    let mut counted = vec![0usize; n];
 
-    // Batch the corpus through the parallel planner in chunks (9 requests
-    // per target: 3 algorithms x {Repeated, MMS, SRS}), sharing one plan
-    // cache across chunks.
+    // Batch the corpus through the parallel planner in chunks (three
+    // requests per (target, algorithm): {Repeated, MMS, SRS}), sharing one
+    // plan cache across chunks.
     let cache = PlanCache::shared();
     for chunk in corpus.chunks(256) {
         let work: Vec<(Scheme, _, u64)> = chunk
@@ -50,16 +55,16 @@ fn main() {
                 algorithms.iter().flat_map(move |&algorithm| {
                     [
                         (Scheme::Repeated(algorithm), target.clone(), demand),
-                        (Scheme::Streaming(algorithm, SchedulerKind::Mms), target.clone(), demand),
-                        (Scheme::Streaming(algorithm, SchedulerKind::Srs), target.clone(), demand),
+                        (Scheme::Streaming(algorithm, SchedulerId::MMS), target.clone(), demand),
+                        (Scheme::Streaming(algorithm, SchedulerId::SRS), target.clone(), demand),
                     ]
                 })
             })
             .collect();
         let results = run_schemes_batch(&work, None, &cache);
         for t in 0..chunk.len() {
-            for k in 0..algorithms.len() {
-                let base = (t * algorithms.len() + k) * 3;
+            for k in 0..n {
+                let base = (t * n + k) * 3;
                 let (Ok(repeated), Ok(mms), Ok(srs)) =
                     (&results[base], &results[base + 1], &results[base + 2])
                 else {
@@ -78,8 +83,10 @@ fn main() {
         }
     }
 
-    let avg = |sums: &[f64; 3], k: usize| sums[k] / counted[k].max(1) as f64;
-    let mut table = Table::new(["Parameter / relative scheme", "MM", "RMA", "MTCS"]);
+    let avg = |sums: &[f64], k: usize| sums[k] / counted[k].max(1) as f64;
+    let mut headers = vec!["Parameter / relative scheme".to_owned()];
+    headers.extend(algorithms.iter().map(|a| a.label().to_owned()));
+    let mut table = Table::new(headers);
     for (label, sums) in [
         ("Tc: MMS || Repeated", &tc_mms),
         ("Tc: SRS || Repeated", &tc_srs),
@@ -87,18 +94,14 @@ fn main() {
         ("q: SRS || MMS", &q_srs_vs_mms),
         ("Tc: SRS || MMS", &tc_srs_vs_mms),
     ] {
-        table.row([
-            label.to_owned(),
-            format!("{:.1}%", avg(sums, 0)),
-            format!("{:.1}%", avg(sums, 1)),
-            format!("{:.1}%", avg(sums, 2)),
-        ]);
+        let mut cells = vec![label.to_owned()];
+        cells.extend((0..n).map(|k| format!("{:.1}%", avg(sums, k))));
+        table.row(cells);
     }
     println!("{table}");
-    println!(
-        "\nratios evaluated per algorithm: MM={} RMA={} MTCS={}",
-        counted[0], counted[1], counted[2]
-    );
+    let evaluated: Vec<String> =
+        algorithms.iter().zip(&counted).map(|(a, c)| format!("{}={}", a.label(), c)).collect();
+    println!("\nratios evaluated per algorithm: {}", evaluated.join(" "));
     println!("(paper Table 3: Tc ~72-73%, I ~72-77%, q(SRS||MMS) ~23-27%, Tc(SRS||MMS) ~ -4..-6%)");
     if let Some(path) = obs_path {
         export_obs(&path);

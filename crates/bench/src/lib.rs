@@ -32,45 +32,61 @@ pub mod micro;
 
 use dmf_chip::CostMatrix;
 use dmf_engine::{EngineConfig, MixerBudget, PassPlan, StreamPlan, StreamingEngine};
-use dmf_mixalgo::BaseAlgorithm;
+use dmf_mixalgo::{AlgorithmId, BaseAlgorithm, Capabilities, MixingAlgorithmRegistry};
 use dmf_mixgraph::{NodeId, Operand};
 use dmf_ratio::TargetRatio;
-use dmf_sched::{mixer_lower_bound, SchedulerKind};
+use dmf_sched::{mixer_lower_bound, SchedulerId, SchedulerRegistry};
 
 /// The nine evaluation schemes of Table 2, in column order A–I.
+///
+/// Schemes carry registry ids ([`AlgorithmId`] / [`SchedulerId`]), so any
+/// registered algorithm can drive an exhibit; `BaseAlgorithm` /
+/// `SchedulerKind` enum values still convert via `.into()`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     /// Repeated base-tree passes (the paper's RMM / RRMA / RMTCS).
-    Repeated(BaseAlgorithm),
+    Repeated(AlgorithmId),
     /// Streaming engine: forest seeded by the algorithm, scheduled by MMS
     /// or SRS.
-    Streaming(BaseAlgorithm, SchedulerKind),
+    Streaming(AlgorithmId, SchedulerId),
+}
+
+/// The algorithms a Table 2 / Table 3 comparison sweeps: every registered
+/// algorithm with the paper's SDST-only capability row — the MM/RMA/MTCS
+/// baselines plus anything registered later with the same row. RSM (whose
+/// capability row differs) and streaming-native algorithms stay out, as in
+/// the paper.
+pub fn sdst_baselines() -> Vec<AlgorithmId> {
+    MixingAlgorithmRegistry::entries()
+        .into_iter()
+        .filter(|e| e.id.algorithm().capabilities() == Capabilities::SDST_ONLY)
+        .map(|e| e.id)
+        .collect()
 }
 
 impl Scheme {
     /// Table 2's column order: A=RMM, B=MM+MMS, C=MM+SRS, D=RRMA,
-    /// E=RMA+MMS, F=RMA+SRS, G=RMTCS, H=MTCS+MMS, I=MTCS+SRS.
+    /// E=RMA+MMS, F=RMA+SRS, G=RMTCS, H=MTCS+MMS, I=MTCS+SRS — built by
+    /// sweeping [`sdst_baselines`] against every registered scheduler, so
+    /// registering a new SDST algorithm (or scheduler) grows the table.
     pub fn table2_columns() -> Vec<Scheme> {
-        use BaseAlgorithm::*;
-        use SchedulerKind::*;
-        vec![
-            Scheme::Repeated(MinMix),
-            Scheme::Streaming(MinMix, Mms),
-            Scheme::Streaming(MinMix, Srs),
-            Scheme::Repeated(Rma),
-            Scheme::Streaming(Rma, Mms),
-            Scheme::Streaming(Rma, Srs),
-            Scheme::Repeated(Mtcs),
-            Scheme::Streaming(Mtcs, Mms),
-            Scheme::Streaming(Mtcs, Srs),
-        ]
+        let schedulers: Vec<SchedulerId> =
+            SchedulerRegistry::entries().into_iter().map(|e| e.id).collect();
+        let mut columns = Vec::new();
+        for algorithm in sdst_baselines() {
+            columns.push(Scheme::Repeated(algorithm));
+            for &scheduler in &schedulers {
+                columns.push(Scheme::Streaming(algorithm, scheduler));
+            }
+        }
+        columns
     }
 
     /// Short name ("RMM", "MM+MMS", …).
     pub fn name(&self) -> String {
         match self {
-            Scheme::Repeated(a) => format!("R{}", a.name()),
-            Scheme::Streaming(a, s) => format!("{}+{}", a.name(), s.name()),
+            Scheme::Repeated(a) => format!("R{}", a.label()),
+            Scheme::Streaming(a, s) => format!("{}+{}", a.label(), s.label()),
         }
     }
 }
@@ -382,8 +398,7 @@ mod tests {
         // Table 2 column A: every L = 256 example costs 16 passes x 8
         // cycles = 128 under RMM.
         for protocol in protocols::table2_examples() {
-            let r =
-                run_scheme(Scheme::Repeated(BaseAlgorithm::MinMix), &protocol.ratio, 32).unwrap();
+            let r = run_scheme(Scheme::Repeated(AlgorithmId::MINMIX), &protocol.ratio, 32).unwrap();
             assert_eq!(r.cycles, 128, "{}", protocol.id);
         }
     }
@@ -391,10 +406,10 @@ mod tests {
     #[test]
     fn streaming_never_worse_than_repeated_same_algorithm() {
         for protocol in protocols::table2_examples() {
-            for algorithm in [BaseAlgorithm::MinMix, BaseAlgorithm::Rma, BaseAlgorithm::Mtcs] {
+            for algorithm in sdst_baselines() {
                 let repeated =
                     run_scheme(Scheme::Repeated(algorithm), &protocol.ratio, 32).unwrap();
-                for scheduler in SchedulerKind::ALL {
+                for scheduler in [SchedulerId::MMS, SchedulerId::SRS] {
                     let streaming =
                         run_scheme(Scheme::Streaming(algorithm, scheduler), &protocol.ratio, 32)
                             .unwrap();

@@ -1,0 +1,336 @@
+//! Placement strategies as trait objects and the name-keyed placement
+//! registry.
+//!
+//! Mirrors the algorithm/scheduler registries in `dmf-mixalgo` and
+//! `dmf-sched`: a [`PlacementId`] is a `Copy` handle carrying a stable
+//! wire key, a display label and the strategy object. Both seeded
+//! strategies run through [`Placer::place_with`], so they honour the
+//! [`PlacementContext`]'s dead-cell avoidance and wear-aware cost term.
+
+use crate::place::{FlowMatrix, PlacementConfig, PlacementContext, PlacementRequest, Placer};
+use crate::{ChipError, ChipSpec};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A module-placement strategy: places `requests` on a
+/// `config.width × config.height` grid, minimising flow-weighted transport
+/// cost under the context's dead-cell and wear constraints.
+pub trait PlacementStrategy {
+    /// Short identifier used in reports ("annealing", "greedy", …).
+    fn name(&self) -> &'static str;
+
+    /// Places all requested modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::PlacementFailed`] when no legal placement
+    /// exists and propagates grid-construction errors.
+    fn place(
+        &self,
+        config: &PlacementConfig,
+        requests: &[PlacementRequest],
+        flows: &FlowMatrix,
+        ctx: &PlacementContext,
+    ) -> Result<ChipSpec, ChipError>;
+}
+
+/// The default greedy + simulated-annealing placer ([`Placer`]) — runs the
+/// full annealing schedule from `config`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnealingPlacement;
+
+impl PlacementStrategy for AnnealingPlacement {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn place(
+        &self,
+        config: &PlacementConfig,
+        requests: &[PlacementRequest],
+        flows: &FlowMatrix,
+        ctx: &PlacementContext,
+    ) -> Result<ChipSpec, ChipError> {
+        Placer::new(config.clone()).place_with(requests, flows, ctx)
+    }
+}
+
+/// Greedy-only placement: the annealer's initial placement with zero
+/// refinement iterations. Deterministic and fast; useful as a lower
+/// baseline and for tests that only need a legal layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyPlacement;
+
+impl PlacementStrategy for GreedyPlacement {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn place(
+        &self,
+        config: &PlacementConfig,
+        requests: &[PlacementRequest],
+        flows: &FlowMatrix,
+        ctx: &PlacementContext,
+    ) -> Result<ChipSpec, ChipError> {
+        let greedy = PlacementConfig { iterations: 0, ..config.clone() };
+        Placer::new(greedy).place_with(requests, flows, ctx)
+    }
+}
+
+/// A registered placement strategy. Equality and hashing use the key only;
+/// the registry enforces key uniqueness.
+#[derive(Clone, Copy)]
+pub struct PlacementId {
+    key: &'static str,
+    label: &'static str,
+    strategy: &'static (dyn PlacementStrategy + Send + Sync),
+}
+
+impl PlacementId {
+    /// The simulated-annealing placer (`"annealing"`), the default.
+    pub const ANNEALING: PlacementId =
+        PlacementId::new("annealing", "Annealing", &AnnealingPlacement);
+    /// The greedy-only placer (`"greedy"`).
+    pub const GREEDY: PlacementId = PlacementId::new("greedy", "Greedy", &GreedyPlacement);
+
+    /// Creates an id; `key` is the stable wire name.
+    pub const fn new(
+        key: &'static str,
+        label: &'static str,
+        strategy: &'static (dyn PlacementStrategy + Send + Sync),
+    ) -> Self {
+        PlacementId { key, label, strategy }
+    }
+
+    /// The stable wire key.
+    pub fn key(self) -> &'static str {
+        self.key
+    }
+
+    /// The display label.
+    pub fn label(self) -> &'static str {
+        self.label
+    }
+
+    /// The strategy object behind the id.
+    pub fn strategy(self) -> &'static dyn PlacementStrategy {
+        self.strategy
+    }
+}
+
+impl PartialEq for PlacementId {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for PlacementId {}
+
+impl Hash for PlacementId {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key.hash(state);
+    }
+}
+
+impl fmt::Debug for PlacementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("PlacementId").field(&self.key).finish()
+    }
+}
+
+impl fmt::Display for PlacementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label)
+    }
+}
+
+/// One registry row: the id, a one-line description and lookup aliases.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementEntry {
+    /// The strategy id.
+    pub id: PlacementId,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// Extra accepted names.
+    pub aliases: &'static [&'static str],
+}
+
+/// The name `name` did not resolve to any registered placement strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPlacementError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// The keys currently registered, in registration order.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownPlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown placement strategy {:?} (registered: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPlacementError {}
+
+/// A strategy with a clashing key, label or alias is already registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicatePlacementError {
+    /// The clashing name.
+    pub key: String,
+}
+
+impl fmt::Display for DuplicatePlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "placement strategy {:?} is already registered", self.key)
+    }
+}
+
+impl std::error::Error for DuplicatePlacementError {}
+
+/// The process-wide placement registry, seeded with annealing and greedy.
+pub struct PlacementRegistry;
+
+static REGISTRY: OnceLock<RwLock<Vec<PlacementEntry>>> = OnceLock::new();
+
+fn store() -> &'static RwLock<Vec<PlacementEntry>> {
+    REGISTRY.get_or_init(|| {
+        RwLock::new(vec![
+            PlacementEntry {
+                id: PlacementId::ANNEALING,
+                description: "greedy seed + simulated annealing over flow-weighted \
+                              transport cost; wear- and dead-cell-aware (default)",
+                aliases: &["sa"],
+            },
+            PlacementEntry {
+                id: PlacementId::GREEDY,
+                description: "greedy initial placement only (zero annealing \
+                              iterations); fast deterministic baseline",
+                aliases: &[],
+            },
+        ])
+    })
+}
+
+fn read() -> RwLockReadGuard<'static, Vec<PlacementEntry>> {
+    store().read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write() -> RwLockWriteGuard<'static, Vec<PlacementEntry>> {
+    store().write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl PlacementRegistry {
+    /// All registered strategies, in registration order.
+    pub fn entries() -> Vec<PlacementEntry> {
+        read().clone()
+    }
+
+    /// Resolves `name` against keys, labels and aliases,
+    /// case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPlacementError`] (listing the registered keys) when
+    /// nothing matches.
+    pub fn resolve(name: &str) -> Result<PlacementId, UnknownPlacementError> {
+        let entries = read();
+        for entry in entries.iter() {
+            if entry.id.key.eq_ignore_ascii_case(name)
+                || entry.id.label.eq_ignore_ascii_case(name)
+                || entry.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+            {
+                return Ok(entry.id);
+            }
+        }
+        Err(UnknownPlacementError {
+            name: name.to_owned(),
+            known: entries.iter().map(|e| e.id.key).collect(),
+        })
+    }
+
+    /// Registers a new strategy; names must not clash case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicatePlacementError`] on a name clash; the registry is
+    /// left unchanged.
+    pub fn register(entry: PlacementEntry) -> Result<(), DuplicatePlacementError> {
+        let mut entries = write();
+        let mut new_names = vec![entry.id.key, entry.id.label];
+        new_names.extend(entry.aliases);
+        for existing in entries.iter() {
+            let mut names = vec![existing.id.key, existing.id.label];
+            names.extend(existing.aliases);
+            for name in &names {
+                if new_names.iter().any(|n| n.eq_ignore_ascii_case(name)) {
+                    return Err(DuplicatePlacementError { key: (*name).to_owned() });
+                }
+            }
+        }
+        entries.push(entry);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::ModuleKind;
+
+    fn pcr_requests() -> (Vec<PlacementRequest>, FlowMatrix) {
+        let mut requests: Vec<PlacementRequest> = (0..3)
+            .map(|i| PlacementRequest::conventional(format!("mx{i}"), ModuleKind::Mixer))
+            .collect();
+        requests.push(PlacementRequest::conventional("r0", ModuleKind::Reservoir { fluid: 0 }));
+        requests.push(PlacementRequest::conventional("w0", ModuleKind::Waste));
+        let mut flows = FlowMatrix::new();
+        flows.add(3, 0, 4.0);
+        flows.add(3, 1, 2.0);
+        flows.add(0, 4, 1.0);
+        (requests, flows)
+    }
+
+    #[test]
+    fn registry_annealing_is_byte_identical_to_the_direct_placer() {
+        let (requests, flows) = pcr_requests();
+        let config = PlacementConfig { iterations: 200, ..PlacementConfig::default() };
+        let direct = Placer::new(config.clone()).place(&requests, &flows).unwrap();
+        let via_registry = PlacementRegistry::resolve("annealing")
+            .unwrap()
+            .strategy()
+            .place(&config, &requests, &flows, &PlacementContext::default())
+            .unwrap();
+        assert_eq!(direct.to_svg(), via_registry.to_svg(), "registry dispatch changed the layout");
+    }
+
+    #[test]
+    fn greedy_strategy_places_legally_without_annealing() {
+        let (requests, flows) = pcr_requests();
+        let chip = PlacementId::GREEDY
+            .strategy()
+            .place(&PlacementConfig::default(), &requests, &flows, &PlacementContext::default())
+            .unwrap();
+        chip.validate().unwrap();
+        assert_eq!(chip.mixers().count(), 3);
+    }
+
+    #[test]
+    fn unknown_strategy_lists_known_keys_and_duplicates_are_rejected() {
+        let err = PlacementRegistry::resolve("quantum").unwrap_err();
+        assert!(err.known.contains(&"annealing") && err.known.contains(&"greedy"));
+        let clash = PlacementEntry {
+            id: PlacementId::new("sa", "SA", &AnnealingPlacement),
+            description: "clashes with the annealing alias",
+            aliases: &[],
+        };
+        assert!(PlacementRegistry::register(clash).is_err());
+    }
+}

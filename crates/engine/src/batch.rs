@@ -43,6 +43,19 @@ impl PlanRequest {
         self.config = config;
         self
     }
+
+    /// This request planned with the named mixing algorithm, resolved
+    /// against the [`dmf_mixalgo::MixingAlgorithmRegistry`] (keys, labels
+    /// and aliases, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownAlgorithm`] (listing the registered
+    /// keys) when `name` does not resolve.
+    pub fn with_algorithm(mut self, name: &str) -> Result<Self, EngineError> {
+        self.config.algorithm = dmf_mixalgo::MixingAlgorithmRegistry::resolve(name)?;
+        Ok(self)
+    }
 }
 
 /// Worker-pool and cache settings for [`plan_batch`].

@@ -1,5 +1,5 @@
 use crate::{EngineError, StreamPlan};
-use dmf_mixalgo::BaseAlgorithm;
+use dmf_mixalgo::AlgorithmId;
 use dmf_ratio::TargetRatio;
 use dmf_sched::{repeated_baseline, RepeatedBaseline};
 use std::fmt;
@@ -27,12 +27,12 @@ use std::fmt;
 /// # }
 /// ```
 pub fn repeated(
-    algorithm: BaseAlgorithm,
+    algorithm: impl Into<AlgorithmId>,
     target: &TargetRatio,
     demand: u64,
     mixers: usize,
 ) -> Result<RepeatedBaseline, EngineError> {
-    let tree = algorithm.algorithm().build_graph(target)?;
+    let tree = algorithm.into().algorithm().build_graph(target)?;
     Ok(repeated_baseline(&tree, demand, mixers)?)
 }
 
@@ -75,6 +75,7 @@ impl fmt::Display for Improvement {
 mod tests {
     use super::*;
     use crate::{EngineConfig, StreamingEngine};
+    use dmf_mixalgo::BaseAlgorithm;
 
     #[test]
     fn streaming_beats_repeated_mm_on_pcr() {

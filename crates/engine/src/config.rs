@@ -1,6 +1,6 @@
 use dmf_forest::ReusePolicy;
-use dmf_mixalgo::BaseAlgorithm;
-use dmf_sched::SchedulerKind;
+use dmf_mixalgo::AlgorithmId;
+use dmf_sched::SchedulerId;
 
 /// How many on-chip mixers the engine may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -18,12 +18,18 @@ pub enum MixerBudget {
 /// The default reproduces the paper's headline configuration: MinMix base
 /// trees, SRS scheduling, `Mlb` mixers, paper-faithful across-tree droplet
 /// reuse and no storage budget.
+///
+/// Algorithm and scheduler are registry ids
+/// ([`dmf_mixalgo::AlgorithmId`] / [`dmf_sched::SchedulerId`]), so any
+/// registered algorithm — not just the [`dmf_mixalgo::BaseAlgorithm`]
+/// baselines — can drive the engine; the enum values still convert
+/// (`config.with_algorithm(BaseAlgorithm::Rma)`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineConfig {
     /// Base mixing-tree algorithm seeding the forest.
-    pub algorithm: BaseAlgorithm,
+    pub algorithm: AlgorithmId,
     /// Forest scheduler (MMS for latency, SRS for storage).
-    pub scheduler: SchedulerKind,
+    pub scheduler: SchedulerId,
     /// Mixer budget.
     pub mixers: MixerBudget,
     /// On-chip storage budget `q'`; `None` means unconstrained
@@ -36,8 +42,8 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            algorithm: BaseAlgorithm::MinMix,
-            scheduler: SchedulerKind::Srs,
+            algorithm: AlgorithmId::MINMIX,
+            scheduler: SchedulerId::SRS,
             mixers: MixerBudget::MmLowerBound,
             storage_limit: None,
             reuse: ReusePolicy::AcrossTrees,
@@ -58,15 +64,18 @@ impl EngineConfig {
         self
     }
 
-    /// Shorthand: this config with another base algorithm.
-    pub fn with_algorithm(mut self, algorithm: BaseAlgorithm) -> Self {
-        self.algorithm = algorithm;
+    /// Shorthand: this config with another base algorithm (a
+    /// [`dmf_mixalgo::BaseAlgorithm`] or any registered
+    /// [`AlgorithmId`]).
+    pub fn with_algorithm(mut self, algorithm: impl Into<AlgorithmId>) -> Self {
+        self.algorithm = algorithm.into();
         self
     }
 
-    /// Shorthand: this config with another scheduler.
-    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
-        self.scheduler = scheduler;
+    /// Shorthand: this config with another scheduler (a
+    /// [`dmf_sched::SchedulerKind`] or any registered [`SchedulerId`]).
+    pub fn with_scheduler(mut self, scheduler: impl Into<SchedulerId>) -> Self {
+        self.scheduler = scheduler.into();
         self
     }
 }
@@ -74,6 +83,8 @@ impl EngineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmf_mixalgo::BaseAlgorithm;
+    use dmf_sched::SchedulerKind;
 
     #[test]
     fn default_matches_paper_headline() {
@@ -95,5 +106,12 @@ mod tests {
         assert_eq!(c.storage_limit, Some(3));
         assert_eq!(c.algorithm, BaseAlgorithm::Rma);
         assert_eq!(c.scheduler, SchedulerKind::Mms);
+    }
+
+    #[test]
+    fn registry_ids_slot_in_directly() {
+        let c = EngineConfig::default().with_algorithm(AlgorithmId::MTCS);
+        assert_eq!(c.algorithm, AlgorithmId::MTCS);
+        assert_eq!(c.algorithm.key(), "mtcs");
     }
 }

@@ -33,6 +33,14 @@ pub enum EngineError {
         /// Storage cells on the chip.
         available: usize,
     },
+    /// An algorithm name did not resolve against the
+    /// [`dmf_mixalgo::MixingAlgorithmRegistry`].
+    UnknownAlgorithm {
+        /// The name that failed to resolve.
+        name: String,
+        /// The registry keys at the time of the lookup.
+        known: Vec<&'static str>,
+    },
     /// Base-tree construction failed.
     Algo(MixAlgoError),
     /// Forest construction failed.
@@ -71,6 +79,9 @@ impl fmt::Display for EngineError {
             EngineError::StorageExhausted { available } => {
                 write!(f, "chip has only {available} storage cells")
             }
+            EngineError::UnknownAlgorithm { name, known } => {
+                write!(f, "unknown mixing algorithm {:?} (registered: {})", name, known.join(", "))
+            }
             EngineError::Algo(e) => write!(f, "base-tree construction failed: {e}"),
             EngineError::Forest(e) => write!(f, "forest construction failed: {e}"),
             EngineError::Sched(e) => write!(f, "scheduling failed: {e}"),
@@ -100,6 +111,12 @@ impl Error for EngineError {
 impl From<MixAlgoError> for EngineError {
     fn from(e: MixAlgoError) -> Self {
         EngineError::Algo(e)
+    }
+}
+
+impl From<dmf_mixalgo::UnknownAlgorithmError> for EngineError {
+    fn from(e: dmf_mixalgo::UnknownAlgorithmError) -> Self {
+        EngineError::UnknownAlgorithm { name: e.name, known: e.known }
     }
 }
 

@@ -54,6 +54,9 @@ pub use check::static_check;
 pub use compare::{improvement_over_baseline, repeated, Improvement};
 pub use config::{EngineConfig, MixerBudget};
 pub use error::EngineError;
+pub use pipeline::{
+    BuildForest, BuildTree, MetaStage, Pipeline, PlanContext, Schedule, SplitPasses, Stage,
+};
 pub use plan::{PassPlan, StreamPlan, StreamingEngine};
 pub use realize::realize_pass;
 pub use recovery::{RecoveryPlan, RecoveryPolicy};

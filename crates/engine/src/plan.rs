@@ -209,8 +209,7 @@ impl StreamingEngine {
         preflight(target, demand)?;
         let _span = dmf_obs::span!("engine_plan");
         let mut ctx = PlanContext::new(self.config, target, demand)?;
-        ctx.build_tree()?;
-        ctx.split_passes()?;
+        crate::Pipeline::standard().run(&mut ctx)?;
         ctx.into_plan()
     }
 }

@@ -51,11 +51,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// TODO(lint-wall): crate-wide exemption from the workspace
-// `unwrap_used`/`expect_used`/`panic` deny wall. Offenders here predate the
-// wall (documented-panic convenience constructors and provably-safe
-// `expect`s); burn them down and drop this allow.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 mod capabilities;
 mod dilution;
@@ -64,6 +59,7 @@ mod minmix;
 mod mtcs;
 mod pool;
 mod rebuild;
+mod registry;
 mod rma;
 mod rsm;
 mod template;
@@ -75,6 +71,10 @@ pub use minmix::MinMix;
 pub use mtcs::Mtcs;
 pub use pool::WastePool;
 pub use rebuild::{materialize, rebuild_tree};
+pub use registry::{
+    AlgorithmEntry, AlgorithmId, DuplicateAlgorithmError, MixingAlgorithmRegistry,
+    UnknownAlgorithmError,
+};
 pub use rma::Rma;
 pub use rsm::Rsm;
 pub use template::Template;

@@ -54,9 +54,14 @@ fn build(
     mut level: u32,
     fluid_count: usize,
 ) -> Result<Template, MixAlgoError> {
-    let active = vector.iter().filter(|&&v| v > 0).count();
-    if active == 1 {
-        let fluid = vector.iter().position(|&v| v > 0).expect("one active component");
+    let sole_active = {
+        let mut active = vector.iter().enumerate().filter(|&(_, &v)| v > 0);
+        match (active.next(), active.next()) {
+            (Some((fluid, _)), None) => Some(fluid),
+            _ => None,
+        }
+    };
+    if let Some(fluid) = sole_active {
         return Ok(Template::leaf(FluidId(fluid), fluid_count));
     }
     while level > 0 && vector.iter().all(|v| v % 2 == 0) {

@@ -24,13 +24,16 @@ pub(crate) enum TemplateNode {
 impl TemplateNode {
     /// The droplet content this node produces — borrowed from the
     /// precomputed interior mixture, constructed only for leaves.
-    pub(crate) fn mixture(&self, fluid_count: usize) -> Cow<'_, Mixture> {
+    ///
+    /// Fails only when a leaf references a fluid outside its fluid set,
+    /// which [`Template::leaf`] makes unconstructible; the error path
+    /// exists so the invariant surfaces as a typed error, not a panic.
+    pub(crate) fn mixture(&self, fluid_count: usize) -> Result<Cow<'_, Mixture>, MixAlgoError> {
         match self {
-            TemplateNode::Leaf { fluid } => Cow::Owned(
-                Mixture::try_pure(fluid.0, fluid_count)
-                    .expect("template leaves reference fluids within their fluid set"),
-            ),
-            TemplateNode::Mix { mixture, .. } => Cow::Borrowed(mixture),
+            TemplateNode::Leaf { fluid } => {
+                Ok(Cow::Owned(Mixture::try_pure(fluid.0, fluid_count)?))
+            }
+            TemplateNode::Mix { mixture, .. } => Ok(Cow::Borrowed(mixture)),
         }
     }
 
@@ -87,8 +90,8 @@ impl Template {
             });
         }
         let fluid_count = left.fluid_count;
-        let lm = left.root.mixture(fluid_count);
-        let rm = right.root.mixture(fluid_count);
+        let lm = left.root.mixture(fluid_count)?;
+        let rm = right.root.mixture(fluid_count)?;
         let mixture = lm.mix(rm.as_ref()).map_err(MixAlgoError::Ratio)?;
         let level = left.root.level().max(right.root.level()) + 1;
         Ok(Template {
@@ -113,8 +116,13 @@ impl Template {
     }
 
     /// The droplet content produced at the root.
-    pub fn mixture(&self) -> Mixture {
-        self.root.mixture(self.fluid_count).into_owned()
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a leaf referencing a fluid outside the fluid set,
+    /// which [`Template::leaf`] rejects at construction.
+    pub fn mixture(&self) -> Result<Mixture, MixAlgoError> {
+        Ok(self.root.mixture(self.fluid_count)?.into_owned())
     }
 
     /// Structural height of the tree (a paper-conformant base tree for
@@ -152,7 +160,7 @@ mod tests {
         let t = Template::mix(a, b).unwrap();
         assert_eq!(t.depth(), 1);
         assert_eq!(t.mix_count(), 1);
-        assert_eq!(t.mixture().parts(), &[1, 1]);
+        assert_eq!(t.mixture().unwrap().parts(), &[1, 1]);
         assert_eq!(t.leaf_counts(), vec![1, 1]);
         assert!(!t.is_leaf());
     }
@@ -175,7 +183,7 @@ mod tests {
         let t = Template::mix(Template::leaf(FluidId(0), 2), inner).unwrap();
         assert_eq!(t.depth(), 2);
         assert_eq!(t.mix_count(), 2);
-        assert_eq!(t.mixture().parts(), &[3, 1]);
+        assert_eq!(t.mixture().unwrap().parts(), &[3, 1]);
         assert_eq!(t.leaf_counts(), vec![2, 1]);
     }
 }

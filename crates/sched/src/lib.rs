@@ -66,6 +66,7 @@ mod hu;
 mod mms;
 mod optimal;
 mod path;
+mod registry;
 mod schedule;
 mod srs;
 mod storage;
@@ -78,6 +79,10 @@ pub use hu::{critical_path, mixer_lower_bound, oms_schedule};
 pub use mms::mms_schedule;
 pub use optimal::{optimal_makespan, OPTIMAL_LIMIT};
 pub use path::path_schedule;
+pub use registry::{
+    DuplicateSchedulerError, MmsScheduler, Scheduler, SchedulerEntry, SchedulerId,
+    SchedulerRegistry, SrsScheduler, UnknownSchedulerError,
+};
 pub use schedule::{MixerId, Schedule};
 pub use srs::srs_schedule;
 pub use storage::StorageProfile;

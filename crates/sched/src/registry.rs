@@ -1,0 +1,333 @@
+//! Scheduler trait objects and the name-keyed scheduler registry — the
+//! open extension point behind the closed [`SchedulerKind`] enum.
+//!
+//! Mirrors `dmf_mixalgo`'s algorithm registry: a [`SchedulerId`] is a
+//! `Copy` handle carrying a stable wire key, a display label and the
+//! scheduler object; dispatch through an id is a plain vtable call, and
+//! the [`SchedulerRegistry`] is only consulted for name resolution and
+//! listing.
+
+use crate::{mms_schedule, srs_schedule, Schedule, SchedulerKind};
+use dmf_mixgraph::MixGraph;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A forest scheduler as a trait object: maps a mixing forest onto a mixer
+/// budget.
+///
+/// [`MmsScheduler`] and [`SrsScheduler`] wrap the paper's two procedures;
+/// new schedulers implement this trait and register via
+/// [`SchedulerRegistry::register`].
+pub trait Scheduler {
+    /// Short identifier used in reports ("MMS", "SRS", …).
+    fn name(&self) -> &'static str;
+
+    /// Schedules `graph` onto `mixers` concurrent mixers.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; the provided schedulers fail on graphs
+    /// with cyclic precedence or a zero mixer budget.
+    fn schedule(&self, graph: &MixGraph, mixers: usize) -> Result<Schedule, crate::SchedError>;
+}
+
+/// [`mms_schedule`] (Algorithm 1) as a [`Scheduler`] object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmsScheduler;
+
+impl Scheduler for MmsScheduler {
+    fn name(&self) -> &'static str {
+        "MMS"
+    }
+
+    fn schedule(&self, graph: &MixGraph, mixers: usize) -> Result<Schedule, crate::SchedError> {
+        mms_schedule(graph, mixers)
+    }
+}
+
+/// [`srs_schedule`] (Algorithm 2) as a [`Scheduler`] object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrsScheduler;
+
+impl Scheduler for SrsScheduler {
+    fn name(&self) -> &'static str {
+        "SRS"
+    }
+
+    fn schedule(&self, graph: &MixGraph, mixers: usize) -> Result<Schedule, crate::SchedError> {
+        srs_schedule(graph, mixers)
+    }
+}
+
+/// A registered scheduler: stable wire key, display label and the
+/// scheduler object. Equality and hashing use the key only (the registry
+/// enforces uniqueness), keeping ids process-stable for the engine's plan
+/// cache.
+#[derive(Clone, Copy)]
+pub struct SchedulerId {
+    key: &'static str,
+    label: &'static str,
+    scheduler: &'static (dyn Scheduler + Send + Sync),
+}
+
+impl SchedulerId {
+    /// MMS (`"mms"`).
+    pub const MMS: SchedulerId = SchedulerId::new("mms", "MMS", &MmsScheduler);
+    /// SRS (`"srs"`).
+    pub const SRS: SchedulerId = SchedulerId::new("srs", "SRS", &SrsScheduler);
+
+    /// Creates an id; `key` is the wire name (`--scheduler KEY`).
+    pub const fn new(
+        key: &'static str,
+        label: &'static str,
+        scheduler: &'static (dyn Scheduler + Send + Sync),
+    ) -> Self {
+        SchedulerId { key, label, scheduler }
+    }
+
+    /// The stable wire key (`"mms"`, `"srs"`, …).
+    pub fn key(self) -> &'static str {
+        self.key
+    }
+
+    /// The display label (`"MMS"`, `"SRS"`, …).
+    pub fn label(self) -> &'static str {
+        self.label
+    }
+
+    /// The scheduler object behind the id.
+    pub fn scheduler(self) -> &'static dyn Scheduler {
+        self.scheduler
+    }
+
+    /// Runs the scheduler (see [`Scheduler::schedule`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheduler's failure.
+    pub fn run(self, graph: &MixGraph, mixers: usize) -> Result<Schedule, crate::SchedError> {
+        self.scheduler.schedule(graph, mixers)
+    }
+}
+
+impl PartialEq for SchedulerId {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for SchedulerId {}
+
+impl Hash for SchedulerId {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key.hash(state);
+    }
+}
+
+impl fmt::Debug for SchedulerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SchedulerId").field(&self.key).finish()
+    }
+}
+
+impl fmt::Display for SchedulerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label)
+    }
+}
+
+impl From<SchedulerKind> for SchedulerId {
+    fn from(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Mms => SchedulerId::MMS,
+            SchedulerKind::Srs => SchedulerId::SRS,
+        }
+    }
+}
+
+impl PartialEq<SchedulerKind> for SchedulerId {
+    fn eq(&self, other: &SchedulerKind) -> bool {
+        *self == SchedulerId::from(*other)
+    }
+}
+
+impl PartialEq<SchedulerId> for SchedulerKind {
+    fn eq(&self, other: &SchedulerId) -> bool {
+        SchedulerId::from(*self) == *other
+    }
+}
+
+/// One registry row: the id, a one-line description and lookup aliases.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerEntry {
+    /// The scheduler id.
+    pub id: SchedulerId,
+    /// One-line description shown by `--list-schedulers`.
+    pub description: &'static str,
+    /// Extra accepted names.
+    pub aliases: &'static [&'static str],
+}
+
+/// The name `name` did not resolve to any registered scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSchedulerError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// The keys currently registered, in registration order.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownSchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scheduler {:?} (registered: {})", self.name, self.known.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownSchedulerError {}
+
+/// A scheduler with a clashing key, label or alias is already registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateSchedulerError {
+    /// The clashing name.
+    pub key: String,
+}
+
+impl fmt::Display for DuplicateSchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduler {:?} is already registered", self.key)
+    }
+}
+
+impl std::error::Error for DuplicateSchedulerError {}
+
+/// The process-wide scheduler registry, seeded with MMS and SRS.
+pub struct SchedulerRegistry;
+
+static REGISTRY: OnceLock<RwLock<Vec<SchedulerEntry>>> = OnceLock::new();
+
+fn store() -> &'static RwLock<Vec<SchedulerEntry>> {
+    REGISTRY.get_or_init(|| {
+        RwLock::new(vec![
+            SchedulerEntry {
+                id: SchedulerId::MMS,
+                description: "M_Mixers_Schedule (Algorithm 1): level-synchronous FIFO \
+                              forest scheduling, latency-oriented",
+                aliases: &[],
+            },
+            SchedulerEntry {
+                id: SchedulerId::SRS,
+                description: "Storage_Reduced_Scheduling (Algorithm 2): defers \
+                              reservoir-fed mixes to cut on-chip storage",
+                aliases: &[],
+            },
+        ])
+    })
+}
+
+fn read() -> RwLockReadGuard<'static, Vec<SchedulerEntry>> {
+    store().read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write() -> RwLockWriteGuard<'static, Vec<SchedulerEntry>> {
+    store().write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SchedulerRegistry {
+    /// All registered schedulers, in registration order (MMS, SRS first).
+    pub fn entries() -> Vec<SchedulerEntry> {
+        read().clone()
+    }
+
+    /// Resolves `name` against keys, labels and aliases,
+    /// case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSchedulerError`] (listing the registered keys) when
+    /// nothing matches.
+    pub fn resolve(name: &str) -> Result<SchedulerId, UnknownSchedulerError> {
+        let entries = read();
+        for entry in entries.iter() {
+            if entry.id.key.eq_ignore_ascii_case(name)
+                || entry.id.label.eq_ignore_ascii_case(name)
+                || entry.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+            {
+                return Ok(entry.id);
+            }
+        }
+        Err(UnknownSchedulerError {
+            name: name.to_owned(),
+            known: entries.iter().map(|e| e.id.key).collect(),
+        })
+    }
+
+    /// Registers a new scheduler; names must not clash case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateSchedulerError`] on a name clash; the registry is
+    /// left unchanged.
+    pub fn register(entry: SchedulerEntry) -> Result<(), DuplicateSchedulerError> {
+        let mut entries = write();
+        let mut new_names = vec![entry.id.key, entry.id.label];
+        new_names.extend(entry.aliases);
+        for existing in entries.iter() {
+            let mut names = vec![existing.id.key, existing.id.label];
+            names.extend(existing.aliases);
+            for name in &names {
+                if new_names.iter().any(|n| n.eq_ignore_ascii_case(name)) {
+                    return Err(DuplicateSchedulerError { key: (*name).to_owned() });
+                }
+            }
+        }
+        entries.push(entry);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use dmf_ratio::TargetRatio;
+
+    #[test]
+    fn both_paper_schedulers_resolve_and_round_trip_the_enum() {
+        assert_eq!(SchedulerRegistry::resolve("mms").unwrap(), SchedulerId::MMS);
+        assert_eq!(SchedulerRegistry::resolve("SRS").unwrap(), SchedulerId::SRS);
+        for kind in SchedulerKind::ALL {
+            let id = SchedulerId::from(kind);
+            assert_eq!(id, kind);
+            assert_eq!(kind, id);
+            assert_eq!(id.label(), kind.name());
+        }
+    }
+
+    #[test]
+    fn unknown_scheduler_lists_known_keys() {
+        let err = SchedulerRegistry::resolve("hlf").unwrap_err();
+        assert!(err.known.contains(&"mms") && err.known.contains(&"srs"));
+    }
+
+    #[test]
+    fn id_dispatch_equals_direct_function_calls() {
+        use dmf_mixalgo::{MinMix, MixingAlgorithm};
+        let target = TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap();
+        let graph = MinMix.build_graph(&target).unwrap();
+        let direct = srs_schedule(&graph, 3).unwrap();
+        let via_id = SchedulerId::SRS.run(&graph, 3).unwrap();
+        assert_eq!(direct.makespan(), via_id.makespan());
+        assert_eq!(direct.storage(&graph).peak, via_id.storage(&graph).peak);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let clash = SchedulerEntry {
+            id: SchedulerId::new("MMS", "MMS2", &MmsScheduler),
+            description: "clashes with mms",
+            aliases: &[],
+        };
+        assert!(SchedulerRegistry::register(clash).is_err());
+    }
+}

@@ -35,11 +35,9 @@
 //! between runs.
 
 use dmf_engine::{EngineConfig, StreamPlan};
-use dmf_mixalgo::BaseAlgorithm;
 use dmf_obs::json::{self, Json};
 use dmf_obs::SpanRecord;
 use dmf_ratio::TargetRatio;
-use dmf_sched::SchedulerKind;
 use std::fmt;
 
 /// Demand used when a plan request omits `"demand"` (matches the
@@ -108,6 +106,15 @@ impl ProtocolError {
     /// burning a worker on it.
     pub fn infeasible(message: impl Into<String>) -> Self {
         ProtocolError { code: "infeasible", message: message.into() }
+    }
+
+    /// A well-formed request naming a mixing algorithm the
+    /// [`dmf_mixalgo::MixingAlgorithmRegistry`] does not know. Its own
+    /// code (rather than `bad_request`) so clients can tell a typo'd
+    /// algorithm from a malformed line — the message lists the
+    /// registered keys.
+    pub fn unknown_algo(message: impl Into<String>) -> Self {
+        ProtocolError { code: "unknown_algo", message: message.into() }
     }
 
     /// The response code this rejection is answered with.
@@ -185,25 +192,21 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             let ratio = TargetRatio::new(parts)
                 .map_err(|e| ProtocolError::new(format!("bad ratio {ratio_text:?}: {e}")))?;
             let mut config = EngineConfig::default();
-            if let Some(name) = member_str(&value, "algorithm")? {
-                config = config.with_algorithm(match name.to_lowercase().as_str() {
-                    "mm" | "minmix" => BaseAlgorithm::MinMix,
-                    "rma" => BaseAlgorithm::Rma,
-                    "mtcs" => BaseAlgorithm::Mtcs,
-                    "rsm" => BaseAlgorithm::Rsm,
-                    other => {
-                        return Err(ProtocolError::new(format!("unknown algorithm {other:?}")))
-                    }
-                });
+            // "algo" is accepted as an alias for "algorithm" (the CLI's
+            // --algo shorthand); "algorithm" wins when both are present.
+            let algo_name = match member_str(&value, "algorithm")? {
+                Some(name) => Some(name),
+                None => member_str(&value, "algo")?,
+            };
+            if let Some(name) = algo_name {
+                let id = dmf_mixalgo::MixingAlgorithmRegistry::resolve(name)
+                    .map_err(|e| ProtocolError::unknown_algo(e.to_string()))?;
+                config = config.with_algorithm(id);
             }
             if let Some(name) = member_str(&value, "scheduler")? {
-                config = config.with_scheduler(match name.to_lowercase().as_str() {
-                    "mms" => SchedulerKind::Mms,
-                    "srs" => SchedulerKind::Srs,
-                    other => {
-                        return Err(ProtocolError::new(format!("unknown scheduler {other:?}")))
-                    }
-                });
+                let id = dmf_sched::SchedulerRegistry::resolve(name)
+                    .map_err(|e| ProtocolError::new(e.to_string()))?;
+                config = config.with_scheduler(id);
             }
             if let Some(mixers) = member_u64(&value, "mixers")? {
                 let mixers = usize::try_from(mixers)
@@ -279,7 +282,8 @@ pub fn plan_response_traced(
 }
 
 /// A typed error response; `code` is one of `bad_request`, `infeasible`,
-/// `busy`, `deadline`, `plan_failed`, `shutting_down` or `internal`.
+/// `unknown_algo`, `busy`, `deadline`, `plan_failed`, `shutting_down` or
+/// `internal`.
 pub fn error_response(code: &str, message: &str) -> String {
     format!(
         "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
@@ -307,6 +311,8 @@ pub fn stalled_response(ms: u64) -> String {
 mod tests {
     use super::*;
     use dmf_engine::MixerBudget;
+    use dmf_mixalgo::BaseAlgorithm;
+    use dmf_sched::SchedulerKind;
 
     #[test]
     fn parses_a_minimal_plan_request() {
@@ -376,6 +382,23 @@ mod tests {
         assert_eq!(err.code(), "infeasible");
         // Malformed components stay bad_request: "1:x" is not even a ratio.
         let err = parse_request(r#"{"op":"plan","ratio":"1:x"}"#).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+    }
+
+    #[test]
+    fn unknown_algorithms_carry_their_own_code() {
+        let err = parse_request(r#"{"op":"plan","ratio":"1:1","algorithm":"magic"}"#).unwrap_err();
+        assert_eq!(err.code(), "unknown_algo");
+        assert!(err.to_string().contains("mm"), "{err}");
+        // The short "algo" alias resolves through the same registry.
+        let err = parse_request(r#"{"op":"plan","ratio":"1:1","algo":"magic"}"#).unwrap_err();
+        assert_eq!(err.code(), "unknown_algo");
+        let r = parse_request(r#"{"op":"plan","ratio":"1:1","algo":"rma"}"#).unwrap();
+        let Request::Plan(spec) = r else { panic!("expected a plan request") };
+        assert_eq!(spec.config.algorithm, BaseAlgorithm::Rma);
+        // Unknown schedulers stay bad_request: the scheduler set is closed
+        // at the protocol level until a streaming scheduler registers.
+        let err = parse_request(r#"{"op":"plan","ratio":"1:1","scheduler":"fifo"}"#).unwrap_err();
         assert_eq!(err.code(), "bad_request");
     }
 

@@ -254,10 +254,15 @@ impl Server {
             Err(e) => {
                 // The rejection carries its own code: `infeasible` when
                 // the mixability pre-pass proved no plan exists (the
-                // request never reaches a worker), `bad_request` for
-                // malformed lines.
+                // request never reaches a worker), `unknown_algo` for an
+                // algorithm name the registry does not know,
+                // `bad_request` for malformed lines.
                 self.recorder.count(
-                    if e.code() == "infeasible" { "serve.infeasible" } else { "serve.bad_request" },
+                    match e.code() {
+                        "infeasible" => "serve.infeasible",
+                        "unknown_algo" => "serve.unknown_algo",
+                        _ => "serve.bad_request",
+                    },
                     1,
                 );
                 (protocol::error_response(e.code(), &e.to_string()), false)
@@ -443,7 +448,8 @@ impl Server {
         format!(
             "{{\"ok\":true,\"type\":\"stats\",\
              \"requests\":{},\"connections\":{},\"planned\":{},\"plan_failed\":{},\
-             \"bad_request\":{},\"infeasible\":{},\"busy\":{},\"deadline\":{},\"slow\":{},\
+             \"bad_request\":{},\"infeasible\":{},\"unknown_algo\":{},\"busy\":{},\
+             \"deadline\":{},\"slow\":{},\
              \"op_plan\":{},\"op_stats\":{},\"op_ping\":{},\"op_shutdown\":{},\"op_stall\":{},\
              \"enqueued\":{},\"dequeued\":{},\
              \"latency_count\":{latency_count},\"latency_mean_ns\":{latency_mean_ns},\
@@ -457,6 +463,7 @@ impl Server {
             counter("serve.plan_failed"),
             counter("serve.bad_request"),
             counter("serve.infeasible"),
+            counter("serve.unknown_algo"),
             counter("serve.busy"),
             counter("serve.deadline"),
             counter("serve.slow"),

@@ -63,8 +63,50 @@ cargo run --release -q --bin dmfstream -- check --all-protocols --jobs 1 > /tmp/
 cargo run --release -q --bin dmfstream -- check --all-protocols --jobs 4 > /tmp/dmf_check_j4.txt
 diff /tmp/dmf_check_j1.txt /tmp/dmf_check_j4.txt
 
-echo "==> bench_plan (plan cache micro-benchmark; warm hit must be >= 10x faster)"
-cargo run --release -q -p dmf-bench --bin bench_plan >/dev/null
+echo "==> registry gate (--list-algorithms names the four paper baselines; unknown --algo exits 2 typed)"
+algo_list=$(target/release/dmfstream plan --list-algorithms)
+for key in mm rma mtcs rsm; do
+  printf '%s\n' "$algo_list" | grep -Eq "^  $key " || {
+    echo "registry gate: --list-algorithms is missing '$key': $algo_list"
+    exit 1
+  }
+done
+target/release/dmfstream plan --list-schedulers | grep -q '^  srs ' || {
+  echo "registry gate: --list-schedulers is missing srs"
+  exit 1
+}
+set +e
+unknown_out=$(target/release/dmfstream plan 2:1:1:1:1:1:9 --demand 4 --algo nonesuch 2>&1)
+unknown_code=$?
+set -e
+[ "$unknown_code" -eq 2 ] || {
+  echo "registry gate: unknown --algo exited $unknown_code, expected 2"
+  exit 1
+}
+printf '%s' "$unknown_out" | grep -q 'unknown mixing algorithm "nonesuch" (registered: mm, rma, mtcs, rsm)' || {
+  echo "registry gate: unknown --algo error was not typed: $unknown_out"
+  exit 1
+}
+printf '%s' "$unknown_out" | grep -q 'list-algorithms' || {
+  echo "registry gate: unknown --algo error did not suggest --list-algorithms: $unknown_out"
+  exit 1
+}
+
+echo "==> bench_plan (plan cache micro-benchmark; warm hit must be >= 10x faster, no warm-cache regression vs results/BENCH_plan.json)"
+cargo run --release -q -p dmf-bench --bin bench_plan -- /tmp/dmf_bench_plan.json >/dev/null
+recorded_speedup=$(sed -n 's/.*"warm_speedup": \([0-9.]*\).*/\1/p' results/BENCH_plan.json | head -1)
+fresh_speedup=$(sed -n 's/.*"warm_speedup": \([0-9.]*\).*/\1/p' /tmp/dmf_bench_plan.json | head -1)
+[ -n "$recorded_speedup" ] && [ -n "$fresh_speedup" ] || {
+  echo "bench_plan: could not extract warm_speedup (recorded='$recorded_speedup' fresh='$fresh_speedup')"
+  exit 1
+}
+# Machine-noise tolerance: the fresh warm-cache speedup must stay within
+# 2x of the committed baseline (and bench_plan itself enforces >= 10x).
+awk -v fresh="$fresh_speedup" -v recorded="$recorded_speedup" \
+  'BEGIN { exit !(fresh * 2.0 >= recorded) }' || {
+  echo "bench_plan: warm-cache speedup regressed: fresh ${fresh_speedup}x vs recorded ${recorded_speedup}x"
+  exit 1
+}
 
 echo "==> bench_obs (tracing overhead gate: enabled sweep <= 10% over disabled)"
 cargo run --release -q -p dmf-bench --bin bench_obs -- /tmp/dmf_bench_obs.json >/dev/null
@@ -109,6 +151,16 @@ served_summary=$(printf '%s' "$served" | sed -n 's/.*"summary":"\([^"]*\)".*/\1/
 stats=$(target/release/dmfstream request --op stats --connect "$serve_addr")
 printf '%s' "$stats" | grep -q '"planned":1' || {
   echo "serve smoke: stats did not report the planned request: $stats"
+  exit 1
+}
+# A named algorithm must thread through the protocol to the server's
+# engine: the served plan must match the local plan under the same --algo.
+plan_rma=$(target/release/dmfstream plan 2:1:1:1:1:1:9 --demand 20 --algo rma)
+plan_rma_summary=${plan_rma%%$'\n'*}
+served_rma=$(target/release/dmfstream request 2:1:1:1:1:1:9 --demand 20 --algo rma --connect "$serve_addr")
+served_rma_summary=$(printf '%s' "$served_rma" | sed -n 's/.*"summary":"\([^"]*\)".*/\1/p')
+[ "$served_rma_summary" = "$plan_rma_summary" ] || {
+  echo "serve smoke: served --algo rma summary '$served_rma_summary' != plan output '$plan_rma_summary'"
   exit 1
 }
 # `request` ships raw parts so the server-side feasibility gate answers.

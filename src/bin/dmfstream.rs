@@ -49,11 +49,11 @@ use dmfstream::engine::{
     StreamingEngine,
 };
 use dmfstream::fault::{run_campaign, Campaign, FaultConfig, WearTracker};
-use dmfstream::mixalgo::BaseAlgorithm;
+use dmfstream::mixalgo::MixingAlgorithmRegistry;
 use dmfstream::obs;
 use dmfstream::pins::BackendKind;
 use dmfstream::ratio::TargetRatio;
-use dmfstream::sched::SchedulerKind;
+use dmfstream::sched::SchedulerRegistry;
 use dmfstream::serve::{Client, ServeConfig, Server};
 use dmfstream::sim::Simulator;
 use std::num::NonZeroUsize;
@@ -87,6 +87,8 @@ struct Args {
     deny: dmfstream::check::Severity,
     explain: Option<String>,
     json: Option<PathBuf>,
+    list_algorithms: bool,
+    list_schedulers: bool,
 }
 
 /// The flags each verb accepts. Unknown-flag errors quote the relevant
@@ -98,21 +100,31 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--mixers",
             "--storage",
             "--algorithm",
+            "--algo",
             "--scheduler",
             "--metrics",
             "--all-protocols",
             "--jobs",
             "--no-cache",
             "--backend",
+            "--list-algorithms",
+            "--list-schedulers",
         ]),
-        "gantt" => {
-            Some(&["--demand", "--mixers", "--storage", "--algorithm", "--scheduler", "--metrics"])
-        }
+        "gantt" => Some(&[
+            "--demand",
+            "--mixers",
+            "--storage",
+            "--algorithm",
+            "--algo",
+            "--scheduler",
+            "--metrics",
+        ]),
         "simulate" => Some(&[
             "--demand",
             "--mixers",
             "--storage",
             "--algorithm",
+            "--algo",
             "--scheduler",
             "--metrics",
             "--trace",
@@ -122,6 +134,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--mixers",
             "--storage",
             "--algorithm",
+            "--algo",
             "--scheduler",
             "--metrics",
             "--trace",
@@ -136,6 +149,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--mixers",
             "--storage",
             "--algorithm",
+            "--algo",
             "--scheduler",
             "--metrics",
             "--all-protocols",
@@ -153,6 +167,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--mixers",
             "--storage",
             "--algorithm",
+            "--algo",
             "--scheduler",
             "--folded",
             "--chrome",
@@ -173,6 +188,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--mixers",
             "--storage",
             "--algorithm",
+            "--algo",
             "--scheduler",
             "--deadline-ms",
             "--trace",
@@ -185,7 +201,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: dmfstream <plan|gantt|simulate|fault|check|profile|serve|request> <a1:a2:...:aN> \
          [--demand D] [--mixers M] [--storage Q] \
-         [--algorithm mm|rma|mtcs|rsm] [--scheduler mms|srs] [--trace] \
+         [--algorithm|--algo NAME] [--scheduler NAME] [--trace] \
+         (`dmfstream plan --list-algorithms` / `--list-schedulers` print the \
+         registered names) \
          [--metrics PATH]  (DMF_OBS=1 defaults PATH to results/obs/dmfstream.jsonl)\n\
          fault-only flags: [--seed S] [--fault-rate R] [--sensor-period C] \
          [--max-replans N]\n\
@@ -255,6 +273,8 @@ fn parse_args() -> Result<Args, String> {
     let mut deny = dmfstream::check::Severity::Error;
     let mut explain: Option<String> = None;
     let mut json: Option<PathBuf> = None;
+    let mut list_algorithms = false;
+    let mut list_schedulers = false;
     while let Some(flag) = argv.next() {
         if !allowed.contains(&flag.as_str()) {
             return Err(format!(
@@ -342,22 +362,22 @@ fn parse_args() -> Result<Args, String> {
                 config = config
                     .with_storage_limit(value()?.parse().map_err(|e| format!("bad storage: {e}"))?)
             }
-            "--algorithm" => {
-                config = config.with_algorithm(match value()?.to_lowercase().as_str() {
-                    "mm" | "minmix" => BaseAlgorithm::MinMix,
-                    "rma" => BaseAlgorithm::Rma,
-                    "mtcs" => BaseAlgorithm::Mtcs,
-                    "rsm" => BaseAlgorithm::Rsm,
-                    other => return Err(format!("unknown algorithm {other:?}")),
-                })
+            "--algorithm" | "--algo" => {
+                let name = value()?;
+                let id = MixingAlgorithmRegistry::resolve(&name).map_err(|e| {
+                    format!("{e}; run `dmfstream plan --list-algorithms` for descriptions")
+                })?;
+                config = config.with_algorithm(id);
             }
             "--scheduler" => {
-                config = config.with_scheduler(match value()?.to_lowercase().as_str() {
-                    "mms" => SchedulerKind::Mms,
-                    "srs" => SchedulerKind::Srs,
-                    other => return Err(format!("unknown scheduler {other:?}")),
-                })
+                let name = value()?;
+                let id = SchedulerRegistry::resolve(&name).map_err(|e| {
+                    format!("{e}; run `dmfstream plan --list-schedulers` for descriptions")
+                })?;
+                config = config.with_scheduler(id);
             }
+            "--list-algorithms" => list_algorithms = true,
+            "--list-schedulers" => list_schedulers = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -388,7 +408,38 @@ fn parse_args() -> Result<Args, String> {
         deny,
         explain,
         json,
+        list_algorithms,
+        list_schedulers,
     })
+}
+
+/// Prints the registered mixing algorithms and/or schedulers, one per
+/// line with the one-line registry description — the output behind
+/// `dmfstream plan --list-algorithms` / `--list-schedulers`.
+fn print_registries(algorithms: bool, schedulers: bool) {
+    if algorithms {
+        println!("mixing algorithms:");
+        for entry in MixingAlgorithmRegistry::entries() {
+            let aliases = if entry.aliases.is_empty() {
+                String::new()
+            } else {
+                format!(" (aliases: {})", entry.aliases.join(", "))
+            };
+            println!(
+                "  {:<8} {:<6} {}{}",
+                entry.id.key(),
+                entry.id.label(),
+                entry.description,
+                aliases
+            );
+        }
+    }
+    if schedulers {
+        println!("schedulers:");
+        for entry in SchedulerRegistry::entries() {
+            println!("  {:<8} {:<6} {}", entry.id.key(), entry.id.label(), entry.description);
+        }
+    }
 }
 
 /// Resolves the positional ratio parts into a [`TargetRatio`], gated by
@@ -451,6 +502,10 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> ExitCode {
+    if args.list_algorithms || args.list_schedulers {
+        print_registries(args.list_algorithms, args.list_schedulers);
+        return ExitCode::SUCCESS;
+    }
     if args.command == "serve" {
         return run_serve(args);
     }
@@ -1038,20 +1093,10 @@ fn request_line(args: &Args) -> Result<String, String> {
                 format!("\"demand\":{}", args.demand),
             ];
             if args.config.algorithm != defaults.algorithm {
-                let name = match args.config.algorithm {
-                    BaseAlgorithm::MinMix => "mm",
-                    BaseAlgorithm::Rma => "rma",
-                    BaseAlgorithm::Mtcs => "mtcs",
-                    BaseAlgorithm::Rsm => "rsm",
-                };
-                members.push(format!("\"algorithm\":\"{name}\""));
+                members.push(format!("\"algorithm\":\"{}\"", args.config.algorithm.key()));
             }
             if args.config.scheduler != defaults.scheduler {
-                let name = match args.config.scheduler {
-                    SchedulerKind::Mms => "mms",
-                    SchedulerKind::Srs => "srs",
-                };
-                members.push(format!("\"scheduler\":\"{name}\""));
+                members.push(format!("\"scheduler\":\"{}\"", args.config.scheduler.key()));
             }
             if let dmfstream::engine::MixerBudget::Fixed(mixers) = args.config.mixers {
                 members.push(format!("\"mixers\":{mixers}"));
