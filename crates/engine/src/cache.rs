@@ -1,4 +1,4 @@
-//! Content-addressed plan cache with a bounded LRU eviction policy.
+//! Content-addressed plan cache: sharded, bounded, LRU-evicting.
 //!
 //! A streaming plan is a pure function of its inputs — the target CF
 //! vector, the demand `D`, the base algorithm, the scheduler, the mixer
@@ -16,19 +16,49 @@
 //! when a store would exceed it, so a long-lived process (the
 //! `dmfstream serve` worker pool, a batch daemon) has a hard memory
 //! ceiling instead of the unbounded growth the original `HashMap` had.
-//! Hit/miss/eviction totals are kept in [`CacheStats`] and exported
-//! through `dmf-obs` as the `cache.hits` / `cache.misses` /
-//! `cache.evictions` counters whenever the global recorder is enabled.
+//!
+//! # Sharding and the read-mostly hit path
+//!
+//! The cache is split into [`PlanCache::shard_count`] independent shards,
+//! selected by `PlanKey::fingerprint() % shards` — the same stable FNV-1a
+//! digest that names plans on disk. Each shard owns its slice of the
+//! capacity (the first `capacity % shards` shards hold one extra slot)
+//! behind its own `RwLock`, so concurrent requests for different keys
+//! contend only when they land on the same shard. A **hit never takes a
+//! write lock**: recency is a per-entry relaxed atomic stamp bumped under
+//! the shard's *read* lock (a deferred touch), and hit/miss/eviction
+//! totals are per-shard relaxed atomics. Only a store — which must be
+//! able to evict — takes the shard's write lock, and eviction picks the
+//! entry with the smallest stamp, preserving LRU semantics per shard.
+//!
+//! [`CacheStats`] aggregates the shards; `cache.hits` / `cache.misses` /
+//! `cache.evictions` are exported through `dmf-obs` whenever the global
+//! recorder is enabled.
 
 use crate::{EngineConfig, StreamPlan};
 use dmf_hash::{Fnv64, FnvBuildHasher};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Default [`PlanCache`] capacity (plans, not bytes). Generous for every
 /// workload in this repository while still bounding a long-lived process.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
+
+/// Upper bound on the shard count: beyond this, extra shards only cost
+/// memory — lock contention is already negligible.
+pub const MAX_PLAN_CACHE_SHARDS: usize = 64;
+
+/// The default shard count for new caches: the machine's available
+/// parallelism, clamped to `1..=`[`MAX_PLAN_CACHE_SHARDS`]. One shard per
+/// hardware thread is enough for stores to (almost) never contend.
+#[must_use]
+pub fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .clamp(1, MAX_PLAN_CACHE_SHARDS)
+}
 
 /// The content address of a plan: every input [`crate::StreamingEngine`]
 /// folds into its output.
@@ -57,7 +87,8 @@ impl PlanKey {
     }
 
     /// A stable 64-bit FNV-1a digest of this key — identical across
-    /// processes and runs for equal keys.
+    /// processes and runs for equal keys. Doubles as the shard selector
+    /// (see [`PlanCache::shard_index`]).
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv64::new();
@@ -66,7 +97,8 @@ impl PlanKey {
     }
 }
 
-/// Cumulative counters of one [`PlanCache`]'s behaviour.
+/// Cumulative counters of one [`PlanCache`]'s behaviour, aggregated over
+/// every shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Cached plans right now.
@@ -81,48 +113,71 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-#[derive(Debug, Default)]
-struct LruInner {
-    /// Key → (plan, recency stamp). The stamp indexes into `order`.
-    map: HashMap<PlanKey, (Arc<StreamPlan>, u64), FnvBuildHasher>,
-    /// Recency stamp → key; the first entry is the least recently used.
-    order: BTreeMap<u64, PlanKey>,
-    /// Monotonic recency clock (bumped on every lookup hit and store).
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+/// One cached plan plus its recency stamp. The stamp is atomic so a hit
+/// can refresh it under the shard's *read* lock (deferred touch); larger
+/// stamp = more recently used. Stamps are unique within a shard (they
+/// come off the shard's monotonic clock), so eviction order is total.
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<StreamPlan>,
+    stamp: AtomicU64,
 }
 
-impl LruInner {
-    /// Moves `key` (already present) to the most-recently-used position.
-    fn touch(&mut self, key: &PlanKey) {
-        if let Some((_, stamp)) = self.map.get(key) {
-            let old = *stamp;
-            self.order.remove(&old);
-            self.tick += 1;
-            let fresh = self.tick;
-            self.order.insert(fresh, key.clone());
-            if let Some((_, stamp)) = self.map.get_mut(key) {
-                *stamp = fresh;
-            }
+/// One independently locked slice of the cache.
+#[derive(Debug)]
+struct Shard {
+    /// Plans this shard may hold (always ≥ 1).
+    capacity: usize,
+    /// Monotonic recency clock; bumped on every hit and store.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    map: RwLock<HashMap<PlanKey, Entry, FnvBuildHasher>>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            map: RwLock::new(HashMap::default()),
         }
+    }
+
+    // A poisoned lock only means another worker panicked mid-operation;
+    // the map itself is never left half-written (inserts and removals are
+    // atomic at this level), so recover the guard instead of propagating.
+    fn read(&self) -> RwLockReadGuard<'_, HashMap<PlanKey, Entry, FnvBuildHasher>> {
+        self.map.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, HashMap<PlanKey, Entry, FnvBuildHasher>> {
+        self.map.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 }
 
-/// A thread-safe, content-addressed, **bounded** store of finished plans.
+/// A thread-safe, content-addressed, **bounded** store of finished plans,
+/// sharded for parallel access (see the module docs).
 ///
 /// Clone-free on hits (plans are handed out as [`Arc`]); safe to share
 /// across the [`crate::plan_batch`] worker pool and the `dmfstream serve`
-/// request threads. The map itself uses the deterministic FNV hasher, so
-/// cache behavior does not depend on process-seeded hash state. When a
-/// store would push the cache past its capacity, the least-recently-used
-/// plan is dropped and counted in [`CacheStats::evictions`] (and the
-/// `cache.evictions` dmf-obs counter).
+/// request threads. Each shard's map uses the deterministic FNV hasher,
+/// so cache behavior does not depend on process-seeded hash state. When a
+/// store would push a shard past its slice of the capacity, that shard's
+/// least-recently-used plan is dropped and counted in
+/// [`CacheStats::evictions`] (and the `cache.evictions` dmf-obs counter).
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    inner: Mutex<LruInner>,
+    shards: Box<[Shard]>,
 }
 
 impl Default for PlanCache {
@@ -133,18 +188,39 @@ impl Default for PlanCache {
 
 impl PlanCache {
     /// An empty cache with the default capacity
-    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]) and the default shard count
+    /// ([`default_shard_count`]).
     #[must_use]
     pub fn new() -> Self {
         PlanCache::default()
     }
 
-    /// An empty cache holding at most `capacity` plans. A capacity of zero
-    /// is clamped to one (a cache that cannot hold anything would turn
-    /// every warm lookup into a replan, silently).
+    /// An empty cache holding at most `capacity` plans across
+    /// [`default_shard_count`] shards. A capacity of zero is clamped to
+    /// one (a cache that cannot hold anything would turn every warm
+    /// lookup into a replan, silently).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        PlanCache { capacity: capacity.max(1), inner: Mutex::new(LruInner::default()) }
+        PlanCache::with_capacity_and_shards(capacity, default_shard_count())
+    }
+
+    /// An empty cache holding at most `capacity` plans across `shards`
+    /// independently locked shards.
+    ///
+    /// The shard count is clamped to `1..=`[`MAX_PLAN_CACHE_SHARDS`] and
+    /// never exceeds the capacity, so every shard holds at least one
+    /// plan. The capacity is divided evenly; the remainder policy gives
+    /// the first `capacity % shards` shards one extra slot, so the
+    /// per-shard capacities always sum to exactly `capacity`.
+    #[must_use]
+    pub fn with_capacity_and_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let count = shards.clamp(1, MAX_PLAN_CACHE_SHARDS).min(capacity);
+        let base = capacity / count;
+        let extra = capacity % count;
+        let shards: Box<[Shard]> =
+            (0..count).map(|i| Shard::new(base + usize::from(i < extra))).collect();
+        PlanCache { capacity, shards }
     }
 
     /// An empty default-capacity cache ready to share across engines and
@@ -161,32 +237,59 @@ impl PlanCache {
         Arc::new(PlanCache::with_capacity(capacity))
     }
 
-    fn inner(&self) -> std::sync::MutexGuard<'_, LruInner> {
-        // A poisoned lock only means another worker panicked mid-insert;
-        // the map itself is never left half-written (inserts are atomic at
-        // this level), so recover the guard instead of propagating.
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// An empty bounded cache with an explicit shard count (see
+    /// [`PlanCache::with_capacity_and_shards`]), ready to share.
+    #[must_use]
+    pub fn shared_with_capacity_and_shards(capacity: usize, shards: usize) -> Arc<Self> {
+        Arc::new(PlanCache::with_capacity_and_shards(capacity, shards))
     }
 
-    /// Maximum number of plans this cache will hold.
+    /// Maximum number of plans this cache will hold, over all shards.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard capacities, in shard order. They sum to
+    /// [`PlanCache::capacity`]; the first `capacity % shards` entries are
+    /// one larger than the rest (the remainder policy).
+    pub fn shard_capacities(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.capacity).collect()
+    }
+
+    /// The shard `key` lives on: `fingerprint() % shard_count`. Stable
+    /// across processes (the fingerprint is unseeded FNV-1a), so a key's
+    /// shard assignment is reproducible.
+    pub fn shard_index(&self, key: &PlanKey) -> usize {
+        (key.fingerprint() % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Shard {
+        &self.shards[self.shard_index(key)]
+    }
+
     /// Looks `key` up, counting `cache.hits` / `cache.misses`. A hit also
-    /// marks the entry most recently used.
+    /// marks the entry most recently used — without taking a write lock:
+    /// the recency stamp is a relaxed atomic refreshed under the shard's
+    /// read lock, so concurrent hits on one shard proceed in parallel.
     pub fn lookup(&self, key: &PlanKey) -> Option<Arc<StreamPlan>> {
+        let shard = self.shard(key);
         let found = {
-            let mut inner = self.inner();
-            let found = inner.map.get(key).map(|(plan, _)| Arc::clone(plan));
-            if found.is_some() {
-                inner.hits += 1;
-                inner.touch(key);
-            } else {
-                inner.misses += 1;
-            }
-            found
+            let map = shard.read();
+            map.get(key).map(|entry| {
+                entry.stamp.store(shard.next_stamp(), Ordering::Relaxed);
+                Arc::clone(&entry.plan)
+            })
         };
+        if found.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+        }
         let obs = dmf_obs::global();
         if obs.is_enabled() {
             obs.count(if found.is_some() { "cache.hits" } else { "cache.misses" }, 1);
@@ -194,35 +297,40 @@ impl PlanCache {
         found
     }
 
-    /// Stores a finished plan under `key`, evicting the least-recently-used
-    /// entry if the cache is full. Concurrent writers may race on the same
-    /// key; both plans are byte-identical by construction, so either insert
-    /// is correct.
+    /// Stores a finished plan under `key`, evicting the shard's
+    /// least-recently-used entries while the shard is over its slice of
+    /// the capacity. Concurrent writers may race on the same key; both
+    /// plans are byte-identical by construction, so either insert is
+    /// correct.
     pub fn store(&self, key: PlanKey, plan: Arc<StreamPlan>) {
+        let shard = self.shard(&key);
+        let stamp = shard.next_stamp();
         let evicted = {
-            let mut inner = self.inner();
-            if inner.map.contains_key(&key) {
-                // Refresh in place: byte-identical by construction, so only
-                // the recency changes.
-                inner.touch(&key);
-                if let Some((slot, _)) = inner.map.get_mut(&key) {
-                    *slot = plan;
-                }
+            let mut map = shard.write();
+            if let Some(entry) = map.get_mut(&key) {
+                // Refresh in place — a single entry-based update:
+                // byte-identical by construction, so only the plan slot
+                // and the recency stamp change.
+                entry.plan = plan;
+                entry.stamp.store(stamp, Ordering::Relaxed);
                 0
             } else {
-                inner.tick += 1;
-                let stamp = inner.tick;
-                inner.order.insert(stamp, key.clone());
-                inner.map.insert(key, (plan, stamp));
+                map.insert(key, Entry { plan, stamp: AtomicU64::new(stamp) });
                 let mut evicted = 0u64;
-                while inner.map.len() > self.capacity {
-                    let Some((&oldest, _)) = inner.order.iter().next() else { break };
-                    if let Some(victim) = inner.order.remove(&oldest) {
-                        inner.map.remove(&victim);
-                        evicted += 1;
-                    }
+                while map.len() > shard.capacity {
+                    // Smallest stamp = least recently used. Stamps only
+                    // move under this shard's locks, and we hold the
+                    // write lock, so the scan is race-free; stamps are
+                    // unique, so the victim is unambiguous.
+                    let victim = map
+                        .iter()
+                        .min_by_key(|(_, entry)| entry.stamp.load(Ordering::Relaxed))
+                        .map(|(k, _)| k.clone());
+                    let Some(victim) = victim else { break };
+                    map.remove(&victim);
+                    evicted += 1;
                 }
-                inner.evictions += evicted;
+                shard.evictions.fetch_add(evicted, Ordering::Relaxed);
                 evicted
             }
         };
@@ -234,33 +342,48 @@ impl PlanCache {
         }
     }
 
-    /// Number of cached plans.
+    /// Number of cached plans, over all shards.
     pub fn len(&self) -> usize {
-        self.inner().map.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner().map.is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Cumulative hit/miss/eviction counters plus the current occupancy.
+    /// Cumulative hit/miss/eviction counters plus the current occupancy,
+    /// aggregated across shards.
+    ///
+    /// The snapshot is consistent enough for capacity accounting: each
+    /// shard's length is read under its lock (a store holds the write
+    /// lock through its eviction loop, so an over-capacity shard is never
+    /// observable), which makes `len <= capacity` an invariant of the
+    /// reported stats — asserted here.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner();
-        CacheStats {
-            len: inner.map.len(),
-            capacity: self.capacity,
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
+        let mut stats = CacheStats { capacity: self.capacity, ..CacheStats::default() };
+        for shard in self.shards.iter() {
+            let len = shard.read().len();
+            debug_assert!(len <= shard.capacity, "shard over capacity: {len} > {}", shard.capacity);
+            stats.len += len;
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.evictions += shard.evictions.load(Ordering::Relaxed);
         }
+        assert!(
+            stats.len <= stats.capacity,
+            "cache stats invariant violated: len {} > capacity {}",
+            stats.len,
+            stats.capacity
+        );
+        stats
     }
 
     /// Drops every cached plan (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner();
-        inner.map.clear();
-        inner.order.clear();
+        for shard in self.shards.iter() {
+            shard.write().clear();
+        }
     }
 }
 
@@ -315,7 +438,9 @@ mod tests {
 
     #[test]
     fn capacity_bounds_the_cache_under_churn() {
-        let cache = PlanCache::with_capacity(4);
+        // One shard: the exact global-LRU expectations below require a
+        // single recency domain.
+        let cache = PlanCache::with_capacity_and_shards(4, 1);
         let config = EngineConfig::default();
         let plan = plan_arc(2);
         for demand in 1..=100u64 {
@@ -333,8 +458,25 @@ mod tests {
     }
 
     #[test]
+    fn sharded_churn_is_bounded_with_exact_eviction_accounting() {
+        // Whatever the key → shard spread, distinct-key stores obey
+        // `evictions == stores - len` and the bound holds per shard.
+        let cache = PlanCache::with_capacity_and_shards(4, 4);
+        let config = EngineConfig::default();
+        let plan = plan_arc(2);
+        for demand in 1..=100u64 {
+            cache.store(PlanKey::new(&config, &pcr_d4(), demand), Arc::clone(&plan));
+            assert!(cache.len() <= 4, "cache exceeded its capacity");
+        }
+        let stats = cache.stats();
+        assert!(stats.len <= 4);
+        assert_eq!(stats.evictions, 100 - stats.len as u64);
+    }
+
+    #[test]
     fn lru_eviction_respects_lookup_recency() {
-        let cache = PlanCache::with_capacity(2);
+        // One shard, so all three keys compete for the same two slots.
+        let cache = PlanCache::with_capacity_and_shards(2, 1);
         let config = EngineConfig::default();
         let key_a = PlanKey::new(&config, &pcr_d4(), 2);
         let key_b = PlanKey::new(&config, &pcr_d4(), 4);
@@ -354,7 +496,7 @@ mod tests {
 
     #[test]
     fn storing_an_existing_key_does_not_evict() {
-        let cache = PlanCache::with_capacity(2);
+        let cache = PlanCache::with_capacity_and_shards(2, 1);
         let config = EngineConfig::default();
         let key_a = PlanKey::new(&config, &pcr_d4(), 2);
         let key_b = PlanKey::new(&config, &pcr_d4(), 4);
@@ -370,10 +512,66 @@ mod tests {
     fn zero_capacity_is_clamped_to_one() {
         let cache = PlanCache::with_capacity(0);
         assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.shard_count(), 1);
         let config = EngineConfig::default();
         let plan = plan_arc(2);
         cache.store(PlanKey::new(&config, &pcr_d4(), 2), Arc::clone(&plan));
         cache.store(PlanKey::new(&config, &pcr_d4(), 4), plan);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_divides_across_shards_with_remainder_policy() {
+        let cache = PlanCache::with_capacity_and_shards(10, 4);
+        assert_eq!(cache.shard_count(), 4);
+        assert_eq!(cache.capacity(), 10);
+        assert_eq!(cache.shard_capacities(), vec![3, 3, 2, 2]);
+        let even = PlanCache::with_capacity_and_shards(8, 4);
+        assert_eq!(even.shard_capacities(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_capacity_so_every_shard_holds_a_plan() {
+        let cache = PlanCache::with_capacity_and_shards(2, 8);
+        assert_eq!(cache.shard_count(), 2);
+        assert_eq!(cache.shard_capacities(), vec![1, 1]);
+        assert_eq!(PlanCache::with_capacity_and_shards(1024, 0).shard_count(), 1);
+        assert_eq!(
+            PlanCache::with_capacity_and_shards(1 << 20, 1 << 20).shard_count(),
+            MAX_PLAN_CACHE_SHARDS
+        );
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let cache = PlanCache::with_capacity_and_shards(16, 4);
+        let config = EngineConfig::default();
+        for demand in 1..=32u64 {
+            let key = PlanKey::new(&config, &pcr_d4(), demand);
+            let idx = cache.shard_index(&key);
+            assert!(idx < cache.shard_count());
+            assert_eq!(idx, cache.shard_index(&key), "shard assignment must be stable");
+            assert_eq!(idx, (key.fingerprint() % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let cache = PlanCache::with_capacity_and_shards(16, 4);
+        let config = EngineConfig::default();
+        let plan = plan_arc(2);
+        let keys: Vec<PlanKey> =
+            (1..=8u64).map(|demand| PlanKey::new(&config, &pcr_d4(), demand)).collect();
+        for key in &keys {
+            assert!(cache.lookup(key).is_none()); // 8 misses
+            cache.store(key.clone(), Arc::clone(&plan));
+        }
+        for key in &keys {
+            assert!(cache.lookup(key).is_some()); // 8 hits
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (8, 8, 0));
+        assert_eq!(stats.len, 8);
+        assert!(stats.len <= stats.capacity);
     }
 }

@@ -49,7 +49,10 @@ mod realize;
 mod recovery;
 
 pub use batch::{plan_batch, BatchOptions, PlanRequest};
-pub use cache::{CacheStats, PlanCache, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use cache::{
+    default_shard_count, CacheStats, PlanCache, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY,
+    MAX_PLAN_CACHE_SHARDS,
+};
 pub use check::static_check;
 pub use compare::{improvement_over_baseline, repeated, Improvement};
 pub use config::{EngineConfig, MixerBudget};

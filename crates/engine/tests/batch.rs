@@ -56,9 +56,11 @@ fn batch_is_byte_identical_to_sequential_at_every_thread_count() {
         .map(|r| render(&StreamingEngine::new(r.config).plan(&r.target, r.demand).unwrap()))
         .collect();
     for jobs in [1usize, 2, 4, 8] {
+        // Four explicit shards, so the sharded lookup/store paths are
+        // exercised even on machines whose default shard count is 1.
         let options = BatchOptions::new()
             .with_jobs(NonZeroUsize::new(jobs).unwrap())
-            .with_cache(PlanCache::shared());
+            .with_cache(PlanCache::shared_with_capacity_and_shards(64, 4));
         let results = plan_batch(&requests, &options);
         assert_eq!(results.len(), requests.len());
         for (i, outcome) in results.iter().enumerate() {

@@ -1,0 +1,183 @@
+//! Contention coverage for the sharded plan cache:
+//!
+//! * a loom-style stress test — hand-scheduled worker threads replaying
+//!   deterministic op scripts (fixed `dmf-rng` seeds, barrier-aligned
+//!   phases) — asserting `hits + misses == total lookups` and that the
+//!   reported occupancy never exceeds the capacity;
+//! * `plan_batch` output byte-identical at jobs 1/2/4/8 against a small
+//!   sharded cache under eviction pressure;
+//! * exact eviction accounting when the capacity is smaller than the
+//!   requested shard count (the shard clamp).
+
+// Test target: the workspace `unwrap_used`/`expect_used`/`panic` deny wall
+// applies to library code only (see Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+use dmf_engine::{
+    plan_batch, BatchOptions, EngineConfig, PlanCache, PlanKey, PlanRequest, StreamPlan,
+    StreamingEngine,
+};
+use dmf_ratio::TargetRatio;
+use dmf_rng::{Rng, SeedableRng, StdRng};
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Barrier};
+
+fn pcr_d4() -> TargetRatio {
+    TargetRatio::new(vec![2, 1, 1, 1, 1, 1, 9]).unwrap()
+}
+
+/// The five Table 2 bioprotocol ratios (Ex.1–Ex.5, all `L = 256`).
+fn table2_ratios() -> Vec<TargetRatio> {
+    [
+        vec![26, 21, 2, 2, 3, 3, 199],
+        vec![128, 123, 5],
+        vec![25, 5, 5, 5, 5, 13, 13, 25, 1, 159],
+        vec![9, 17, 26, 9, 195],
+        vec![57, 28, 6, 6, 6, 3, 150],
+    ]
+    .into_iter()
+    .map(|parts| TargetRatio::new(parts).unwrap())
+    .collect()
+}
+
+/// A plan's full observable surface: summary line, inputs, and per-pass
+/// forest/schedule figures.
+fn render(plan: &StreamPlan) -> String {
+    let mut out = format!("{plan}\nI[] = {:?}\n", plan.inputs);
+    for pass in &plan.passes {
+        out.push_str(&format!(
+            "pass: D'={} Tc={} q={} nodes={}\n",
+            pass.demand,
+            pass.cycles(),
+            pass.storage_units(),
+            pass.forest.node_count()
+        ));
+    }
+    out
+}
+
+#[test]
+fn seeded_thread_stress_accounts_every_lookup() {
+    const THREADS: usize = 4;
+    const PHASES: usize = 8;
+    const OPS_PER_PHASE: usize = 32;
+    const KEY_UNIVERSE: u64 = 32;
+
+    // Capacity 16 over 4 shards with 32 live keys: constant eviction
+    // pressure on every shard.
+    let cache = PlanCache::shared_with_capacity_and_shards(16, 4);
+    let config = EngineConfig::default();
+    // One plan allocation serves every key: the accounting under test is
+    // independent of plan content.
+    let plan =
+        Arc::new(StreamingEngine::new(config).plan(&pcr_d4(), 20).expect("PCR d4 must plan"));
+    // The barrier aligns all threads at phase boundaries, so every phase
+    // genuinely interleaves all four scripts instead of letting one
+    // thread race ahead and finish alone.
+    let barrier = Barrier::new(THREADS);
+
+    let per_thread: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let cache = Arc::clone(&cache);
+                let plan = Arc::clone(&plan);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // The script is fully determined by the seed: replays
+                    // of this test explore the same op sequences.
+                    let mut rng = StdRng::seed_from_u64(0xDAC2_0140 + thread as u64);
+                    let (mut hits, mut misses) = (0u64, 0u64);
+                    for _ in 0..PHASES {
+                        barrier.wait();
+                        for _ in 0..OPS_PER_PHASE {
+                            let demand = rng.gen_range(1..=KEY_UNIVERSE);
+                            let key = PlanKey::new(&config, &pcr_d4(), demand);
+                            if cache.lookup(&key).is_some() {
+                                hits += 1;
+                            } else {
+                                misses += 1;
+                                cache.store(key, Arc::clone(&plan));
+                            }
+                        }
+                        // Mid-run occupancy check from every thread: the
+                        // stats path itself asserts `len <= capacity`.
+                        let stats = cache.stats();
+                        assert!(
+                            stats.len <= stats.capacity,
+                            "phase snapshot over capacity: {stats:?}"
+                        );
+                    }
+                    (hits, misses)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
+    });
+
+    let local_hits: u64 = per_thread.iter().map(|(h, _)| h).sum();
+    let local_misses: u64 = per_thread.iter().map(|(_, m)| m).sum();
+    let total_lookups = (THREADS * PHASES * OPS_PER_PHASE) as u64;
+    assert_eq!(local_hits + local_misses, total_lookups);
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        total_lookups,
+        "cache counters must account for every lookup: {stats:?}"
+    );
+    assert_eq!((stats.hits, stats.misses), (local_hits, local_misses));
+    assert!(stats.len <= stats.capacity, "final occupancy over capacity: {stats:?}");
+    assert_eq!(stats.len, cache.len());
+}
+
+#[test]
+fn plan_batch_is_byte_identical_across_jobs_under_eviction_pressure() {
+    // 10 distinct keys against an 8-slot, 4-shard cache: some shard must
+    // evict mid-batch, and the outputs still cannot change.
+    let requests: Vec<PlanRequest> = table2_ratios()
+        .into_iter()
+        .flat_map(|ratio| [12u64, 32].map(|demand| PlanRequest::new(ratio.clone(), demand)))
+        .collect();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| render(&StreamingEngine::new(r.config).plan(&r.target, r.demand).unwrap()))
+        .collect();
+    for jobs in [1usize, 2, 4, 8] {
+        let cache = PlanCache::shared_with_capacity_and_shards(8, 4);
+        let options =
+            BatchOptions::new().with_jobs(NonZeroUsize::new(jobs).unwrap()).with_cache(cache);
+        let results = plan_batch(&requests, &options);
+        assert_eq!(results.len(), requests.len());
+        for (i, outcome) in results.iter().enumerate() {
+            let plan = outcome.as_ref().unwrap();
+            assert_eq!(render(plan), expected[i], "jobs={jobs}, request {i}");
+        }
+    }
+}
+
+#[test]
+fn eviction_accounting_is_exact_when_capacity_is_below_the_shard_count() {
+    // Eight shards requested, two slots available: the shard count clamps
+    // to the capacity so no shard is created with zero slots.
+    let cache = PlanCache::with_capacity_and_shards(2, 8);
+    assert_eq!(cache.shard_count(), 2);
+    assert_eq!(cache.shard_capacities(), vec![1, 1]);
+
+    let config = EngineConfig::default();
+    let plan =
+        Arc::new(StreamingEngine::new(config).plan(&pcr_d4(), 20).expect("PCR d4 must plan"));
+    const STORES: u64 = 40;
+    for demand in 1..=STORES {
+        cache.store(PlanKey::new(&config, &pcr_d4(), demand), Arc::clone(&plan));
+        assert!(cache.len() <= 2, "cache exceeded its capacity");
+    }
+    let stats = cache.stats();
+    // Single-slot shards retain exactly one plan each once touched, so
+    // the books must balance store-for-store.
+    assert!(stats.len >= 1 && stats.len <= 2);
+    assert_eq!(stats.evictions, STORES - stats.len as u64);
+    // The survivor of each shard is that shard's most recent store.
+    let survivors: u64 = (1..=STORES)
+        .filter(|&demand| cache.lookup(&PlanKey::new(&config, &pcr_d4(), demand)).is_some())
+        .count() as u64;
+    assert_eq!(survivors, stats.len as u64);
+}

@@ -46,11 +46,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// TODO(lint-wall): crate-wide exemption from the workspace
-// `unwrap_used`/`expect_used`/`panic` deny wall. Offenders here predate the
-// wall (documented-panic convenience constructors and provably-safe
-// `expect`s); burn them down and drop this allow.
-#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 mod config;
 pub mod lineage;

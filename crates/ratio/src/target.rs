@@ -63,6 +63,18 @@ impl TargetRatio {
         Ok(TargetRatio { accuracy, parts })
     }
 
+    /// The simplest mixable target: `1 : 1` at accuracy `d = 1` — one
+    /// balanced (1:1) mix of two fluids.
+    ///
+    /// This is the only infallible constructor; it exists so callers with
+    /// a "cannot actually fail" ratio in hand (published protocol tables,
+    /// constructed-to-sum partitions) have a total fallback instead of a
+    /// panicking `expect`.
+    #[must_use]
+    pub fn unit() -> Self {
+        TargetRatio { accuracy: 1, parts: vec![1, 1] }
+    }
+
     /// Rounds a real-valued ratio (percentages, volumes, any non-negative
     /// weights) onto the `2^d` grid.
     ///

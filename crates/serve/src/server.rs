@@ -41,6 +41,11 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Plan-cache capacity in entries (LRU beyond that).
     pub cache_capacity: usize,
+    /// Plan-cache shard count: independently locked slices of the cache,
+    /// selected by plan-key fingerprint, so concurrent workers contend
+    /// only when they hit the same shard. Clamped to
+    /// `1..=`[`dmf_engine::MAX_PLAN_CACHE_SHARDS`] and to the capacity.
+    pub cache_shards: usize,
     /// Default per-request queueing deadline, milliseconds. A request
     /// still queued after this long is answered with a `deadline` error
     /// instead of being planned; `"deadline_ms"` on the request overrides
@@ -59,6 +64,7 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()).min(4),
             queue_depth: 64,
             cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            cache_shards: dmf_engine::default_shard_count(),
             default_deadline_ms: 10_000,
             slow_ms: None,
         }
@@ -109,7 +115,8 @@ impl Server {
             || Err(io::Error::new(io::ErrorKind::InvalidInput, "empty bind address")),
             TcpListener::bind,
         )?;
-        let cache = PlanCache::shared_with_capacity(config.cache_capacity);
+        let cache =
+            PlanCache::shared_with_capacity_and_shards(config.cache_capacity, config.cache_shards);
         let recorder = Arc::new(Recorder::new());
         recorder.set_span_capacity(SERVE_SPAN_CAPACITY);
         Ok(Server { listener, config, cache, recorder, shutdown: AtomicBool::new(false) })
@@ -455,7 +462,7 @@ impl Server {
              \"latency_count\":{latency_count},\"latency_mean_ns\":{latency_mean_ns},\
              \"latency_p50_ns\":{p50},\"latency_p90_ns\":{p90},\"latency_p99_ns\":{p99},\
              \"workers\":{},\"queue_depth\":{},\"queue_depth_peak\":{},\
-             \"cache_len\":{},\"cache_capacity\":{},\"cache_hits\":{},\
+             \"cache_len\":{},\"cache_capacity\":{},\"cache_shards\":{},\"cache_hits\":{},\
              \"cache_misses\":{},\"cache_evictions\":{}}}",
             counter("serve.requests"),
             counter("serve.connections"),
@@ -479,6 +486,7 @@ impl Server {
             snapshot.gauges.get("serve.queue_depth").copied().unwrap_or(0),
             cache.len,
             cache.capacity,
+            self.cache.shard_count(),
             cache.hits,
             cache.misses,
             cache.evictions,

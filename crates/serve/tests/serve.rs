@@ -243,7 +243,9 @@ fn a_traced_plan_request_yields_one_connected_span_tree() {
 
 #[test]
 fn lru_cache_stays_bounded_under_churn_and_reports_evictions() {
-    let config = ServeConfig { cache_capacity: 2, ..test_config() };
+    // One shard: the exact eviction counts below assume a single global
+    // LRU domain, not per-shard slices.
+    let config = ServeConfig { cache_capacity: 2, cache_shards: 1, ..test_config() };
     with_server(config, |server, addr| {
         let mut client = Client::connect(addr).unwrap();
         for demand in [10, 11, 12, 13] {

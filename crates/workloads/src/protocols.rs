@@ -14,7 +14,11 @@ pub struct Protocol {
 }
 
 fn protocol(id: &'static str, name: &'static str, parts: Vec<u64>) -> Protocol {
-    Protocol { id, name, ratio: TargetRatio::new(parts).expect("published ratios are valid") }
+    // Every caller passes a published table with a power-of-two sum; the
+    // 1:1 fallback keeps this total, and the per-protocol ratio-sum and
+    // fluid-count tests below would expose a silently degraded table.
+    let ratio = TargetRatio::new(parts).unwrap_or_else(|_| TargetRatio::unit());
+    Protocol { id, name, ratio }
 }
 
 /// Ex.1 — the PCR master mix for DNA amplification, `L = 256`.

@@ -70,7 +70,12 @@ pub fn corpus(
             if coprime_only && parts.iter().all(|p| p % 2 == 0) {
                 continue;
             }
-            out.push(TargetRatio::new(parts).expect("partitions sum to 2^d"));
+            // Partitions sum to 2^d by construction, so the Err arm is
+            // unreachable; the exact population-count tests below would
+            // catch any partition this silently dropped.
+            if let Ok(ratio) = TargetRatio::new(parts) {
+                out.push(ratio);
+            }
         }
     }
     out
@@ -144,11 +149,9 @@ mod tests {
 /// multi-target sharing (each step's mixture is the previous step's
 /// half-dilution).
 pub fn serial_dilution_series(depth: u32) -> Vec<TargetRatio> {
-    (1..=depth.min(62))
-        .map(|d| {
-            TargetRatio::new(vec![1, (1u64 << d) - 1]).expect("1 : 2^d - 1 sums to a power of two")
-        })
-        .collect()
+    // 1 + (2^d - 1) = 2^d, so every step constructs; the series-length
+    // test below would expose a silently dropped step.
+    (1..=depth.min(62)).filter_map(|d| TargetRatio::new(vec![1, (1u64 << d) - 1]).ok()).collect()
 }
 
 #[cfg(test)]

@@ -108,6 +108,41 @@ awk -v fresh="$fresh_speedup" -v recorded="$recorded_speedup" \
   exit 1
 }
 
+echo "==> bench_plan jobs curve (parallel batch gate, scaled to this machine)"
+# The committed exhibit must carry the jobs curve, and the fresh run must
+# show parallel planning paying off: on >= 4 hardware threads, jobs=4 must
+# halve the jobs=1 wall time; on narrower machines (a 2x parallel speedup
+# is physically impossible there) jobs=4 must not lose to jobs=1 beyond
+# thread-timeslice noise. bench_plan enforces the same bound internally;
+# this re-checks the numbers it wrote so the gate survives exhibit edits.
+grep -q '"jobs_curve"' results/BENCH_plan.json || {
+  echo "bench_plan: committed results/BENCH_plan.json is missing the jobs_curve"
+  exit 1
+}
+batch_requests=$(sed -n 's/.*"requests": \([0-9]*\).*/\1/p' /tmp/dmf_bench_plan.json | head -1)
+parallelism=$(sed -n 's/.*"parallelism": \([0-9]*\).*/\1/p' /tmp/dmf_bench_plan.json | head -1)
+jobs1_ns=$(sed -n 's/.*"jobs1_wall_ns": \([0-9]*\).*/\1/p' /tmp/dmf_bench_plan.json | head -1)
+jobs4_ns=$(sed -n 's/.*"jobs4_wall_ns": \([0-9]*\).*/\1/p' /tmp/dmf_bench_plan.json | head -1)
+[ -n "$batch_requests" ] && [ -n "$parallelism" ] && [ -n "$jobs1_ns" ] && [ -n "$jobs4_ns" ] || {
+  echo "bench_plan: could not extract the jobs curve from /tmp/dmf_bench_plan.json"
+  exit 1
+}
+[ "$batch_requests" -ge 500 ] || {
+  echo "bench_plan: batch has only $batch_requests requests (gate needs >= 500)"
+  exit 1
+}
+if [ "$parallelism" -ge 4 ]; then
+  awk -v j1="$jobs1_ns" -v j4="$jobs4_ns" 'BEGIN { exit !(j4 * 2 <= j1) }' || {
+    echo "bench_plan: jobs=4 (${jobs4_ns}ns) is not 2x faster than jobs=1 (${jobs1_ns}ns) on $parallelism threads"
+    exit 1
+  }
+else
+  awk -v j1="$jobs1_ns" -v j4="$jobs4_ns" 'BEGIN { exit !(j4 <= j1 * 1.15) }' || {
+    echo "bench_plan: jobs=4 (${jobs4_ns}ns) regressed past jobs=1 (${jobs1_ns}ns) on a ${parallelism}-thread machine"
+    exit 1
+  }
+fi
+
 echo "==> bench_obs (tracing overhead gate: enabled sweep <= 10% over disabled)"
 cargo run --release -q -p dmf-bench --bin bench_obs -- /tmp/dmf_bench_obs.json >/dev/null
 

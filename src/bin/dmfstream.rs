@@ -24,8 +24,10 @@
 //! `plan --all-protocols` and `check --all-protocols` plan every Table 2
 //! protocol through the batch planner ([`dmf_engine::plan_batch`]) with a
 //! shared content-addressed plan cache; `--jobs N` sets the worker-thread
-//! count (default: available parallelism) and `--no-cache` disables the
-//! cache. Output is deterministic and independent of `--jobs`.
+//! count (default: available parallelism), `--cache-shards N` the cache's
+//! lock-shard count (default: available parallelism) and `--no-cache`
+//! disables the cache. Output is deterministic and independent of both
+//! `--jobs` and `--cache-shards`.
 //!
 //! `--metrics <path>` (or the `DMF_OBS=1` environment variable, which
 //! defaults to `results/obs/dmfstream.jsonl`) enables the global
@@ -45,8 +47,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 use dmfstream::chip::presets::streaming_chip;
 use dmfstream::engine::{
-    plan_batch, realize_pass, BatchOptions, EngineConfig, PlanCache, PlanRequest, RecoveryPolicy,
-    StreamingEngine,
+    default_shard_count, plan_batch, realize_pass, BatchOptions, EngineConfig, PlanCache,
+    PlanRequest, RecoveryPolicy, StreamingEngine, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 use dmfstream::fault::{run_campaign, Campaign, FaultConfig, WearTracker};
 use dmfstream::mixalgo::MixingAlgorithmRegistry;
@@ -77,6 +79,7 @@ struct Args {
     report: Option<PathBuf>,
     jobs: Option<NonZeroUsize>,
     no_cache: bool,
+    cache_shards: Option<NonZeroUsize>,
     serve: ServeConfig,
     deadline_ms: Option<u64>,
     connect: Option<String>,
@@ -106,6 +109,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--all-protocols",
             "--jobs",
             "--no-cache",
+            "--cache-shards",
             "--backend",
             "--list-algorithms",
             "--list-schedulers",
@@ -155,6 +159,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--all-protocols",
             "--jobs",
             "--no-cache",
+            "--cache-shards",
             "--report",
             "--backend",
             "--deep",
@@ -178,6 +183,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
             "--workers",
             "--queue-depth",
             "--cache-capacity",
+            "--cache-shards",
             "--deadline-ms",
             "--slow-ms",
         ]),
@@ -211,7 +217,8 @@ fn usage() -> ExitCode {
          direct-address|row-column|broadcast] wires the chip with a shared-pin \
          backend — plan reports the pin count, check audits the PIN/* rules, \
          fault runs the campaign under the pinned simulator\n\
-         batch flags (plan/check with --all-protocols): [--jobs N] [--no-cache]\n\
+         batch flags (plan/check with --all-protocols): [--jobs N] [--no-cache] \
+         [--cache-shards N]  (default: available parallelism)\n\
          check-only flags: dmfstream check <ratio|--all-protocols> \
          [--deep] [--deny warn|error] [--report PATH] [--json PATH] \
          [--explain CODE]; --deep replays every realized pass through the \
@@ -224,7 +231,8 @@ fn usage() -> ExitCode {
          plans under the tracer and prints the span-tree profile; --folded \
          writes flamegraph.pl folded stacks, --chrome a Chrome/Perfetto trace\n\
          serve flags: [--addr HOST:PORT | --port P] [--workers N] \
-         [--queue-depth N] [--cache-capacity N] [--deadline-ms MS] [--slow-ms MS]\n\
+         [--queue-depth N] [--cache-capacity N] [--cache-shards N] \
+         [--deadline-ms MS] [--slow-ms MS]\n\
          request flags: --connect HOST:PORT [--op plan|stats|ping|shutdown] \
          [--deadline-ms MS] [--trace] plus the plan flags above"
     );
@@ -263,6 +271,7 @@ fn parse_args() -> Result<Args, String> {
     let mut metrics: Option<PathBuf> = None;
     let mut jobs: Option<NonZeroUsize> = None;
     let mut no_cache = false;
+    let mut cache_shards: Option<NonZeroUsize> = None;
     let mut serve = ServeConfig::default();
     let mut deadline_ms: Option<u64> = None;
     let mut connect: Option<String> = None;
@@ -315,6 +324,14 @@ fn parse_args() -> Result<Args, String> {
                 })?)
             }
             "--no-cache" => no_cache = true,
+            "--cache-shards" => {
+                let raw = value()?;
+                let shards = raw.parse::<NonZeroUsize>().map_err(|_| {
+                    format!("--cache-shards must be a positive integer (cache shards), got {raw:?}")
+                })?;
+                cache_shards = Some(shards);
+                serve.cache_shards = shards.get();
+            }
             "--addr" => serve.addr = value()?,
             "--port" => {
                 let port: u16 = value()?.parse().map_err(|e| format!("bad port: {e}"))?;
@@ -398,6 +415,7 @@ fn parse_args() -> Result<Args, String> {
         report,
         jobs,
         no_cache,
+        cache_shards,
         serve,
         deadline_ms,
         connect,
@@ -467,14 +485,20 @@ fn ratio_text(parts: &[u64]) -> String {
 }
 
 /// Batch-planner options shared by `plan --all-protocols` and `check`:
-/// explicit `--jobs` if given, and a fresh shared cache unless `--no-cache`.
+/// explicit `--jobs` if given, and a fresh shared cache unless
+/// `--no-cache` (sharded per `--cache-shards`, defaulting to the
+/// machine's available parallelism).
 fn batch_options(args: &Args) -> BatchOptions {
     let mut options = BatchOptions::new();
     if let Some(jobs) = args.jobs {
         options = options.with_jobs(jobs);
     }
     if !args.no_cache {
-        options = options.with_cache(PlanCache::shared());
+        let shards = args.cache_shards.map_or_else(default_shard_count, NonZeroUsize::get);
+        options = options.with_cache(PlanCache::shared_with_capacity_and_shards(
+            DEFAULT_PLAN_CACHE_CAPACITY,
+            shards,
+        ));
     }
     options
 }
